@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Each benchmark module regenerates one paper artifact (DESIGN.md §4's
+per-experiment index) and prints the rows/series the paper reports, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment log.
+EXPERIMENTS.md records the measured-vs-paper comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge import default_knowledge_base
+
+
+@pytest.fixture(scope="session")
+def kb():
+    """One shared knowledge base for all benchmarks."""
+    return default_knowledge_base()
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table output for the experiment log."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    print()
+    print(f"== {title} ==")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,160 @@
+"""E9 — §6: explainability and deployment equivalence classes.
+
+Two future-work features the paper asks for, implemented and measured:
+
+- conflict diagnosis: UNSAT answers come back as a *minimal* set of
+  named requirements (remove any one and the design space reopens);
+- equivalence classes: instead of one arbitrary witness, the engine
+  reports the distinct system-level deployments and how many
+  hardware/feature completions each admits.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.core.design import DesignRequest
+from repro.core.diagnose import diagnose, minimize_core
+from repro.core.engine import ReasoningEngine
+from repro.kb.dsl import ctx, prop
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.system import System
+from repro.kb.workload import Workload
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    for i in range(3):
+        kb.add_system(System(
+            name=f"Stack{i}", category="network_stack",
+            solves=["packet_processing"],
+        ))
+    kb.add_system(System(
+        name="NeedsTimestamps", category="monitoring", solves=["monitoring"],
+        requires=prop("nic", "NIC_TIMESTAMPS"),
+    ))
+    kb.add_system(System(
+        name="NeedsWan", category="firewall", solves=["filtering"],
+        requires=ctx("wan_egress_present"),
+    ))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="TsNIC", rate_gbps=25, power_w=5, cost_usd=400,
+        timestamps=True,
+    )))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="PlainNIC", rate_gbps=25, power_w=5, cost_usd=150,
+    )))
+    kb.add_hardware(Hardware(spec=ServerSpec(
+        model="Box", cores=32, mem_gb=128, power_w=300, cost_usd=4_000,
+    )))
+    kb.add_hardware(Hardware(spec=SwitchSpec(
+        model="Sw", port_gbps=100, ports=32, memory_mb=16, power_w=300,
+        cost_usd=8_000,
+    )))
+    return kb
+
+
+def test_minimal_conflicts(benchmark):
+    kb = _kb()
+    engine = ReasoningEngine(kb, validate=False)
+    scenarios = [
+        ("require+forbid the same system", DesignRequest(
+            workloads=[Workload(name="w", objectives=["packet_processing"])],
+            required_systems=["Stack0"],
+            forbidden_systems=["Stack0"],
+        )),
+        ("objective with no provider", DesignRequest(
+            workloads=[Workload(name="w",
+                                objectives=["packet_processing",
+                                            "quantum_networking"])],
+        )),
+        ("context-gated system, context absent", DesignRequest(
+            workloads=[Workload(name="w",
+                                objectives=["packet_processing",
+                                            "filtering"])],
+            context={"wan_egress_present": False},
+        )),
+        ("resource overload", DesignRequest(
+            workloads=[Workload(name="w", objectives=["packet_processing"],
+                                peak_cores=16 * 32 + 1)],
+        )),
+    ]
+
+    def run():
+        rows = []
+        for label, request in scenarios:
+            compiled = engine.compile(request)
+            assert not compiled.solve()
+            raw = compiled.core_names()
+            conflict = diagnose(engine.compile(request))
+            minimal = conflict.constraints
+            # Verify minimality: dropping any element makes it SAT.
+            check = engine.compile(request)
+            for name in minimal:
+                rest = [check.selectors[n] for n in minimal if n != name]
+                assert check.solver.solve(rest), (
+                    f"{label}: {name} is redundant in {minimal}"
+                )
+            rows.append([label, len(raw), len(minimal),
+                         "; ".join(minimal)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E9a — conflict diagnosis: raw core vs. minimized",
+        ["scenario", "raw core", "minimal", "named constraints"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] <= row[1]
+
+
+def test_equivalence_classes_enumerated(benchmark):
+    kb = _kb()
+    engine = ReasoningEngine(kb, validate=False)
+    request = DesignRequest(
+        workloads=[Workload(name="w",
+                            objectives=["packet_processing", "monitoring"])],
+    )
+    classes = benchmark.pedantic(
+        engine.equivalence_classes,
+        args=(request,),
+        kwargs={"class_limit": 32, "completions_limit": 16},
+        rounds=1, iterations=1,
+    )
+    rows = [[", ".join(c.systems), c.completions] for c in classes]
+    print_table(
+        "E9b — deployment equivalence classes (§6)",
+        ["system set", "hardware/feature completions"],
+        rows,
+    )
+    deployments = {tuple(c.systems) for c in classes}
+    # Three stacks x the single monitor = three classes.
+    assert deployments == {
+        ("NeedsTimestamps", "Stack0"),
+        ("NeedsTimestamps", "Stack1"),
+        ("NeedsTimestamps", "Stack2"),
+    }
+    assert all(c.completions > 1 for c in classes), (
+        "each class must admit several hardware completions"
+    )
+
+
+def test_minimization_cost(benchmark):
+    """Diagnosis must stay interactive even on the full KB."""
+    from repro.knowledge import default_knowledge_base
+    from repro.knowledge.casestudy import inference_case_study
+
+    kb = default_knowledge_base()
+    engine = ReasoningEngine(kb)
+    request = inference_case_study()
+    request.budgets = {"capex_usd": 50_000}  # impossible budget
+
+    def run():
+        conflict = engine.diagnose(request)
+        assert conflict is not None
+        return conflict
+
+    conflict = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("full-KB diagnosis:", "; ".join(conflict.constraints))
+    assert "budget:capex_usd" in conflict.constraints

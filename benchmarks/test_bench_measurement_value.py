@@ -1,0 +1,114 @@
+"""E11 (extension) — §3.1: "is a measurement worth running?"
+
+"Our proposed engine can help architects make a more informed decision
+regarding whether they should perform a measurement to acquire
+additional information: it is only needed if the answer changes the
+final design."
+
+The benchmark takes incomparable system pairs and asks, for a concrete
+request, whether learning their order could change the synthesized
+deployment — producing the measurement shopping list an architect would
+actually use.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.core.measurements import measurement_value
+from repro.kb.workload import Workload
+
+INVENTORY = {
+    "SRV-G2-64C-256G": 32,
+    "STD-100G-TS-IP": 64,
+    "FF-100G-32P": 8,
+    "FPGA-100G-1000K": 16,
+}
+
+
+def test_measurement_shopping_list(kb, benchmark):
+    engine = ReasoningEngine(kb)
+    request = DesignRequest(
+        workloads=[Workload(
+            name="app",
+            objectives=["packet_processing", "low_latency_packet_processing"],
+            peak_cores=64,
+        )],
+        candidate_systems=["Linux", "Snap", "Onload"],
+        given_properties=["site::RESEARCH_OK", "site::APP_MODIFIABLE"],
+        context={"datacenter_fabric": True},
+        inventory=dict(INVENTORY),
+        optimize=["latency"],
+    )
+    pairs = [
+        # Incomparable on latency in the KB: which wins matters.
+        ("Snap", "Onload", "latency"),
+        # Already forced apart by requirements: measuring cannot matter.
+        ("Snap", "Linux", "latency"),
+    ]
+
+    def run():
+        rows = []
+        verdicts = []
+        for a, b, dimension in pairs:
+            graph = engine.kb.ordering_graph(
+                dimension, {"ctx::datacenter_fabric": True}
+            )
+            known = graph.comparable(a, b)
+            verdict = measurement_value(engine, kb, request, a, b, dimension)
+            verdicts.append(verdict)
+            rows.append([
+                f"{a} vs {b}", dimension,
+                "yes" if known else "no",
+                "WORTH MEASURING" if verdict.worth_measuring else
+                "skip the benchmark",
+            ])
+        return rows, verdicts
+
+    rows, verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E11 — which benchmarks are worth running (§3.1)",
+        ["pair", "dimension", "already ordered?", "verdict"],
+        rows,
+    )
+    for verdict in verdicts:
+        print("  " + verdict.explanation())
+    snap_onload, snap_linux = verdicts
+    assert snap_onload.worth_measuring, (
+        "an incomparable pair whose winner flips the chosen stack must "
+        "be worth measuring"
+    )
+
+
+def test_deadline_makes_measurement_pointless(kb, benchmark):
+    """§3.1's own example: with a sharp deadline, research systems are
+    out regardless of performance — so measuring one is pointless."""
+    engine = ReasoningEngine(kb)
+    request = DesignRequest(
+        workloads=[Workload(
+            name="app",
+            objectives=["packet_processing",
+                        "low_latency_packet_processing"],
+            peak_cores=64,
+        )],
+        candidate_systems=["Linux", "Snap", "Shenango"],
+        # No RESEARCH_OK: the deadline rules Shenango out wholesale.
+        given_properties=["site::APP_MODIFIABLE"],
+        context={"datacenter_fabric": True},
+        inventory=dict(INVENTORY),
+        optimize=["latency"],
+    )
+    verdict = benchmark.pedantic(
+        measurement_value,
+        args=(engine, kb, request, "Shenango", "Snap", "latency"),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "E11b — the deadline example",
+        ["pair", "verdict"],
+        [["Shenango vs Snap",
+          "worth measuring" if verdict.worth_measuring else
+          "pointless: Shenango is infeasible either way (deadline)"]],
+    )
+    assert not verdict.worth_measuring

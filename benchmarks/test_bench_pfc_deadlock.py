@@ -1,0 +1,176 @@
+"""E5 — the PFC/flooding deadlock (§2.2, §3.4), both reasoning levels.
+
+Graph level: up-down routing yields an acyclic buffer dependency graph;
+adding Ethernet flooding creates cycles — the Microsoft incident.
+Predicate level: the one-line expert rule catches the same configuration
+during design synthesis, at negligible cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.kb.system import System
+from repro.kb.workload import Workload
+from repro.topology import build_fat_tree, build_leaf_spine
+from repro.topology.pfc import audit_pfc
+
+
+def test_cbd_cycles_across_fabrics(benchmark):
+    fabrics = [
+        ("leaf-spine 4x2", build_leaf_spine(4, 2, hosts_per_leaf=1)),
+        ("leaf-spine 8x4", build_leaf_spine(8, 4, hosts_per_leaf=1)),
+        ("fat tree k=4", build_fat_tree(4, hosts_per_edge=1)),
+        ("fat tree k=6", build_fat_tree(6, hosts_per_edge=1)),
+    ]
+
+    def run():
+        rows = []
+        for name, topo in fabrics:
+            clean = audit_pfc(topo, pfc_enabled=True, flooding=False)
+            dirty = audit_pfc(topo, pfc_enabled=True, flooding=True)
+            rows.append([
+                name,
+                clean.dependencies,
+                len(clean.cycles),
+                len(dirty.cycles),
+                "DEADLOCK" if dirty.deadlock_possible else "safe",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E5a — buffer dependency cycles: up-down vs. up-down + flooding",
+        ["fabric", "dependencies", "cycles (up-down)",
+         "cycles (+flooding, capped)", "verdict"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] == 0, "up-down routing must be CBD-free"
+        assert row[3] > 0, "flooding must create cycles"
+
+
+def test_rule_catches_it_in_design_synthesis(kb, benchmark):
+    """The 'expert might have anticipated this' path (§3.4)."""
+    kb.add_system(System(
+        name="E5-LegacyFlooder",
+        category="monitoring",
+        solves=["e5_l2_discovery"],
+        provides=["net::FLOODING"],
+    ))
+    try:
+        engine = ReasoningEngine(kb)
+        request = DesignRequest(
+            workloads=[Workload(
+                name="storage",
+                objectives=["packet_processing", "reliable_transport",
+                            "e5_l2_discovery"],
+            )],
+            required_systems=["RoCEv2"],  # drags in PFC network-wide
+            context={"datacenter_fabric": True},
+        )
+        outcome = benchmark.pedantic(
+            engine.synthesize, args=(request,), rounds=1, iterations=1,
+        )
+        assert not outcome.feasible
+        names = outcome.conflict.constraints
+        print_table(
+            "E5b — predicate-level detection during synthesis",
+            ["constraint in minimal conflict"],
+            [[n] for n in names],
+        )
+        assert any("pfc" in name for name in names), names
+    finally:
+        del kb.systems["E5-LegacyFlooder"]
+
+
+def test_deadlock_manifests_in_simulation(benchmark):
+    """Beyond cycle existence: the deadlock actually happens.
+
+    Flows chasing each other around a flooding-shaped ring freeze solid
+    under PFC with shallow buffers; identical load without PFC finishes
+    (lossy), and valley-free traffic drains even with 1-slot buffers.
+    """
+    from repro.topology.graph import Topology
+    from repro.topology.routing import up_down_paths
+    from repro.topology.simulation import Flow, cyclic_flow_set, simulate
+
+    ring = Topology(name="flood_ring")
+    nodes = [ring.add_switch(f"s{i}", tier=0) for i in range(4)]
+    for i in range(4):
+        ring.add_link(nodes[i], nodes[(i + 1) % 4])
+
+    def run():
+        rows = []
+        pfc_cyclic = simulate(ring, cyclic_flow_set(nodes, packets=4),
+                              buffer_slots=2, pfc_enabled=True)
+        rows.append(["cyclic routes, PFC on",
+                     f"{pfc_cyclic.delivered}/{pfc_cyclic.total}",
+                     "DEADLOCK" if pfc_cyclic.deadlocked else "ok"])
+        lossy = simulate(ring, cyclic_flow_set(nodes, packets=4),
+                         buffer_slots=2, pfc_enabled=False)
+        rows.append(["cyclic routes, PFC off (lossy)",
+                     f"{lossy.delivered}/{lossy.total}",
+                     "DEADLOCK" if lossy.deadlocked else "ok"])
+        fabric = build_leaf_spine(3, 2, hosts_per_leaf=1)
+        hosts = fabric.hosts()
+        flows = []
+        for i, src in enumerate(hosts):
+            for dst in hosts[i + 1:]:
+                flows.append(Flow(f"{src}->{dst}",
+                                  up_down_paths(fabric, src, dst)[0],
+                                  packets=3))
+        valley_free = simulate(fabric, flows, buffer_slots=1,
+                               pfc_enabled=True)
+        rows.append(["valley-free all-pairs, PFC on",
+                     f"{valley_free.delivered}/{valley_free.total}",
+                     "DEADLOCK" if valley_free.deadlocked else "ok"])
+        return rows, pfc_cyclic, valley_free
+
+    rows, pfc_cyclic, valley_free = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "E5d — the deadlock made concrete (forwarding simulation)",
+        ["scenario", "delivered", "outcome"],
+        rows,
+    )
+    assert pfc_cyclic.deadlocked
+    assert valley_free.all_delivered
+
+
+def test_graph_vs_rule_cost(benchmark):
+    """The paper's tradeoff: the rule is orders of magnitude cheaper."""
+    import time
+
+    topo = build_fat_tree(6, hosts_per_edge=1)
+
+    started = time.perf_counter()
+    report = audit_pfc(topo, pfc_enabled=True, flooding=True)
+    graph_seconds = time.perf_counter() - started
+
+    def rule_check():
+        # The predicate rule, evaluated directly.
+        pfc_enabled, flooding, up_down = True, True, True
+        return not (pfc_enabled and flooding)
+
+    started = time.perf_counter()
+    verdict = rule_check()
+    rule_seconds = time.perf_counter() - started
+    benchmark.pedantic(rule_check, rounds=1, iterations=1)
+
+    print_table(
+        "E5c — graph reasoning vs. predicate rule",
+        ["method", "verdict", "time"],
+        [
+            ["buffer-dependency graph", "deadlock possible"
+             if report.deadlock_possible else "safe",
+             f"{graph_seconds * 1000:.1f} ms"],
+            ["expert rule (PFC -> no flooding)",
+             "violation" if not verdict else "ok",
+             f"{rule_seconds * 1e6:.1f} us"],
+        ],
+    )
+    assert report.deadlock_possible
+    assert not verdict

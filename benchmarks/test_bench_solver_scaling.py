@@ -1,0 +1,248 @@
+"""E7 — §3.4: "the power of such solvers to explore combinatorial search
+spaces will be critical".
+
+Three measurements:
+
+- the SAT engine vs. the exhaustive-enumeration baseline on growing
+  synthetic design spaces (the crossover: enumeration explodes, CDCL
+  does not);
+- CDCL performance on random 3-SAT at the hard clause/variable ratio;
+- ablations of the solver's heuristics (DESIGN.md §6): conflicts needed
+  to prove a pigeonhole instance with each feature disabled.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_table
+from repro.baselines import ExhaustiveReasoner
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.kb.dsl import prop
+from repro.kb.hardware import Hardware, NICSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.system import System
+from repro.kb.workload import Workload
+from repro.sat import Solver
+
+
+def _synthetic_kb(num_roles: int, options_per_role: int) -> KnowledgeBase:
+    """A design space with one near-infeasible corner.
+
+    Each role r has options O(r, 0..k-1); option i conflicts with option
+    i of the previous role, and only the last option of each role is
+    requirement-free — so naive enumeration visits a large fraction of
+    the k^n space before finding the needle.
+    """
+    kb = KnowledgeBase()
+    categories = ["network_stack", "monitoring", "firewall",
+                  "load_balancer", "transport_protocol",
+                  "congestion_control", "virtual_switch",
+                  "bandwidth_allocator", "memory_pooling"]
+    for role in range(num_roles):
+        for option in range(options_per_role):
+            conflicts = []
+            if role > 0 and option < options_per_role - 1:
+                conflicts.append(f"O{role - 1}_{option}")
+            requires = (
+                prop("nic", "INTERRUPT_POLLING")
+                if option < options_per_role - 1
+                else None
+            )
+            kb.add_system(System(
+                name=f"O{role}_{option}",
+                category=categories[role % len(categories)],
+                solves=[f"role{role}"],
+                requires=requires if requires is not None else __truthy(),
+                conflicts=conflicts,
+            ))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="NoPollNIC", rate_gbps=25, power_w=5, cost_usd=100,
+        interrupt_polling=False,
+    )))
+    return kb
+
+
+def __truthy():
+    from repro.logic.ast import TRUE
+
+    return TRUE
+
+
+def _request(num_roles: int) -> DesignRequest:
+    return DesignRequest(
+        workloads=[Workload(
+            name="w", objectives=[f"role{r}" for r in range(num_roles)],
+        )],
+        include_common_sense=False,
+    )
+
+
+def test_sat_vs_exhaustive_crossover(benchmark):
+    options = 4
+    rows = []
+    crossover_seen = False
+    # Roles capped at 6: at 8 roles enumeration already needs ~10^7
+    # subset checks (~100 s) while the SAT time stays flat at ~4 ms.
+    for roles in (2, 4, 6):
+        kb = _synthetic_kb(roles, options)
+        request = _request(roles)
+        engine = ReasoningEngine(kb, validate=False)
+
+        started = time.perf_counter()
+        sat_outcome = engine.check(request)
+        sat_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        brute = ExhaustiveReasoner(kb).answer(request)
+        brute_seconds = time.perf_counter() - started
+
+        assert sat_outcome.feasible == brute.feasible
+        rows.append([
+            roles, options ** roles,
+            f"{sat_seconds * 1000:.1f} ms",
+            f"{brute_seconds * 1000:.1f} ms",
+            brute.checked,
+        ])
+        if brute_seconds > sat_seconds:
+            crossover_seen = True
+    print_table(
+        "E7a — SAT engine vs. exhaustive enumeration",
+        ["roles", "space size", "SAT time", "enumeration time",
+         "subsets checked"],
+        rows,
+    )
+    assert crossover_seen, "enumeration should fall behind as the space grows"
+    # Keep a benchmark record of the largest SAT solve.
+    kb = _synthetic_kb(8, options)
+    engine = ReasoningEngine(kb, validate=False)
+    benchmark.pedantic(
+        engine.check, args=(_request(8),), rounds=1, iterations=1
+    )
+
+
+def test_random_3sat_near_phase_transition(benchmark):
+    """CDCL throughput on the classic hard-ratio ensemble (m/n = 4.26)."""
+    import random
+
+    def exact_3sat(rng, n, m):
+        return [
+            [v * rng.choice([1, -1]) for v in rng.sample(range(1, n + 1), 3)]
+            for _ in range(m)
+        ]
+
+    def run():
+        rng = random.Random(2024)
+        rows = []
+        for n in (50, 100, 150):
+            m = int(4.26 * n)
+            sat_count = 0
+            conflicts = 0
+            started = time.perf_counter()
+            for _ in range(5):
+                clauses = exact_3sat(rng, n, m)
+                solver = Solver()
+                solver.new_vars(n)
+                for clause in clauses:
+                    solver.add_clause(clause)
+                sat_count += bool(solver.solve())
+                conflicts += solver.stats.conflicts
+            elapsed = time.perf_counter() - started
+            rows.append([n, m, sat_count, conflicts,
+                         f"{elapsed * 1000:.0f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E7b — random 3-SAT at m/n = 4.26 (5 instances per size)",
+        ["variables", "clauses", "satisfiable", "total conflicts", "time"],
+        rows,
+    )
+
+
+def _pigeonhole_conflicts(**solver_flags) -> int:
+    solver = Solver(**solver_flags)
+    pigeons, holes = 7, 6
+    v = {(p, h): solver.new_var()
+         for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        solver.add_clause([v[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-v[p1, h], -v[p2, h]])
+    assert solver.solve() is False
+    return solver.stats.conflicts
+
+
+def test_solver_ablations(benchmark):
+    """DESIGN.md §6: what each CDCL heuristic buys on PHP(7,6)."""
+
+    def run():
+        rows = []
+        configs = [
+            ("full CDCL", {}),
+            ("no VSIDS", {"enable_vsids": False}),
+            ("no clause learning", {"enable_learning": False}),
+            ("no restarts", {"enable_restarts": False}),
+            ("no phase saving", {"enable_phase_saving": False}),
+        ]
+        for label, flags in configs:
+            started = time.perf_counter()
+            conflicts = _pigeonhole_conflicts(**flags)
+            elapsed = time.perf_counter() - started
+            rows.append([label, conflicts, f"{elapsed * 1000:.0f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E7c — CDCL ablations on PHP(7,6) (UNSAT proof)",
+        ["configuration", "conflicts", "time"],
+        rows,
+    )
+    baseline = rows[0][1]
+    no_learning = rows[2][1]
+    assert no_learning >= baseline, (
+        "removing clause learning should never need fewer conflicts"
+    )
+
+
+def test_cardinality_encoding_ablation(benchmark):
+    """DESIGN.md §6: pairwise vs. sequential vs. totalizer AMO-k."""
+    from repro.logic.cardinality import at_most_k
+    from repro.logic.tseitin import ClauseCollector
+
+    def run():
+        rows = []
+        n, k = 20, 3  # binomial size C(20, 4) stays printable
+        for method in ("pairwise", "seq", "totalizer"):
+            collector = ClauseCollector()
+            lits = [collector.new_var() for _ in range(n)]
+            clauses = at_most_k(lits, k, collector.new_var, method)
+            solver = Solver()
+            solver.new_vars(collector.num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            started = time.perf_counter()
+            # Force the bound: k true is fine, k+1 must fail.
+            assert solver.solve(lits[:k])
+            assert not solver.solve(lits[:k + 1])
+            elapsed = time.perf_counter() - started
+            rows.append([
+                method, collector.num_vars - n, len(clauses),
+                f"{elapsed * 1000:.1f} ms",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E7d — at-most-3-of-20 encodings",
+        ["encoding", "aux vars", "clauses", "probe time"],
+        rows,
+    )
+    pairwise_clauses = rows[0][2]
+    seq_clauses = rows[1][2]
+    assert pairwise_clauses > seq_clauses, (
+        "binomial encoding must be the clause-count outlier"
+    )

@@ -1,0 +1,173 @@
+"""E6 — §3.1's success metric: specification length grows linearly.
+
+"One measure of the success of this endeavor is whether the length of
+specification should grow linearly with the number of systems, hardware
+and workloads included."
+
+The benchmark grows the knowledge base one entity at a time (systems,
+then hardware) and regresses spec-length against entity count on a
+log-log scale: the fitted exponent must be ~1. It also checks the
+*grounded* CNF size scales near-linearly in candidate-system count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.design import DesignRequest
+from repro.core.compile import compile_design
+from repro.kb.registry import KnowledgeBase
+from repro.kb.workload import Workload
+
+
+def _prefix_kb(kb, num_systems: int, num_hardware: int) -> KnowledgeBase:
+    out = KnowledgeBase()
+    for name in list(kb.systems)[:num_systems]:
+        out.systems[name] = kb.systems[name]
+    for model in list(kb.hardware)[:num_hardware]:
+        out.hardware[model] = kb.hardware[model]
+    kept = set(out.systems)
+    out.orderings = [
+        o for o in kb.orderings if o.better in kept and o.worse in kept
+    ]
+    for name, rule in kb.rules.items():
+        out.rules[name] = rule
+    return out
+
+
+def _fit_exponent(xs: list[int], ys: list[int]) -> float:
+    logs_x = np.log(np.array(xs, dtype=float))
+    logs_y = np.log(np.array(ys, dtype=float))
+    slope, _ = np.polyfit(logs_x, logs_y, 1)
+    return float(slope)
+
+
+def _linear_fit(xs: list[int], ys: list[int]) -> tuple[float, float, float]:
+    """Least-squares y = a + b*x; returns (intercept, slope, R^2)."""
+    x = np.array(xs, dtype=float)
+    y = np.array(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = intercept + slope * x
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return float(intercept), float(slope), r_squared
+
+
+def test_spec_length_linear_in_systems(kb, benchmark):
+    sizes = [10, 20, 30, 40, 50, len(kb.systems)]
+
+    def run():
+        rows = []
+        for n in sizes:
+            sub = _prefix_kb(kb, n, 0)
+            rows.append((n, sub.spec_length()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    intercept, slope, r_squared = _linear_fit(
+        [r[0] for r in rows], [r[1] for r in rows]
+    )
+    print_table(
+        "E6a — specification length vs. number of systems",
+        ["systems", "spec length (fact units)"],
+        [list(r) for r in rows],
+    )
+    print(f"linear fit: {intercept:.0f} + {slope:.1f}/system, "
+          f"R^2 = {r_squared:.4f} (paper target: linear)")
+    assert r_squared >= 0.98, "growth must be linear in system count"
+    assert slope > 0
+
+
+def test_spec_length_linear_in_hardware(kb, benchmark):
+    sizes = [25, 50, 100, 150, 200]
+
+    def run():
+        rows = []
+        for n in sizes:
+            sub = _prefix_kb(kb, 0, n)
+            rows.append((n, sub.spec_length()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    intercept, slope, r_squared = _linear_fit(
+        [r[0] for r in rows], [r[1] for r in rows]
+    )
+    print_table(
+        "E6b — specification length vs. number of hardware specs",
+        ["hardware models", "spec length (fact units)"],
+        [list(r) for r in rows],
+    )
+    print(f"linear fit: {intercept:.0f} + {slope:.1f}/model, "
+          f"R^2 = {r_squared:.4f} (paper target: linear)")
+    assert r_squared >= 0.98
+    assert slope > 0
+
+
+def test_full_catalog_grounding(kb, benchmark):
+    """The whole §5.1 prototype at once: all 76 systems, all 202 hardware
+    models, no shortlist — grounding and feasibility stay interactive."""
+    from repro.core.engine import ReasoningEngine
+
+    engine = ReasoningEngine(kb)
+    request = DesignRequest(
+        workloads=[Workload(
+            name="app",
+            objectives=["packet_processing", "bandwidth_allocation",
+                        "detect_queue_length"],
+            peak_cores=500, peak_gbps=20, kflows=10,
+        )],
+        context={"datacenter_fabric": True},
+    )
+
+    def run():
+        compiled = engine.compile(request)
+        feasible = compiled.solve()
+        return compiled, feasible
+
+    compiled, feasible = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E6d — grounding the full prototype (no shortlist)",
+        ["systems", "hardware models", "variables", "clauses", "feasible"],
+        [[len(compiled.candidates), len(compiled.hw_models),
+          compiled.solver.num_vars, compiled.solver.num_clauses,
+          feasible]],
+    )
+    assert feasible
+    assert len(compiled.hw_models) >= 200
+
+
+def test_grounded_cnf_scales_gently(kb, benchmark):
+    """CNF size of a grounded request vs. candidate-system count."""
+    workload = Workload(
+        name="app", objectives=["packet_processing", "bandwidth_allocation"]
+    )
+    sizes = [10, 20, 40, len(kb.systems)]
+
+    def run():
+        rows = []
+        for n in sizes:
+            request = DesignRequest(
+                workloads=[workload],
+                candidate_systems=list(kb.systems)[:n],
+                inventory={},  # boolean part only
+            )
+            compiled = compile_design(kb, request)
+            rows.append(
+                (n, compiled.solver.num_vars, compiled.solver.num_clauses)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E6c — grounded CNF size vs. candidate systems",
+        ["systems", "variables", "clauses"],
+        [list(r) for r in rows],
+    )
+    exponent = _fit_exponent([r[0] for r in rows], [r[2] for r in rows])
+    print(f"clause-count growth exponent: {exponent:.2f}")
+    # Grounding includes pairwise conflicts and cardinality chains; the
+    # paper's bar is "not super-linear/exponential" — allow mild
+    # super-linearity but nothing quadratic.
+    assert exponent < 1.6

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""The §6/§3.1 extension features in one walkthrough.
+
+1. Knowledge-base evolution (§6 "proof modularity"): a system expert
+   ships v2 of their encoding; queries keep working, the registry
+   reports the diff.
+2. Measurement value (§3.1): the engine decides whether benchmarking two
+   incomparable systems would actually change the synthesized design.
+3. Under-specification (§6): relaxation suggestions for an infeasible
+   request, and a question plan that narrows many viable deployments to
+   one.
+
+Run:  python examples/evolution_and_measurements.py
+"""
+
+from repro import DesignRequest, ReasoningEngine, System, Workload
+from repro.core.measurements import measurement_value
+from repro.core.suggest import suggest_disambiguations, suggest_relaxations
+from repro.kb.dsl import prop
+from repro.kb.evolution import KnowledgeBaseDelta, diff_systems
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.registry import KnowledgeBase
+
+
+def build_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    for name in ("StackClassic", "StackModern"):
+        kb.add_system(System(
+            name=name, category="network_stack",
+            solves=["packet_processing"],
+        ))
+    kb.add_system(System(
+        name="Monitor", category="monitoring", solves=["telemetry"],
+        requires=prop("nic", "NIC_TIMESTAMPS"),
+    ))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="TsNIC", rate_gbps=100, power_w=15, cost_usd=900,
+        timestamps=True,
+    )))
+    kb.add_hardware(Hardware(spec=ServerSpec(
+        model="Srv", cores=32, mem_gb=128, power_w=350, cost_usd=6_000,
+    )))
+    kb.add_hardware(Hardware(spec=SwitchSpec(
+        model="Tor", port_gbps=100, ports=32, memory_mb=16, power_w=400,
+        cost_usd=20_000,
+    )))
+    return kb
+
+
+def main() -> None:
+    kb = build_kb()
+    engine = ReasoningEngine(kb, validate=False)
+    request = DesignRequest(workloads=[Workload(
+        name="app", objectives=["packet_processing", "telemetry"],
+    )])
+
+    print("=== 1. knowledge-base evolution (§6) ===")
+    v2 = System(
+        name="StackModern", category="network_stack",
+        solves=["packet_processing"],
+        provides=["net::OVERLAY_ENCAP"],  # the new version adds overlays
+        description="v2: gains built-in overlay support",
+    )
+    delta = KnowledgeBaseDelta(author="stack-team", note="v2 rollout",
+                               replace_systems=[v2])
+    evolved, report = delta.apply(kb)
+    print("delta:", report.summary())
+    print("diff :", diff_systems(kb, evolved))
+    outcome = ReasoningEngine(evolved, validate=False).synthesize(request)
+    print("old query on evolved KB still answers:", outcome.feasible)
+
+    print()
+    print("=== 2. is a measurement worth running? (§3.1) ===")
+    verdict = measurement_value(
+        engine, kb, DesignRequest(
+            workloads=request.workloads, optimize=["speed"],
+        ),
+        "StackClassic", "StackModern", "speed",
+    )
+    print(verdict.explanation())
+    pinned = measurement_value(
+        engine, kb, DesignRequest(
+            workloads=request.workloads,
+            required_systems=["StackClassic"],
+            forbidden_systems=["StackModern"],
+            optimize=["speed"],
+        ),
+        "StackClassic", "StackModern", "speed",
+    )
+    print(pinned.explanation())
+
+    print()
+    print("=== 3. under-specification (§6) ===")
+    impossible = DesignRequest(
+        workloads=request.workloads,
+        required_systems=["Monitor"],
+        inventory={"Srv": 8, "Tor": 2},  # no timestamp NIC in inventory
+    )
+    conflict = engine.diagnose(impossible)
+    print(conflict.explanation())
+    for relaxation in suggest_relaxations(kb, impossible, conflict):
+        print("  option:", relaxation)
+
+    classes = engine.equivalence_classes(request, completions_limit=4)
+    print()
+    print(f"{len(classes)} viable deployment classes:")
+    for cls in classes:
+        print("  ", cls)
+    plan = suggest_disambiguations(classes)
+    print("questions to reach a unique design:")
+    for question in plan.questions:
+        print("  ", question)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Quickstart: encode a few facts, ask for a design, read the answer.
+
+This is the smallest end-to-end tour of the public API: build a tiny
+knowledge base by hand (three systems, three hardware models), state one
+workload, and let the engine synthesize a compliant deployment — then
+break the request on purpose to see conflict diagnosis (§6) in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DesignRequest,
+    Hardware,
+    KnowledgeBase,
+    NICSpec,
+    ReasoningEngine,
+    ServerSpec,
+    SwitchSpec,
+    System,
+    Workload,
+)
+from repro.kb.dsl import prop
+from repro.kb.resources import ResourceDemand
+
+
+def build_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    # Two candidate stacks: one universal, one needing special NICs.
+    kb.add_system(System(
+        name="KernelStack",
+        category="network_stack",
+        solves=["packet_processing"],
+        description="works everywhere",
+    ))
+    kb.add_system(System(
+        name="BypassStack",
+        category="network_stack",
+        solves=["packet_processing"],
+        requires=prop("nic", "INTERRUPT_POLLING"),
+        resources=[ResourceDemand("cpu_cores", fixed=1)],
+        description="faster, but needs busy-poll capable NICs",
+    ))
+    # A monitor that needs hardware timestamps (the Listing-2 pattern).
+    kb.add_system(System(
+        name="LatencyMonitor",
+        category="monitoring",
+        solves=["capture_delays"],
+        requires=prop("nic", "NIC_TIMESTAMPS"),
+        resources=[ResourceDemand("cpu_cores", per_kflow=0.5)],
+    ))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="BasicNIC", rate_gbps=25, power_w=10, cost_usd=300,
+        interrupt_polling=False,
+    )))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="ProNIC", rate_gbps=100, power_w=18, cost_usd=1_100,
+        timestamps=True, interrupt_polling=True,
+    )))
+    kb.add_hardware(Hardware(spec=ServerSpec(
+        model="Srv32", cores=32, mem_gb=128, power_w=350, cost_usd=6_000,
+    )))
+    kb.add_hardware(Hardware(spec=SwitchSpec(
+        model="Tor100", port_gbps=100, ports=32, memory_mb=16,
+        power_w=450, cost_usd=22_000,
+    )))
+    return kb
+
+
+def main() -> None:
+    engine = ReasoningEngine(build_kb())
+
+    workload = Workload(
+        name="web_tier",
+        objectives=["packet_processing", "capture_delays"],
+        peak_cores=100,
+        kflows=20.0,
+    )
+    request = DesignRequest(workloads=[workload], optimize=["capex_usd"])
+
+    print("=== synthesize ===")
+    outcome = engine.synthesize(request)
+    assert outcome.feasible
+    print(outcome.solution.summary())
+
+    print()
+    print("=== check a whiteboard design ===")
+    verdict = engine.check(request, deploy=["KernelStack"])
+    print("KernelStack alone feasible?", verdict.feasible)
+    print(verdict.conflict.explanation())
+
+    print()
+    print("=== diagnosis of an impossible request ===")
+    impossible = DesignRequest(
+        workloads=[workload],
+        required_systems=["BypassStack"],
+        forbidden_systems=["BypassStack"],
+    )
+    conflict = engine.diagnose(impossible)
+    print(conflict.explanation())
+
+    print()
+    print("=== equivalence classes (distinct viable deployments) ===")
+    for cls in engine.equivalence_classes(request, completions_limit=8):
+        print("  ", cls)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The three §5.1 what-if queries, verbatim.
+
+1. "I want to support more applications, but I can't change my servers
+   since that requires time and human effort."
+2. "I have already deployed Sonata, and I don't want to change it unless
+   there are huge performance benefits or cost savings."
+3. "Given my current workloads, is it worthwhile to deploy CXL memory
+   pooling?"
+
+Run:  python examples/whatif_queries.py     (several minutes)
+"""
+
+import time
+
+from repro import ReasoningEngine, default_knowledge_base
+from repro.knowledge import (
+    cxl_query_requests,
+    inference_case_study,
+    keep_sonata_requests,
+    more_workloads_request,
+)
+from repro.knowledge.memory import CXL_APPLIANCE
+
+
+def main() -> None:
+    engine = ReasoningEngine(default_knowledge_base())
+
+    print("Baseline: the §2.3 ML-inference deployment")
+    started = time.perf_counter()
+    baseline = engine.synthesize(inference_case_study())
+    assert baseline.feasible
+    print(baseline.solution.summary())
+    print(f"({time.perf_counter() - started:.0f} s)")
+    servers = {
+        model: units
+        for model, units in baseline.solution.hardware.items()
+        if model.startswith("SRV") or model == CXL_APPLIANCE
+    }
+
+    print()
+    print("Query 1: add batch analytics, servers frozen")
+    frozen = engine.synthesize(more_workloads_request(servers))
+    if frozen.feasible:
+        print("  feasible — new plan:", ", ".join(frozen.solution.systems))
+    else:
+        print("  infeasible; the engine names what clashes:")
+        print("  " + frozen.conflict.explanation().replace("\n", "\n  "))
+        unfrozen = engine.synthesize(more_workloads_request())
+        assert unfrozen.feasible
+        delta = unfrozen.solution.cost_usd - baseline.solution.cost_usd
+        print(f"  unfreezing servers makes it feasible at +${delta:,} capex")
+
+    print()
+    print("Query 2: keep Sonata unless the savings are huge")
+    keep, free = keep_sonata_requests()
+    kept = engine.synthesize(keep)
+    freed = engine.synthesize(free)
+    assert kept.feasible and freed.feasible
+    saving = kept.solution.cost_usd - freed.solution.cost_usd
+    pct = 100 * saving / kept.solution.cost_usd
+    print(f"  keep Sonata:   ${kept.solution.cost_usd:,}")
+    print(f"  free choice:   ${freed.solution.cost_usd:,} "
+          f"(would deploy {', '.join(freed.solution.systems)})")
+    print(f"  switching saves ${saving:,} ({pct:.1f}%) — "
+          + ("significant; consider replacing Sonata."
+             if pct > 20 else "modest; keep Sonata."))
+
+    print()
+    print("Query 3: is CXL memory pooling worthwhile?")
+    without, with_cxl = cxl_query_requests()
+    no_pool = engine.synthesize(without)
+    pool = engine.synthesize(with_cxl)
+    assert no_pool.feasible and pool.feasible
+    uses_pool = pool.solution.uses("CXL-Pool")
+    delta = no_pool.solution.cost_usd - pool.solution.cost_usd
+    print(f"  without pooling: ${no_pool.solution.cost_usd:,}")
+    print(f"  pooling allowed: ${pool.solution.cost_usd:,} "
+          f"(engine {'deploys' if uses_pool else 'declines'} CXL-Pool)")
+    if uses_pool:
+        print(f"  verdict: worthwhile — saves ${delta:,}")
+    else:
+        print("  verdict: not worthwhile at current memory pressure — the "
+              "servers bought for cores already cover the working set")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The sandboxed environment ships setuptools 65.5 without the ``wheel``
+package, so PEP-517 editable installs fail with ``invalid command
+'bdist_wheel'``. This shim lets ``pip install -e . --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path, which needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Lightweight automated reasoning for network architectures.
+
+Reproduction of Bothra et al., "Lightweight Automated Reasoning for Network
+Architectures" (HotNets '24). The package builds the full stack the paper
+describes: a from-scratch CDCL SAT solver with cardinality/pseudo-Boolean
+and bounded-integer arithmetic layers, a knowledge-representation DSL for
+systems / hardware / workloads / conditional orderings, a reasoning engine
+with synthesis, diagnosis, and equivalence-class queries, datacenter
+topology substrates (including PFC cyclic-buffer-dependency detection), a
+simulated LLM-extraction pipeline, and a knowledge base of 50+ systems and
+200+ hardware specs.
+
+Quickstart::
+
+    from repro import ReasoningEngine, default_knowledge_base
+    from repro.knowledge import inference_case_study
+
+    engine = ReasoningEngine(default_knowledge_base())
+    outcome = engine.synthesize(inference_case_study())
+    print(outcome.solution.summary())
+"""
+
+from repro.core.design import DesignOutcome, DesignRequest, DesignSolution
+from repro.core.engine import ReasoningEngine
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.ordering import Ordering
+from repro.kb.registry import KnowledgeBase
+from repro.kb.rules import Rule
+from repro.kb.system import Feature, System
+from repro.kb.workload import Workload
+from repro.knowledge import default_knowledge_base
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignOutcome",
+    "DesignRequest",
+    "DesignSolution",
+    "Feature",
+    "Hardware",
+    "KnowledgeBase",
+    "NICSpec",
+    "Ordering",
+    "ReasoningEngine",
+    "Rule",
+    "ServerSpec",
+    "SwitchSpec",
+    "System",
+    "Workload",
+    "default_knowledge_base",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline reasoners the SAT engine is evaluated against.
+
+- :class:`GreedyReasoner` — the §5.2 "LLM as a reasoning engine" stand-in:
+  a forward-chaining heuristic that nails aggregate resource arithmetic
+  ("minimum number of cores needed") but ignores conditional orderings and
+  combinatorial interactions — the paper's reported failure profile.
+- :class:`ExhaustiveReasoner` — brute-force enumeration over the Boolean
+  part of small design spaces; ground truth for correctness tests and the
+  E7 crossover benchmark.
+"""
+
+from repro.baselines.exhaustive import ExhaustiveReasoner
+from repro.baselines.heuristic_reasoner import GreedyAnswer, GreedyReasoner
+
+__all__ = ["ExhaustiveReasoner", "GreedyAnswer", "GreedyReasoner"]

@@ -1,0 +1,149 @@
+"""Exhaustive enumeration over the Boolean design space.
+
+Ground truth for small instances: every subset of candidate systems is
+evaluated against the same semantics the compiler grounds (requirements,
+conflicts, closed-world property provisioning with a fixpoint, rules,
+objectives, exclusive categories). Exponential by construction — its job
+is (a) validating the SAT engine on small knowledge bases in tests and
+(b) the E7 crossover benchmark ("the power of such solvers to explore
+combinatorial search spaces").
+
+Resource/hardware arithmetic is out of scope here: restrict to requests
+whose candidates carry no resource demands (tests construct such KBs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.design import DesignRequest
+from repro.errors import QueryError
+from repro.kb.registry import KnowledgeBase
+from repro.logic.ast import Formula
+from repro.logic.simplify import evaluate, free_vars
+
+
+@dataclass
+class ExhaustiveResult:
+    """All compliant system sets found."""
+
+    feasible: bool
+    solutions: list[frozenset[str]] = field(default_factory=list)
+    checked: int = 0
+
+
+class ExhaustiveReasoner:
+    """Brute-force evaluation of every candidate system subset."""
+
+    def __init__(self, kb: KnowledgeBase, max_systems: int | None = None):
+        self.kb = kb
+        self.max_systems = max_systems
+
+    def answer(
+        self, request: DesignRequest, find_all: bool = False
+    ) -> ExhaustiveResult:
+        candidates = (
+            list(request.candidate_systems)
+            if request.candidate_systems is not None
+            else list(self.kb.systems)
+        )
+        for name in candidates:
+            if self.kb.system(name).resources:
+                raise QueryError(
+                    "exhaustive baseline does not model resources; "
+                    f"candidate {name} has demands"
+                )
+        solutions: list[frozenset[str]] = []
+        checked = 0
+        max_size = self.max_systems or len(candidates)
+        for size in range(0, max_size + 1):
+            for combo in combinations(sorted(candidates), size):
+                checked += 1
+                deployed = frozenset(combo)
+                if self._compliant(request, deployed):
+                    solutions.append(deployed)
+                    if not find_all:
+                        return ExhaustiveResult(True, solutions, checked)
+        return ExhaustiveResult(bool(solutions), solutions, checked)
+
+    # -- semantics (mirrors core/compile.py, evaluated directly) ------------------
+
+    def _compliant(
+        self, request: DesignRequest, deployed: frozenset[str]
+    ) -> bool:
+        if not set(request.required_systems) <= deployed:
+            return False
+        if deployed & set(request.forbidden_systems):
+            return False
+        assignment = self._ground_assignment(request, deployed)
+        for name in deployed:
+            system = self.kb.system(name)
+            if not self._eval(system.requires, assignment):
+                return False
+            if system.research and not assignment.get(
+                "prop::site::RESEARCH_OK", False
+            ):
+                return False
+            for other in system.conflicts:
+                if other in deployed:
+                    return False
+        for rule in self.kb.rules.values():
+            if rule.severity == "hard" and not self._eval(
+                rule.formula, assignment
+            ):
+                return False
+        for objective in request.required_objectives():
+            if not any(
+                objective in self.kb.system(s).solves for s in deployed
+            ):
+                return False
+        if request.include_common_sense:
+            for category in request.exclusive_categories:
+                members = [
+                    s for s in deployed
+                    if self.kb.system(s).category == category
+                ]
+                if len(members) > 1:
+                    return False
+            if request.workloads and not any(
+                self.kb.system(s).category == "network_stack"
+                for s in deployed
+            ):
+                return False
+        return True
+
+    def _ground_assignment(
+        self, request: DesignRequest, deployed: frozenset[str]
+    ) -> dict[str, bool]:
+        """Closed-world assignment: sys/prop/ctx/wl vars, feats off."""
+        assignment: dict[str, bool] = {}
+        for name in self.kb.systems:
+            assignment[f"sys::{name}"] = name in deployed
+        for name in deployed:
+            for provided in self.kb.system(name).provides:
+                assignment[f"prop::{provided}"] = True
+        # Hardware counts are free in the SAT grounding (absent budgets),
+        # so any property a purchasable model provides is available.
+        models = (
+            list(request.inventory)
+            if request.inventory is not None
+            else list(self.kb.hardware)
+        )
+        for model in models:
+            for provided in self.kb.hardware_model(model).provides():
+                assignment[f"prop::{provided}"] = True
+        for prop_name in request.given_properties:
+            assignment[f"prop::{prop_name}"] = True
+        for key, value in request.context.items():
+            assignment[f"ctx::{key}"] = value
+        for workload in request.workloads:
+            for prop_name in workload.properties:
+                assignment[f"wl::{workload.name}::{prop_name}"] = True
+        return assignment
+
+    def _eval(self, formula: Formula, assignment: dict[str, bool]) -> bool:
+        total = {
+            name: assignment.get(name, False) for name in free_vars(formula)
+        }
+        return evaluate(formula, total)

@@ -1,0 +1,202 @@
+"""The §5.2 LLM stand-in: a greedy forward-chaining reasoner.
+
+§5.2 reports that an LLM asked the prototype's queries "accurately
+determined straightforward requirements such as the minimum number of
+cores needed to deploy all the workloads and systems, but it failed to
+return correct results when faced with nuances such as comparing the
+performance of Snap and Demikernel in a given context, or deploying
+P4-friendly systems when forced to use programmable switches."
+
+This reasoner reproduces that profile *mechanically*:
+
+- resource arithmetic is done correctly (sum demands, compare capacity);
+- system choice is greedy per objective by unconditional ordering rank —
+  conditions on ordering edges are ignored (context blindness);
+- one-hop requirements are checked, but transitive consequences,
+  cross-category conflicts, and closed-world property provisioning are
+  not (no backtracking);
+- it never revises an earlier pick when a later objective clashes.
+
+It is NOT a strawman of the paper's engine — it is the alternative the
+paper argues against, and benchmark E8 scores both against ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.design import DesignRequest
+from repro.kb.registry import KnowledgeBase
+from repro.logic.ast import And, Formula
+from repro.logic.simplify import free_vars
+
+
+@dataclass
+class GreedyAnswer:
+    """What the greedy reasoner concludes."""
+
+    feasible: bool
+    systems: list[str] = field(default_factory=list)
+    hardware: dict[str, int] = field(default_factory=dict)
+    cost_usd: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+class GreedyReasoner:
+    """Greedy per-objective selection with one-hop requirement checks."""
+
+    def __init__(self, kb: KnowledgeBase):
+        self.kb = kb
+
+    def answer(self, request: DesignRequest) -> GreedyAnswer:
+        chosen: list[str] = list(request.required_systems)
+        notes: list[str] = []
+        # Rank systems by their *unconditional* ordering position — the
+        # context-blindness failure: condition-annotated edges are applied
+        # regardless of whether their condition holds.
+        ranks = self._context_blind_ranks()
+        for objective in request.required_objectives():
+            if any(objective in self.kb.system(s).solves for s in chosen):
+                continue
+            candidates = [
+                s.name
+                for s in self.kb.systems.values()
+                if objective in s.solves
+                and s.name not in request.forbidden_systems
+                and (request.candidate_systems is None
+                     or s.name in request.candidate_systems)
+            ]
+            if not candidates:
+                return GreedyAnswer(
+                    False, chosen, notes=[f"nothing solves {objective}"]
+                )
+            # Greedy: best blended rank; never reconsidered later.
+            best = min(candidates, key=lambda s: (ranks.get(s, 0), s))
+            chosen.append(best)
+            notes.append(f"{objective}: picked {best} (rank {ranks.get(best, 0)})")
+        # One-hop requirement check: does some hardware/system provide each
+        # directly-required property? (No closed-world propagation, no
+        # conflict analysis — the §5.2 blind spots.)
+        available_props = self._all_available_props(request)
+        for name in chosen:
+            for var_name in free_vars(self._requires(name)):
+                if var_name.startswith("prop::"):
+                    if var_name[len("prop::"):] not in available_props:
+                        return GreedyAnswer(
+                            False,
+                            chosen,
+                            notes=notes + [
+                                f"{name} requires unavailable {var_name}"
+                            ],
+                        )
+                if var_name.startswith("ctx::"):
+                    # Context flags are skimmed over — assumed true.
+                    pass
+        hardware, cost = self._provision(request, chosen)
+        if hardware is None:
+            return GreedyAnswer(
+                False, chosen, notes=notes + ["cannot satisfy resource demand"]
+            )
+        return GreedyAnswer(True, sorted(chosen), hardware, cost, notes)
+
+    # -- the parts it gets right: aggregate arithmetic ---------------------------
+
+    def _provision(
+        self, request: DesignRequest, chosen: list[str]
+    ) -> tuple[dict[str, int] | None, int]:
+        """Greedy cheapest-per-unit provisioning. Correct arithmetic."""
+        demands: dict[str, float] = {}
+        kflows = request.total_kflows()
+        gbps = request.total_gbps()
+        if request.total_cores():
+            demands["cpu_cores"] = request.total_cores()
+        if request.total_mem_gb():
+            demands["server_mem_gb"] = (
+                demands.get("server_mem_gb", 0) + request.total_mem_gb()
+            )
+        for name in chosen:
+            for demand in self.kb.system(name).resources:
+                demands[demand.kind] = demands.get(demand.kind, 0) + (
+                    demand.evaluate(kflows, gbps)
+                )
+        models = (
+            list(request.inventory)
+            if request.inventory is not None
+            else list(self.kb.hardware)
+        )
+        counts: dict[str, int] = {}
+        total_cost = 0
+        for kind, needed in demands.items():
+            remaining = needed
+            # Count capacity already provisioned for other kinds.
+            for model, units in counts.items():
+                remaining -= (
+                    self.kb.hardware_model(model).capacities().get(kind, 0)
+                    * units
+                )
+            if remaining <= 0:
+                continue
+            providers = [
+                m for m in models
+                if self.kb.hardware_model(m).capacities().get(kind, 0) > 0
+            ]
+            if not providers:
+                return None, 0
+            best = min(
+                providers,
+                key=lambda m: self.kb.hardware_model(m).cost_usd
+                / self.kb.hardware_model(m).capacities()[kind],
+            )
+            hw = self.kb.hardware_model(best)
+            units = math.ceil(remaining / hw.capacities()[kind])
+            max_units = (
+                request.inventory.get(best, hw.max_units)
+                if request.inventory is not None
+                else hw.max_units
+            )
+            if units > max_units:
+                return None, 0
+            counts[best] = counts.get(best, 0) + units
+            total_cost += units * hw.cost_usd
+        return counts, total_cost
+
+    # -- the parts it gets wrong -------------------------------------------------------
+
+    def _context_blind_ranks(self) -> dict[str, int]:
+        """Ordering ranks with every conditional edge taken at face value."""
+        all_condition_vars: set[str] = set()
+        for ordering in self.kb.orderings:
+            all_condition_vars |= free_vars(ordering.condition)
+        everything_true = {name: True for name in all_condition_vars}
+        ranks: dict[str, int] = {}
+        for dimension in self.kb.dimensions():
+            # Pretend all conditions hold (a context-blind reading of the
+            # ordering library) — cycles that appear are silently skipped,
+            # which is itself a failure mode.
+            try:
+                graph = self.kb.ordering_graph(dimension, everything_true)
+            except Exception:
+                continue
+            for system, rank in graph.ranks().items():
+                ranks[system] = ranks.get(system, 0) + rank
+        return ranks
+
+    def _requires(self, name: str) -> Formula:
+        system = self.kb.system(name)
+        extra = [f.requires for f in system.features]
+        return And(system.requires, *extra) if extra else system.requires
+
+    def _all_available_props(self, request: DesignRequest) -> set[str]:
+        """Everything any candidate hardware or system could provide."""
+        props = set(request.given_properties)
+        models = (
+            list(request.inventory)
+            if request.inventory is not None
+            else list(self.kb.hardware)
+        )
+        for model in models:
+            props.update(self.kb.hardware_model(model).provides())
+        for system in self.kb.systems.values():
+            props.update(system.provides)
+        return props

@@ -1,0 +1,175 @@
+"""Command-line interface for the reasoning engine.
+
+Four subcommands covering the architect workflows the paper describes:
+
+- ``stats``     — §5.1 knowledge-base inventory
+- ``validate``  — registry cross-reference checks
+- ``export``    — dump the knowledge base as JSON (the crowd-sourcing
+  interchange format; Listing 1's shape)
+- ``orderings`` — print one dimension's partial order under a context
+  (regenerate Figure 1 from the terminal)
+- ``solve``     — decide a DIMACS CNF file with the built-in CDCL solver
+
+Entry point::
+
+    python -m repro.cli stats
+    python -m repro.cli orderings throughput --ctx network_load_ge_40g
+    python -m repro.cli solve problem.cnf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.knowledge import default_knowledge_base
+from repro.sat.dimacs import read_dimacs
+from repro.sat.solver import Solver
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kb = default_knowledge_base()
+    for key, value in kb.stats().items():
+        print(f"{key:>12}: {value}")
+    print(f"{'categories':>12}: {', '.join(sorted(kb.categories()))}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    kb = default_knowledge_base()
+    issues = kb.validate()
+    for issue in issues:
+        print(issue)
+    errors = sum(1 for i in issues if i.severity == "error")
+    print(f"{len(issues)} issue(s), {errors} error(s)")
+    return 1 if errors else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    kb = default_knowledge_base()
+    text = kb.to_json()
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {len(text)} bytes to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_orderings(args: argparse.Namespace) -> int:
+    kb = default_knowledge_base()
+    context = {}
+    for flag in args.ctx or []:
+        context[f"ctx::{flag}"] = True
+    for flag in args.feat or []:
+        context[f"feat::{flag}"] = True
+    if args.dimension not in kb.dimensions():
+        print(f"unknown dimension {args.dimension!r}; known: "
+              f"{', '.join(sorted(kb.dimensions()))}", file=sys.stderr)
+        return 2
+    graph = kb.ordering_graph(args.dimension, context)
+    edges = sorted(graph.graph.edges(data=True))
+    if not edges:
+        print(f"(no active edges on {args.dimension} under this context)")
+    for better, worse, data in edges:
+        source = data.get("source", "")
+        print(f"{better} > {worse}" + (f"    [{source}]" if source else ""))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Synthesize a design for a JSON request file and print the report."""
+    import json
+
+    from repro.core.design import DesignRequest
+    from repro.core.engine import ReasoningEngine
+    from repro.core.report import render_report
+
+    with open(args.request, encoding="utf-8") as f:
+        request = DesignRequest.from_dict(json.load(f))
+    kb = default_knowledge_base()
+    engine = ReasoningEngine(kb)
+    outcome = engine.synthesize(request)
+    print(render_report(kb, request, outcome,
+                        title=f"Architecture plan ({args.request})"))
+    if args.explain and outcome.feasible:
+        print("Justifications")
+        print("--------------")
+        print(engine.explain(request, outcome))
+    return 0 if outcome.feasible else 3
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    num_vars, clauses = read_dimacs(args.cnf)
+    solver = Solver(proof_logging=bool(args.proof))
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    if solver.solve():
+        model = solver.model()
+        print("s SATISFIABLE")
+        lits = [v if model[v] else -v for v in sorted(model)]
+        print("v " + " ".join(str(lit) for lit in lits) + " 0")
+        return 10  # SAT-competition convention
+    print("s UNSATISFIABLE")
+    if args.proof:
+        with open(args.proof, "w", encoding="utf-8") as f:
+            f.write(solver.proof.to_drat())
+        print(f"c DRAT proof written to {args.proof}", file=sys.stderr)
+    return 20
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lightweight automated reasoning for network "
+                    "architectures (HotNets '24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="knowledge-base inventory").set_defaults(
+        func=_cmd_stats
+    )
+    sub.add_parser("validate", help="validate the knowledge base").set_defaults(
+        func=_cmd_validate
+    )
+    export = sub.add_parser("export", help="dump the KB as JSON")
+    export.add_argument("-o", "--output", default="-",
+                        help="file path, or - for stdout")
+    export.set_defaults(func=_cmd_export)
+
+    orderings = sub.add_parser(
+        "orderings", help="print a dimension's partial order"
+    )
+    orderings.add_argument("dimension")
+    orderings.add_argument("--ctx", action="append", metavar="FLAG",
+                           help="set ctx::FLAG true (repeatable)")
+    orderings.add_argument("--feat", action="append", metavar="SYS::FLAG",
+                           help="set feat::SYS::FLAG true (repeatable)")
+    orderings.set_defaults(func=_cmd_orderings)
+
+    plan = sub.add_parser(
+        "plan", help="synthesize a design for a JSON request file"
+    )
+    plan.add_argument("request", help="path to a DesignRequest JSON file")
+    plan.add_argument("--explain", action="store_true",
+                      help="append per-system justifications")
+    plan.set_defaults(func=_cmd_plan)
+
+    solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
+    solve.add_argument("cnf")
+    solve.add_argument("--proof", metavar="FILE", default=None,
+                       help="on UNSAT, write a DRAT proof to FILE")
+    solve.set_defaults(func=_cmd_solve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

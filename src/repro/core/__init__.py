@@ -1,0 +1,33 @@
+"""The reasoning layer — the paper's primary contribution (§3, §5.1).
+
+Grounds a :class:`~repro.kb.registry.KnowledgeBase` plus an architect's
+:class:`~repro.core.design.DesignRequest` into SAT (via
+:mod:`repro.core.compile`), then answers the architect's questions through
+:class:`~repro.core.engine.ReasoningEngine`:
+
+- ``check`` — is this concrete design feasible?
+- ``synthesize`` — find a compliant (and lexicographically optimal) design;
+- ``diagnose`` — when nothing works, name the minimal set of conflicting
+  requirements (§6 explainability);
+- ``equivalence_classes`` — enumerate the distinct deployments rather than
+  one arbitrary witness (§6).
+"""
+
+from repro.core.design import (
+    DesignOutcome,
+    DesignRequest,
+    DesignSolution,
+    Conflict,
+)
+from repro.core.compile import CompiledDesign, compile_design
+from repro.core.engine import ReasoningEngine
+
+__all__ = [
+    "CompiledDesign",
+    "Conflict",
+    "DesignOutcome",
+    "DesignRequest",
+    "DesignSolution",
+    "ReasoningEngine",
+    "compile_design",
+]

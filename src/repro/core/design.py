@@ -1,0 +1,195 @@
+"""Request and result types for the reasoning engine.
+
+A :class:`DesignRequest` is everything the architect states: workloads,
+deployment context, what is frozen, what is forbidden, budgets, and the
+``Optimize(...)`` priority list. A :class:`DesignOutcome` is everything
+the engine answers: a concrete :class:`DesignSolution` or a named-rule
+:class:`Conflict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kb.resources import ResourceLedger
+from repro.kb.workload import Workload
+
+#: Categories where deploying two systems at once makes no sense; encoded
+#: as common-sense at-most-one rules (§3.4 discusses exactly this class).
+DEFAULT_EXCLUSIVE_CATEGORIES = frozenset(
+    {
+        "network_stack",
+        "congestion_control",
+        "virtual_switch",
+        "load_balancer",
+        "transport_protocol",
+        "bandwidth_allocator",
+        "container_network",
+    }
+)
+
+#: Optimization objectives that are resource sums, not ordering dimensions.
+COST_OBJECTIVES = ("capex_usd", "power_w")
+
+
+@dataclass
+class DesignRequest:
+    """The architect's full problem statement."""
+
+    workloads: list[Workload] = field(default_factory=list)
+    #: Context flags (bare names; become ``ctx::<name>`` variables).
+    context: dict[str, bool] = field(default_factory=dict)
+    #: Environment-granted properties as ``scope::PROP`` strings
+    #: (e.g. the org tolerates research systems: ``site::RESEARCH_OK``).
+    given_properties: list[str] = field(default_factory=list)
+    #: Restrict the candidate pool (None = every system in the KB).
+    candidate_systems: list[str] | None = None
+    required_systems: list[str] = field(default_factory=list)
+    forbidden_systems: list[str] = field(default_factory=list)
+    #: Freeze hardware counts exactly (the "can't change my servers" query).
+    fixed_hardware: dict[str, int] = field(default_factory=dict)
+    #: Override per-model maximum units (None = KB default).
+    inventory: dict[str, int] | None = None
+    #: Hard resource budgets, e.g. {"capex_usd": 500_000, "power_w": 20_000}.
+    budgets: dict[str, int] = field(default_factory=dict)
+    #: Priority-ordered minimization objectives: ordering dimensions
+    #: (latency, throughput, ...) and/or cost objectives (capex_usd, power_w).
+    optimize: list[str] = field(default_factory=list)
+    exclusive_categories: frozenset[str] = DEFAULT_EXCLUSIVE_CATEGORIES
+    #: Include the generated common-sense rules (§3.4 ablation knob).
+    include_common_sense: bool = True
+
+    def total_kflows(self) -> float:
+        return sum(w.kflows for w in self.workloads)
+
+    def total_gbps(self) -> int:
+        return sum(w.peak_gbps for w in self.workloads)
+
+    def total_cores(self) -> int:
+        return sum(w.peak_cores for w in self.workloads)
+
+    def total_mem_gb(self) -> int:
+        return sum(w.peak_mem_gb for w in self.workloads)
+
+    def required_objectives(self) -> list[str]:
+        """Deduplicated objectives across all workloads, stable order."""
+        seen: dict[str, None] = {}
+        for workload in self.workloads:
+            for objective in workload.objectives:
+                seen.setdefault(objective, None)
+        return list(seen)
+
+    # -- serialization (the CLI's request-file format) --------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "workloads": [w.to_dict() for w in self.workloads],
+            "context": dict(self.context),
+            "given_properties": list(self.given_properties),
+            "candidate_systems": (
+                list(self.candidate_systems)
+                if self.candidate_systems is not None else None
+            ),
+            "required_systems": list(self.required_systems),
+            "forbidden_systems": list(self.forbidden_systems),
+            "fixed_hardware": dict(self.fixed_hardware),
+            "inventory": dict(self.inventory) if self.inventory is not None
+                         else None,
+            "budgets": dict(self.budgets),
+            "optimize": list(self.optimize),
+            "exclusive_categories": sorted(self.exclusive_categories),
+            "include_common_sense": self.include_common_sense,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignRequest":
+        return cls(
+            workloads=[Workload.from_dict(w)
+                       for w in data.get("workloads", [])],
+            context=dict(data.get("context", {})),
+            given_properties=list(data.get("given_properties", [])),
+            candidate_systems=(
+                list(data["candidate_systems"])
+                if data.get("candidate_systems") is not None else None
+            ),
+            required_systems=list(data.get("required_systems", [])),
+            forbidden_systems=list(data.get("forbidden_systems", [])),
+            fixed_hardware=dict(data.get("fixed_hardware", {})),
+            inventory=(
+                dict(data["inventory"])
+                if data.get("inventory") is not None else None
+            ),
+            budgets=dict(data.get("budgets", {})),
+            optimize=list(data.get("optimize", [])),
+            exclusive_categories=frozenset(
+                data.get("exclusive_categories",
+                         DEFAULT_EXCLUSIVE_CATEGORIES)
+            ),
+            include_common_sense=bool(
+                data.get("include_common_sense", True)
+            ),
+        )
+
+
+@dataclass
+class DesignSolution:
+    """One concrete compliant architecture."""
+
+    systems: list[str]
+    features: dict[str, list[str]]
+    hardware: dict[str, int]
+    properties: list[str]
+    objective_costs: dict[str, int]
+    ledger: ResourceLedger
+    cost_usd: int = 0
+    power_w: int = 0
+
+    def uses(self, system: str) -> bool:
+        return system in self.systems
+
+    def summary(self) -> str:
+        """Human-readable multi-line description."""
+        lines = ["Deployed systems:"]
+        for system in sorted(self.systems):
+            flags = self.features.get(system, [])
+            suffix = f" (features: {', '.join(flags)})" if flags else ""
+            lines.append(f"  - {system}{suffix}")
+        lines.append("Hardware:")
+        for model, units in sorted(self.hardware.items()):
+            if units:
+                lines.append(f"  - {units}x {model}")
+        lines.append(f"Capex: ${self.cost_usd:,}; power: {self.power_w} W")
+        if self.objective_costs:
+            lines.append(
+                "Objective costs: "
+                + ", ".join(f"{k}={v}" for k, v in self.objective_costs.items())
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Conflict:
+    """A minimal set of mutually-inconsistent named constraints (§6)."""
+
+    constraints: list[str]
+    descriptions: dict[str, str] = field(default_factory=dict)
+
+    def explanation(self) -> str:
+        lines = ["No compliant design exists. Conflicting requirements:"]
+        for name in self.constraints:
+            detail = self.descriptions.get(name, "")
+            lines.append(f"  - {name}" + (f": {detail}" if detail else ""))
+        return "\n".join(lines)
+
+
+@dataclass
+class DesignOutcome:
+    """What the engine returns for a query."""
+
+    feasible: bool
+    solution: DesignSolution | None = None
+    conflict: Conflict | None = None
+    solver_stats: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.feasible

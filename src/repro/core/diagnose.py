@@ -1,0 +1,47 @@
+"""Conflict diagnosis: minimal explanations for infeasible requests (§6).
+
+Every constraint group is guarded by an assumption selector, so an UNSAT
+answer comes with a core of guard names. The core is then shrunk by
+deletion: drop one group at a time and re-solve; keep the drop whenever
+the remainder is still unsatisfiable. The result is a *minimal* set —
+removing any named requirement would make the design feasible — which is
+exactly the answer to the paper's "tell the architect which of their
+requirements are in conflict".
+"""
+
+from __future__ import annotations
+
+from repro.core.compile import CompiledDesign
+from repro.core.design import Conflict
+
+
+def diagnose(compiled: CompiledDesign) -> Conflict | None:
+    """Explain infeasibility; None when the request is feasible."""
+    if compiled.solve():
+        return None
+    core = compiled.core_names()
+    core = minimize_core(compiled, core)
+    return Conflict(
+        constraints=sorted(core),
+        descriptions={
+            name: compiled.descriptions.get(name, "") for name in core
+        },
+    )
+
+
+def minimize_core(compiled: CompiledDesign, core: list[str]) -> list[str]:
+    """Deletion-based minimization of an UNSAT core of guard names."""
+    working = list(core)
+    index = 0
+    while index < len(working):
+        trial = working[:index] + working[index + 1:]
+        lits = [compiled.selectors[name] for name in trial]
+        if compiled.solver.solve(lits):
+            index += 1  # this group is necessary
+        else:
+            # Still unsat without it; adopt the (possibly even smaller)
+            # refreshed core, clamped to the trial set.
+            refreshed = [n for n in compiled.core_names() if n in trial]
+            working = refreshed if refreshed else trial
+            index = 0
+    return working

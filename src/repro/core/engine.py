@@ -1,0 +1,238 @@
+"""The architect-facing facade over compile / solve / optimize / explain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compile import CompiledDesign, compile_design
+from repro.core.design import (
+    Conflict,
+    DesignOutcome,
+    DesignRequest,
+    DesignSolution,
+)
+from repro.core.diagnose import diagnose
+from repro.core.equivalence import DeploymentClass, deployment_classes
+from repro.kb.registry import KnowledgeBase
+from repro.opt.lexicographic import LexObjective, lexicographic_optimize
+from repro.opt.linear import minimize_linexpr
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of an A/B what-if query (e.g. 'is CXL worthwhile?')."""
+
+    baseline: DesignOutcome
+    alternative: DesignOutcome
+
+    @property
+    def both_feasible(self) -> bool:
+        return self.baseline.feasible and self.alternative.feasible
+
+    def cost_delta(self) -> int | None:
+        """alternative capex minus baseline capex (negative = saves money)."""
+        if not self.both_feasible:
+            return None
+        return (
+            self.alternative.solution.cost_usd - self.baseline.solution.cost_usd
+        )
+
+    def objective_deltas(self) -> dict[str, int]:
+        """Per-objective cost changes (negative = alternative is better)."""
+        if not self.both_feasible:
+            return {}
+        base = self.baseline.solution.objective_costs
+        alt = self.alternative.solution.objective_costs
+        return {k: alt.get(k, 0) - base.get(k, 0) for k in base.keys() | alt.keys()}
+
+
+class ReasoningEngine:
+    """Lightweight automated reasoning over a knowledge base.
+
+    The three verbs from the paper's vision (§1): *check* a candidate
+    design, *synthesize* a good design, and *explain* why none exists.
+
+    >>> engine = ReasoningEngine(default_knowledge_base())
+    >>> outcome = engine.synthesize(DesignRequest(workloads=[...]))
+    >>> print(outcome.solution.summary())
+    """
+
+    def __init__(self, kb: KnowledgeBase, validate: bool = True):
+        if validate:
+            kb.validate_or_raise()
+        self.kb = kb
+
+    # -- compilation -------------------------------------------------------------
+
+    def compile(self, request: DesignRequest) -> CompiledDesign:
+        """Ground a request; exposed for benchmarks and advanced callers."""
+        return compile_design(self.kb, request)
+
+    # -- queries ------------------------------------------------------------------
+
+    def check(
+        self, request: DesignRequest, deploy: list[str] | None = None
+    ) -> DesignOutcome:
+        """Is the request (optionally with an exact system set) feasible?
+
+        With *deploy* given, the named systems are required and all other
+        candidates forbidden — the "validate my whiteboard design" query.
+        """
+        if deploy is not None:
+            request = _with_exact_systems(request, deploy, self.kb)
+        compiled = self.compile(request)
+        if compiled.solve():
+            solution = compiled.extract_solution(compiled.solver.model())
+            return DesignOutcome(
+                True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
+            )
+        conflict = diagnose(compiled)
+        return DesignOutcome(
+            False, conflict=conflict, solver_stats=compiled.solver.stats.as_dict()
+        )
+
+    def synthesize(self, request: DesignRequest) -> DesignOutcome:
+        """Find a compliant design, lexicographically optimal per
+        ``request.optimize``; on infeasibility, return a minimal conflict."""
+        compiled = self.compile(request)
+        if not compiled.solve():
+            conflict = diagnose(compiled)
+            return DesignOutcome(
+                False,
+                conflict=conflict,
+                solver_stats=compiled.solver.stats.as_dict(),
+            )
+        compiled.assert_guards()
+        model = self._optimize(compiled, request)
+        solution = compiled.extract_solution(model)
+        return DesignOutcome(
+            True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
+        )
+
+    def _optimize(self, compiled: CompiledDesign, request: DesignRequest):
+        """Lexicographic descent over the request's objectives.
+
+        Ordering dimensions are minimized via the pseudo-Boolean engine
+        (small rank weights); cost objectives via bound bisection on the
+        bit-vector encoding (dollar/watt-scale weights). Soft rules form
+        an implicit lowest-priority objective.
+        """
+        from repro.core.design import COST_OBJECTIVES
+
+        names = list(request.optimize)
+        for name in names:
+            if name in COST_OBJECTIVES:
+                expr = compiled.cost_expr(name)
+                # Stop within ~2% of optimal: the probes nearest the true
+                # optimum are the hardest UNSAT instances, and shallow
+                # cost reasoning does not need dollar-exact answers.
+                if compiled.solver.solve():
+                    from repro.opt.linear import expr_value
+
+                    first = expr_value(
+                        expr, compiled.encoder, compiled.solver.model()
+                    )
+                else:  # pragma: no cover - guarded by feasibility check
+                    first = 0
+                result = minimize_linexpr(
+                    compiled.solver,
+                    compiled.encoder,
+                    expr,
+                    tolerance=max(1, first // 50),
+                )
+                assert result is not None, "feasible request must stay sat"
+            else:
+                lex = lexicographic_optimize(
+                    compiled.solver,
+                    [LexObjective(name, compiled.objective_terms(name))],
+                )
+                assert lex.satisfiable, "feasible request must stay sat"
+        if compiled.soft_rule_terms:
+            lex = lexicographic_optimize(
+                compiled.solver,
+                [LexObjective("soft_rules", list(compiled.soft_rule_terms))],
+            )
+            assert lex.satisfiable, "feasible request must stay sat"
+        # Implicit lowest-priority objective: parsimony. Without it the
+        # solver happily deploys harmless-but-pointless extra systems.
+        from repro.logic.pseudo_boolean import PBTerm
+
+        parsimony = [PBTerm(1, lit) for lit in compiled.sys_lits.values()]
+        if parsimony:
+            lex = lexicographic_optimize(
+                compiled.solver, [LexObjective("parsimony", parsimony)]
+            )
+            assert lex.satisfiable, "feasible request must stay sat"
+        satisfiable = compiled.solver.solve()
+        assert satisfiable, "feasible request must stay sat"
+        return compiled.solver.model()
+
+    def diagnose(self, request: DesignRequest) -> Conflict | None:
+        """Minimal conflicting-requirement set, or None if feasible."""
+        return diagnose(self.compile(request))
+
+    def equivalence_classes(
+        self,
+        request: DesignRequest,
+        class_limit: int | None = 64,
+        completions_limit: int | None = 64,
+    ) -> list[DeploymentClass]:
+        """Distinct system-level deployments compliant with the request."""
+        compiled = self.compile(request)
+        if not compiled.solve():
+            return []
+        return deployment_classes(compiled, class_limit, completions_limit)
+
+    def explain(self, request: DesignRequest, outcome: DesignOutcome) -> str:
+        """Human-readable justification of an outcome.
+
+        For feasible outcomes: per-system justifications (role,
+        requirement providers, ranks). For infeasible ones: the conflict
+        explanation.
+        """
+        if outcome.feasible:
+            from repro.core.explain import explanation_text
+
+            return explanation_text(self.kb, request, outcome.solution)
+        if outcome.conflict is not None:
+            return outcome.conflict.explanation()
+        return "infeasible (no diagnosis computed)"
+
+    def compare(
+        self, baseline: DesignRequest, alternative: DesignRequest
+    ) -> ComparisonResult:
+        """Synthesize both requests and report the deltas (what-if query)."""
+        return ComparisonResult(
+            baseline=self.synthesize(baseline),
+            alternative=self.synthesize(alternative),
+        )
+
+
+def _with_exact_systems(
+    request: DesignRequest, deploy: list[str], kb: KnowledgeBase
+) -> DesignRequest:
+    """Copy of *request* pinned to exactly the systems in *deploy*."""
+    from dataclasses import replace
+
+    candidates = (
+        request.candidate_systems
+        if request.candidate_systems is not None
+        else list(kb.systems)
+    )
+    return replace(
+        request,
+        required_systems=list(deploy),
+        forbidden_systems=sorted(
+            (set(candidates) - set(deploy)) | set(request.forbidden_systems)
+        ),
+    )
+
+
+# Re-exported for convenience.
+__all__ = [
+    "ComparisonResult",
+    "DesignOutcome",
+    "DesignRequest",
+    "DesignSolution",
+    "ReasoningEngine",
+]

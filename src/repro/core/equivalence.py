@@ -1,0 +1,59 @@
+"""Deployment equivalence classes (§6).
+
+Two compliant designs are *equivalent* when they deploy the same set of
+systems — the hardware shopping list and feature flags are refinements.
+The engine enumerates the distinct system-level classes and, per class,
+how many hardware/feature completions exist, so the architect sees the
+real shape of the solution space instead of one arbitrary witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compile import CompiledDesign
+from repro.opt.enumerate import equivalence_classes as _sat_classes
+
+
+@dataclass
+class DeploymentClass:
+    """One equivalence class of compliant deployments."""
+
+    systems: list[str]
+    completions: int
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.systems) if self.systems else "(nothing deployed)"
+        return f"{{{inner}}} x{self.completions}"
+
+
+def deployment_classes(
+    compiled: CompiledDesign,
+    class_limit: int | None = 64,
+    completions_limit: int | None = 64,
+) -> list[DeploymentClass]:
+    """Enumerate system-level equivalence classes of a feasible request.
+
+    The compiled design's guards are asserted hard; the compiled object
+    should be treated as consumed afterwards.
+    """
+    compiled.assert_guards()
+    observed = [compiled.sys_lits[s] for s in sorted(compiled.sys_lits)]
+    refinement = [compiled.hw_bools[m] for m in sorted(compiled.hw_bools)]
+    refinement += list(compiled.feat_lits.values())
+    names_by_lit = {lit: name for name, lit in compiled.sys_lits.items()}
+    classes = _sat_classes(
+        compiled.solver,
+        observed=observed,
+        refinement=refinement,
+        class_limit=class_limit,
+        completions_limit=completions_limit,
+    )
+    out = []
+    for cls in classes:
+        systems = sorted(
+            names_by_lit[lit] for lit, value in cls.signature.items() if value
+        )
+        out.append(DeploymentClass(systems=systems, completions=cls.completions))
+    out.sort(key=lambda c: (len(c.systems), c.systems))
+    return out

@@ -1,0 +1,147 @@
+"""Per-system justification of a synthesized design.
+
+Answers the architect's follow-up question: *why is this system in my
+deployment?* For each deployed system the explanation lists the
+objectives it alone covers (its load-bearing role), the requirements it
+imposed and which deployed hardware/system satisfies each, and how it
+ranks on the request's optimization dimensions against the alternatives
+that were available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.design import COST_OBJECTIVES, DesignRequest, DesignSolution
+from repro.kb.registry import KnowledgeBase
+from repro.logic.simplify import free_vars
+
+
+@dataclass
+class SystemJustification:
+    """Why one deployed system is part of the design."""
+
+    system: str
+    category: str
+    #: Objectives no other deployed system covers.
+    unique_objectives: list[str] = field(default_factory=list)
+    #: Objectives shared with other deployed systems.
+    shared_objectives: list[str] = field(default_factory=list)
+    #: Required property -> what in the solution provides it.
+    requirement_providers: dict[str, list[str]] = field(default_factory=dict)
+    #: Optimization dimension -> (this system's rank, best rival rank).
+    dimension_ranks: dict[str, tuple[int, int | None]] = field(
+        default_factory=dict
+    )
+
+    def lines(self) -> list[str]:
+        out = [f"{self.system} ({self.category})"]
+        if self.unique_objectives:
+            out.append(
+                "  sole provider of: " + ", ".join(self.unique_objectives)
+            )
+        if self.shared_objectives:
+            out.append(
+                "  also contributes: " + ", ".join(self.shared_objectives)
+            )
+        for requirement, providers in sorted(
+            self.requirement_providers.items()
+        ):
+            what = ", ".join(providers) if providers else "UNSATISFIED?"
+            out.append(f"  needs {requirement} <- {what}")
+        for dimension, (mine, rival) in sorted(self.dimension_ranks.items()):
+            rival_text = "no ranked rival" if rival is None else (
+                f"best available rival rank {rival}"
+            )
+            out.append(f"  {dimension}: rank {mine} ({rival_text})")
+        return out
+
+
+def _providers_in_solution(
+    kb: KnowledgeBase, solution: DesignSolution, prop_name: str
+) -> list[str]:
+    """Deployed systems/hardware providing ``scope::PROP``."""
+    providers = []
+    for name in solution.systems:
+        if prop_name in kb.system(name).provides:
+            providers.append(name)
+    for model in solution.hardware:
+        if prop_name in kb.hardware_model(model).provides():
+            providers.append(model)
+    return providers
+
+
+def explain_solution(
+    kb: KnowledgeBase,
+    request: DesignRequest,
+    solution: DesignSolution,
+) -> list[SystemJustification]:
+    """Build justifications for every deployed system."""
+    needed = set(request.required_objectives())
+    coverage: dict[str, list[str]] = {}
+    for name in solution.systems:
+        for objective in kb.system(name).solves:
+            if objective in needed:
+                coverage.setdefault(objective, []).append(name)
+    context = {f"ctx::{k}": v for k, v in request.context.items()}
+    dimensions = [
+        d for d in request.optimize if d not in COST_OBJECTIVES
+    ]
+    rank_tables = {
+        d: kb.ordering_graph(d, context).ranks() for d in dimensions
+    }
+    out = []
+    for name in sorted(solution.systems):
+        system = kb.system(name)
+        unique = sorted(
+            objective
+            for objective, systems in coverage.items()
+            if systems == [name]
+        )
+        shared = sorted(
+            objective
+            for objective, systems in coverage.items()
+            if name in systems and len(systems) > 1
+        )
+        requirement_providers: dict[str, list[str]] = {}
+        for var_name in sorted(free_vars(system.requires)):
+            if not var_name.startswith("prop::"):
+                continue
+            prop_name = var_name[len("prop::"):]
+            requirement_providers[prop_name] = _providers_in_solution(
+                kb, solution, prop_name
+            )
+        dimension_ranks: dict[str, tuple[int, int | None]] = {}
+        for dimension in dimensions:
+            ranks = rank_tables[dimension]
+            mine = ranks.get(name, 0)
+            rivals = [
+                ranks.get(other, 0)
+                for other in kb.systems
+                if other != name
+                and kb.system(other).category == system.category
+            ]
+            dimension_ranks[dimension] = (
+                mine, min(rivals) if rivals else None
+            )
+        out.append(SystemJustification(
+            system=name,
+            category=system.category,
+            unique_objectives=unique,
+            shared_objectives=shared,
+            requirement_providers=requirement_providers,
+            dimension_ranks=dimension_ranks,
+        ))
+    return out
+
+
+def explanation_text(
+    kb: KnowledgeBase,
+    request: DesignRequest,
+    solution: DesignSolution,
+) -> str:
+    """The full justification as one printable block."""
+    blocks = []
+    for justification in explain_solution(kb, request, solution):
+        blocks.append("\n".join(justification.lines()))
+    return "\n\n".join(blocks)

@@ -1,0 +1,121 @@
+"""Is a benchmark measurement worth running? (§3.1)
+
+"Our proposed engine can help architects make a more informed decision
+regarding whether they should perform a measurement to acquire
+additional information: it is only needed if the answer changes the
+final design."
+
+Given two systems the knowledge base cannot order on some dimension, the
+engine synthesizes the design under each hypothetical outcome (A beats B;
+B beats A). If both hypotheses produce the same deployment, running the
+benchmark cannot change the decision — don't bother.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design import DesignRequest
+from repro.kb.ordering import Ordering
+from repro.kb.registry import KnowledgeBase
+
+
+@dataclass
+class MeasurementVerdict:
+    """Whether measuring A-vs-B on a dimension can change the design."""
+
+    system_a: str
+    system_b: str
+    dimension: str
+    #: Deployed system sets under each hypothetical outcome.
+    design_if_a_wins: frozenset[str] | None
+    design_if_b_wins: frozenset[str] | None
+    worth_measuring: bool
+    #: Set when the knowledge base already orders the pair — one
+    #: hypothetical outcome would contradict encoded facts.
+    already_ordered: bool = False
+
+    def explanation(self) -> str:
+        if self.already_ordered:
+            return (
+                f"Measuring {self.system_a} vs {self.system_b} on "
+                f"{self.dimension} is unnecessary: the knowledge base "
+                f"already orders the pair."
+            )
+        if not self.worth_measuring:
+            return (
+                f"Measuring {self.system_a} vs {self.system_b} on "
+                f"{self.dimension} is unnecessary: the synthesized design "
+                f"is the same either way."
+            )
+        return (
+            f"Measuring {self.system_a} vs {self.system_b} on "
+            f"{self.dimension} matters: "
+            f"'{self.system_a} wins' deploys "
+            f"{sorted(self.design_if_a_wins or [])}, "
+            f"'{self.system_b} wins' deploys "
+            f"{sorted(self.design_if_b_wins or [])}."
+        )
+
+
+def measurement_value(
+    engine,
+    kb: KnowledgeBase,
+    request: DesignRequest,
+    system_a: str,
+    system_b: str,
+    dimension: str,
+) -> MeasurementVerdict:
+    """Decide whether benchmarking A against B can change the design.
+
+    *engine* is a :class:`~repro.core.engine.ReasoningEngine` built on
+    *kb*. The KB is temporarily extended with each hypothetical ordering
+    edge; it is restored before returning. When the KB already orders the
+    pair (one hypothetical outcome would introduce an ordering cycle),
+    the measurement is pointless by definition.
+    """
+    from repro.errors import ValidationError
+
+    context = {f"ctx::{k}": v for k, v in request.context.items()}
+    try:
+        known = engine.kb.ordering_graph(dimension, context).comparable(
+            system_a, system_b
+        )
+    except ValidationError:
+        known = True
+    if known:
+        return MeasurementVerdict(
+            system_a=system_a,
+            system_b=system_b,
+            dimension=dimension,
+            design_if_a_wins=None,
+            design_if_b_wins=None,
+            worth_measuring=False,
+            already_ordered=True,
+        )
+    designs: list[frozenset[str] | None] = []
+    for better, worse in ((system_a, system_b), (system_b, system_a)):
+        hypothesis = Ordering(
+            better=better,
+            worse=worse,
+            dimension=dimension,
+            source="hypothetical measurement outcome",
+        )
+        kb.orderings.append(hypothesis)
+        try:
+            outcome = engine.synthesize(request)
+            designs.append(
+                frozenset(outcome.solution.systems)
+                if outcome.feasible
+                else None
+            )
+        finally:
+            kb.orderings.remove(hypothesis)
+    return MeasurementVerdict(
+        system_a=system_a,
+        system_b=system_b,
+        dimension=dimension,
+        design_if_a_wins=designs[0],
+        design_if_b_wins=designs[1],
+        worth_measuring=designs[0] != designs[1],
+    )

@@ -1,0 +1,105 @@
+"""Architect-facing deployment reports.
+
+The engine's output is consumed by people planning a build-out (§1's
+"careful cross-team planning"); this module renders a
+:class:`~repro.core.design.DesignOutcome` into a self-contained text
+report: roles and chosen systems with their provenance, the hardware
+bill of materials, the resource ledger, and — for infeasible requests —
+the conflict explanation with suggested relaxations.
+"""
+
+from __future__ import annotations
+
+from repro.core.design import DesignOutcome, DesignRequest
+from repro.kb.registry import KnowledgeBase
+
+
+def _bom_rows(kb: KnowledgeBase, hardware: dict[str, int]) -> list[str]:
+    rows = []
+    total_cost = 0
+    total_power = 0
+    for model, units in sorted(hardware.items()):
+        entry = kb.hardware_model(model)
+        cost = entry.cost_usd * units
+        power = entry.power_w * units
+        total_cost += cost
+        total_power += power
+        rows.append(
+            f"  {units:>3}x {model:<28} ({entry.kind}) "
+            f"${cost:>10,}  {power:>6,} W"
+        )
+    rows.append(f"  {'':>4} {'TOTAL':<28} {'':>9}${total_cost:>10,}  "
+                f"{total_power:>6,} W")
+    return rows
+
+
+def render_report(
+    kb: KnowledgeBase,
+    request: DesignRequest,
+    outcome: DesignOutcome,
+    title: str = "Architecture plan",
+) -> str:
+    """Render a full text report for an outcome."""
+    lines = [title, "=" * len(title), ""]
+    lines.append("Workloads:")
+    for workload in request.workloads:
+        demand_bits = []
+        if workload.peak_cores:
+            demand_bits.append(f"{workload.peak_cores} cores")
+        if workload.peak_gbps:
+            demand_bits.append(f"{workload.peak_gbps} Gbps")
+        if workload.peak_mem_gb:
+            demand_bits.append(f"{workload.peak_mem_gb} GB")
+        suffix = f" [{', '.join(demand_bits)}]" if demand_bits else ""
+        lines.append(f"  - {workload.name}: "
+                     f"{', '.join(workload.objectives)}{suffix}")
+    if request.context:
+        lines.append("Context: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(request.context.items())
+        ))
+    if request.optimize:
+        lines.append("Optimize: " + " > ".join(request.optimize))
+    lines.append("")
+
+    if not outcome.feasible:
+        lines.append("VERDICT: no compliant design exists.")
+        lines.append("")
+        if outcome.conflict is not None:
+            lines.append(outcome.conflict.explanation())
+        return "\n".join(lines) + "\n"
+
+    solution = outcome.solution
+    lines.append("VERDICT: feasible.")
+    lines.append("")
+    lines.append("Selected systems:")
+    for name in solution.systems:
+        system = kb.system(name)
+        source = f" [{system.sources[0]}]" if system.sources else ""
+        flags = solution.features.get(name, [])
+        feature_note = f" (+{', '.join(flags)})" if flags else ""
+        lines.append(
+            f"  - {name:<20} {system.category:<20}"
+            f"{feature_note}{source}"
+        )
+    lines.append("")
+    lines.append("Bill of materials:")
+    lines.extend(_bom_rows(kb, solution.hardware))
+    lines.append("")
+    lines.append("Resource ledger:")
+    for kind in sorted(set(solution.ledger.demands)
+                       | set(solution.ledger.capacities)):
+        need = solution.ledger.demands.get(kind, 0)
+        have = solution.ledger.capacities.get(kind, 0)
+        flag = "  !! deficit" if need > have else ""
+        lines.append(f"  {kind:<18} demand {need:>8}   capacity {have:>8}"
+                     f"{flag}")
+    if solution.objective_costs:
+        lines.append("")
+        lines.append("Objective costs: " + ", ".join(
+            f"{k}={v}" for k, v in solution.objective_costs.items()
+        ))
+    if solution.properties:
+        lines.append("")
+        lines.append("Available capabilities: "
+                     + ", ".join(solution.properties))
+    return "\n".join(lines) + "\n"

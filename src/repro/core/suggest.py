@@ -1,0 +1,137 @@
+"""Under-specification helpers (§6 explainability, second half).
+
+"If there are no viable solutions, the reasoning framework should tell
+the architect which of their requirements are in conflict" — that is
+:mod:`repro.core.diagnose`. "Further, a future version ... should
+identify a minimal-effort ordering for the architect to provide to make
+the solution unique."
+
+This module implements both directions of under-specification:
+
+- :func:`suggest_relaxations` — for an infeasible request, which single
+  named requirement, if dropped, reopens the design space (computed from
+  the minimal conflict: by minimality, *every* member qualifies — the
+  value added here is checking each relaxation actually yields a design
+  and reporting what that design would be);
+- :func:`suggest_disambiguations` — for an under-specified request with
+  several deployment equivalence classes, the smallest set of
+  "do you want system X?" questions whose answers pin down a unique
+  class (a greedy decision-tree split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compile import compile_design
+from repro.core.design import Conflict, DesignRequest, DesignSolution
+from repro.core.equivalence import DeploymentClass
+from repro.kb.registry import KnowledgeBase
+
+
+@dataclass
+class Relaxation:
+    """One way out of an infeasible request."""
+
+    dropped_constraint: str
+    description: str
+    solution: DesignSolution
+
+    def __str__(self) -> str:
+        return (
+            f"drop {self.dropped_constraint!r} "
+            f"({self.description}) -> deploy "
+            f"{{{', '.join(self.solution.systems)}}}"
+        )
+
+
+def suggest_relaxations(
+    kb: KnowledgeBase,
+    request: DesignRequest,
+    conflict: Conflict,
+    limit: int | None = None,
+) -> list[Relaxation]:
+    """For each conflict member, the design unlocked by dropping it.
+
+    Members whose removal still leaves the request infeasible (possible
+    when the full request has several independent conflicts) are skipped.
+    """
+    out: list[Relaxation] = []
+    for name in conflict.constraints:
+        if limit is not None and len(out) >= limit:
+            break
+        compiled = compile_design(kb, request)
+        assumptions = [
+            lit
+            for group, lit in compiled.selectors.items()
+            if group != name
+        ]
+        if not compiled.solver.solve(assumptions):
+            continue
+        solution = compiled.extract_solution(compiled.solver.model())
+        out.append(Relaxation(
+            dropped_constraint=name,
+            description=conflict.descriptions.get(name, ""),
+            solution=solution,
+        ))
+    return out
+
+
+@dataclass
+class Question:
+    """One yes/no question that splits the remaining deployment classes."""
+
+    system: str
+    if_yes: int
+    if_no: int
+
+    def __str__(self) -> str:
+        return (
+            f"deploy {self.system}? yes -> {self.if_yes} classes, "
+            f"no -> {self.if_no} classes"
+        )
+
+
+@dataclass
+class DisambiguationPlan:
+    """A question sequence narrowing the classes to one (greedy split)."""
+
+    questions: list[Question] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+
+def suggest_disambiguations(
+    classes: list[DeploymentClass],
+) -> DisambiguationPlan:
+    """Greedy minimal-question plan over deployment classes.
+
+    At each step ask about the system whose presence most evenly splits
+    the remaining classes, then recurse into the larger side (worst
+    case); stops when one class remains or no question discriminates.
+    """
+    plan = DisambiguationPlan()
+    remaining = [frozenset(c.systems) for c in classes]
+    while len(remaining) > 1:
+        universe = set().union(*remaining)
+        best_system = None
+        best_split: tuple[int, int] | None = None
+        for system in sorted(universe):
+            yes = sum(1 for c in remaining if system in c)
+            no = len(remaining) - yes
+            if yes == 0 or no == 0:
+                continue
+            split = (max(yes, no), min(yes, no))
+            if best_split is None or split < best_split:
+                best_split = split
+                best_system = system
+        if best_system is None:
+            break  # classes identical on system presence; nothing to ask
+        yes_side = [c for c in remaining if best_system in c]
+        no_side = [c for c in remaining if best_system not in c]
+        plan.questions.append(Question(
+            system=best_system, if_yes=len(yes_side), if_no=len(no_side)
+        ))
+        remaining = yes_side if len(yes_side) >= len(no_side) else no_side
+    return plan

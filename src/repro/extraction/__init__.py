@@ -1,0 +1,41 @@
+"""Simulated LLM encoding-extraction pipeline (paper §4).
+
+The paper asks three questions: can LLMs (i) extract encodings from
+source documents, (ii) check human-written encodings, (iii) reason about
+them. This environment has no network or LLM, so the pipeline is
+substituted by deterministic machinery with a calibrated noise model
+(DESIGN.md, substitution table) that preserves the paper's findings:
+
+- **spec sheets** (structured) extract essentially perfectly —
+  :mod:`repro.extraction.specsheet`;
+- **system prose** (papers) extracts the headline requirements but
+  misses *conditional* nuances and garbles quantities —
+  :mod:`repro.extraction.paper_extractor` with
+  :class:`repro.extraction.noise.NoiseModel`;
+- **checking** is asymmetric: condition-*existence* faults are caught
+  reliably, numeric-*magnitude* faults mostly are not —
+  :mod:`repro.extraction.checker`.
+"""
+
+from repro.extraction.checker import (
+    CheckFinding,
+    EncodingChecker,
+    FaultKind,
+    inject_fault,
+)
+from repro.extraction.documents import spec_sheet_text, system_prose
+from repro.extraction.noise import NoiseModel
+from repro.extraction.paper_extractor import extract_system
+from repro.extraction.specsheet import parse_spec_sheet
+
+__all__ = [
+    "CheckFinding",
+    "EncodingChecker",
+    "FaultKind",
+    "NoiseModel",
+    "extract_system",
+    "inject_fault",
+    "parse_spec_sheet",
+    "spec_sheet_text",
+    "system_prose",
+]

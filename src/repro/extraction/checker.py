@@ -1,0 +1,273 @@
+"""Encoding checking (§4.2) with fault injection.
+
+§4.2's findings, mechanized:
+
+- "LLMs could not always check for the correctness of a condition
+  (especially if it's loaded with numbers), but they did a better job of
+  checking for the existence of a condition." The checker compares a
+  candidate encoding against the *source document*: a requirement phrase
+  present in the document but absent from the encoding is an existence
+  fault (reliably detectable); a number that disagrees is only flagged
+  when it is wildly off (magnitude blindness).
+- "it identified that we missed checking whether the NIC supports
+  interrupt polling, which is a requirement for Shenango" — exactly the
+  existence-check path.
+- Objectivity: orderings and claims without sources, or marked
+  subjective, are surfaced for human review.
+
+Fault injection produces the §4.2 evaluation corpus: take a correct
+encoding, break it in a controlled way, and measure what the checker
+catches.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import re
+from dataclasses import dataclass, replace
+
+from repro.extraction.paper_extractor import _PHRASE_TO_VAR
+from repro.kb.ordering import Ordering
+from repro.kb.system import System
+from repro.logic.ast import And, Formula
+from repro.logic.simplify import free_vars
+
+#: Numeric disagreement below this factor is invisible to the checker —
+#: the "loaded with numbers" blindness from §4.2.
+MAGNITUDE_BLINDNESS_FACTOR = 4.0
+
+
+class FaultKind(str, enum.Enum):
+    """Ways an encoding can be wrong (the §4.2 fault classes)."""
+
+    MISSING_REQUIREMENT = "missing_requirement"
+    MISSING_CONDITION = "missing_condition"
+    WRONG_NUMBER_SMALL = "wrong_number_small"  # e.g. 6 stages -> 8
+    WRONG_NUMBER_LARGE = "wrong_number_large"  # e.g. 6 stages -> 60
+
+
+@dataclass
+class CheckFinding:
+    """One issue raised by the checker."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+class EncodingChecker:
+    """Checks candidate encodings against their source documents."""
+
+    def check_system(self, candidate: System, source_prose: str) -> list[CheckFinding]:
+        """Compare a system encoding with the prose it was derived from."""
+        findings: list[CheckFinding] = []
+        findings.extend(self._check_existence(candidate, source_prose))
+        findings.extend(self._check_numbers(candidate, source_prose))
+        findings.extend(self._check_objectivity(candidate))
+        return findings
+
+    # -- existence checking (reliable) ------------------------------------------
+
+    def _check_existence(self, candidate: System, prose: str) -> list[CheckFinding]:
+        encoded = free_vars(candidate.requires)
+        for feature in candidate.features:
+            encoded |= free_vars(feature.requires)
+        findings = []
+        for phrase, var in _PHRASE_TO_VAR.items():
+            if phrase in prose and var not in encoded:
+                findings.append(CheckFinding(
+                    kind="missing_condition"
+                    if var.startswith("ctx::")
+                    else "missing_requirement",
+                    detail=f"source mentions {phrase!r} ({var}) but the "
+                           f"encoding does not reference it",
+                ))
+        return findings
+
+    # -- numeric checking (magnitude-blind) ----------------------------------------
+
+    def _check_numbers(self, candidate: System, prose: str) -> list[CheckFinding]:
+        findings = []
+        doc_numbers = self._document_quantities(prose)
+        for demand in candidate.resources:
+            doc = doc_numbers.get(demand.kind)
+            if doc is None:
+                continue
+            for label, encoded, stated in (
+                ("fixed", demand.fixed, doc.get("fixed")),
+                ("per_kflow", demand.per_kflow, doc.get("per_kflow")),
+                ("per_gbps", demand.per_gbps, doc.get("per_gbps")),
+            ):
+                if stated is None or stated == 0:
+                    if encoded and stated is None:
+                        continue
+                    if not encoded and stated:
+                        findings.append(CheckFinding(
+                            kind="missing_requirement",
+                            detail=f"{demand.kind}.{label}: document states a "
+                                   f"quantity, encoding has none",
+                        ))
+                    continue
+                if not encoded:
+                    findings.append(CheckFinding(
+                        kind="missing_requirement",
+                        detail=f"{demand.kind}.{label}: document states "
+                               f"{stated}, encoding omits it",
+                    ))
+                    continue
+                ratio = max(encoded, stated) / max(
+                    min(encoded, stated), 1e-9
+                )
+                if ratio >= MAGNITUDE_BLINDNESS_FACTOR:
+                    findings.append(CheckFinding(
+                        kind="wrong_number",
+                        detail=f"{demand.kind}.{label}: encoding says "
+                               f"{encoded}, document says {stated}",
+                    ))
+                # Smaller discrepancies pass unnoticed (§4.2).
+        return findings
+
+    def _document_quantities(self, prose: str) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for line in prose.splitlines():
+            match = re.match(r"Provisioning consumes ([a-z0-9_ ]+?)( \(|\.)", line)
+            if not match:
+                continue
+            kind = match.group(1).strip().replace(" ", "_")
+            entry: dict[str, float] = {}
+            m = re.search(r"a fixed (\d+) units", line)
+            if m:
+                entry["fixed"] = float(m.group(1))
+            m = re.search(r"([\d.]+) units per thousand flows", line)
+            if m:
+                entry["per_kflow"] = float(m.group(1))
+            m = re.search(r"([\d.]+) units per Gbps", line)
+            if m:
+                entry["per_gbps"] = float(m.group(1))
+            out[kind] = entry
+        return out
+
+    # -- objectivity (§4.2's separation) ---------------------------------------------
+
+    def _check_objectivity(self, candidate: System) -> list[CheckFinding]:
+        findings = []
+        if candidate.subjective and not candidate.sources:
+            findings.append(CheckFinding(
+                kind="unsupported_subjective_claim",
+                detail=f"{candidate.name} is marked subjective but cites no "
+                       f"sources for humans to weigh",
+            ))
+        return findings
+
+    def check_ordering(self, ordering: Ordering) -> list[CheckFinding]:
+        """Objectivity review of a preference edge."""
+        findings = []
+        if not ordering.source:
+            findings.append(CheckFinding(
+                kind="uncited_ordering",
+                detail=f"{ordering.better} > {ordering.worse} on "
+                       f"{ordering.dimension} cites no source",
+            ))
+        if ordering.subjective:
+            findings.append(CheckFinding(
+                kind="subjective_ordering",
+                detail=f"{ordering.better} > {ordering.worse} on "
+                       f"{ordering.dimension} is a controversial comparison; "
+                       f"annotate with dissenting sources",
+            ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (the §4.2 evaluation corpus)
+# ---------------------------------------------------------------------------
+
+
+def inject_fault(
+    system: System, kind: FaultKind, rng: random.Random
+) -> System | None:
+    """Return a copy of *system* broken per *kind*, or None if impossible."""
+    if kind in (FaultKind.MISSING_REQUIREMENT, FaultKind.MISSING_CONDITION):
+        conjuncts = (
+            list(system.requires.children)
+            if isinstance(system.requires, And)
+            else [system.requires]
+        )
+        want_ctx = kind is FaultKind.MISSING_CONDITION
+        indexed = [
+            (i, c) for i, c in enumerate(conjuncts)
+            if free_vars(c)
+            and any(n.startswith("ctx::") for n in free_vars(c)) == want_ctx
+        ]
+        if not indexed:
+            return None
+        drop_index, _ = rng.choice(indexed)
+        remaining = [c for i, c in enumerate(conjuncts) if i != drop_index]
+        new_requires: Formula = And(*remaining) if remaining else _true()
+        return replace(system, requires=new_requires)
+    if kind in (FaultKind.WRONG_NUMBER_SMALL, FaultKind.WRONG_NUMBER_LARGE):
+        candidates = [d for d in system.resources if d.fixed > 0]
+        if not candidates:
+            return None
+        target = rng.choice(candidates)
+        factor = 1.5 if kind is FaultKind.WRONG_NUMBER_SMALL else 10
+        new_resources = [
+            replace(d, fixed=max(1, int(d.fixed * factor)))
+            if d is target
+            else d
+            for d in system.resources
+        ]
+        return replace(system, resources=new_resources)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def _true() -> Formula:
+    from repro.logic.ast import TRUE
+
+    return TRUE
+
+
+def detection_rate(
+    systems: list[System],
+    prose_of: dict[str, str],
+    kind: FaultKind,
+    trials: int = 50,
+    seed: int = 0,
+) -> tuple[int, int]:
+    """(detected, attempted) for injected faults of one kind.
+
+    A fault counts as detected when the checker raises a finding of the
+    matching class that it did not already raise on the clean encoding.
+    """
+    rng = random.Random(seed)
+    checker = EncodingChecker()
+    matching = {
+        FaultKind.MISSING_REQUIREMENT: {"missing_requirement"},
+        FaultKind.MISSING_CONDITION: {"missing_condition"},
+        FaultKind.WRONG_NUMBER_SMALL: {"wrong_number"},
+        FaultKind.WRONG_NUMBER_LARGE: {"wrong_number"},
+    }[kind]
+    detected = attempted = 0
+    for _ in range(trials):
+        system = rng.choice(systems)
+        broken = inject_fault(system, kind, rng)
+        if broken is None:
+            continue
+        attempted += 1
+        prose = prose_of[system.name]
+        baseline = {
+            (f.kind, f.detail)
+            for f in checker.check_system(system, prose)
+            if f.kind in matching
+        }
+        fresh = {
+            (f.kind, f.detail)
+            for f in checker.check_system(broken, prose)
+            if f.kind in matching
+        }
+        if fresh - baseline:
+            detected += 1
+    return detected, attempted

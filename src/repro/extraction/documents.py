@@ -1,0 +1,228 @@
+"""Synthetic source documents: vendor spec sheets and paper-style prose.
+
+`spec_sheet_text` renders hardware the way Listing 1's source material
+looks: labelled fields, units attached, the occasional marketing line,
+and (configurably) some fields simply absent — the paper notes
+extraction was perfect "unless it was missing in the spec itself".
+
+`system_prose` renders a system encoding the way research papers read:
+the capability claims up front, requirements buried mid-paragraph, and
+conditional applicability phrased with "only when ..." hedges — the
+exact shape that made LLM extraction lossy in §4.1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.system import System
+from repro.logic.ast import And, Formula, Not, Or
+from repro.logic.simplify import free_vars
+
+_MARKETING = [
+    "Engineered for the modern data center.",
+    "Industry-leading reliability backed by a limited lifetime warranty.",
+    "Seamless scalability for workloads of any size.",
+]
+
+
+def spec_sheet_text(
+    hardware: Hardware,
+    missing_fields: set[str] | None = None,
+    seed: int = 0,
+) -> str:
+    """Render a hardware model as a semi-structured vendor spec sheet."""
+    rng = random.Random(seed)
+    missing = missing_fields or set()
+    spec = hardware.spec
+    lines = [f"{spec.model} — Product Specification", ""]
+    lines.append(rng.choice(_MARKETING))
+    lines.append("")
+
+    def put(field: str, label: str, value: str) -> None:
+        if field not in missing:
+            lines.append(f"{label}: {value}")
+
+    if isinstance(spec, SwitchSpec):
+        put("port_gbps", "Port Bandwidth", f"{spec.port_gbps} Gbps")
+        put("ports", "Ports", f"{spec.ports}x {spec.port_gbps} Gigabit Ethernet")
+        put("memory_mb", "Packet Buffer Memory", f"{spec.memory_mb} MB")
+        put("power_w", "Max Power Consumption", f"{spec.power_w}W")
+        put("cost_usd", "List Price", f"${spec.cost_usd:,} USD")
+        put("ecn", "ECN supported?", "Yes" if spec.ecn else "No")
+        put("qcn", "QCN (802.1Qau) supported?", "Yes" if spec.qcn else "No")
+        put("int_telemetry", "In-band Telemetry (INT)",
+            "Yes" if spec.int_telemetry else "No")
+        put("p4_programmable", "P4 Supported?",
+            "Yes" if spec.p4_programmable else "No")
+        put("p4_stages", "# P4 Stages",
+            str(spec.p4_stages) if spec.p4_programmable else "N/A")
+        put("pfc", "Priority Flow Control (802.1Qbb)",
+            "Yes" if spec.pfc else "No")
+        put("shared_buffer", "Shared Buffer Architecture",
+            "Yes" if spec.shared_buffer else "No")
+        put("deep_buffers", "Deep Buffer Mode",
+            "Yes" if spec.deep_buffers else "No")
+        put("packet_spraying", "Per-packet Load Balancing",
+            "Yes" if spec.packet_spraying else "No")
+        put("qos_classes", "QoS Priority Classes", str(spec.qos_classes))
+        put("telemetry_mirror", "Mirror/Sample Telemetry",
+            "Yes" if spec.telemetry_mirror else "No")
+        put("mac_table_k", "MAC Address Table Size",
+            f"{spec.mac_table_k},000 entries")
+    elif isinstance(spec, NICSpec):
+        put("rate_gbps", "Line Rate", f"{spec.rate_gbps} Gbps")
+        put("power_w", "Typical Power", f"{spec.power_w}W")
+        put("cost_usd", "List Price", f"${spec.cost_usd:,} USD")
+        put("timestamps", "Hardware Timestamping",
+            "Yes" if spec.timestamps else "No")
+        put("fpga", "Onboard FPGA", "Yes" if spec.fpga else "No")
+        put("fpga_gates_k", "FPGA Logic",
+            f"{spec.fpga_gates_k}K gates" if spec.fpga else "N/A")
+        put("embedded_cores", "Embedded Cores", str(spec.embedded_cores))
+        put("mem_mb", "Onboard Memory", f"{spec.mem_mb} MB")
+        put("rdma", "RDMA (RoCEv2)", "Yes" if spec.rdma else "No")
+        put("large_reorder_buffer", "Extended Reorder Buffer",
+            "Yes" if spec.large_reorder_buffer else "No")
+        put("interrupt_polling", "Interrupt Coalescing / Busy Poll",
+            "Yes" if spec.interrupt_polling else "No")
+        put("sriov", "SR-IOV", "Yes" if spec.sriov else "No")
+    elif isinstance(spec, ServerSpec):
+        put("cores", "CPU Cores", str(spec.cores))
+        put("mem_gb", "Memory", f"{spec.mem_gb} GB")
+        put("power_w", "Max Power", f"{spec.power_w}W")
+        put("cost_usd", "List Price", f"${spec.cost_usd:,} USD")
+        put("rack_units", "Form Factor", f"{spec.rack_units}U")
+        put("kernel_bypass_ok", "Kernel Bypass Certified",
+            "Yes" if spec.kernel_bypass_ok else "No")
+        put("huge_pages", "Huge Page Support",
+            "Yes" if spec.huge_pages else "No")
+        put("cxl_expander", "CXL Memory Expansion",
+            "Yes" if spec.cxl_expander else "No")
+        put("dedicated_cores_ok", "Core Isolation Support",
+            "Yes" if spec.dedicated_cores_ok else "No")
+    return "\n".join(lines) + "\n"
+
+
+_PROP_PHRASES = {
+    "NIC_TIMESTAMPS": "NICs with hardware timestamping",
+    "SMARTNIC_FPGA": "an FPGA-based SmartNIC",
+    "SMARTNIC_CPU": "a SmartNIC with embedded cores",
+    "RDMA": "RDMA-capable NICs",
+    "LARGE_REORDER_BUFFER": "larger reorder buffers at the NICs",
+    "INTERRUPT_POLLING": "NIC support for interrupt polling",
+    "SRIOV": "SR-IOV virtual functions",
+    "ECN": "ECN marking at the switches",
+    "QCN": "QCN notifications from the switches",
+    "INT": "INT-enabled switches",
+    "P4_PROGRAMMABLE": "P4-programmable switches",
+    "PFC": "priority flow control in the fabric",
+    "PFC_ENABLED": "priority flow control enabled network-wide",
+    "SHARED_BUFFER": "a shared-buffer switch architecture",
+    "DEEP_BUFFERS": "sufficiently deep switch buffers",
+    "PACKET_SPRAYING": "per-packet forwarding in the fabric",
+    "QOS_CLASSES_8": "a dedicated QoS level",
+    "TELEMETRY_MIRROR": "switch mirror/sampling support",
+    "KERNEL_BYPASS_OK": "servers that permit kernel bypass",
+    "HUGE_PAGES": "hugepage support",
+    "CXL_EXPANDER": "CXL expander-capable servers",
+    "DEDICATED_CORES": "cores that can be dedicated",
+    "APP_MODIFIABLE": "modifying the application",
+    "RESEARCH_OK": "tolerance for research-grade software",
+    "EDGE_RESOURCES": "resources provisioned at edge sites",
+}
+
+_CTX_PHRASES = {
+    "network_load_ge_40g": "network load is at or above 40 Gbps",
+    "competing_wan_dc_traffic": "WAN and datacenter traffic compete on the "
+                                "same links",
+    "scavenger_transport_ok": "the transport may run as a scavenger",
+    "competing_buffer_fillers_absent": "no buffer-filling flows compete on "
+                                       "the bottleneck",
+    "flat_container_addressing_ok": "containers may share the host "
+                                    "address space",
+    "datacenter_fabric": "running inside a datacenter fabric",
+    "single_dc_scope": "the deployment spans a single datacenter",
+    "wan_egress_present": "the site has WAN egress",
+    "phantom_queues_deployable": "phantom queues can be installed",
+    "force_annulus": "the operator explicitly mandates it",
+}
+
+
+def _phrase_for(var_name: str) -> str:
+    parts = var_name.split("::")
+    if parts[0] == "prop":
+        return _PROP_PHRASES.get(parts[2], parts[2].lower().replace("_", " "))
+    if parts[0] == "ctx":
+        return _CTX_PHRASES.get(parts[1], parts[1].replace("_", " "))
+    if parts[0] == "feat":
+        return f"the {parts[2]} feature of {parts[1]}"
+    return var_name
+
+
+def _requirement_sentences(formula: Formula) -> list[str]:
+    """Turn a requires formula into paper-style requirement sentences.
+
+    Plain conjuncts become "the system requires X"; context-conditioned
+    conjuncts (the nuances LLMs miss) become "Note that it is only
+    applicable when X".
+    """
+    sentences: list[str] = []
+    conjuncts = list(formula.children) if isinstance(formula, And) else [formula]
+    for conjunct in conjuncts:
+        names = sorted(free_vars(conjunct))
+        if not names:
+            continue
+        is_conditional = any(n.startswith("ctx::") for n in names) or isinstance(
+            conjunct, (Or, Not)
+        )
+        phrases = [_phrase_for(n) for n in names]
+        if is_conditional:
+            sentences.append(
+                "Note that it is only applicable when "
+                + " or ".join(phrases) + "."
+            )
+        else:
+            sentences.append(
+                "Deployment requires " + " and ".join(phrases) + "."
+            )
+    return sentences
+
+
+def system_prose(system: System) -> str:
+    """Render a system encoding as a research-paper-style description."""
+    lines = [f"{system.name}: {system.description or 'a deployable system.'}"]
+    if system.solves:
+        lines.append(
+            f"{system.name} addresses "
+            + ", ".join(o.replace("_", " ") for o in system.solves) + "."
+        )
+    lines.extend(_requirement_sentences(system.requires))
+    for demand in system.resources:
+        clause = f"Provisioning consumes {demand.kind.replace('_', ' ')}"
+        details = []
+        if demand.fixed:
+            details.append(f"a fixed {demand.fixed} units")
+        if demand.per_kflow:
+            details.append(f"{demand.per_kflow} units per thousand flows")
+        if demand.per_gbps:
+            details.append(f"{demand.per_gbps} units per Gbps")
+        if details:
+            clause += " (" + ", ".join(details) + ")"
+        lines.append(clause + ".")
+    for feature in system.features:
+        feat_names = sorted(free_vars(feature.requires))
+        phrases = [_phrase_for(n) for n in feat_names]
+        lines.append(
+            f"The optional {feature.name} feature"
+            + (" requires " + " and ".join(phrases) if phrases else "")
+            + "."
+        )
+    for other in system.conflicts:
+        lines.append(f"{system.name} cannot be deployed together with {other}.")
+    if system.research:
+        lines.append(
+            "As a research prototype, it has not been productized."
+        )
+    return "\n".join(lines) + "\n"

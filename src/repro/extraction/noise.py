@@ -1,0 +1,45 @@
+"""The calibrated error model for prose extraction.
+
+§4.1's findings, as probabilities: the extractor reliably finds plain
+hardware requirements, frequently misses *conditional* applicability
+("LLMs failed to encode that Annulus is required only when there is
+competing WAN and DC traffic"), and sometimes garbles resource
+quantities. The defaults are calibrated to those qualitative claims;
+benchmarks sweep them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Extraction error probabilities."""
+
+    #: Chance a plain requirement conjunct is dropped entirely.
+    p_miss_requirement: float = 0.05
+    #: Chance a conditional ("only when ...") conjunct loses its condition —
+    #: the dominant failure mode in §4.1.
+    p_miss_condition: float = 0.55
+    #: Chance a resource quantity is mis-transcribed.
+    p_wrong_number: float = 0.25
+    #: Multiplier applied to mis-transcribed numbers.
+    wrong_number_factor: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("p_miss_requirement", "p_miss_condition", "p_wrong_number"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    def rng(self, salt: str = "") -> random.Random:
+        """A deterministic RNG stream for one document."""
+        return random.Random(f"{self.seed}:{salt}")
+
+
+PERFECT = NoiseModel(
+    p_miss_requirement=0.0, p_miss_condition=0.0, p_wrong_number=0.0
+)

@@ -1,0 +1,151 @@
+"""Prose extraction — the "LLM on research papers" path (§4.1).
+
+A phrase-matching extractor over :func:`~repro.extraction.documents.system_prose`
+output, degraded by a :class:`~repro.extraction.noise.NoiseModel`. The
+noise is applied *structurally*, matching the paper's observations:
+
+- plain requirement sentences are found with high reliability;
+- "only applicable when ..." sentences lose their condition — the
+  requirement survives, its conditionality does not (the Annulus nuance);
+- resource quantities get transcribed with occasional factor errors.
+
+The extractor returns a candidate :class:`~repro.kb.system.System` plus a
+diff-able record of what it dropped, so the accuracy benchmark can score
+per-fact recall without re-deriving ground truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.extraction.documents import _CTX_PHRASES, _PROP_PHRASES
+from repro.extraction.noise import NoiseModel
+from repro.kb.system import System
+from repro.logic.ast import TRUE, And, Formula, Var
+
+#: phrase -> variable name, inverted from the document renderer.
+_PHRASE_TO_VAR: dict[str, str] = {}
+for _name, _phrase in _PROP_PHRASES.items():
+    _scope = {
+        "NIC_TIMESTAMPS": "nic", "SMARTNIC_FPGA": "nic", "SMARTNIC_CPU": "nic",
+        "RDMA": "nic", "LARGE_REORDER_BUFFER": "nic", "INTERRUPT_POLLING": "nic",
+        "SRIOV": "nic",
+        "ECN": "switch", "QCN": "switch", "INT": "switch",
+        "P4_PROGRAMMABLE": "switch", "PFC": "switch", "SHARED_BUFFER": "switch",
+        "DEEP_BUFFERS": "switch", "PACKET_SPRAYING": "switch",
+        "QOS_CLASSES_8": "switch", "TELEMETRY_MIRROR": "switch",
+        "KERNEL_BYPASS_OK": "server", "HUGE_PAGES": "server",
+        "CXL_EXPANDER": "server", "DEDICATED_CORES": "server",
+        "PFC_ENABLED": "net",
+        "APP_MODIFIABLE": "site", "RESEARCH_OK": "site",
+        "EDGE_RESOURCES": "site",
+    }.get(_name)
+    if _scope:
+        _PHRASE_TO_VAR[_phrase] = f"prop::{_scope}::{_name}"
+for _name, _phrase in _CTX_PHRASES.items():
+    _PHRASE_TO_VAR[_phrase] = f"ctx::{_name}"
+
+
+@dataclass
+class ExtractionRecord:
+    """What the extractor found — and what the noise made it drop."""
+
+    system: System
+    found_requirements: list[str] = field(default_factory=list)
+    dropped_requirements: list[str] = field(default_factory=list)
+    dropped_conditions: list[str] = field(default_factory=list)
+    garbled_numbers: list[str] = field(default_factory=list)
+
+
+def _match_phrases(sentence: str) -> list[str]:
+    """Variable names whose document phrase occurs in *sentence*."""
+    return [
+        var for phrase, var in _PHRASE_TO_VAR.items() if phrase in sentence
+    ]
+
+
+def extract_system(
+    prose: str,
+    name: str,
+    category: str,
+    noise: NoiseModel | None = None,
+) -> ExtractionRecord:
+    """Extract a candidate System encoding from a prose description."""
+    noise = noise or NoiseModel()
+    rng = noise.rng(salt=name)
+    requirements: list[Formula] = []
+    record = ExtractionRecord(
+        system=System(name=name, category=category, requires=TRUE)
+    )
+    solves: list[str] = []
+    resources = []
+    for sentence in prose.splitlines():
+        sentence = sentence.strip()
+        if not sentence:
+            continue
+        if sentence.startswith(f"{name} addresses "):
+            body = sentence[len(f"{name} addresses "):].rstrip(".")
+            solves = [o.strip().replace(" ", "_") for o in body.split(",")]
+            continue
+        if sentence.startswith("Deployment requires "):
+            for var in _match_phrases(sentence):
+                if rng.random() < noise.p_miss_requirement:
+                    record.dropped_requirements.append(var)
+                    continue
+                requirements.append(Var(var))
+                record.found_requirements.append(var)
+            continue
+        if sentence.startswith("Note that it is only applicable when "):
+            for var in _match_phrases(sentence):
+                if rng.random() < noise.p_miss_condition:
+                    # The §4.1 failure: the conditional nuance vanishes.
+                    record.dropped_conditions.append(var)
+                    continue
+                requirements.append(Var(var))
+                record.found_requirements.append(var)
+            continue
+        if sentence.startswith("Provisioning consumes "):
+            resource = _parse_resource(sentence, rng, noise, record)
+            if resource is not None:
+                resources.append(resource)
+            continue
+    requires: Formula = And(*requirements) if requirements else TRUE
+    record.system = System(
+        name=name,
+        category=category,
+        solves=solves,
+        requires=requires,
+        resources=resources,
+        sources=["extracted from prose (simulated LLM)"],
+    )
+    return record
+
+
+def _parse_resource(sentence: str, rng, noise: NoiseModel, record):
+    from repro.kb.resources import ResourceDemand
+
+    match = re.match(r"Provisioning consumes ([a-z0-9_ ]+?)( \(|\.)", sentence)
+    if not match:
+        return None
+    kind = match.group(1).strip().replace(" ", "_")
+
+    def number(pattern: str) -> float:
+        m = re.search(pattern, sentence)
+        if not m:
+            return 0.0
+        value = float(m.group(1))
+        if value and rng.random() < noise.p_wrong_number:
+            record.garbled_numbers.append(f"{kind}:{value}")
+            value *= noise.wrong_number_factor
+        return value
+
+    fixed = number(r"a fixed (\d+) units")
+    per_kflow = number(r"([\d.]+) units per thousand flows")
+    per_gbps = number(r"([\d.]+) units per Gbps")
+    return ResourceDemand(
+        kind=kind,
+        fixed=int(fixed),
+        per_kflow=per_kflow,
+        per_gbps=per_gbps,
+    )

@@ -1,0 +1,60 @@
+"""Knowledge representation: the paper's rules-of-thumb DSL.
+
+This package defines the vocabulary an architect (or system expert) uses to
+encode facts (paper §3):
+
+- :class:`System` — a deployable software system: what objectives it
+  solves, what it requires from its environment, what it conflicts with,
+  what resources it consumes (Listing 2);
+- :class:`Hardware` and the spec dataclasses — switches, NICs, servers in
+  the Listing-1 style, with derived capability properties and capacities;
+- :class:`Workload` — an application's properties, placement, and demands
+  (Listing 3);
+- :class:`Ordering` — conditional partial orderings between systems along
+  qualitative dimensions (Figure 1);
+- :class:`Rule` — free-standing rules of thumb ("PFC cannot be used with
+  flooding");
+- :class:`KnowledgeBase` — the validating registry tying it all together.
+
+Facts are expressed over a shared propositional vocabulary defined in
+:mod:`repro.kb.dsl` (``sys::``, ``prop::``, ``feat::``, ``ctx::``,
+``wl::`` variables), which the compiler in :mod:`repro.core` grounds into
+SAT.
+"""
+
+from repro.kb.dsl import ctx, feat, hw, obj, prop, sys_var, wl
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.ordering import Ordering, OrderingGraph
+from repro.kb.properties import PROPERTY_CATALOG, Property
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import RESOURCE_CATALOG, ResourceDemand, ResourceKind
+from repro.kb.rules import Rule
+from repro.kb.system import Feature, System
+from repro.kb.workload import PerformanceBound, Workload
+
+__all__ = [
+    "Feature",
+    "Hardware",
+    "KnowledgeBase",
+    "NICSpec",
+    "Ordering",
+    "OrderingGraph",
+    "PROPERTY_CATALOG",
+    "PerformanceBound",
+    "Property",
+    "RESOURCE_CATALOG",
+    "ResourceDemand",
+    "ResourceKind",
+    "Rule",
+    "ServerSpec",
+    "SwitchSpec",
+    "System",
+    "Workload",
+    "ctx",
+    "feat",
+    "hw",
+    "obj",
+    "prop",
+    "sys_var",
+    "wl",
+]

@@ -1,0 +1,84 @@
+"""Shared propositional vocabulary for rules-of-thumb.
+
+Every fact in the knowledge base is a formula over variables drawn from a
+few namespaces, so that independently-written encodings compose (the
+paper's "proof modularity" goal, §6 — no individual property carries
+semantics; systems may freely change which properties they provide):
+
+========================  ====================================================
+Variable                  Meaning
+========================  ====================================================
+``sys::<name>``           system <name> is deployed
+``hw::<model>``           at least one unit of hardware <model> is deployed
+``prop::<scope>::<P>``    capability P is available at scope (nic/switch/
+                          server/net/site)
+``feat::<sys>::<flag>``   optional feature <flag> of system <sys> is enabled
+``wl::<name>::<p>``       workload <name> has property p
+``ctx::<name>``           deployment context flag (e.g. link_speed_ge_40g)
+``obj::<name>``           objective <name> is achieved by the design
+========================  ====================================================
+
+The helpers below build :class:`~repro.logic.ast.Var` nodes with the right
+names; nothing stops an expert writing ``Var("prop::nic::X")`` directly,
+but the helpers keep typos greppable.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ast import Var
+
+#: Valid scopes for capability properties.
+PROPERTY_SCOPES = ("nic", "switch", "server", "net", "site")
+
+
+def sys_var(name: str) -> Var:
+    """Variable: system *name* is deployed."""
+    return Var(f"sys::{name}")
+
+
+def hw(model: str) -> Var:
+    """Variable: hardware *model* is part of the build-out."""
+    return Var(f"hw::{model}")
+
+
+def prop(scope: str, name: str) -> Var:
+    """Variable: capability *name* is available at *scope*."""
+    if scope not in PROPERTY_SCOPES:
+        raise ValueError(
+            f"unknown property scope {scope!r}; expected one of {PROPERTY_SCOPES}"
+        )
+    return Var(f"prop::{scope}::{name}")
+
+
+def feat(system: str, flag: str) -> Var:
+    """Variable: optional feature *flag* of *system* is enabled."""
+    return Var(f"feat::{system}::{flag}")
+
+
+def wl(workload: str, property_name: str) -> Var:
+    """Variable: *workload* has *property_name*."""
+    return Var(f"wl::{workload}::{property_name}")
+
+
+def ctx(name: str) -> Var:
+    """Variable: deployment context flag *name* holds."""
+    return Var(f"ctx::{name}")
+
+
+def obj(name: str) -> Var:
+    """Variable: objective *name* is achieved."""
+    return Var(f"obj::{name}")
+
+
+def parse_var(name: str) -> tuple[str, ...]:
+    """Split a namespaced variable name into its components.
+
+    >>> parse_var("prop::nic::NIC_TIMESTAMPS")
+    ('prop', 'nic', 'NIC_TIMESTAMPS')
+    """
+    return tuple(name.split("::"))
+
+
+def namespace_of(name: str) -> str:
+    """The leading namespace of a variable name ('sys', 'prop', ...)."""
+    return name.split("::", 1)[0]

@@ -1,0 +1,155 @@
+"""Modular knowledge-base evolution (§6 "proof modularity").
+
+"Since we don't assign semantics to any individual property, it is
+possible for a new system (or a new version of an old system) to update
+the properties it provides."
+
+A :class:`KnowledgeBaseDelta` is an ordered batch of add / remove /
+replace operations with provenance. Applying a delta produces a *new*
+knowledge base (the input is not mutated), re-validates it, and reports
+which encodings the change touched — so a system expert can ship a new
+version of their encoding without coordinating with anyone else, and the
+registry tells downstream users what changed.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownEntityError, ValidationError
+from repro.kb.hardware import Hardware
+from repro.kb.ordering import Ordering
+from repro.kb.registry import KnowledgeBase, ValidationIssue
+from repro.kb.rules import Rule
+from repro.kb.system import System
+
+
+@dataclass
+class DeltaReport:
+    """What applying a delta did."""
+
+    added_systems: list[str] = field(default_factory=list)
+    replaced_systems: list[str] = field(default_factory=list)
+    removed_systems: list[str] = field(default_factory=list)
+    added_hardware: list[str] = field(default_factory=list)
+    added_rules: list[str] = field(default_factory=list)
+    added_orderings: int = 0
+    removed_orderings: int = 0
+    #: Validation issues of the evolved KB (errors abort the apply).
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = []
+        for label, items in (
+            ("added", self.added_systems),
+            ("replaced", self.replaced_systems),
+            ("removed", self.removed_systems),
+        ):
+            if items:
+                parts.append(f"{label} systems: {', '.join(items)}")
+        if self.added_hardware:
+            parts.append(f"added hardware: {', '.join(self.added_hardware)}")
+        if self.added_rules:
+            parts.append(f"added rules: {', '.join(self.added_rules)}")
+        if self.added_orderings:
+            parts.append(f"+{self.added_orderings} orderings")
+        if self.removed_orderings:
+            parts.append(f"-{self.removed_orderings} orderings")
+        return "; ".join(parts) if parts else "no changes"
+
+
+@dataclass
+class KnowledgeBaseDelta:
+    """An ordered, attributable batch of KB changes."""
+
+    author: str = ""
+    note: str = ""
+    add_systems: list[System] = field(default_factory=list)
+    replace_systems: list[System] = field(default_factory=list)
+    remove_systems: list[str] = field(default_factory=list)
+    add_hardware: list[Hardware] = field(default_factory=list)
+    add_rules: list[Rule] = field(default_factory=list)
+    add_orderings: list[Ordering] = field(default_factory=list)
+    #: (better, worse, dimension) triples to retract.
+    remove_orderings: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def apply(self, kb: KnowledgeBase, strict: bool = True) -> tuple[
+        KnowledgeBase, DeltaReport
+    ]:
+        """Produce the evolved KB and a change report.
+
+        With *strict* (the default) the evolved KB must validate without
+        errors — a delta that leaves dangling references is rejected,
+        which is what makes independent evolution safe.
+        """
+        evolved = copy.deepcopy(kb)
+        report = DeltaReport()
+        for name in self.remove_systems:
+            if name not in evolved.systems:
+                raise UnknownEntityError(
+                    f"delta removes unknown system {name!r}"
+                )
+            del evolved.systems[name]
+            report.removed_systems.append(name)
+            # Retract the removed system's ordering edges too: edges are
+            # statements *about* the system and leave with it.
+            before = len(evolved.orderings)
+            evolved.orderings = [
+                o for o in evolved.orderings
+                if name not in (o.better, o.worse)
+            ]
+            report.removed_orderings += before - len(evolved.orderings)
+        for system in self.replace_systems:
+            if system.name not in evolved.systems:
+                raise UnknownEntityError(
+                    f"delta replaces unknown system {system.name!r}"
+                )
+            evolved.systems[system.name] = system
+            report.replaced_systems.append(system.name)
+        for system in self.add_systems:
+            evolved.add_system(system)
+            report.added_systems.append(system.name)
+        for hardware in self.add_hardware:
+            evolved.add_hardware(hardware)
+            report.added_hardware.append(hardware.model)
+        for rule in self.add_rules:
+            evolved.add_rule(rule)
+            report.added_rules.append(rule.name)
+        for triple in self.remove_orderings:
+            before = len(evolved.orderings)
+            evolved.orderings = [
+                o for o in evolved.orderings
+                if (o.better, o.worse, o.dimension) != triple
+            ]
+            removed = before - len(evolved.orderings)
+            if removed == 0:
+                raise UnknownEntityError(
+                    f"delta retracts unknown ordering {triple!r}"
+                )
+            report.removed_orderings += removed
+        for ordering in self.add_orderings:
+            evolved.add_ordering(ordering)
+            report.added_orderings += 1
+        report.issues = evolved.validate()
+        if strict and any(i.severity == "error" for i in report.issues):
+            raise ValidationError(
+                "delta leaves the knowledge base invalid:\n"
+                + "\n".join(
+                    str(i) for i in report.issues if i.severity == "error"
+                )
+            )
+        return evolved, report
+
+
+def diff_systems(old: KnowledgeBase, new: KnowledgeBase) -> dict[str, str]:
+    """Name -> change kind ('added'/'removed'/'modified') between two KBs."""
+    out: dict[str, str] = {}
+    for name in new.systems.keys() - old.systems.keys():
+        out[name] = "added"
+    for name in old.systems.keys() - new.systems.keys():
+        out[name] = "removed"
+    for name in old.systems.keys() & new.systems.keys():
+        if old.systems[name].to_dict() != new.systems[name].to_dict():
+            out[name] = "modified"
+    return out

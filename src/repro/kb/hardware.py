@@ -1,0 +1,238 @@
+"""Hardware encodings in the Listing-1 style.
+
+Hardware is the easy half of the encoding problem (§4.1: spec-sheet
+extraction was "100% accurate"): a spec is a flat record of quantities and
+feature bits. Each spec derives
+
+- *provides*: the capability properties the unit contributes
+  (``switch::QCN``, ``nic::NIC_TIMESTAMPS``, ...), and
+- *capacities*: the resource amounts one unit adds to the pool
+  (cores, SRAM, power headroom is modeled as consumption).
+
+``Hardware`` wraps a spec with deployment limits (how many units the
+architect is willing to buy) and unit cost/power for the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """A switch model (compare Listing 1's Cisco Catalyst 9500-40X)."""
+
+    model: str
+    port_gbps: int
+    ports: int
+    memory_mb: int
+    power_w: int
+    cost_usd: int
+    ecn: bool = True
+    qcn: bool = False
+    int_telemetry: bool = False
+    p4_programmable: bool = False
+    p4_stages: int = 0
+    pfc: bool = True
+    shared_buffer: bool = True
+    deep_buffers: bool = False
+    packet_spraying: bool = False
+    qos_classes: int = 8
+    telemetry_mirror: bool = False
+    mac_table_k: int = 64
+
+    def provides(self) -> list[str]:
+        out = []
+        if self.ecn:
+            out.append("switch::ECN")
+        if self.qcn:
+            out.append("switch::QCN")
+        if self.int_telemetry:
+            out.append("switch::INT")
+        if self.p4_programmable:
+            out.append("switch::P4_PROGRAMMABLE")
+        if self.pfc:
+            out.append("switch::PFC")
+        if self.shared_buffer:
+            out.append("switch::SHARED_BUFFER")
+        if self.deep_buffers:
+            out.append("switch::DEEP_BUFFERS")
+        if self.packet_spraying:
+            out.append("switch::PACKET_SPRAYING")
+        if self.qos_classes >= 8:
+            out.append("switch::QOS_CLASSES_8")
+        if self.telemetry_mirror:
+            out.append("switch::TELEMETRY_MIRROR")
+        return out
+
+    def capacities(self) -> dict[str, int]:
+        return {
+            "switch_sram_mb": self.memory_mb,
+            "p4_stages": self.p4_stages,
+            "qos_classes": self.qos_classes,
+        }
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """A NIC model."""
+
+    model: str
+    rate_gbps: int
+    power_w: int
+    cost_usd: int
+    timestamps: bool = False
+    fpga: bool = False
+    fpga_gates_k: int = 0
+    embedded_cores: int = 0
+    mem_mb: int = 0
+    rdma: bool = False
+    large_reorder_buffer: bool = False
+    interrupt_polling: bool = True
+    sriov: bool = False
+
+    def provides(self) -> list[str]:
+        out = []
+        if self.timestamps:
+            out.append("nic::NIC_TIMESTAMPS")
+        if self.fpga:
+            out.append("nic::SMARTNIC_FPGA")
+        if self.embedded_cores > 0:
+            out.append("nic::SMARTNIC_CPU")
+        if self.rdma:
+            out.append("nic::RDMA")
+        if self.large_reorder_buffer:
+            out.append("nic::LARGE_REORDER_BUFFER")
+        if self.interrupt_polling:
+            out.append("nic::INTERRUPT_POLLING")
+        if self.sriov:
+            out.append("nic::SRIOV")
+        if self.rate_gbps >= 40:
+            out.append("nic::NIC_RATE_40G")
+        if self.rate_gbps >= 100:
+            out.append("nic::NIC_RATE_100G")
+        return out
+
+    def capacities(self) -> dict[str, int]:
+        return {
+            "smartnic_cores": self.embedded_cores,
+            "smartnic_mem_mb": self.mem_mb,
+            "fpga_gates_k": self.fpga_gates_k,
+        }
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A server model."""
+
+    model: str
+    cores: int
+    mem_gb: int
+    power_w: int
+    cost_usd: int
+    rack_units: int = 1
+    kernel_bypass_ok: bool = True
+    huge_pages: bool = True
+    cxl_expander: bool = False
+    dedicated_cores_ok: bool = True
+
+    def provides(self) -> list[str]:
+        out = []
+        if self.kernel_bypass_ok:
+            out.append("server::KERNEL_BYPASS_OK")
+        if self.huge_pages:
+            out.append("server::HUGE_PAGES")
+        if self.cxl_expander:
+            out.append("server::CXL_EXPANDER")
+        if self.dedicated_cores_ok:
+            out.append("server::DEDICATED_CORES")
+        return out
+
+    def capacities(self) -> dict[str, int]:
+        return {
+            "cpu_cores": self.cores,
+            "server_mem_gb": self.mem_gb,
+        }
+
+
+Spec = SwitchSpec | NICSpec | ServerSpec
+
+_KIND_OF_SPEC = {SwitchSpec: "switch", NICSpec: "nic", ServerSpec: "server"}
+
+
+@dataclass
+class Hardware:
+    """A hardware model available to the build-out.
+
+    *max_units* bounds the count variable the compiler allocates; the
+    optimizer charges ``cost_usd`` and ``power_w`` per deployed unit.
+    """
+
+    spec: Spec
+    max_units: int = 16
+    description: str = ""
+    sources: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if type(self.spec) not in _KIND_OF_SPEC:
+            raise ValidationError(f"unknown hardware spec type: {self.spec!r}")
+        if self.max_units < 1:
+            raise ValidationError(
+                f"hardware {self.model!r}: max_units must be >= 1"
+            )
+
+    @property
+    def kind(self) -> str:
+        """'switch', 'nic', or 'server'."""
+        return _KIND_OF_SPEC[type(self.spec)]
+
+    @property
+    def model(self) -> str:
+        return self.spec.model
+
+    def provides(self) -> list[str]:
+        return self.spec.provides()
+
+    def capacities(self) -> dict[str, int]:
+        """Per-unit resource capacities (zero entries removed)."""
+        return {k: v for k, v in self.spec.capacities().items() if v > 0}
+
+    @property
+    def cost_usd(self) -> int:
+        return self.spec.cost_usd
+
+    @property
+    def power_w(self) -> int:
+        return self.spec.power_w
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = {"kind": self.kind, "max_units": self.max_units,
+                   "description": self.description, "sources": list(self.sources)}
+        payload["spec"] = {
+            field_name: getattr(self.spec, field_name)
+            for field_name in self.spec.__dataclass_fields__
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Hardware":
+        kind = data.get("kind")
+        spec_cls = {"switch": SwitchSpec, "nic": NICSpec, "server": ServerSpec}.get(
+            kind
+        )
+        if spec_cls is None:
+            raise ValidationError(f"unknown hardware kind {kind!r}")
+        try:
+            spec = spec_cls(**data["spec"])
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"bad hardware spec payload: {exc}") from exc
+        return cls(
+            spec=spec,
+            max_units=data.get("max_units", 16),
+            description=data.get("description", ""),
+            sources=list(data.get("sources", [])),
+        )

@@ -1,0 +1,145 @@
+"""Conditional partial orderings between systems (Figure 1).
+
+An :class:`Ordering` is one edge: "*better* beats *worse* along
+*dimension*, whenever *condition* holds". Conditions are formulas over the
+shared vocabulary (``ctx::network_load_ge_40g``, ``feat::Snap::pony``...),
+so the same pair of systems can be ordered differently in different
+deployments — exactly Figure 1's annotated arrows.
+
+:class:`OrderingGraph` assembles the edges of one dimension under a given
+context into a DAG, validates antisymmetry, and answers the queries the
+engine needs: dominance (is A transitively better than B?), incomparable
+pairs (Figure 1's deliberately-missing edges), ranks for optimization, and
+the not-worse-than sets backing Listing 3's performance bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ValidationError
+from repro.logic.ast import TRUE, Formula
+from repro.logic.simplify import evaluate, free_vars
+
+
+@dataclass(frozen=True)
+class Ordering:
+    """One conditional preference edge: better > worse on a dimension."""
+
+    better: str
+    worse: str
+    dimension: str
+    condition: Formula = TRUE
+    source: str = ""
+    subjective: bool = False
+
+    def __post_init__(self):
+        if self.better == self.worse:
+            raise ValidationError(
+                f"ordering on {self.dimension!r} relates {self.better!r} to itself"
+            )
+
+    def active_under(self, context: dict[str, bool]) -> bool:
+        """Whether the edge applies in *context* (absent vars default False)."""
+        names = free_vars(self.condition)
+        assignment = {name: context.get(name, False) for name in names}
+        return evaluate(self.condition, assignment)
+
+
+@dataclass
+class OrderingGraph:
+    """The active partial order of one dimension under one context."""
+
+    dimension: str
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @classmethod
+    def build(
+        cls,
+        orderings: list[Ordering],
+        dimension: str,
+        context: dict[str, bool] | None = None,
+        systems: list[str] | None = None,
+    ) -> "OrderingGraph":
+        """Assemble the DAG of *dimension*'s active edges.
+
+        Raises :class:`ValidationError` if the active edges contain a cycle
+        (a contradiction in the knowledge base).
+        """
+        context = context or {}
+        g = nx.DiGraph()
+        for name in systems or []:
+            g.add_node(name)
+        for ordering in orderings:
+            if ordering.dimension != dimension:
+                continue
+            if not ordering.active_under(context):
+                continue
+            g.add_edge(ordering.better, ordering.worse, source=ordering.source)
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise ValidationError(
+                f"ordering cycle on dimension {dimension!r}: {cycle}"
+            )
+        return cls(dimension=dimension, graph=g)
+
+    def better_than(self, a: str, b: str) -> bool:
+        """Is *a* transitively preferred to *b*?"""
+        return (
+            a in self.graph
+            and b in self.graph
+            and nx.has_path(self.graph, a, b)
+            and a != b
+        )
+
+    def comparable(self, a: str, b: str) -> bool:
+        """Whether the knowledge base orders *a* and *b* at all."""
+        return self.better_than(a, b) or self.better_than(b, a)
+
+    def incomparable_pairs(self) -> list[tuple[str, str]]:
+        """System pairs with no ordering either way (missing knowledge)."""
+        nodes = sorted(self.graph.nodes)
+        out = []
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if not self.comparable(a, b):
+                    out.append((a, b))
+        return out
+
+    def not_worse_than(self, baseline: str) -> set[str]:
+        """Systems that are NOT transitively worse than *baseline*.
+
+        This is the ground set for Listing 3's
+        ``set_performance_bound(better_than=...)``: anything provably worse
+        than the baseline is excluded; incomparable systems survive (the
+        engine refuses to invent facts the KB does not contain).
+        """
+        if baseline not in self.graph:
+            return set(self.graph.nodes)
+        worse = nx.descendants(self.graph, baseline) | {baseline}
+        return set(self.graph.nodes) - worse
+
+    def strictly_better_than(self, baseline: str) -> set[str]:
+        """Systems transitively preferred to *baseline*."""
+        if baseline not in self.graph:
+            return set()
+        return nx.ancestors(self.graph, baseline)
+
+    def ranks(self) -> dict[str, int]:
+        """Badness rank per system: 0 for maximal, growing downward.
+
+        Rank is the longest chain of strictly-better systems above
+        (longest path from any source), computed in topological order.
+        Used as the per-system penalty when optimizing a dimension.
+        """
+        out: dict[str, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            out[node] = 1 + max(out[p] for p in preds) if preds else 0
+        return out
+
+    def rank(self, system: str) -> int:
+        """Rank of one system (see :meth:`ranks`)."""
+        return self.ranks().get(system, 0)

@@ -1,0 +1,96 @@
+"""Capability property catalog.
+
+Properties are the shallow vocabulary the engine reasons over: a system
+*requires* properties (Timely needs NIC timestamps), hardware *provides*
+properties (a Mellanox NIC provides timestamps), and the compiler closes
+the loop ("a property holds iff something deployed provides it").
+
+The catalog is advisory, not mandatory: experts can use new property names
+freely (the paper's modularity principle — properties carry no semantics),
+but registering them here gives the §4.2 encoding checker a typo detector
+and human-readable descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Property:
+    """A named boolean capability with provenance."""
+
+    name: str
+    scope: str
+    description: str = ""
+    #: Where the fact vocabulary came from (paper, datasheet, RFC...).
+    sources: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"property name must be an identifier: {self.name!r}")
+
+
+def _p(name: str, scope: str, description: str, *sources: str) -> Property:
+    return Property(name, scope, description, tuple(sources))
+
+
+#: Capability vocabulary used by the built-in knowledge base.
+PROPERTY_CATALOG: dict[str, Property] = {
+    p.name: p
+    for p in [
+        # --- NIC capabilities -------------------------------------------------
+        _p("NIC_TIMESTAMPS", "nic", "hardware packet timestamping",
+           "Timely SIGCOMM'15", "Swift SIGCOMM'20"),
+        _p("SMARTNIC_FPGA", "nic", "on-NIC FPGA for offloaded processing"),
+        _p("SMARTNIC_CPU", "nic", "on-NIC ARM/embedded cores"),
+        _p("RDMA", "nic", "RDMA verbs support (RoCE/iWARP)"),
+        _p("LARGE_REORDER_BUFFER", "nic",
+           "reorder buffers big enough for per-packet load balancing"),
+        _p("INTERRUPT_POLLING", "nic",
+           "interrupt coalescing / busy-poll mode (Shenango requirement)",
+           "Shenango NSDI'19"),
+        _p("SRIOV", "nic", "SR-IOV virtual functions"),
+        _p("NIC_RATE_100G", "nic", "line rate at or above 100 Gbit/s"),
+        _p("NIC_RATE_40G", "nic", "line rate at or above 40 Gbit/s"),
+        # --- Switch capabilities ----------------------------------------------
+        _p("ECN", "switch", "ECN marking support"),
+        _p("QCN", "switch", "quantized congestion notification (802.1Qau)",
+           "Annulus SIGCOMM'20"),
+        _p("INT", "switch", "in-band network telemetry metadata",
+           "HPCC SIGCOMM'19"),
+        _p("P4_PROGRAMMABLE", "switch", "P4-programmable pipeline"),
+        _p("PFC", "switch", "priority flow control (802.1Qbb)"),
+        _p("SHARED_BUFFER", "switch", "dynamically shared packet buffer"),
+        _p("DEEP_BUFFERS", "switch",
+           "buffers deep enough for scavenger transports (RFC 6297)"),
+        _p("PACKET_SPRAYING", "switch", "per-packet multipath forwarding"),
+        _p("QOS_CLASSES_8", "switch", "at least 8 QoS/priority classes"),
+        _p("TELEMETRY_MIRROR", "switch", "mirror/sample packets for telemetry"),
+        # --- Server capabilities ----------------------------------------------
+        _p("KERNEL_BYPASS_OK", "server", "OS allows DPDK-style kernel bypass"),
+        _p("HUGE_PAGES", "server", "hugepage support for userspace stacks"),
+        _p("CXL_EXPANDER", "server", "CXL memory expander attach point"),
+        _p("DEDICATED_CORES", "server", "cores reservable for spin-polling"),
+        # --- Network-wide / site flags ------------------------------------------
+        _p("FLOODING", "net", "Ethernet flooding (unknown-unicast/ARP) active",
+           "Guo et al. SIGCOMM'16"),
+        _p("PFC_ENABLED", "net", "PFC pause frames enabled network-wide"),
+        _p("UP_DOWN_ROUTING", "net", "valley-free up-down routing enforced"),
+        _p("OVERLAY_ENCAP", "net", "overlay encapsulation (VXLAN/Geneve) in use"),
+        _p("CHECKSUM_OFFLOAD_CONSISTENT", "net",
+           "inner/outer checksum handling consistent across layers",
+           "VMware Antrea 1.7 release notes"),
+        _p("EDGE_RESOURCES", "site", "compute provisioned at edge sites"),
+        _p("APP_MODIFIABLE", "site",
+           "applications can be modified/recompiled (e.g. for Pony/Snap)",
+           "Snap SOSP'19"),
+        _p("RESEARCH_OK", "site",
+           "organization accepts research-grade (non-productized) systems"),
+    ]
+}
+
+
+def is_known_property(name: str) -> bool:
+    """Whether *name* is in the advisory catalog."""
+    return name in PROPERTY_CATALOG

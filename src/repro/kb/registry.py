@@ -1,0 +1,314 @@
+"""The knowledge base: a validating registry of encodings.
+
+Holds systems, hardware, rules, and orderings; checks cross-references at
+registration time (dangling conflicts, unknown scopes, ordering cycles);
+measures its own specification length (the paper's §3.1 success metric —
+"the length of specification should grow linearly with the number of
+systems, hardware and workloads included"); and serializes to/from plain
+dicts for the extraction pipeline and crowd-sourced contribution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateEntryError, UnknownEntityError, ValidationError
+from repro.kb.dsl import PROPERTY_SCOPES
+from repro.kb.hardware import Hardware
+from repro.kb.ordering import Ordering, OrderingGraph
+from repro.kb.properties import PROPERTY_CATALOG
+from repro.kb.resources import RESOURCE_CATALOG
+from repro.kb.rules import Rule
+from repro.kb.serialize import formula_from_dict, formula_to_dict
+from repro.kb.system import System
+from repro.logic.ast import (
+    And,
+    AtLeast,
+    AtMost,
+    Const,
+    Exactly,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes — the unit of 'specification length' (§3.1)."""
+    if isinstance(formula, (Const, Var)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.child)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(c) for c in formula.children)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, (Iff, Xor)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (AtMost, AtLeast, Exactly)):
+        return 1 + sum(formula_size(c) for c in formula.children)
+    raise ValidationError(f"unknown formula node {formula!r}")
+
+
+@dataclass
+class ValidationIssue:
+    """One problem found by :meth:`KnowledgeBase.validate`."""
+
+    severity: str  # "error" | "warning"
+    entity: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.entity}: {self.message}"
+
+
+@dataclass
+class KnowledgeBase:
+    """Registry of all encoded facts."""
+
+    systems: dict[str, System] = field(default_factory=dict)
+    hardware: dict[str, Hardware] = field(default_factory=dict)
+    rules: dict[str, Rule] = field(default_factory=dict)
+    orderings: list[Ordering] = field(default_factory=list)
+
+    # -- registration -------------------------------------------------------------
+
+    def add_system(self, system: System) -> System:
+        if system.name in self.systems:
+            raise DuplicateEntryError(f"system {system.name!r} already registered")
+        self.systems[system.name] = system
+        return system
+
+    def add_hardware(self, hardware: Hardware) -> Hardware:
+        if hardware.model in self.hardware:
+            raise DuplicateEntryError(
+                f"hardware {hardware.model!r} already registered"
+            )
+        self.hardware[hardware.model] = hardware
+        return hardware
+
+    def add_rule(self, rule: Rule) -> Rule:
+        if rule.name in self.rules:
+            raise DuplicateEntryError(f"rule {rule.name!r} already registered")
+        self.rules[rule.name] = rule
+        return rule
+
+    def add_ordering(self, ordering: Ordering) -> Ordering:
+        self.orderings.append(ordering)
+        return ordering
+
+    def merge(self, other: "KnowledgeBase") -> "KnowledgeBase":
+        """Fold another KB into this one (crowd-sourced contribution)."""
+        for system in other.systems.values():
+            self.add_system(system)
+        for hardware in other.hardware.values():
+            self.add_hardware(hardware)
+        for rule in other.rules.values():
+            self.add_rule(rule)
+        for ordering in other.orderings:
+            self.add_ordering(ordering)
+        return self
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def system(self, name: str) -> System:
+        try:
+            return self.systems[name]
+        except KeyError:
+            raise UnknownEntityError(f"unknown system {name!r}") from None
+
+    def hardware_model(self, model: str) -> Hardware:
+        try:
+            return self.hardware[model]
+        except KeyError:
+            raise UnknownEntityError(f"unknown hardware model {model!r}") from None
+
+    def systems_in_category(self, category: str) -> list[System]:
+        return [s for s in self.systems.values() if s.category == category]
+
+    def systems_solving(self, objective: str) -> list[System]:
+        return [s for s in self.systems.values() if objective in s.solves]
+
+    def categories(self) -> set[str]:
+        return {s.category for s in self.systems.values()}
+
+    def objectives(self) -> set[str]:
+        return {o for s in self.systems.values() for o in s.solves}
+
+    def dimensions(self) -> set[str]:
+        return {o.dimension for o in self.orderings}
+
+    def ordering_graph(
+        self, dimension: str, context: dict[str, bool] | None = None
+    ) -> OrderingGraph:
+        """The active partial order of *dimension* under *context*."""
+        return OrderingGraph.build(
+            self.orderings,
+            dimension,
+            context,
+            systems=list(self.systems),
+        )
+
+    # -- validation ------------------------------------------------------------------
+
+    def validate(self) -> list[ValidationIssue]:
+        """Check cross-references and consistency; return found issues."""
+        issues: list[ValidationIssue] = []
+        for system in self.systems.values():
+            for other in system.conflicts:
+                if other not in self.systems:
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            f"system:{system.name}",
+                            f"conflicts with unknown system {other!r}",
+                        )
+                    )
+            for provided in system.provides:
+                scope = provided.split("::", 1)[0]
+                if scope not in PROPERTY_SCOPES:
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            f"system:{system.name}",
+                            f"provides {provided!r} with unknown scope {scope!r}",
+                        )
+                    )
+                else:
+                    prop_name = provided.split("::", 1)[1]
+                    if prop_name not in PROPERTY_CATALOG:
+                        issues.append(
+                            ValidationIssue(
+                                "warning",
+                                f"system:{system.name}",
+                                f"provides uncataloged property {prop_name!r}",
+                            )
+                        )
+            for demand in system.resources:
+                if demand.kind not in RESOURCE_CATALOG:
+                    issues.append(
+                        ValidationIssue(
+                            "warning",
+                            f"system:{system.name}",
+                            f"demands uncataloged resource {demand.kind!r}",
+                        )
+                    )
+        for ordering in self.orderings:
+            for endpoint in (ordering.better, ordering.worse):
+                if endpoint not in self.systems:
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            f"ordering:{ordering.dimension}",
+                            f"references unknown system {endpoint!r}",
+                        )
+                    )
+        # Unconditional-edge cycle check per dimension.
+        for dimension in self.dimensions():
+            try:
+                OrderingGraph.build(self.orderings, dimension, context={})
+            except ValidationError as exc:
+                issues.append(
+                    ValidationIssue("error", f"ordering:{dimension}", str(exc))
+                )
+        return issues
+
+    def validate_or_raise(self) -> None:
+        """Raise :class:`ValidationError` listing all error-severity issues."""
+        errors = [i for i in self.validate() if i.severity == "error"]
+        if errors:
+            raise ValidationError(
+                "knowledge base invalid:\n"
+                + "\n".join(str(issue) for issue in errors)
+            )
+
+    # -- metrics (§3.1) ----------------------------------------------------------------
+
+    def spec_length(self) -> int:
+        """Total specification length in fact units.
+
+        Counts formula AST nodes plus one unit per atomic fact (a provided
+        property, a conflict, a resource demand, a spec field, an ordering
+        edge). The §3.1 success metric is that this grows linearly in the
+        number of entities — benchmark E6 regresses it.
+        """
+        total = 0
+        for system in self.systems.values():
+            total += formula_size(system.requires)
+            total += len(system.provides)
+            total += len(system.conflicts)
+            total += len(system.resources)
+            total += len(system.solves)
+            for feature in system.features:
+                total += 1 + formula_size(feature.requires)
+        for hardware in self.hardware.values():
+            total += len(hardware.spec.__dataclass_fields__)
+        for rule in self.rules.values():
+            total += formula_size(rule.formula)
+        total += len(self.orderings)
+        return total
+
+    def stats(self) -> dict[str, int]:
+        """Headline counts (the §5.1 prototype reports these)."""
+        return {
+            "systems": len(self.systems),
+            "categories": len(self.categories()),
+            "hardware": len(self.hardware),
+            "rules": len(self.rules),
+            "orderings": len(self.orderings),
+            "spec_length": self.spec_length(),
+        }
+
+    # -- serialization --------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "systems": [s.to_dict() for s in self.systems.values()],
+            "hardware": [h.to_dict() for h in self.hardware.values()],
+            "rules": [r.to_dict() for r in self.rules.values()],
+            "orderings": [
+                {
+                    "better": o.better,
+                    "worse": o.worse,
+                    "dimension": o.dimension,
+                    "condition": formula_to_dict(o.condition),
+                    "source": o.source,
+                    "subjective": o.subjective,
+                }
+                for o in self.orderings
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KnowledgeBase":
+        kb = cls()
+        for payload in data.get("systems", []):
+            kb.add_system(System.from_dict(payload))
+        for payload in data.get("hardware", []):
+            kb.add_hardware(Hardware.from_dict(payload))
+        for payload in data.get("rules", []):
+            kb.add_rule(Rule.from_dict(payload))
+        for payload in data.get("orderings", []):
+            kb.add_ordering(
+                Ordering(
+                    better=payload["better"],
+                    worse=payload["worse"],
+                    dimension=payload["dimension"],
+                    condition=formula_from_dict(payload.get("condition", True)),
+                    source=payload.get("source", ""),
+                    subjective=bool(payload.get("subjective", False)),
+                )
+            )
+        return kb
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "KnowledgeBase":
+        return cls.from_dict(json.loads(text))

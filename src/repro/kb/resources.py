@@ -1,0 +1,117 @@
+"""Resource kinds and demand/capacity accounting.
+
+Resources are the quantitative side of the encoding the paper says *is*
+worth keeping (§3.1: "hardware properties such as the amount of memory,
+number of ports/queues and various bandwidth measures are easy to
+accurately characterize", and "it is common practice to characterize the
+fraction of CPUs ... used by individual programs").
+
+A demand may have a fixed part plus parts that scale with workload
+statistics (Listing 2's ``cores_needed(CPU_FACTOR * num_flows)``); demands
+are evaluated against workload stats into integers before compilation, so
+the solver only ever sees linear arithmetic over bounded ints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ResourceKind:
+    """A countable resource that systems consume and hardware provides.
+
+    *additive* resources pool across units (buy more servers, get more
+    cores). *Non-additive* resources are contended **per device** (§2.2's
+    "QoS classes, FPGA gates and memory"): a P4 program occupies stages in
+    *every* switch it runs on, so the total stage demand must fit the
+    pipeline of each deployed switch model — buying more switches does
+    not help.
+    """
+
+    name: str
+    unit: str
+    description: str = ""
+    additive: bool = True
+
+
+#: Resource vocabulary used by the built-in knowledge base.
+RESOURCE_CATALOG: dict[str, ResourceKind] = {
+    r.name: r
+    for r in [
+        ResourceKind("cpu_cores", "cores", "general-purpose server cores"),
+        ResourceKind("smartnic_cores", "cores", "on-NIC embedded cores",
+                     additive=False),
+        ResourceKind("smartnic_mem_mb", "MB", "on-NIC memory",
+                     additive=False),
+        ResourceKind("fpga_gates_k", "kGates", "NIC/switch FPGA logic",
+                     additive=False),
+        ResourceKind("switch_sram_mb", "MB", "programmable-switch SRAM",
+                     additive=False),
+        ResourceKind("p4_stages", "stages", "P4 pipeline stages",
+                     additive=False),
+        ResourceKind("qos_classes", "classes", "switch priority classes",
+                     additive=False),
+        ResourceKind("server_mem_gb", "GB", "server DRAM"),
+        ResourceKind("rack_units", "RU", "rack space"),
+        ResourceKind("power_w", "W", "provisioned power"),
+        ResourceKind("capex_usd", "USD", "hardware acquisition cost"),
+    ]
+}
+
+
+def is_additive(kind: str) -> bool:
+    """Whether *kind* pools across hardware units (default for unknown)."""
+    entry = RESOURCE_CATALOG.get(kind)
+    return entry.additive if entry is not None else True
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """How much of one resource a system needs when deployed.
+
+    ``fixed`` is always charged; ``per_kflow`` scales with the workload's
+    flow count (in thousands), ``per_gbps`` with its peak bandwidth — the
+    two scaling shapes that cover every rule-of-thumb in the paper's
+    examples. Scaled parts are rounded up (resources are provisioned,
+    not averaged).
+    """
+
+    kind: str
+    fixed: int = 0
+    per_kflow: float = 0.0
+    per_gbps: float = 0.0
+
+    def __post_init__(self):
+        if self.fixed < 0 or self.per_kflow < 0 or self.per_gbps < 0:
+            raise ValueError(f"resource demand must be non-negative: {self}")
+
+    def evaluate(self, kflows: float = 0.0, gbps: float = 0.0) -> int:
+        """Concrete demand for a workload with the given statistics."""
+        return self.fixed + math.ceil(
+            self.per_kflow * kflows + self.per_gbps * gbps
+        )
+
+
+@dataclass
+class ResourceLedger:
+    """Aggregated demands/capacities per resource kind (diagnostics aid)."""
+
+    demands: dict[str, int] = field(default_factory=dict)
+    capacities: dict[str, int] = field(default_factory=dict)
+
+    def demand(self, kind: str, amount: int) -> None:
+        self.demands[kind] = self.demands.get(kind, 0) + amount
+
+    def supply(self, kind: str, amount: int) -> None:
+        self.capacities[kind] = self.capacities.get(kind, 0) + amount
+
+    def deficits(self) -> dict[str, int]:
+        """Resources where demand exceeds capacity, and by how much."""
+        out = {}
+        for kind, needed in self.demands.items():
+            have = self.capacities.get(kind, 0)
+            if needed > have:
+                out[kind] = needed - have
+        return out

@@ -1,0 +1,100 @@
+"""JSON-friendly serialization of formulas and KB entities.
+
+The paper's encodings live as structured documents (Listing 1 is literal
+JSON); crowd-sourced contribution and the LLM-extraction pipeline both
+need a stable text format. This module round-trips the formula AST through
+plain dicts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Const,
+    Exactly,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+
+
+def formula_to_dict(formula: Formula) -> dict | str | bool:
+    """Encode a formula as nested dicts (vars as bare strings)."""
+    if isinstance(formula, Const):
+        return formula.value
+    if isinstance(formula, Var):
+        return formula.name
+    if isinstance(formula, Not):
+        return {"not": formula_to_dict(formula.child)}
+    if isinstance(formula, And):
+        return {"and": [formula_to_dict(c) for c in formula.children]}
+    if isinstance(formula, Or):
+        return {"or": [formula_to_dict(c) for c in formula.children]}
+    if isinstance(formula, Implies):
+        return {
+            "implies": [
+                formula_to_dict(formula.antecedent),
+                formula_to_dict(formula.consequent),
+            ]
+        }
+    if isinstance(formula, Iff):
+        return {"iff": [formula_to_dict(formula.left), formula_to_dict(formula.right)]}
+    if isinstance(formula, Xor):
+        return {"xor": [formula_to_dict(formula.left), formula_to_dict(formula.right)]}
+    if isinstance(formula, AtMost):
+        return {
+            "at_most": formula.bound,
+            "of": [formula_to_dict(c) for c in formula.children],
+        }
+    if isinstance(formula, AtLeast):
+        return {
+            "at_least": formula.bound,
+            "of": [formula_to_dict(c) for c in formula.children],
+        }
+    if isinstance(formula, Exactly):
+        return {
+            "exactly": formula.bound,
+            "of": [formula_to_dict(c) for c in formula.children],
+        }
+    raise ValidationError(f"cannot serialize formula node {formula!r}")
+
+
+def formula_from_dict(data) -> Formula:
+    """Inverse of :func:`formula_to_dict`."""
+    if isinstance(data, bool):
+        return TRUE if data else FALSE
+    if isinstance(data, str):
+        return Var(data)
+    if not isinstance(data, dict) or len(data) not in (1, 2):
+        raise ValidationError(f"malformed formula payload: {data!r}")
+    if "not" in data:
+        return Not(formula_from_dict(data["not"]))
+    if "and" in data:
+        return And(*[formula_from_dict(c) for c in data["and"]])
+    if "or" in data:
+        return Or(*[formula_from_dict(c) for c in data["or"]])
+    if "implies" in data:
+        a, b = data["implies"]
+        return Implies(formula_from_dict(a), formula_from_dict(b))
+    if "iff" in data:
+        a, b = data["iff"]
+        return Iff(formula_from_dict(a), formula_from_dict(b))
+    if "xor" in data:
+        a, b = data["xor"]
+        return Xor(formula_from_dict(a), formula_from_dict(b))
+    if "at_most" in data:
+        return AtMost(data["at_most"], [formula_from_dict(c) for c in data["of"]])
+    if "at_least" in data:
+        return AtLeast(data["at_least"], [formula_from_dict(c) for c in data["of"]])
+    if "exactly" in data:
+        return Exactly(data["exactly"], [formula_from_dict(c) for c in data["of"]])
+    raise ValidationError(f"unknown formula operator in {data!r}")

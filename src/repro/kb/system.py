@@ -1,0 +1,163 @@
+"""System encodings — the heart of the rules-of-thumb library (Listing 2).
+
+A :class:`System` states, at the paper's deliberately shallow level:
+
+- which *objectives* it solves (``solves=[capture_delays, ...]``),
+- a *requires* formula over the shared vocabulary — the environment
+  constraints without which the system is useless or dangerous,
+- *provides* — properties the system contributes once deployed,
+- *conflicts* — systems it cannot coexist with,
+- *resources* — quantified demands (Listing 2's ``cores_needed``),
+- optional *features* with their own requirements (Snap's Pony needs
+  application modification),
+- provenance (*sources*) and a *subjective* flag for §4.2's
+  objective-vs-controversial separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.kb.resources import ResourceDemand
+from repro.kb.serialize import formula_from_dict, formula_to_dict
+from repro.logic.ast import TRUE, Formula
+
+#: The seven categories the paper's prototype covers (§5.1), plus the
+#: extras its case study needs.
+SYSTEM_CATEGORIES = (
+    "network_stack",
+    "congestion_control",
+    "monitoring",
+    "firewall",
+    "virtual_switch",
+    "load_balancer",
+    "transport_protocol",
+    "bandwidth_allocator",
+    "memory_pooling",
+    "container_network",
+)
+
+
+@dataclass
+class Feature:
+    """An optional capability of a system with its own requirements."""
+
+    name: str
+    requires: Formula = TRUE
+    description: str = ""
+
+
+@dataclass
+class System:
+    """A deployable system's rules-of-thumb encoding."""
+
+    name: str
+    category: str
+    solves: list[str] = field(default_factory=list)
+    requires: Formula = TRUE
+    provides: list[str] = field(default_factory=list)  # "scope::PROP" strings
+    conflicts: list[str] = field(default_factory=list)  # system names
+    resources: list[ResourceDemand] = field(default_factory=list)
+    features: list[Feature] = field(default_factory=list)
+    description: str = ""
+    sources: list[str] = field(default_factory=list)
+    #: True for encodings that reflect opinion rather than checkable fact.
+    subjective: bool = False
+    #: True for research-grade systems (gated by prop site::RESEARCH_OK).
+    research: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("system name must be non-empty")
+        if self.category not in SYSTEM_CATEGORIES:
+            raise ValidationError(
+                f"system {self.name!r}: unknown category {self.category!r} "
+                f"(expected one of {SYSTEM_CATEGORIES})"
+            )
+        for provided in self.provides:
+            if "::" not in provided:
+                raise ValidationError(
+                    f"system {self.name!r}: provides entry {provided!r} must "
+                    "be 'scope::PROPERTY'"
+                )
+
+    def feature_names(self) -> list[str]:
+        return [f.name for f in self.features]
+
+    def demand_for(self, kind: str) -> ResourceDemand | None:
+        """This system's demand for resource *kind*, if any."""
+        for demand in self.resources:
+            if demand.kind == kind:
+                return demand
+        return None
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-compatible dict (the crowd-sourcing format)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "solves": list(self.solves),
+            "requires": formula_to_dict(self.requires),
+            "provides": list(self.provides),
+            "conflicts": list(self.conflicts),
+            "resources": [
+                {
+                    "kind": d.kind,
+                    "fixed": d.fixed,
+                    "per_kflow": d.per_kflow,
+                    "per_gbps": d.per_gbps,
+                }
+                for d in self.resources
+            ],
+            "features": [
+                {
+                    "name": f.name,
+                    "requires": formula_to_dict(f.requires),
+                    "description": f.description,
+                }
+                for f in self.features
+            ],
+            "description": self.description,
+            "sources": list(self.sources),
+            "subjective": self.subjective,
+            "research": self.research,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "System":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                name=data["name"],
+                category=data["category"],
+                solves=list(data.get("solves", [])),
+                requires=formula_from_dict(data.get("requires", True)),
+                provides=list(data.get("provides", [])),
+                conflicts=list(data.get("conflicts", [])),
+                resources=[
+                    ResourceDemand(
+                        kind=d["kind"],
+                        fixed=d.get("fixed", 0),
+                        per_kflow=d.get("per_kflow", 0.0),
+                        per_gbps=d.get("per_gbps", 0.0),
+                    )
+                    for d in data.get("resources", [])
+                ],
+                features=[
+                    Feature(
+                        name=f["name"],
+                        requires=formula_from_dict(f.get("requires", True)),
+                        description=f.get("description", ""),
+                    )
+                    for f in data.get("features", [])
+                ],
+                description=data.get("description", ""),
+                sources=list(data.get("sources", [])),
+                subjective=bool(data.get("subjective", False)),
+                research=bool(data.get("research", False)),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"system payload missing field: {exc}") from exc

@@ -1,0 +1,95 @@
+"""Graphviz rendering of ordering graphs — regenerate Figure 1.
+
+The paper's Figure 1 is a drawing of the network-stack partial order
+with condition-annotated edges across three color-coded dimensions.
+:func:`orderings_to_dot` renders any set of dimensions of a knowledge
+base in the same style: one color per dimension, conditional edges
+labelled and dashed, incomparable pairs optionally listed.
+
+No Graphviz dependency is required to *produce* the DOT text; render it
+with ``dot -Tpng`` wherever Graphviz exists.
+"""
+
+from __future__ import annotations
+
+from repro.kb.registry import KnowledgeBase
+from repro.logic.ast import TRUE
+from repro.logic.simplify import free_vars
+
+#: Figure 1's palette: throughput yellow, isolation red, app-mod blue.
+DEFAULT_COLORS = (
+    "goldenrod", "crimson", "steelblue", "darkgreen", "purple", "gray40",
+)
+
+
+def _edge_label(condition) -> str:
+    if condition == TRUE:
+        return ""
+    names = sorted(free_vars(condition))
+    pretty = []
+    for name in names:
+        parts = name.split("::")
+        pretty.append(parts[-1].replace("_", " "))
+    return " & ".join(pretty)
+
+
+def orderings_to_dot(
+    kb: KnowledgeBase,
+    dimensions: list[str],
+    systems: list[str] | None = None,
+    title: str = "partial ordering",
+) -> str:
+    """Render the requested dimensions' edges as a DOT digraph.
+
+    Edges point from better to worse (the paper's "solid arrow points to
+    lower system"); conditional edges are dashed and labelled with their
+    condition.
+    """
+    wanted = set(systems) if systems is not None else None
+    lines = [
+        "digraph ordering {",
+        f'  label="{title}";',
+        "  labelloc=t;",
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", '
+        'fillcolor=white, fontname="Helvetica"];',
+    ]
+    nodes: set[str] = set()
+    edge_lines: list[str] = []
+    for index, dimension in enumerate(dimensions):
+        color = DEFAULT_COLORS[index % len(DEFAULT_COLORS)]
+        for ordering in kb.orderings:
+            if ordering.dimension != dimension:
+                continue
+            if wanted is not None and (
+                ordering.better not in wanted or ordering.worse not in wanted
+            ):
+                continue
+            nodes.add(ordering.better)
+            nodes.add(ordering.worse)
+            label = _edge_label(ordering.condition)
+            attrs = [f'color="{color}"']
+            if label:
+                attrs.append(f'label="{label}"')
+                attrs.append("style=dashed")
+                attrs.append(f'fontcolor="{color}"')
+                attrs.append("fontsize=9")
+            edge_lines.append(
+                f'  "{ordering.better}" -> "{ordering.worse}" '
+                f"[{', '.join(attrs)}];"
+            )
+    for node in sorted(nodes):
+        lines.append(f'  "{node}";')
+    lines.extend(edge_lines)
+    # Legend, Figure-1 style.
+    lines.append("  subgraph cluster_legend {")
+    lines.append('    label="dimensions"; fontsize=10;')
+    for index, dimension in enumerate(dimensions):
+        color = DEFAULT_COLORS[index % len(DEFAULT_COLORS)]
+        lines.append(
+            f'    legend_{index} [label="{dimension}", shape=plaintext, '
+            f'fontcolor="{color}"];'
+        )
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

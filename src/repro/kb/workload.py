@@ -1,0 +1,108 @@
+"""Workload encodings (Listing 3).
+
+A workload is the architect's side of the contract: what the application
+is like (``properties``), what it needs solved (``objectives``), how big
+it is (``peak_cores``, ``peak_gbps``, ``kflows``), and any performance
+bounds phrased against the ordering library
+(``set_performance_bound(objective=load_balancing, better_than=PacketSpray)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PerformanceBound:
+    """Require the chosen system for *objective* to beat *better_than*.
+
+    Grounded against the ordering graph: the selected system covering
+    *objective* must be strictly better than the named system along
+    *dimension* under the active conditions.
+    """
+
+    objective: str
+    better_than: str
+    dimension: str
+
+
+@dataclass
+class Workload:
+    """An application the architecture must support."""
+
+    name: str
+    properties: list[str] = field(default_factory=list)
+    objectives: list[str] = field(default_factory=list)
+    peak_cores: int = 0
+    peak_gbps: int = 0
+    peak_mem_gb: int = 0
+    kflows: float = 0.0
+    racks: int = 1
+    description: str = ""
+    performance_bounds: list[PerformanceBound] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("workload name must be non-empty")
+        if min(self.peak_cores, self.peak_gbps, self.peak_mem_gb) < 0 or self.kflows < 0:
+            raise ValidationError(
+                f"workload {self.name!r}: demands must be non-negative"
+            )
+
+    def set_performance_bound(
+        self, objective: str, better_than: str, dimension: str | None = None
+    ) -> "Workload":
+        """Add a bound in the Listing-3 style; returns self for chaining."""
+        self.performance_bounds.append(
+            PerformanceBound(
+                objective=objective,
+                better_than=better_than,
+                dimension=dimension or objective,
+            )
+        )
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "properties": list(self.properties),
+            "objectives": list(self.objectives),
+            "peak_cores": self.peak_cores,
+            "peak_gbps": self.peak_gbps,
+            "peak_mem_gb": self.peak_mem_gb,
+            "kflows": self.kflows,
+            "racks": self.racks,
+            "description": self.description,
+            "performance_bounds": [
+                {
+                    "objective": b.objective,
+                    "better_than": b.better_than,
+                    "dimension": b.dimension,
+                }
+                for b in self.performance_bounds
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Workload":
+        try:
+            workload = cls(
+                name=data["name"],
+                properties=list(data.get("properties", [])),
+                objectives=list(data.get("objectives", [])),
+                peak_cores=data.get("peak_cores", 0),
+                peak_gbps=data.get("peak_gbps", 0),
+                peak_mem_gb=data.get("peak_mem_gb", 0),
+                kflows=data.get("kflows", 0.0),
+                racks=data.get("racks", 1),
+                description=data.get("description", ""),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"workload payload missing field: {exc}") from exc
+        for bound in data.get("performance_bounds", []):
+            workload.set_performance_bound(
+                bound["objective"], bound["better_than"], bound.get("dimension")
+            )
+        return workload

@@ -1,0 +1,68 @@
+"""The built-in knowledge base: the paper's §5.1 prototype content.
+
+"We encoded over fifty systems, spread across Network Stacks, Congestion
+Control, Network Monitoring, Firewalls, Virtual Switches, Load Balancers,
+and Transport Protocols. In addition, we encode about 200 hardware specs
+of servers, switches, NICs, etc, from publicly available information."
+
+Each sub-module contributes one category of encodings; `orderings`
+contributes the Figure-1 partial orders plus the Listing-2 monitoring
+comparisons; `hardware_catalog` contributes the 200+ specs; `rules`
+contributes the free-standing rules-of-thumb (PFC/flooding, overlay
+checksums); `casestudy` builds the §2.3 ML-inference scenario and the
+three §5.1 what-if queries.
+"""
+
+from repro.kb.registry import KnowledgeBase
+from repro.knowledge import (
+    congestion,
+    extras,
+    firewalls,
+    hardware_catalog,
+    loadbalancers,
+    memory,
+    monitoring,
+    orderings,
+    rules,
+    stacks,
+    transports,
+    vswitches,
+)
+from repro.knowledge.casestudy import (
+    cxl_query_requests,
+    inference_case_study,
+    keep_sonata_requests,
+    more_workloads_request,
+)
+
+_CONTRIBUTORS = (
+    stacks,
+    congestion,
+    monitoring,
+    firewalls,
+    vswitches,
+    loadbalancers,
+    transports,
+    memory,
+    extras,
+    orderings,
+    rules,
+    hardware_catalog,
+)
+
+
+def default_knowledge_base() -> KnowledgeBase:
+    """Assemble the full built-in knowledge base (fresh instance)."""
+    kb = KnowledgeBase()
+    for module in _CONTRIBUTORS:
+        module.contribute(kb)
+    return kb
+
+
+__all__ = [
+    "default_knowledge_base",
+    "inference_case_study",
+    "more_workloads_request",
+    "keep_sonata_requests",
+    "cxl_query_requests",
+]

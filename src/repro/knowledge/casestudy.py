@@ -1,0 +1,190 @@
+"""The §2.3 ML-inference case study and the §5.1 what-if queries.
+
+Listing 3, grounded: a latency-sensitive inference application with
+datacenter-internal short flows, needing virtualization, a stack,
+bandwidth allocation, load balancing (bounded against PacketSpray), and
+queue-length monitoring; optimized as ``latency > hardware cost >
+monitoring``.
+
+The three §5.1 queries are provided as request builders:
+
+1. "I want to support more applications, but I can't change my servers" —
+   :func:`more_workloads_request` freezes the baseline's server counts;
+2. "I have already deployed Sonata, and I don't want to change it unless
+   there are huge performance benefits or cost savings" —
+   :func:`keep_sonata_requests` builds the keep/free pair to compare;
+3. "Given my current workloads, is it worthwhile to deploy CXL memory
+   pooling?" — :func:`cxl_query_requests` builds the without/with pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.design import DesignRequest
+from repro.kb.workload import Workload
+from repro.knowledge.memory import CXL_APPLIANCE
+
+#: The hardware shortlist the case-study architect is evaluating. A real
+#: architect shortlists a handful of SKUs; it also keeps the arithmetic
+#: circuits small enough for the pure-Python CDCL substrate.
+CASE_STUDY_INVENTORY: dict[str, int] = {
+    # servers
+    "SRV-G2-64C-256G": 64,
+    "SRV-G3-128C-512G": 40,
+    "SRV-G3-128C-512G-CXL": 40,
+    CXL_APPLIANCE: 4,
+    # NICs
+    "STD-100G-TS-IP": 128,
+    "RDMA-100G-RB": 128,
+    "FPGA-100G-1000K": 64,
+    "DPU-100G-16C": 64,
+    # switches
+    "FF-100G-32P": 16,
+    "FF-100G-32P-DB": 16,
+    "P4-100G-S16-32P": 8,
+    "SPINE-100G-64P": 4,
+}
+
+
+def inference_workload() -> Workload:
+    """Listing 3's ML inference application."""
+    workload = Workload(
+        name="ml_inference",
+        properties=["dc_flows", "short_flows", "high_priority"],
+        objectives=[
+            "network_virtualization",
+            "packet_processing",
+            "bandwidth_allocation",
+            "load_balancing",
+            "detect_queue_length",
+        ],
+        peak_cores=2800,
+        peak_gbps=30,
+        peak_mem_gb=0,
+        kflows=40.0,
+        racks=3,
+        description="Low-latency ML inference serving (§2.3).",
+    )
+    workload.set_performance_bound(
+        objective="load_balancing",
+        better_than="PacketSpray",
+        dimension="load_balance_quality",
+    )
+    return workload
+
+
+def inference_case_study() -> DesignRequest:
+    """The full §2.3 request, Optimize(latency > hardware cost > monitoring)."""
+    return DesignRequest(
+        workloads=[inference_workload()],
+        context={
+            "datacenter_fabric": True,
+            # 30 Gbit/s peak: below the Figure-1 threshold.
+            "network_load_ge_40g": False,
+        },
+        inventory=dict(CASE_STUDY_INVENTORY),
+        optimize=["latency", "capex_usd", "monitoring"],
+    )
+
+
+def analytics_workload() -> Workload:
+    """A second application for the 'support more apps' query."""
+    return Workload(
+        name="batch_analytics",
+        properties=["dc_flows", "long_flows"],
+        objectives=[
+            "packet_processing",
+            "bandwidth_allocation",
+            "flow_telemetry",
+        ],
+        peak_cores=1600,
+        peak_gbps=45,
+        peak_mem_gb=0,
+        kflows=8.0,
+        racks=2,
+        description="Throughput-oriented batch analytics.",
+    )
+
+
+def replication_workload() -> Workload:
+    """A third application: storage replication with memory pressure."""
+    return Workload(
+        name="storage_replication",
+        properties=["dc_flows", "long_flows"],
+        objectives=["packet_processing", "reliable_transport"],
+        peak_cores=800,
+        peak_gbps=60,
+        peak_mem_gb=9000,
+        kflows=2.0,
+        racks=2,
+        description="Cross-rack replication; large in-memory working set.",
+    )
+
+
+def more_workloads_request(
+    frozen_servers: dict[str, int] | None = None,
+) -> DesignRequest:
+    """Query 1: add the analytics app; optionally freeze the server fleet.
+
+    *frozen_servers* maps server models to their already-purchased counts
+    (typically read off the baseline solution). "I can't change my
+    servers" means the whole fleet is frozen: models absent from the
+    mapping are pinned at zero units, not merely left unconstrained.
+    """
+    base = inference_case_study()
+    request = replace(
+        base,
+        workloads=[inference_workload(), analytics_workload()],
+        context={**base.context, "network_load_ge_40g": True},
+    )
+    if frozen_servers:
+        fixed = dict(frozen_servers)
+        for model in CASE_STUDY_INVENTORY:
+            if model.startswith("SRV") or model == CXL_APPLIANCE:
+                fixed.setdefault(model, 0)
+        request.fixed_hardware = fixed
+    return request
+
+
+def keep_sonata_requests() -> tuple[DesignRequest, DesignRequest]:
+    """Query 2: (keep Sonata, free choice) pair for cost comparison.
+
+    The architect has Sonata in production; both requests add a telemetry
+    objective, one pins Sonata, the other lets the engine pick.
+    """
+    base = inference_case_study()
+    telemetry = Workload(
+        name="telemetry_consumers",
+        objectives=["flow_telemetry"],
+        peak_cores=64,
+        description="Teams consuming flow telemetry feeds.",
+    )
+    workloads = [inference_workload(), telemetry]
+    keep = replace(
+        base, workloads=workloads, required_systems=["Sonata"]
+    )
+    free = replace(base, workloads=workloads)
+    return keep, free
+
+
+def cxl_query_requests() -> tuple[DesignRequest, DesignRequest]:
+    """Query 3: (no CXL, CXL allowed) pair for the memory-pooling question.
+
+    The replication workload's 9 TB working set dominates; the comparison
+    shows whether pooled DRAM beats buying big-memory servers.
+    """
+    base = inference_case_study()
+    workloads = [inference_workload(), replication_workload()]
+    without = replace(
+        base,
+        workloads=workloads,
+        forbidden_systems=["CXL-Pool"],
+        optimize=["capex_usd"],
+    )
+    with_cxl = replace(
+        base,
+        workloads=workloads,
+        optimize=["capex_usd"],
+    )
+    return without, with_cxl

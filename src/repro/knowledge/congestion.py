@@ -1,0 +1,190 @@
+"""Congestion-control and bandwidth-allocation encodings.
+
+Captures the §3.1 examples verbatim: HPCC needs INT-enabled switches;
+Timely and Swift need NIC timestamps and a dedicated QoS level for ACKs;
+Annulus needs switch QCN and only matters when WAN and DC traffic compete;
+delay-based scavengers (Vegas/LEDBAT-style) need deep buffers to avoid
+starving; DCQCN needs PFC+ECN (and PFC drags in the flooding caveat).
+Centralized allocators (Fastpass, BwE) are in their own
+``bandwidth_allocator`` category, per §2.1.
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import ctx, prop, wl
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE, Or
+
+BANDWIDTH_ALLOCATION = "bandwidth_allocation"
+WAN_DC_SHARING = "wan_dc_bandwidth_sharing"
+CENTRAL_ALLOCATION = "centralized_bandwidth_allocation"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register congestion-control encodings into *kb*."""
+    kb.add_system(System(
+        name="Cubic",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=TRUE,
+        description="Loss-based default; works everywhere, fills buffers.",
+        sources=["CUBIC SIGOPS'08"],
+    ))
+    kb.add_system(System(
+        name="Reno",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=TRUE,
+        description="Classic AIMD; kept for completeness of the compendium.",
+        sources=["RFC 5681"],
+    ))
+    kb.add_system(System(
+        name="BBR",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=TRUE,
+        description="Model-based rate control; pacing required.",
+        sources=["BBR CACM'17"],
+    ))
+    kb.add_system(System(
+        name="DCTCP",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=prop("switch", "ECN"),
+        description="ECN-proportional backoff; needs ECN marking at switches.",
+        sources=["DCTCP SIGCOMM'10"],
+    ))
+    kb.add_system(System(
+        name="HPCC",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=prop("switch", "INT") & prop("nic", "RDMA"),
+        description="Per-hop precise feedback via INT telemetry.",
+        sources=["HPCC SIGCOMM'19 (needs INT-enabled switches, §3.1)"],
+    ))
+    kb.add_system(System(
+        name="Timely",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=(
+            prop("nic", "NIC_TIMESTAMPS") & prop("switch", "QOS_CLASSES_8")
+        ),
+        resources=[ResourceDemand("qos_classes", fixed=1)],
+        description="RTT-gradient control; needs NIC timestamps and a "
+                    "dedicated QoS level for ACKs.",
+        sources=["Timely SIGCOMM'15 (§3.1 of the HotNets paper)"],
+    ))
+    kb.add_system(System(
+        name="Swift",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=(
+            prop("nic", "NIC_TIMESTAMPS") & prop("switch", "QOS_CLASSES_8")
+        ),
+        resources=[ResourceDemand("qos_classes", fixed=1)],
+        description="Target-delay control; same timestamp/QoS caveats as "
+                    "Timely, plus deep buffers when run as a scavenger.",
+        sources=["Swift SIGCOMM'20", "RFC 6297"],
+    ))
+    kb.add_system(System(
+        name="Vegas",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        # The §2.2 caveat, verbatim: a delay-based CCA cannot compete with
+        # buffer-filling flows unless run as a scavenger with deep queues.
+        requires=(
+            ctx("scavenger_transport_ok") & prop("switch", "DEEP_BUFFERS")
+        ),
+        description="Delay-based; only safe as a scavenger over deep buffers.",
+        sources=["Vegas SIGCOMM'94", "RFC 6297 (Welzl & Ros)"],
+    ))
+    kb.add_system(System(
+        name="Annulus",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION, WAN_DC_SHARING],
+        # The nuance the LLM missed (§4.1): Annulus is only *needed* when
+        # WAN and DC aggregates compete; and it needs switch QCN.
+        requires=(
+            prop("switch", "QCN")
+            & Or(ctx("competing_wan_dc_traffic"), ctx("force_annulus"))
+        ),
+        description="Dual-loop control for competing WAN and DC aggregates; "
+                    "needs QCN notifications from switches.",
+        sources=["Annulus SIGCOMM'20"],
+    ))
+    kb.add_system(System(
+        name="BFC",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=(
+            prop("switch", "P4_PROGRAMMABLE")
+            & prop("switch", "SHARED_BUFFER")
+        ),
+        resources=[ResourceDemand("p4_stages", fixed=4)],
+        description="Per-hop backpressure flow control in programmable "
+                    "switches.",
+        sources=["BFC NSDI'22"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="DCQCN",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=(
+            prop("nic", "RDMA")
+            & prop("switch", "ECN")
+            & prop("switch", "PFC")
+        ),
+        provides=["net::PFC_ENABLED"],
+        description="RoCE rate control; relies on PFC for losslessness — "
+                    "inherits every PFC deadlock caveat.",
+        sources=["DCQCN SIGCOMM'15", "Guo et al. SIGCOMM'16"],
+    ))
+    kb.add_system(System(
+        name="PCC",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=TRUE,
+        description="Online-learning utility control; CPU-hungrier sender.",
+        resources=[ResourceDemand("cpu_cores", fixed=0, per_kflow=0.05)],
+        sources=["PCC NSDI'15"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="HULL",
+        category="congestion_control",
+        solves=[BANDWIDTH_ALLOCATION],
+        requires=prop("switch", "ECN") & ctx("phantom_queues_deployable"),
+        description="Near-zero-queue via phantom queues; sacrifices some "
+                    "bandwidth headroom.",
+        sources=["HULL NSDI'12"],
+        research=True,
+    ))
+
+    # Centralized allocators (the §2.1 bandwidth-allocation design space).
+    kb.add_system(System(
+        name="Fastpass",
+        category="bandwidth_allocator",
+        solves=[CENTRAL_ALLOCATION, BANDWIDTH_ALLOCATION],
+        requires=ctx("single_dc_scope"),
+        resources=[
+            # A centralized arbiter core pool that scales with flow count.
+            ResourceDemand("cpu_cores", fixed=8, per_kflow=0.2),
+        ],
+        description="Centralized zero-queue scheduling; arbiter must scale "
+                    "with the flow arrival rate.",
+        sources=["Fastpass SIGCOMM'14"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="BwE",
+        category="bandwidth_allocator",
+        solves=[CENTRAL_ALLOCATION, WAN_DC_SHARING],
+        requires=ctx("wan_egress_present"),
+        resources=[ResourceDemand("cpu_cores", fixed=16)],
+        description="Hierarchical WAN bandwidth allocation (site broker "
+                    "hierarchy).",
+        sources=["BwE SIGCOMM'15"],
+    ))

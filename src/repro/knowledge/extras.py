@@ -1,0 +1,228 @@
+"""Second-wave system encodings.
+
+The paper envisions the compendium growing by community contribution
+after the initial seeding (§3.3). This module is that second wave: a
+dozen further systems across the categories, each encoded at the same
+shallow rules-of-thumb level with sources. It exercises the modularity
+claim — none of these encodings needed changes anywhere else.
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import ctx, prop
+from repro.kb.ordering import Ordering
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE, Or
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register the second-wave encodings into *kb*."""
+    _transports(kb)
+    _congestion(kb)
+    _monitoring(kb)
+    _vswitches_and_lbs(kb)
+    _container_networks(kb)
+    _firewalls(kb)
+    _orderings(kb)
+
+
+def _container_networks(kb: KnowledgeBase) -> None:
+    """The cross-team layer behind the §2.2 VMware incident: container
+    networking chosen by a different team than the infrastructure
+    vswitch, with its own encapsulation decisions."""
+    kb.add_system(System(
+        name="Antrea",
+        category="container_network",
+        solves=["container_networking"],
+        requires=TRUE,
+        provides=["net::OVERLAY_ENCAP"],  # Geneve overlay of its own
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.1)],
+        description="Kubernetes CNI with its own Geneve overlay — the "
+                    "second encapsulation of the §2.2 incident.",
+        sources=["VMware Antrea docs"],
+    ))
+    kb.add_system(System(
+        name="Calico-eBPF",
+        category="container_network",
+        solves=["container_networking"],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.08)],
+        description="Routed (non-encapsulating) container networking.",
+        sources=["Project Calico docs"],
+    ))
+    kb.add_system(System(
+        name="HostPort-CNI",
+        category="container_network",
+        solves=["container_networking"],
+        requires=ctx("flat_container_addressing_ok"),
+        description="No virtual container network at all; containers "
+                    "share host addressing.",
+        sources=["CNI spec"],
+    ))
+
+
+def _transports(kb: KnowledgeBase) -> None:
+    kb.add_system(System(
+        name="eRPC",
+        category="transport_protocol",
+        solves=["rpc_transport"],
+        requires=(
+            Or(prop("nic", "RDMA"), prop("nic", "INTERRUPT_POLLING"))
+            & prop("server", "KERNEL_BYPASS_OK")
+            & prop("site", "APP_MODIFIABLE")
+        ),
+        description="Userspace RPCs at line rate over lossy or lossless "
+                    "fabrics; applications adopt its API.",
+        sources=["eRPC NSDI'19"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="MPTCP",
+        category="transport_protocol",
+        solves=["reliable_transport"],
+        requires=TRUE,
+        description="Multipath TCP; transparent, middlebox-sensitive.",
+        sources=["RFC 8684"],
+    ))
+
+
+def _congestion(kb: KnowledgeBase) -> None:
+    kb.add_system(System(
+        name="Copa",
+        category="congestion_control",
+        solves=["bandwidth_allocation"],
+        # Delay-based target rate: same §2.2 scavenger caveat family as
+        # Vegas, but it has a mode to coexist with buffer-fillers.
+        requires=Or(
+            ctx("scavenger_transport_ok"),
+            ctx("competing_buffer_fillers_absent"),
+        ),
+        description="Target-delay control with a TCP-competitive mode.",
+        sources=["Copa NSDI'18"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="LEDBAT",
+        category="congestion_control",
+        solves=["bandwidth_allocation"],
+        requires=(
+            ctx("scavenger_transport_ok") & prop("switch", "DEEP_BUFFERS")
+        ),
+        description="The canonical lower-than-best-effort scavenger "
+                    "(the RFC 6297 caveat, encoded).",
+        sources=["RFC 6817", "RFC 6297"],
+    ))
+
+
+def _monitoring(kb: KnowledgeBase) -> None:
+    kb.add_system(System(
+        name="FlowRadar",
+        category="monitoring",
+        solves=["flow_telemetry"],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[
+            ResourceDemand("p4_stages", fixed=3),
+            ResourceDemand("switch_sram_mb", fixed=4),
+            ResourceDemand("cpu_cores", fixed=4),
+        ],
+        description="Per-flow counters in coded Bloom filters, decoded "
+                    "off-switch.",
+        sources=["FlowRadar NSDI'16"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="Trumpet",
+        category="monitoring",
+        solves=["flow_telemetry", "capture_delays"],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=0, per_kflow=0.3)],
+        description="Host-based triggers over every packet; pure CPU "
+                    "cost, no switch features.",
+        sources=["Trumpet SIGCOMM'16"],
+    ))
+    kb.add_system(System(
+        name="dShark",
+        category="monitoring",
+        solves=["flow_telemetry"],
+        requires=prop("switch", "TELEMETRY_MIRROR"),
+        resources=[ResourceDemand("cpu_cores", fixed=8, per_gbps=0.1)],
+        description="Distributed parsing of mirrored packet streams.",
+        sources=["dShark NSDI'19"],
+    ))
+
+
+def _vswitches_and_lbs(kb: KnowledgeBase) -> None:
+    kb.add_system(System(
+        name="BESS",
+        category="virtual_switch",
+        solves=["network_virtualization"],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK") & prop("server", "HUGE_PAGES")
+        ),
+        provides=["net::OVERLAY_ENCAP"],
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.12)],
+        description="Modular userspace dataplane (ex SoftNIC).",
+        sources=["SoftNIC/BESS tech report '15"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="Ananta",
+        category="load_balancer",
+        solves=["load_balancing", "l7_load_balancing"],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=12, per_gbps=0.25)],
+        description="Scale-out software L4 with host agents.",
+        sources=["Ananta SIGCOMM'13"],
+    ))
+    kb.add_system(System(
+        name="Beamer",
+        category="load_balancer",
+        solves=["load_balancing"],
+        requires=prop("server", "KERNEL_BYPASS_OK"),
+        resources=[ResourceDemand("cpu_cores", fixed=6, per_gbps=0.08)],
+        description="Stateless L4 balancing via daisy chaining.",
+        sources=["Beamer NSDI'18"],
+        research=True,
+    ))
+
+
+def _firewalls(kb: KnowledgeBase) -> None:
+    kb.add_system(System(
+        name="EdgeScrubber",
+        category="firewall",
+        solves=["packet_filtering", "ddos_scrubbing"],
+        requires=prop("site", "EDGE_RESOURCES"),
+        resources=[ResourceDemand("cpu_cores", fixed=24)],
+        description="Volumetric-attack scrubbing at edge sites; another "
+                    "tenant for the §1 shared edge build-out.",
+        sources=["operational practice"],
+    ))
+
+
+def _orderings(kb: KnowledgeBase) -> None:
+    kb.add_ordering(Ordering(
+        "eRPC", "TCP", "latency",
+        source="eRPC NSDI'19 §7", subjective=False,
+    ))
+    kb.add_ordering(Ordering(
+        "Trumpet", "NetFlow", "monitoring",
+        source="Trumpet SIGCOMM'16",
+    ))
+    kb.add_ordering(Ordering(
+        "NetFlow", "Trumpet", "deployment_ease",
+        source="NetFlow ships everywhere",
+    ))
+    kb.add_ordering(Ordering(
+        "Ananta", "Maglev", "deployment_ease",
+        source="host-agent model vs dedicated pools", subjective=True,
+    ))
+    kb.add_ordering(Ordering(
+        "Maglev", "Ananta", "throughput",
+        source="Maglev NSDI'16 §5", subjective=True,
+    ))
+    kb.add_ordering(Ordering(
+        "Copa", "Vegas", "throughput",
+        source="Copa NSDI'18 (competitive mode)",
+    ))

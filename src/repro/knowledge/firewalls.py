@@ -1,0 +1,71 @@
+"""Firewall encodings.
+
+The §1 example: firewalls and proxies can sit at edge sites, near the
+datacenter, or inside servers; hardware-accelerated variants need the
+matching hardware, and edge placement presupposes edge resources (which a
+co-located load balancer would amortize — captured as the shared
+``site::EDGE_RESOURCES`` property).
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import prop
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE
+
+PACKET_FILTERING = "packet_filtering"
+EDGE_FILTERING = "edge_filtering"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register firewall encodings into *kb*."""
+    kb.add_system(System(
+        name="Iptables",
+        category="firewall",
+        solves=[PACKET_FILTERING],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=1, per_gbps=0.2)],
+        description="Kernel netfilter rules; per-packet CPU cost grows with "
+                    "line rate.",
+        sources=["netfilter.org"],
+    ))
+    kb.add_system(System(
+        name="eBPF-Firewall",
+        category="firewall",
+        solves=[PACKET_FILTERING],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=1, per_gbps=0.1)],
+        description="XDP-based filtering; cheaper per packet than netfilter.",
+        sources=["Cilium docs"],
+    ))
+    kb.add_system(System(
+        name="SmartNIC-Firewall",
+        category="firewall",
+        solves=[PACKET_FILTERING],
+        requires=prop("nic", "SMARTNIC_FPGA"),
+        resources=[ResourceDemand("fpga_gates_k", fixed=150)],
+        description="Filtering offloaded to NIC FPGA gates; zero host cores.",
+        sources=["AccelNet NSDI'18"],
+    ))
+    kb.add_system(System(
+        name="EdgeFirewall",
+        category="firewall",
+        solves=[PACKET_FILTERING, EDGE_FILTERING],
+        # The §1 interaction: edge deployment needs edge resources — which
+        # an edge load balancer has already provisioned.
+        requires=prop("site", "EDGE_RESOURCES"),
+        resources=[ResourceDemand("cpu_cores", fixed=8)],
+        description="Firewall at edge sites; piggybacks on edge build-outs.",
+        sources=["HotNets'24 paper §1"],
+    ))
+    kb.add_system(System(
+        name="SwitchACL",
+        category="firewall",
+        solves=[PACKET_FILTERING],
+        requires=TRUE,
+        resources=[ResourceDemand("switch_sram_mb", fixed=4)],
+        description="TCAM/ACL filtering in the switching fabric.",
+        sources=["vendor datasheets"],
+    ))

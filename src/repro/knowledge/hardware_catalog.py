@@ -1,0 +1,229 @@
+"""The ~200-entry hardware catalog (§5.1: "about 200 hardware specs").
+
+The catalog is generated from realistic product families rather than
+typed out one spec at a time — exactly how the fields would arrive from
+the §4.1 spec-sheet extraction pipeline. Families are parameterized the
+way vendors actually differentiate SKUs (port speed x port count x
+feature tier), with list prices and power draw scaled accordingly.
+
+The generation is deterministic: the same 200+ models in the same order
+every time, so tests and benchmarks can reference models by name.
+"""
+
+from __future__ import annotations
+
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.registry import KnowledgeBase
+
+
+def switch_specs() -> list[SwitchSpec]:
+    """~85 switch models across five product families."""
+    specs: list[SwitchSpec] = []
+    # Family 1: fixed-function ToR/leaf switches (the Listing-1 class).
+    for speed, base_cost, base_power in ((10, 18_000, 350), (25, 28_000, 450),
+                                         (40, 38_000, 600), (100, 65_000, 850),
+                                         (200, 110_000, 1_100)):
+        for ports in (16, 32, 48, 64, 96):
+            for deep in (False, True):
+                specs.append(SwitchSpec(
+                    model=f"FF-{speed}G-{ports}P" + ("-DB" if deep else ""),
+                    port_gbps=speed,
+                    ports=ports,
+                    memory_mb=64 if deep else 16,
+                    power_w=base_power + ports * 3 + (120 if deep else 0),
+                    cost_usd=base_cost + ports * 220 + (9_000 if deep else 0),
+                    deep_buffers=deep,
+                    qcn=speed >= 40,
+                    telemetry_mirror=speed >= 25,
+                ))
+    # Family 2: programmable (Tofino-class) switches.
+    for speed in (100, 200, 400):
+        for stages in (12, 16, 20):
+            for ports in (32, 64):
+                specs.append(SwitchSpec(
+                    model=f"P4-{speed}G-S{stages}-{ports}P",
+                    port_gbps=speed,
+                    ports=ports,
+                    memory_mb=128,
+                    power_w=900 + stages * 25 + ports * 4,
+                    cost_usd=95_000 + stages * 4_000 + speed * 100
+                             + ports * 500,
+                    p4_programmable=True,
+                    p4_stages=stages,
+                    int_telemetry=True,
+                    qcn=True,
+                    packet_spraying=True,
+                    telemetry_mirror=True,
+                ))
+    # Family 3: spine/chassis switches with INT but no P4.
+    for speed in (100, 200, 400):
+        for ports in (64, 128, 256):
+            specs.append(SwitchSpec(
+                model=f"SPINE-{speed}G-{ports}P",
+                port_gbps=speed,
+                ports=ports,
+                memory_mb=96,
+                power_w=1_400 + ports * 6,
+                cost_usd=140_000 + ports * 900,
+                int_telemetry=True,
+                qcn=True,
+                packet_spraying=speed >= 400,
+                telemetry_mirror=True,
+                mac_table_k=256,
+            ))
+    # Family 4: budget/legacy access switches.
+    for speed in (1, 10, 25):
+        for ports in (24, 48):
+            for ecn in (False, True):
+                specs.append(SwitchSpec(
+                    model=f"LEGACY-{speed}G-{ports}P" + ("-E" if ecn else ""),
+                    port_gbps=speed,
+                    ports=ports,
+                    memory_mb=4,
+                    power_w=120 + ports,
+                    cost_usd=2_500 + ports * 60 + (400 if ecn else 0),
+                    ecn=ecn,
+                    pfc=False,
+                    qos_classes=4,
+                    mac_table_k=16,
+                ))
+    return specs
+
+
+def nic_specs() -> list[NICSpec]:
+    """~60 NIC models across five families."""
+    specs: list[NICSpec] = []
+    # Family 1: standard fixed-function NICs.
+    for rate, cost, power in ((10, 300, 12), (25, 550, 16), (40, 900, 20),
+                              (100, 1_800, 28), (200, 3_200, 36),
+                              (400, 5_900, 48)):
+        for ts in (False, True):
+            for polling in (False, True):
+                specs.append(NICSpec(
+                    model=f"STD-{rate}G" + ("-TS" if ts else "")
+                          + ("-IP" if polling else ""),
+                    rate_gbps=rate,
+                    power_w=power + (2 if ts else 0),
+                    cost_usd=cost + (250 if ts else 0) + (100 if polling else 0),
+                    timestamps=ts,
+                    interrupt_polling=polling,
+                    sriov=rate >= 25,
+                ))
+    # Family 2: RDMA-capable NICs.
+    for rate in (25, 50, 100, 200):
+        for reorder in (False, True):
+            specs.append(NICSpec(
+                model=f"RDMA-{rate}G" + ("-RB" if reorder else ""),
+                rate_gbps=rate,
+                power_w=24 + rate // 10,
+                cost_usd=1_200 + rate * 14 + (600 if reorder else 0),
+                timestamps=True,
+                rdma=True,
+                large_reorder_buffer=reorder,
+                interrupt_polling=True,
+                sriov=True,
+            ))
+    # Family 3: FPGA SmartNICs.
+    for rate in (40, 100, 200):
+        for gates in (500, 1_000, 2_000):
+            specs.append(NICSpec(
+                model=f"FPGA-{rate}G-{gates}K",
+                rate_gbps=rate,
+                power_w=45 + gates // 50,
+                cost_usd=3_500 + gates * 3 + rate * 10,
+                timestamps=True,
+                fpga=True,
+                fpga_gates_k=gates,
+                mem_mb=2_048,
+                rdma=rate >= 100,
+                large_reorder_buffer=True,
+                interrupt_polling=True,
+                sriov=True,
+            ))
+    # Family 4: CPU SmartNICs (DPU-class).
+    for rate in (25, 100, 200):
+        for cores in (8, 16, 32):
+            specs.append(NICSpec(
+                model=f"DPU-{rate}G-{cores}C",
+                rate_gbps=rate,
+                power_w=60 + cores * 2,
+                cost_usd=2_800 + cores * 220 + rate * 8,
+                timestamps=True,
+                embedded_cores=cores,
+                mem_mb=8_192,
+                rdma=True,
+                large_reorder_buffer=True,
+                interrupt_polling=True,
+                sriov=True,
+            ))
+    # Family 5: OCP-style cost-optimized NICs.
+    for rate in (10, 25, 40, 100):
+        for sriov in (False, True):
+            specs.append(NICSpec(
+                model=f"OCP-{rate}G" + ("-V" if sriov else ""),
+                rate_gbps=rate,
+                power_w=10 + rate // 10,
+                cost_usd=220 + rate * 9 + (80 if sriov else 0),
+                interrupt_polling=False,
+                sriov=sriov,
+            ))
+    return specs
+
+
+def server_specs() -> list[ServerSpec]:
+    """~60 server models across four generations."""
+    specs: list[ServerSpec] = []
+    # Legacy generation: no bypass-friendly firmware, no hugepage tuning.
+    for cores in (8, 12, 16):
+        for mem in (32, 64):
+            specs.append(ServerSpec(
+                model=f"SRV-G0-{cores}C-{mem}G",
+                cores=cores,
+                mem_gb=mem,
+                power_w=220 + cores * 7,
+                cost_usd=2_200 + cores * 160 + mem * 8,
+                kernel_bypass_ok=False,
+                huge_pages=False,
+                dedicated_cores_ok=False,
+            ))
+    for gen, (core_opts, cost_per_core, power_base) in enumerate(
+        (
+            ((16, 24, 32), 210, 280),
+            ((32, 48, 64), 240, 330),
+            ((64, 96, 128), 260, 380),
+        ),
+        start=1,
+    ):
+        for cores in core_opts:
+            for mem in (128, 256, 512, 1024):
+                for cxl in ((False, True) if gen == 3 else (False,)):
+                    specs.append(ServerSpec(
+                        model=f"SRV-G{gen}-{cores}C-{mem}G"
+                              + ("-CXL" if cxl else ""),
+                        cores=cores,
+                        mem_gb=mem,
+                        power_w=power_base + cores * 6 + mem // 4,
+                        cost_usd=3_000 + cores * cost_per_core + mem * 9
+                                 + (2_500 if cxl else 0),
+                        rack_units=1 if cores <= 48 else 2,
+                        cxl_expander=cxl,
+                    ))
+    return specs
+
+
+def contribute(kb: KnowledgeBase, max_units: int = 64) -> None:
+    """Register the full catalog into *kb*."""
+    for spec in switch_specs():
+        kb.add_hardware(Hardware(spec=spec, max_units=max_units,
+                                 sources=["vendor spec sheet (generated)"]))
+    for spec in nic_specs():
+        kb.add_hardware(Hardware(spec=spec, max_units=max_units * 4,
+                                 sources=["vendor spec sheet (generated)"]))
+    for spec in server_specs():
+        kb.add_hardware(Hardware(spec=spec, max_units=max_units,
+                                 sources=["vendor spec sheet (generated)"]))
+
+
+def catalog_size() -> int:
+    """Total number of models the generator produces."""
+    return len(switch_specs()) + len(nic_specs()) + len(server_specs())

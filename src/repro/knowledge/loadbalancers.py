@@ -1,0 +1,105 @@
+"""Load-balancing encodings.
+
+§2.3's options — ECMP, VLB, packet spraying — plus L4/L7 balancers. The
+paper's packet-spraying caveat is encoded verbatim: it "requires larger
+reorder buffers at NICs". Adaptive in-network schemes (CONGA/HULA-style)
+need programmable or capable fabrics. The edge L7 balancer provides
+``site::EDGE_RESOURCES``, which makes a co-located edge firewall cheap —
+the §1 interaction.
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import prop
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE
+
+LOAD_BALANCING = "load_balancing"
+L7_LOAD_BALANCING = "l7_load_balancing"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register load-balancer encodings into *kb*."""
+    kb.add_system(System(
+        name="ECMP",
+        category="load_balancer",
+        solves=[LOAD_BALANCING],
+        requires=TRUE,
+        description="Per-flow hashing; simple, prone to imbalance under "
+                    "skewed or elephant-heavy traffic (§2.3).",
+        sources=["RFC 2992"],
+    ))
+    kb.add_system(System(
+        name="VLB",
+        category="load_balancer",
+        solves=[LOAD_BALANCING],
+        requires=TRUE,
+        description="Valiant load balancing: two-hop randomization, "
+                    "capacity overhead for worst-case guarantees.",
+        sources=["VL2 SIGCOMM'09"],
+    ))
+    kb.add_system(System(
+        name="PacketSpray",
+        category="load_balancer",
+        solves=[LOAD_BALANCING],
+        # §2.3 verbatim: packet spraying requires larger reorder buffers at
+        # the NICs, and the fabric must forward per-packet.
+        requires=(
+            prop("nic", "LARGE_REORDER_BUFFER")
+            & prop("switch", "PACKET_SPRAYING")
+        ),
+        description="Per-packet spraying: near-perfect balance, reordering "
+                    "pushed to the edge.",
+        sources=["DRB/packet-spray literature; HotNets'24 §2.3"],
+    ))
+    kb.add_system(System(
+        name="CONGA",
+        category="load_balancer",
+        solves=[LOAD_BALANCING],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[ResourceDemand("p4_stages", fixed=5)],
+        description="Congestion-aware flowlet balancing in the fabric.",
+        sources=["CONGA SIGCOMM'14"],
+    ))
+    kb.add_system(System(
+        name="HULA",
+        category="load_balancer",
+        solves=[LOAD_BALANCING],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[ResourceDemand("p4_stages", fixed=4)],
+        description="Scalable programmable flowlet balancing via hop-by-hop "
+                    "probes.",
+        sources=["HULA SOSR'16"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="Maglev",
+        category="load_balancer",
+        solves=[LOAD_BALANCING, L7_LOAD_BALANCING],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=8, per_gbps=0.2)],
+        description="Software L4 balancing with consistent hashing.",
+        sources=["Maglev NSDI'16"],
+    ))
+    kb.add_system(System(
+        name="Katran",
+        category="load_balancer",
+        solves=[LOAD_BALANCING, L7_LOAD_BALANCING],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=4, per_gbps=0.1)],
+        description="XDP-based L4 balancing; cheaper per packet than Maglev.",
+        sources=["Katran (Meta) docs"],
+    ))
+    kb.add_system(System(
+        name="EdgeL7LB",
+        category="load_balancer",
+        solves=[LOAD_BALANCING, L7_LOAD_BALANCING],
+        requires=TRUE,
+        provides=["site::EDGE_RESOURCES"],
+        resources=[ResourceDemand("cpu_cores", fixed=16)],
+        description="L7 proxy fleet at edge sites; provisioning it makes "
+                    "other edge systems cheap (§1's interaction).",
+        sources=["HotNets'24 §1"],
+    ))

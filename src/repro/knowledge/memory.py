@@ -1,0 +1,73 @@
+"""Memory-pooling encodings — the substrate for the §5.1 CXL query.
+
+"Given my current workloads, is it worthwhile to deploy CXL memory
+pooling?" needs CXL pooling to exist as a system with requirements
+(expander-capable servers) and an effect (serving memory demand from the
+pool instead of per-server DRAM).
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import hw, prop, sys_var
+from repro.kb.hardware import Hardware, ServerSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.rules import Rule
+from repro.kb.system import System
+from repro.logic.ast import Implies
+
+MEMORY_EXPANSION = "memory_expansion"
+
+#: The pool appliance's model name (referenced by the CXL what-if query).
+CXL_APPLIANCE = "CXL-MEM-APPLIANCE"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register memory-pooling encodings into *kb*."""
+    # The rack-level pool appliance: a memory shelf, no compute. Its DRAM
+    # only counts when the pooling software is actually deployed (rule
+    # below) — a capacity without a system serving it is inert metal.
+    kb.add_hardware(Hardware(
+        spec=ServerSpec(
+            model=CXL_APPLIANCE,
+            cores=0,
+            mem_gb=4096,
+            power_w=600,
+            cost_usd=30_000,
+            rack_units=2,
+            kernel_bypass_ok=False,
+            huge_pages=False,
+            dedicated_cores_ok=False,
+        ),
+        max_units=8,
+        description="CXL 2.0 memory shelf (4 TiB pooled DRAM).",
+        sources=["CXL consortium; Pond ASPLOS'23"],
+    ))
+    kb.add_rule(Rule(
+        name="cxl_appliance_needs_pool",
+        formula=Implies(hw(CXL_APPLIANCE), sys_var("CXL-Pool")),
+        description="Pooled DRAM is only usable through the CXL pooling "
+                    "software layer.",
+        sources=["Pond ASPLOS'23"],
+    ))
+    kb.add_system(System(
+        name="CXL-Pool",
+        category="memory_pooling",
+        solves=[MEMORY_EXPANSION],
+        requires=prop("server", "CXL_EXPANDER"),
+        resources=[ResourceDemand("cpu_cores", fixed=2)],
+        description="Rack-level CXL memory pooling; needs expander-capable "
+                    "servers and a pool appliance.",
+        sources=["CXL 2.0 spec; Pond ASPLOS'23"],
+    ))
+    kb.add_system(System(
+        name="RDMA-FarMemory",
+        category="memory_pooling",
+        solves=[MEMORY_EXPANSION],
+        requires=prop("nic", "RDMA"),
+        resources=[ResourceDemand("cpu_cores", fixed=4)],
+        description="Far memory over RDMA paging; higher latency than CXL "
+                    "but runs on existing RDMA NICs.",
+        sources=["Fastswap EuroSys'20"],
+        research=True,
+    ))

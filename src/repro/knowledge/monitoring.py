@@ -1,0 +1,114 @@
+"""Network-monitoring encodings (Listing 2's Simon, plus its rivals).
+
+Listing 2 verbatim: Simon solves ``capture_delays`` and
+``detect_queue_length``, needs NIC timestamps, and needs CPU cores
+proportional to the flow count. The orderings module adds the Listing-2
+partial order (Simon beats Pingmesh on monitoring quality, Pingmesh beats
+Simon on deployment ease).
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import prop
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE, Or
+
+CAPTURE_DELAYS = "capture_delays"
+DETECT_QUEUE_LENGTH = "detect_queue_length"
+FLOW_TELEMETRY = "flow_telemetry"
+REACHABILITY_PROBING = "reachability_probing"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register monitoring encodings into *kb*."""
+    kb.add_system(System(
+        name="Simon",
+        category="monitoring",
+        solves=[CAPTURE_DELAYS, DETECT_QUEUE_LENGTH],
+        # Listing 2, lines 3-5: NIC timestamps + cores ~ flows. The paper's
+        # §2.3 deploys it on SmartNICs, which then amortize across systems.
+        requires=(
+            prop("nic", "NIC_TIMESTAMPS")
+            & Or(prop("nic", "SMARTNIC_CPU"), prop("nic", "SMARTNIC_FPGA"))
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=0, per_kflow=0.5)],
+        description="Reconstructs queue lengths network-wide from edge "
+                    "timestamps (Listing 2).",
+        sources=["SIMON NSDI'19"],
+    ))
+    kb.add_system(System(
+        name="Pingmesh",
+        category="monitoring",
+        solves=[REACHABILITY_PROBING, CAPTURE_DELAYS],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=2)],
+        description="All-pairs ping matrix; trivial to deploy, coarse signal.",
+        sources=["Pingmesh SIGCOMM'15"],
+    ))
+    kb.add_system(System(
+        name="Sonata",
+        category="monitoring",
+        solves=[FLOW_TELEMETRY, DETECT_QUEUE_LENGTH],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[
+            # Query compilation consumes pipeline stages (the §4.2 example
+            # fault is mis-stating this number).
+            ResourceDemand("p4_stages", fixed=6),
+            ResourceDemand("cpu_cores", fixed=4),
+        ],
+        description="Query-driven telemetry split across switch and stream "
+                    "processor.",
+        sources=["Sonata SIGCOMM'18"],
+    ))
+    kb.add_system(System(
+        name="Marple",
+        category="monitoring",
+        solves=[FLOW_TELEMETRY, DETECT_QUEUE_LENGTH, CAPTURE_DELAYS],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[
+            ResourceDemand("p4_stages", fixed=8),
+            ResourceDemand("switch_sram_mb", fixed=8),
+        ],
+        description="Language-directed per-flow state on programmable "
+                    "switches.",
+        sources=["Marple SIGCOMM'17"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="Everflow",
+        category="monitoring",
+        solves=[FLOW_TELEMETRY],
+        requires=prop("switch", "TELEMETRY_MIRROR"),
+        resources=[ResourceDemand("cpu_cores", fixed=8)],
+        description="Match-and-mirror packet tracing with commodity switches.",
+        sources=["Everflow SIGCOMM'15"],
+    ))
+    kb.add_system(System(
+        name="NetFlow",
+        category="monitoring",
+        solves=[FLOW_TELEMETRY],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=2)],
+        description="Sampled flow records; ubiquitous, low fidelity.",
+        sources=["RFC 3954"],
+    ))
+    kb.add_system(System(
+        name="INTCollector",
+        category="monitoring",
+        solves=[DETECT_QUEUE_LENGTH, CAPTURE_DELAYS],
+        requires=prop("switch", "INT"),
+        resources=[ResourceDemand("cpu_cores", fixed=4)],
+        description="Collects in-band telemetry postcards from INT switches.",
+        sources=["P4 INT spec"],
+    ))
+    kb.add_system(System(
+        name="HostTracer",
+        category="monitoring",
+        solves=[CAPTURE_DELAYS],
+        requires=prop("nic", "NIC_TIMESTAMPS"),
+        resources=[ResourceDemand("cpu_cores", fixed=0, per_kflow=0.2)],
+        description="eBPF host-side latency attribution via NIC timestamps.",
+        sources=["operational practice"],
+    ))

@@ -1,0 +1,76 @@
+"""Free-standing rules of thumb.
+
+The paper's two production incidents, encoded as the one-line predicate
+rules an expert "might have anticipated" (§3.4):
+
+- **PFC/flooding** — Microsoft's RDMA deployment deadlocked because
+  Ethernet flooding broke the up-down routing invariant that was supposed
+  to preclude cyclic buffer dependencies. The expert rule: PFC must not
+  coexist with flooding unless up-down routing is actually enforced.
+- **Overlay checksums** — the VMware zero-throughput incident: double
+  encapsulation with inconsistent checksum offload expectations. The
+  expert rule: overlay encapsulation requires consistent cross-layer
+  checksum handling.
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import prop, sys_var
+from repro.kb.registry import KnowledgeBase
+from repro.kb.rules import Rule
+from repro.logic.ast import AtMost, Implies, Not, Or
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register free-standing rules into *kb*."""
+    kb.add_rule(Rule(
+        name="pfc_no_flooding",
+        formula=Implies(
+            prop("net", "PFC_ENABLED"),
+            Or(Not(prop("net", "FLOODING")), prop("net", "UP_DOWN_ROUTING")),
+        ),
+        description="PFC risks cyclic-buffer-dependency deadlock when "
+                    "flooding can create routing loops; only safe if "
+                    "up-down routing is enforced (and §5's topology module "
+                    "shows even that fails once flooding bypasses it).",
+        sources=["Guo et al., RDMA at scale, SIGCOMM'16"],
+    ))
+    kb.add_rule(Rule(
+        name="pfc_flooding_strict",
+        formula=Implies(
+            prop("net", "PFC_ENABLED"), Not(prop("net", "FLOODING"))
+        ),
+        description="The stricter post-incident rule: no flooding at all "
+                    "in PFC domains — flooding invalidates the up-down "
+                    "invariant itself (the Microsoft outage).",
+        sources=["Guo et al. SIGCOMM'16 §5"],
+    ))
+    # The VMware incident (§2.2): zero throughput from checksum errors
+    # under *double* encapsulation — an infrastructure overlay under a
+    # container overlay, configured by different teams. The rule of thumb:
+    # at most one deployed system may encapsulate. Providers are read off
+    # the registry at encoding time, so a new overlay system added later
+    # is covered by re-contributing the rule (KB evolution re-validates).
+    overlay_providers = sorted(
+        system.name
+        for system in kb.systems.values()
+        if "net::OVERLAY_ENCAP" in system.provides
+    )
+    kb.add_rule(Rule(
+        name="single_overlay_encapsulation",
+        formula=AtMost(1, [sys_var(name) for name in overlay_providers]),
+        description="At most one layer may encapsulate: stacked overlays "
+                    "break cross-layer checksum offload assumptions "
+                    "(VMware Antrea double-encapsulation incident, §2.2).",
+        sources=["VMware Antrea 1.7.0 release notes"],
+    ))
+    kb.add_rule(Rule(
+        name="prefer_existing_monitoring",
+        formula=Not(sys_var("Marple")),
+        description="Soft preference against operating bleeding-edge "
+                    "switch-state monitoring unless something else forces "
+                    "it.",
+        severity="soft",
+        weight=2,
+        subjective=True,
+    ))

@@ -1,0 +1,185 @@
+"""Network-stack encodings (Figure 1's six systems, plus the wider field).
+
+The rules here are the ones the paper extracts from the systems' papers:
+Linux is sufficient below ~40 Gbit/s; Snap needs no app changes unless
+Pony is enabled; Shenango needs interrupt-polling NICs and a dedicated
+spin-polling core, and is research-grade; NetChannel only matters at or
+above 40 Gbit/s; kernel-bypass designs need bypass-friendly servers and
+hugepages.
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import ctx, prop
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import Feature, System
+from repro.logic.ast import TRUE
+
+#: Objectives this category can solve.
+PACKET_PROCESSING = "packet_processing"
+LOW_LATENCY_STACK = "low_latency_packet_processing"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register all network-stack encodings into *kb*."""
+    kb.add_system(System(
+        name="Linux",
+        category="network_stack",
+        solves=[PACKET_PROCESSING],
+        requires=TRUE,
+        provides=[],
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.4)],
+        description="The stock kernel stack: universal, adequate below ~40G.",
+        sources=["Snap SOSP'19 §6", "Shenango NSDI'19 §5"],
+    ))
+    kb.add_system(System(
+        name="Snap",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        requires=prop("server", "DEDICATED_CORES"),
+        resources=[ResourceDemand("cpu_cores", fixed=4, per_gbps=0.2)],
+        features=[
+            Feature(
+                name="pony",
+                requires=prop("site", "APP_MODIFIABLE"),
+                description="Pony Express transport: faster, but applications "
+                            "must be ported to its API",
+            ),
+        ],
+        description="Microkernel host networking with dedicated engine cores.",
+        sources=["Snap SOSP'19"],
+    ))
+    kb.add_system(System(
+        name="NetChannel",
+        category="network_stack",
+        solves=[PACKET_PROCESSING],
+        # Only worth deploying at >= 40G: below that it is strictly extra
+        # moving parts (the paper's Figure-1 annotation).
+        requires=ctx("network_load_ge_40g"),
+        resources=[ResourceDemand("cpu_cores", fixed=4, per_gbps=0.15)],
+        description="Disaggregated kernel stack for high line rates.",
+        sources=["NetChannel SIGCOMM'22"],
+    ))
+    kb.add_system(System(
+        name="Shenango",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        requires=(
+            prop("nic", "INTERRUPT_POLLING")
+            & prop("server", "KERNEL_BYPASS_OK")
+            & prop("server", "DEDICATED_CORES")
+        ),
+        resources=[
+            # One core is burned busy-polling the IOKernel.
+            ResourceDemand("cpu_cores", fixed=1, per_gbps=0.25),
+        ],
+        description="Microsecond-scale core reallocation; dedicates a "
+                    "spin-polling core; research-grade.",
+        sources=["Shenango NSDI'19"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="Demikernel",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK")
+            & prop("server", "HUGE_PAGES")
+            & prop("site", "APP_MODIFIABLE")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.2)],
+        description="Library OS datapath; applications adopt its queue API.",
+        sources=["Demikernel SOSP'21"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="ZygOS",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK")
+            & prop("site", "APP_MODIFIABLE")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.3)],
+        description="Work-stealing dataplane OS for microsecond RPCs.",
+        sources=["ZygOS SOSP'17"],
+        research=True,
+    ))
+    # Beyond Figure 1: other stacks an architect would shortlist.
+    kb.add_system(System(
+        name="DPDK-Baseline",
+        category="network_stack",
+        solves=[PACKET_PROCESSING],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK")
+            & prop("server", "HUGE_PAGES")
+            & prop("site", "APP_MODIFIABLE")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.1)],
+        description="Raw poll-mode userspace networking; everything is DIY.",
+        sources=["dpdk.org"],
+    ))
+    kb.add_system(System(
+        name="mTCP",
+        category="network_stack",
+        solves=[PACKET_PROCESSING],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK")
+            & prop("site", "APP_MODIFIABLE")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.2)],
+        description="Userspace TCP over packet I/O engines.",
+        sources=["mTCP NSDI'14"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="Onload",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        # Vendor bypass stack: needs its vendor's polling-capable NICs.
+        requires=prop("nic", "INTERRUPT_POLLING"),
+        resources=[ResourceDemand("cpu_cores", fixed=1, per_gbps=0.2)],
+        description="Vendor kernel-bypass sockets, binary-compatible.",
+        sources=["AMD/Solarflare Onload datasheet"],
+    ))
+    kb.add_system(System(
+        name="Caladan",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        requires=(
+            prop("nic", "INTERRUPT_POLLING")
+            & prop("server", "KERNEL_BYPASS_OK")
+            & prop("server", "DEDICATED_CORES")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=1, per_gbps=0.2)],
+        description="Interference-aware core scheduling (Shenango lineage).",
+        sources=["Caladan OSDI'20"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="TAS",
+        category="network_stack",
+        solves=[PACKET_PROCESSING],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK")
+            & prop("server", "DEDICATED_CORES")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.15)],
+        description="TCP acceleration as a service on dedicated fast-path cores.",
+        sources=["TAS EuroSys'19"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="IX",
+        category="network_stack",
+        solves=[PACKET_PROCESSING, LOW_LATENCY_STACK],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK")
+            & prop("site", "APP_MODIFIABLE")
+        ),
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.25)],
+        description="Protected dataplane OS; run-to-completion batching.",
+        sources=["IX OSDI'14"],
+        research=True,
+    ))

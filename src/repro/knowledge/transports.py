@@ -1,0 +1,76 @@
+"""Transport-protocol encodings (the seventh §5.1 category)."""
+
+from __future__ import annotations
+
+from repro.kb.dsl import prop
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE
+
+RELIABLE_TRANSPORT = "reliable_transport"
+DATAGRAM_TRANSPORT = "datagram_transport"
+RPC_TRANSPORT = "rpc_transport"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register transport-protocol encodings into *kb*."""
+    kb.add_system(System(
+        name="TCP",
+        category="transport_protocol",
+        solves=[RELIABLE_TRANSPORT],
+        requires=TRUE,
+        description="The baseline byte stream.",
+        sources=["RFC 9293"],
+    ))
+    kb.add_system(System(
+        name="UDP",
+        category="transport_protocol",
+        solves=[DATAGRAM_TRANSPORT],
+        requires=TRUE,
+        description="Datagrams; everything else is the application's "
+                    "problem.",
+        sources=["RFC 768"],
+    ))
+    kb.add_system(System(
+        name="QUIC",
+        category="transport_protocol",
+        solves=[RELIABLE_TRANSPORT],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=0, per_gbps=0.3)],
+        description="Userspace reliable transport; costs more CPU per byte "
+                    "than kernel TCP.",
+        sources=["RFC 9000"],
+    ))
+    kb.add_system(System(
+        name="RoCEv2",
+        category="transport_protocol",
+        solves=[RELIABLE_TRANSPORT, RPC_TRANSPORT],
+        # RDMA over lossy Ethernet needs PFC-capable switches, and
+        # deploying it *establishes* a PFC domain network-wide — which is
+        # what drags in the §2.2 deadlock caveat through the PFC rules.
+        requires=prop("nic", "RDMA") & prop("switch", "PFC"),
+        provides=["net::PFC_ENABLED"],
+        description="RDMA over converged Ethernet; kernel-free transfers, "
+                    "lossless-fabric strings attached.",
+        sources=["Guo et al. SIGCOMM'16"],
+    ))
+    kb.add_system(System(
+        name="Homa",
+        category="transport_protocol",
+        solves=[RPC_TRANSPORT],
+        requires=prop("switch", "QOS_CLASSES_8"),
+        resources=[ResourceDemand("qos_classes", fixed=4)],
+        description="Receiver-driven RPC transport; needs several priority "
+                    "levels in the fabric.",
+        sources=["Homa SIGCOMM'18"],
+        research=True,
+    ))
+    kb.add_system(System(
+        name="SRD",
+        category="transport_protocol",
+        solves=[RELIABLE_TRANSPORT, RPC_TRANSPORT],
+        requires=prop("nic", "SMARTNIC_CPU"),
+        description="Multipath reliable datagrams implemented on the NIC.",
+        sources=["SRD (AWS) IEEE Micro'20"],
+    ))

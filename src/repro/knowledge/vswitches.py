@@ -1,0 +1,89 @@
+"""Network-virtualization (virtual switch) encodings.
+
+§2.3's choices: OVS (simple, CPU-based), Andromeda (hotspot-offloading
+dataplane), and hardware-offloaded approaches (AccelNet-style, needs FPGA
+SmartNICs). Overlay encapsulation raises the cross-layer checksum caveat
+from the VMware incident (§2.2), encoded as a free-standing rule in
+:mod:`repro.knowledge.rules` over the ``net::OVERLAY_ENCAP`` property
+these systems provide.
+"""
+
+from __future__ import annotations
+
+from repro.kb.dsl import prop
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.logic.ast import TRUE
+
+NETWORK_VIRTUALIZATION = "network_virtualization"
+
+
+def contribute(kb: KnowledgeBase) -> None:
+    """Register virtual-switch encodings into *kb*."""
+    kb.add_system(System(
+        name="OVS",
+        category="virtual_switch",
+        solves=[NETWORK_VIRTUALIZATION],
+        requires=TRUE,
+        provides=["net::OVERLAY_ENCAP"],
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.3)],
+        description="The default software vswitch; megaflow caching on "
+                    "host cores (§2.3's 'simplest choice').",
+        sources=["OVS NSDI'15"],
+    ))
+    kb.add_system(System(
+        name="OVS-DPDK",
+        category="virtual_switch",
+        solves=[NETWORK_VIRTUALIZATION],
+        requires=(
+            prop("server", "KERNEL_BYPASS_OK") & prop("server", "HUGE_PAGES")
+        ),
+        provides=["net::OVERLAY_ENCAP"],
+        resources=[ResourceDemand("cpu_cores", fixed=4, per_gbps=0.15)],
+        description="Poll-mode OVS; trades dedicated cores for throughput.",
+        sources=["OVS-DPDK docs"],
+    ))
+    kb.add_system(System(
+        name="Andromeda",
+        category="virtual_switch",
+        solves=[NETWORK_VIRTUALIZATION],
+        requires=prop("server", "DEDICATED_CORES"),
+        provides=["net::OVERLAY_ENCAP"],
+        resources=[ResourceDemand("cpu_cores", fixed=3, per_gbps=0.1)],
+        description="Hoverboard + busy-polling fast path; offloads hotspots "
+                    "to dedicated cores.",
+        sources=["Andromeda NSDI'18"],
+    ))
+    kb.add_system(System(
+        name="VFP",
+        category="virtual_switch",
+        solves=[NETWORK_VIRTUALIZATION],
+        requires=TRUE,
+        provides=["net::OVERLAY_ENCAP"],
+        resources=[ResourceDemand("cpu_cores", fixed=2, per_gbps=0.25)],
+        description="Layered match-action host SDN platform.",
+        sources=["VFP NSDI'17"],
+    ))
+    kb.add_system(System(
+        name="AccelNet-Offload",
+        category="virtual_switch",
+        solves=[NETWORK_VIRTUALIZATION],
+        requires=prop("nic", "SMARTNIC_FPGA"),
+        provides=["net::OVERLAY_ENCAP"],
+        resources=[ResourceDemand("fpga_gates_k", fixed=400)],
+        description="SR-IOV fast path with FPGA flow processing; frees host "
+                    "cores entirely (§2.3's hardware-offloaded approach).",
+        sources=["AccelNet NSDI'18"],
+    ))
+    kb.add_system(System(
+        name="SRIOV-Passthrough",
+        category="virtual_switch",
+        solves=[NETWORK_VIRTUALIZATION],
+        requires=prop("nic", "SRIOV"),
+        # No overlay: passthrough skips encapsulation (and its caveats),
+        # but gives up flexible virtual networking policies.
+        resources=[],
+        description="Direct VF assignment; fastest, least flexible.",
+        sources=["PCI-SIG SR-IOV"],
+    ))

@@ -1,0 +1,114 @@
+"""Canonical workload templates.
+
+Architects describe applications, not SAT variables; these templates
+capture the recurring application shapes from the paper's motivation
+(§1: "the applications the architect wants to support") with sensible
+objective sets and demand profiles. Each factory returns a fresh
+:class:`~repro.kb.workload.Workload` the caller may tweak.
+"""
+
+from __future__ import annotations
+
+from repro.kb.workload import Workload
+
+
+def web_frontend(name: str = "web_frontend", qps_k: int = 200) -> Workload:
+    """Latency-sensitive request serving at the edge of the DC."""
+    return Workload(
+        name=name,
+        properties=["dc_flows", "short_flows", "high_priority"],
+        objectives=[
+            "packet_processing",
+            "bandwidth_allocation",
+            "load_balancing",
+            "packet_filtering",
+        ],
+        peak_cores=6 * qps_k // 10,
+        peak_gbps=max(1, qps_k // 20),
+        kflows=float(qps_k),
+        description="user-facing request serving",
+    )
+
+
+def ml_training(name: str = "ml_training", gpus: int = 64) -> Workload:
+    """Synchronized allreduce traffic: elephant flows, loss-sensitive."""
+    return Workload(
+        name=name,
+        properties=["dc_flows", "long_flows", "synchronized_bursts"],
+        objectives=[
+            "packet_processing",
+            "bandwidth_allocation",
+            "reliable_transport",
+        ],
+        peak_cores=gpus * 4,
+        peak_gbps=gpus * 3,
+        peak_mem_gb=gpus * 16,
+        kflows=float(gpus) / 8,
+        description="distributed training allreduce",
+    )
+
+
+def storage_backend(
+    name: str = "storage_backend", spindles: int = 100
+) -> Workload:
+    """Replication and recovery traffic; memory-hungry caching tier."""
+    return Workload(
+        name=name,
+        properties=["dc_flows", "long_flows"],
+        objectives=[
+            "packet_processing",
+            "reliable_transport",
+            "flow_telemetry",
+        ],
+        peak_cores=spindles * 2,
+        peak_gbps=spindles // 2,
+        peak_mem_gb=spindles * 24,
+        kflows=float(spindles) / 10,
+        description="replicated storage backend",
+    )
+
+
+def wan_replication(
+    name: str = "wan_replication", gbps: int = 20
+) -> Workload:
+    """Cross-site traffic that competes with DC-internal aggregates.
+
+    Pair with ``context={'competing_wan_dc_traffic': True,
+    'wan_egress_present': True}`` — the Annulus/BwE territory.
+    """
+    return Workload(
+        name=name,
+        properties=["wan_flows", "long_flows"],
+        objectives=[
+            "packet_processing",
+            "wan_dc_bandwidth_sharing",
+        ],
+        peak_cores=32,
+        peak_gbps=gbps,
+        kflows=2.0,
+        description="inter-datacenter replication over WAN egress",
+    )
+
+
+def telemetry_pipeline(
+    name: str = "telemetry_pipeline", gbps: int = 5
+) -> Workload:
+    """The operator's own measurement consumers."""
+    return Workload(
+        name=name,
+        properties=["dc_flows"],
+        objectives=["flow_telemetry", "capture_delays"],
+        peak_cores=48,
+        peak_gbps=gbps,
+        kflows=1.0,
+        description="network telemetry collection and analysis",
+    )
+
+
+ALL_TEMPLATES = {
+    "web_frontend": web_frontend,
+    "ml_training": ml_training,
+    "storage_backend": storage_backend,
+    "wan_replication": wan_replication,
+    "telemetry_pipeline": telemetry_pipeline,
+}

@@ -1,0 +1,67 @@
+"""Boolean formula layer above the raw CDCL solver.
+
+Provides a named-variable formula AST (:class:`Var`, :func:`And`,
+:func:`Or`, :func:`Not`, :func:`Implies`, :func:`Iff`, :func:`Xor`,
+cardinality nodes), simplification to negation normal form with constant
+folding, Tseitin transformation to CNF, and cardinality / pseudo-Boolean
+constraint encodings (pairwise, sequential counter, totalizer, generalized
+totalizer).
+
+The knowledge-base DSL compiles rules-of-thumb down to these formulas; the
+reasoning engine compiles formulas down to clauses for :class:`repro.sat.Solver`.
+"""
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Const,
+    Exactly,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+from repro.logic.cardinality import (
+    at_least_k,
+    at_most_k,
+    at_most_one_pairwise,
+    exactly_k,
+    Totalizer,
+)
+from repro.logic.pseudo_boolean import PBTerm, encode_pb_leq
+from repro.logic.simplify import free_vars, simplify, to_nnf
+from repro.logic.tseitin import CnfBuilder
+
+__all__ = [
+    "And",
+    "AtLeast",
+    "AtMost",
+    "CnfBuilder",
+    "Const",
+    "Exactly",
+    "FALSE",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "PBTerm",
+    "Totalizer",
+    "TRUE",
+    "Var",
+    "Xor",
+    "at_least_k",
+    "at_most_k",
+    "at_most_one_pairwise",
+    "encode_pb_leq",
+    "exactly_k",
+    "free_vars",
+    "simplify",
+    "to_nnf",
+]

@@ -1,0 +1,262 @@
+"""Formula AST with named variables.
+
+Formulas are immutable trees. ``Var`` leaves are identified by name, so two
+``Var("x")`` instances are equal and interchangeable. Python operators are
+overloaded for readability::
+
+    f = (Var("pfc") & Var("flooding")) >> FALSE   # PFC conflicts flooding
+    g = Var("simon") >> Var("smartnic")
+
+Cardinality nodes (:class:`AtMost`, :class:`AtLeast`, :class:`Exactly`)
+carry arbitrary sub-formulas; the Tseitin encoder reifies each child to a
+literal and applies a cardinality encoding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class Formula:
+    """Base class for all formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: Formula) -> Formula:
+        return And(self, other)
+
+    def __or__(self, other: Formula) -> Formula:
+        return Or(self, other)
+
+    def __invert__(self) -> Formula:
+        return Not(self)
+
+    def __rshift__(self, other: Formula) -> Formula:
+        """``a >> b`` reads "a implies b"."""
+        return Implies(self, other)
+
+    def __xor__(self, other: Formula) -> Formula:
+        return Xor(self, other)
+
+    def iff(self, other: Formula) -> Formula:
+        """Bi-implication."""
+        return Iff(self, other)
+
+    # Subclasses define __eq__/__hash__ structurally.
+
+
+class Const(Formula):
+    """Boolean constant. Use the singletons :data:`TRUE` and :data:`FALSE`."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Formula):
+    """A named propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula):
+        self.child = child
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("not", self.child))
+
+
+class _NaryOp(Formula):
+    """Shared machinery for And/Or: children are flattened at build time."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, *children: Formula):
+        flat: list[Formula] = []
+        for child in children:
+            if isinstance(child, Iterable) and not isinstance(child, Formula):
+                raise TypeError(
+                    f"{type(self).__name__} takes formulas, not iterables; "
+                    f"unpack with * instead"
+                )
+            if type(child) is type(self):
+                flat.extend(child.children)  # type: ignore[attr-defined]
+            else:
+                flat.append(child)
+        self.children = tuple(flat)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({inner})"
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((self._symbol, self.children))
+
+
+class And(_NaryOp):
+    """Conjunction of zero or more formulas (empty conjunction is TRUE)."""
+
+    __slots__ = ()
+    _symbol = "and"
+
+
+class Or(_NaryOp):
+    """Disjunction of zero or more formulas (empty disjunction is FALSE)."""
+
+    __slots__ = ()
+    _symbol = "or"
+
+
+class Implies(Formula):
+    """Material implication ``antecedent -> consequent``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def __repr__(self) -> str:
+        return f"Implies({self.antecedent!r}, {self.consequent!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Implies)
+            and self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self) -> int:
+        return hash(("implies", self.antecedent, self.consequent))
+
+
+class Iff(Formula):
+    """Bi-implication (logical equivalence)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"Iff({self.left!r}, {self.right!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Iff)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("iff", self.left, self.right))
+
+
+class Xor(Formula):
+    """Exclusive or."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"Xor({self.left!r}, {self.right!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Xor)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("xor", self.left, self.right))
+
+
+class _CardinalityOp(Formula):
+    """Shared machinery for cardinality nodes."""
+
+    __slots__ = ("bound", "children")
+
+    def __init__(self, bound: int, children: Iterable[Formula]):
+        if bound < 0:
+            raise ValueError(f"cardinality bound must be >= 0, got {bound}")
+        self.bound = bound
+        self.children = tuple(children)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.bound}, {list(self.children)!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is type(self)
+            and self.bound == other.bound
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.bound, self.children))
+
+
+class AtMost(_CardinalityOp):
+    """At most *bound* of the children are true."""
+
+    __slots__ = ()
+
+
+class AtLeast(_CardinalityOp):
+    """At least *bound* of the children are true."""
+
+    __slots__ = ()
+
+
+class Exactly(_CardinalityOp):
+    """Exactly *bound* of the children are true."""
+
+    __slots__ = ()

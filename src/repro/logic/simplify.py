@@ -1,0 +1,226 @@
+"""Formula simplification: constant folding, NNF, free-variable queries."""
+
+from __future__ import annotations
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Const,
+    Exactly,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+
+
+def free_vars(formula: Formula) -> set[str]:
+    """Return the names of all variables occurring in *formula*."""
+    out: set[str] = set()
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            out.add(node.name)
+        elif isinstance(node, Not):
+            stack.append(node.child)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+        elif isinstance(node, Implies):
+            stack.append(node.antecedent)
+            stack.append(node.consequent)
+        elif isinstance(node, (Iff, Xor)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, (AtMost, AtLeast, Exactly)):
+            stack.extend(node.children)
+    return out
+
+
+def simplify(formula: Formula) -> Formula:
+    """Fold constants and collapse degenerate connectives.
+
+    The result is logically equivalent; it contains TRUE/FALSE only if the
+    whole formula is constant.
+    """
+    if isinstance(formula, (Const, Var)):
+        return formula
+    if isinstance(formula, Not):
+        child = simplify(formula.child)
+        if isinstance(child, Const):
+            return FALSE if child.value else TRUE
+        if isinstance(child, Not):
+            return child.child
+        return Not(child)
+    if isinstance(formula, And):
+        kids = []
+        for c in formula.children:
+            s = simplify(c)
+            if isinstance(s, Const):
+                if not s.value:
+                    return FALSE
+                continue
+            kids.append(s)
+        if not kids:
+            return TRUE
+        if len(kids) == 1:
+            return kids[0]
+        return And(*kids)
+    if isinstance(formula, Or):
+        kids = []
+        for c in formula.children:
+            s = simplify(c)
+            if isinstance(s, Const):
+                if s.value:
+                    return TRUE
+                continue
+            kids.append(s)
+        if not kids:
+            return FALSE
+        if len(kids) == 1:
+            return kids[0]
+        return Or(*kids)
+    if isinstance(formula, Implies):
+        a = simplify(formula.antecedent)
+        b = simplify(formula.consequent)
+        if isinstance(a, Const):
+            return b if a.value else TRUE
+        if isinstance(b, Const):
+            return TRUE if b.value else simplify(Not(a))
+        return Implies(a, b)
+    if isinstance(formula, Iff):
+        a = simplify(formula.left)
+        b = simplify(formula.right)
+        if isinstance(a, Const):
+            return b if a.value else simplify(Not(b))
+        if isinstance(b, Const):
+            return a if b.value else simplify(Not(a))
+        if a == b:
+            return TRUE
+        return Iff(a, b)
+    if isinstance(formula, Xor):
+        a = simplify(formula.left)
+        b = simplify(formula.right)
+        if isinstance(a, Const):
+            return simplify(Not(b)) if a.value else b
+        if isinstance(b, Const):
+            return simplify(Not(a)) if b.value else a
+        if a == b:
+            return FALSE
+        return Xor(a, b)
+    if isinstance(formula, (AtMost, AtLeast, Exactly)):
+        kids = [simplify(c) for c in formula.children]
+        fixed_true = sum(1 for c in kids if isinstance(c, Const) and c.value)
+        rest = [c for c in kids if not isinstance(c, Const)]
+        bound = formula.bound - fixed_true
+        if isinstance(formula, AtMost):
+            if bound < 0:
+                return FALSE
+            if bound >= len(rest):
+                return TRUE
+            return AtMost(bound, rest)
+        if isinstance(formula, AtLeast):
+            if bound <= 0:
+                return TRUE
+            if bound > len(rest):
+                return FALSE
+            return AtLeast(bound, rest)
+        # Exactly
+        if bound < 0 or bound > len(rest):
+            return FALSE
+        if not rest:
+            return TRUE
+        return Exactly(bound, rest)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def to_nnf(formula: Formula, negate: bool = False) -> Formula:
+    """Rewrite to negation normal form (negations only on variables).
+
+    Cardinality nodes are rewritten under negation using their duals
+    (¬AtMost(k) = AtLeast(k+1), etc.).
+    """
+    if isinstance(formula, Const):
+        return Const(formula.value != negate)
+    if isinstance(formula, Var):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return to_nnf(formula.child, not negate)
+    if isinstance(formula, And):
+        kids = [to_nnf(c, negate) for c in formula.children]
+        return Or(*kids) if negate else And(*kids)
+    if isinstance(formula, Or):
+        kids = [to_nnf(c, negate) for c in formula.children]
+        return And(*kids) if negate else Or(*kids)
+    if isinstance(formula, Implies):
+        # a -> b  ==  ¬a ∨ b
+        return to_nnf(Or(Not(formula.antecedent), formula.consequent), negate)
+    if isinstance(formula, Iff):
+        a, b = formula.left, formula.right
+        expanded = Or(And(a, b), And(Not(a), Not(b)))
+        return to_nnf(expanded, negate)
+    if isinstance(formula, Xor):
+        a, b = formula.left, formula.right
+        expanded = Or(And(a, Not(b)), And(Not(a), b))
+        return to_nnf(expanded, negate)
+    if isinstance(formula, AtMost):
+        kids = [to_nnf(c, False) for c in formula.children]
+        if negate:
+            return AtLeast(formula.bound + 1, kids)
+        return AtMost(formula.bound, kids)
+    if isinstance(formula, AtLeast):
+        kids = [to_nnf(c, False) for c in formula.children]
+        if negate:
+            if formula.bound == 0:
+                return FALSE
+            return AtMost(formula.bound - 1, kids)
+        return AtLeast(formula.bound, kids)
+    if isinstance(formula, Exactly):
+        kids = [to_nnf(c, False) for c in formula.children]
+        if negate:
+            return Or(
+                AtMost(formula.bound - 1, kids) if formula.bound > 0 else FALSE,
+                AtLeast(formula.bound + 1, kids),
+            )
+        return Exactly(formula.bound, kids)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def evaluate(formula: Formula, assignment: dict[str, bool]) -> bool:
+    """Evaluate *formula* under a total assignment of its variables."""
+    if isinstance(formula, Const):
+        return formula.value
+    if isinstance(formula, Var):
+        return assignment[formula.name]
+    if isinstance(formula, Not):
+        return not evaluate(formula.child, assignment)
+    if isinstance(formula, And):
+        return all(evaluate(c, assignment) for c in formula.children)
+    if isinstance(formula, Or):
+        return any(evaluate(c, assignment) for c in formula.children)
+    if isinstance(formula, Implies):
+        return (not evaluate(formula.antecedent, assignment)) or evaluate(
+            formula.consequent, assignment
+        )
+    if isinstance(formula, Iff):
+        return evaluate(formula.left, assignment) == evaluate(
+            formula.right, assignment
+        )
+    if isinstance(formula, Xor):
+        return evaluate(formula.left, assignment) != evaluate(
+            formula.right, assignment
+        )
+    if isinstance(formula, (AtMost, AtLeast, Exactly)):
+        count = sum(1 for c in formula.children if evaluate(c, assignment))
+        if isinstance(formula, AtMost):
+            return count <= formula.bound
+        if isinstance(formula, AtLeast):
+            return count >= formula.bound
+        return count == formula.bound
+    raise TypeError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,254 @@
+"""Tseitin transformation: formulas to CNF over solver variables.
+
+:class:`CnfBuilder` owns the mapping from :class:`~repro.logic.ast.Var`
+names to solver variable numbers, allocates auxiliary variables for
+internal formula nodes, and feeds clauses to a target (a
+:class:`repro.sat.Solver` or a plain clause list). Structural hashing
+caches the literal for each distinct subformula so shared subtrees are
+encoded once.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.logic.ast import (
+    And,
+    AtLeast,
+    AtMost,
+    Const,
+    Exactly,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+from repro.logic.cardinality import at_least_k, at_most_k, exactly_k
+
+
+class CnfBuilder:
+    """Encode formulas into a SAT solver (or clause list) incrementally.
+
+    Parameters
+    ----------
+    solver:
+        Anything with ``new_var() -> int`` and ``add_clause(list[int])``.
+        :class:`repro.sat.Solver` qualifies; so does
+        :class:`ClauseCollector` for offline CNF generation.
+    cardinality_method:
+        Encoding used for AtMost/AtLeast/Exactly nodes
+        (``auto``/``pairwise``/``seq``/``totalizer``).
+    """
+
+    def __init__(self, solver, cardinality_method: str = "auto"):
+        self.solver = solver
+        self.cardinality_method = cardinality_method
+        self._name_to_var: dict[str, int] = {}
+        self._var_to_name: dict[int, str] = {}
+        self._cache: dict[Formula, int] = {}
+        self._true_lit: int | None = None
+
+    # -- variable management -------------------------------------------------
+
+    def var_for(self, name: str) -> int:
+        """Solver variable for the named formula variable (allocating it)."""
+        var = self._name_to_var.get(name)
+        if var is None:
+            var = self.solver.new_var()
+            self._name_to_var[name] = var
+            self._var_to_name[var] = name
+        return var
+
+    def name_of(self, var: int) -> str | None:
+        """Inverse of :meth:`var_for`; None for auxiliary variables."""
+        return self._var_to_name.get(var)
+
+    def known_names(self) -> list[str]:
+        """All formula-variable names registered so far."""
+        return list(self._name_to_var)
+
+    def _fresh(self) -> int:
+        return self.solver.new_var()
+
+    def _true(self) -> int:
+        """A literal constrained to be true (for constants)."""
+        if self._true_lit is None:
+            self._true_lit = self.solver.new_var()
+            self.solver.add_clause([self._true_lit])
+        return self._true_lit
+
+    # -- encoding -------------------------------------------------------------
+
+    def literal(self, formula: Formula) -> int:
+        """Return a solver literal equivalent to *formula* (Tseitin)."""
+        if isinstance(formula, Const):
+            t = self._true()
+            return t if formula.value else -t
+        if isinstance(formula, Var):
+            return self.var_for(formula.name)
+        if isinstance(formula, Not):
+            return -self.literal(formula.child)
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        lit = self._encode_node(formula)
+        self._cache[formula] = lit
+        return lit
+
+    def _encode_node(self, formula: Formula) -> int:
+        add = self.solver.add_clause
+        if isinstance(formula, And):
+            if not formula.children:
+                return self._true()
+            child_lits = [self.literal(c) for c in formula.children]
+            aux = self._fresh()
+            for cl in child_lits:
+                add([-aux, cl])
+            add([aux] + [-cl for cl in child_lits])
+            return aux
+        if isinstance(formula, Or):
+            if not formula.children:
+                return -self._true()
+            child_lits = [self.literal(c) for c in formula.children]
+            aux = self._fresh()
+            for cl in child_lits:
+                add([-cl, aux])
+            add([-aux] + child_lits)
+            return aux
+        if isinstance(formula, Implies):
+            return self.literal(Or(Not(formula.antecedent), formula.consequent))
+        if isinstance(formula, Iff):
+            a = self.literal(formula.left)
+            b = self.literal(formula.right)
+            aux = self._fresh()
+            add([-aux, -a, b])
+            add([-aux, a, -b])
+            add([aux, a, b])
+            add([aux, -a, -b])
+            return aux
+        if isinstance(formula, Xor):
+            return self.literal(Not(Iff(formula.left, formula.right)))
+        if isinstance(formula, (AtMost, AtLeast, Exactly)):
+            return self._encode_cardinality(formula)
+        raise EncodingError(f"cannot encode formula node {formula!r}")
+
+    def _guarded(self, guard: int, clauses: list[list[int]]) -> None:
+        """Add ``guard -> clause`` for every clause (guard is a literal)."""
+        for clause in clauses:
+            self.solver.add_clause([-guard] + clause)
+
+    def _encode_cardinality(self, formula: AtMost | AtLeast | Exactly) -> int:
+        """Reify a cardinality constraint bidirectionally.
+
+        ``aux`` is made equivalent to the constraint: ``aux`` implies the
+        bound holds, and ``not aux`` implies its complement, so cardinality
+        nodes remain sound under negation, Iff, and Xor.
+        """
+        lits = [self.literal(c) for c in formula.children]
+        k = formula.bound
+        aux = self._fresh()
+        method = self.cardinality_method
+        fresh = self._fresh
+        if isinstance(formula, AtMost):
+            self._guarded(aux, at_most_k(lits, k, fresh, method))
+            self._guarded(-aux, at_least_k(lits, k + 1, fresh, method))
+            return aux
+        if isinstance(formula, AtLeast):
+            self._guarded(aux, at_least_k(lits, k, fresh, method))
+            self._guarded(-aux, at_most_k(lits, k - 1, fresh, method))
+            return aux
+        # Exactly(k): aux -> (AM_k and AL_k);
+        # not aux -> (AL_{k+1} or AM_{k-1}) via two sub-selectors.
+        self._guarded(aux, exactly_k(lits, k, fresh, method))
+        over = self._fresh()
+        under = self._fresh()
+        self._guarded(over, at_least_k(lits, k + 1, fresh, method))
+        self._guarded(under, at_most_k(lits, k - 1, fresh, method))
+        self.solver.add_clause([aux, over, under])
+        return aux
+
+    def add_formula(self, formula: Formula) -> None:
+        """Assert that *formula* holds (top-level conjunct).
+
+        Top-level conjunctions and clauses are added directly without
+        auxiliary variables; everything else goes through :meth:`literal`.
+        """
+        if isinstance(formula, Const):
+            if not formula.value:
+                self.solver.add_clause([])
+            return
+        if isinstance(formula, And):
+            for child in formula.children:
+                self.add_formula(child)
+            return
+        if isinstance(formula, Implies):
+            self.add_formula(Or(Not(formula.antecedent), formula.consequent))
+            return
+        if isinstance(formula, Or):
+            # Flat disjunction of literals becomes a single clause.
+            flat: list[int] | None = []
+            for child in formula.children:
+                if isinstance(child, Var):
+                    flat.append(self.var_for(child.name))
+                elif isinstance(child, Not) and isinstance(child.child, Var):
+                    flat.append(-self.var_for(child.child.name))
+                else:
+                    flat = None
+                    break
+            if flat is not None:
+                self.solver.add_clause(flat)
+                return
+            self.solver.add_clause([self.literal(formula)])
+            return
+        if isinstance(formula, AtMost):
+            child_lits = [self.literal(c) for c in formula.children]
+            for clause in at_most_k(
+                child_lits, formula.bound, self._fresh, self.cardinality_method
+            ):
+                self.solver.add_clause(clause)
+            return
+        if isinstance(formula, AtLeast):
+            child_lits = [self.literal(c) for c in formula.children]
+            for clause in at_least_k(
+                child_lits, formula.bound, self._fresh, self.cardinality_method
+            ):
+                self.solver.add_clause(clause)
+            return
+        if isinstance(formula, Exactly):
+            child_lits = [self.literal(c) for c in formula.children]
+            for clause in exactly_k(
+                child_lits, formula.bound, self._fresh, self.cardinality_method
+            ):
+                self.solver.add_clause(clause)
+            return
+        self.solver.add_clause([self.literal(formula)])
+
+    def assignment_from_model(self, model: dict[int, bool]) -> dict[str, bool]:
+        """Project a solver model onto the named formula variables."""
+        return {
+            name: model[var]
+            for name, var in self._name_to_var.items()
+            if var in model
+        }
+
+
+class ClauseCollector:
+    """A solver-shaped sink that just accumulates clauses.
+
+    Useful for measuring encoding sizes (DESIGN.md E6) and for feeding the
+    preprocessing pipeline.
+    """
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits) -> bool:
+        self.clauses.append(list(lits))
+        return True

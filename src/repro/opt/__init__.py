@@ -1,0 +1,29 @@
+"""Optimization over the SAT substrate.
+
+The paper's architect does not just ask "is a design feasible?" — Listing 3
+ends with ``Optimize(latency > Hardware cost > monitoring)``. This package
+supplies that layer:
+
+- :class:`MaxSatSolver` — weighted partial MaxSAT by descending cost bounds
+  over a generalized-totalizer encoding (linear or binary search);
+- :func:`lexicographic_optimize` — ordered multi-objective optimization;
+- :func:`enumerate_models` / :func:`equivalence_classes` — model
+  enumeration with blocking clauses and projection, which backs the §6
+  "equivalence classes of deployments" feature.
+"""
+
+from repro.opt.enumerate import count_models, enumerate_models, equivalence_classes
+from repro.opt.lexicographic import LexObjective, LexResult, lexicographic_optimize
+from repro.opt.maxsat import MaxSatResult, MaxSatSolver, SoftClause
+
+__all__ = [
+    "LexObjective",
+    "LexResult",
+    "MaxSatResult",
+    "MaxSatSolver",
+    "SoftClause",
+    "count_models",
+    "enumerate_models",
+    "equivalence_classes",
+    "lexicographic_optimize",
+]

@@ -1,0 +1,134 @@
+"""Model enumeration, counting, and deployment equivalence classes.
+
+The paper's §6 asks the reasoning system to "identify equivalence classes
+of system deployments, rather than simply returning an arbitrary but
+compliant solution". Here that is projection-based enumeration: models are
+grouped by their restriction to a set of *observable* variables (e.g. the
+chosen system per role), with the remaining variables treated as don't-care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.sat.solver import Solver
+
+
+def enumerate_models(
+    solver: Solver,
+    over: Sequence[int],
+    limit: int | None = None,
+) -> Iterator[dict[int, bool]]:
+    """Yield distinct assignments to *over* extendable to full models.
+
+    Mutates *solver* by adding one blocking clause per yielded assignment,
+    so a subsequent ``solver.solve()`` reflects the exhausted space.
+    """
+    if not over:
+        if solver.solve():
+            yield {}
+        return
+    count = 0
+    while limit is None or count < limit:
+        if not solver.solve():
+            return
+        model = solver.model()
+        projected = {v: model[v] for v in over}
+        yield projected
+        count += 1
+        blocking = [-v if projected[v] else v for v in over]
+        if not solver.add_clause(blocking):
+            return
+
+
+def count_models(
+    solver: Solver, over: Sequence[int], limit: int | None = None
+) -> int:
+    """Count distinct projected models (up to *limit* if given)."""
+    return sum(1 for _ in enumerate_models(solver, over, limit))
+
+
+@dataclass
+class EquivalenceClass:
+    """A set of deployments indistinguishable on the observed variables."""
+
+    #: The shared observable assignment.
+    signature: dict[int, bool]
+    #: Number of distinct completions over the refinement variables
+    #: (capped at the enumeration limit if one was hit).
+    completions: int
+
+
+def equivalence_classes(
+    solver: Solver,
+    observed: Sequence[int],
+    refinement: Sequence[int] = (),
+    class_limit: int | None = None,
+    completions_limit: int | None = 64,
+) -> list[EquivalenceClass]:
+    """Group solutions into classes by their *observed*-variable signature.
+
+    For each class, optionally count how many distinct *refinement*
+    assignments complete it (bounded by *completions_limit* to keep the
+    enumeration cheap).
+
+    The solver is mutated by blocking clauses; treat it as consumed.
+    """
+    classes: list[EquivalenceClass] = []
+    signatures: list[dict[int, bool]] = []
+    # Enumerate class signatures under a guard literal, so the blocking
+    # clauses can be switched off before probing completions (otherwise
+    # they would contradict the probe assumptions).
+    enum_guard = solver.new_var()
+    count = 0
+    while class_limit is None or count < class_limit:
+        if not solver.solve([enum_guard]):
+            break
+        model = solver.model()
+        signature = {v: model[v] for v in observed}
+        signatures.append(signature)
+        count += 1
+        blocking = [-enum_guard] + [
+            -v if signature[v] else v for v in observed
+        ]
+        solver.add_clause(blocking)
+    solver.add_clause([-enum_guard])
+    for signature in signatures:
+        completions = 1
+        if refinement:
+            probe_assumptions = [
+                v if val else -v for v, val in signature.items()
+            ]
+            completions = _count_completions(
+                solver, probe_assumptions, refinement, completions_limit
+            )
+        classes.append(EquivalenceClass(signature, completions))
+    return classes
+
+
+def _count_completions(
+    solver: Solver,
+    assumptions: list[int],
+    refinement: Sequence[int],
+    limit: int | None,
+) -> int:
+    """Count refinement assignments under fixed assumptions.
+
+    Uses temporary blocking clauses guarded by a fresh selector literal so
+    the solver is reusable across signatures.
+    """
+    guard = solver.new_var()
+    count = 0
+    while limit is None or count < limit:
+        if not solver.solve(assumptions + [guard]):
+            break
+        model = solver.model()
+        count += 1
+        blocking = [-guard] + [
+            -v if model.get(v, False) else v for v in refinement
+        ]
+        solver.add_clause(blocking)
+    # Retire the guard so its blocking clauses go inert.
+    solver.add_clause([-guard])
+    return count

@@ -1,0 +1,105 @@
+"""Lexicographic multi-objective optimization.
+
+Implements the ``Optimize(latency > hardware_cost > monitoring)`` pattern
+from the paper's Listing 3: objectives are minimized strictly in priority
+order — each objective is optimized, its optimum frozen as a hard bound,
+and the next objective optimized within that slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.logic.pseudo_boolean import GeneralizedTotalizer, PBTerm
+from repro.sat.solver import Solver
+
+
+@dataclass
+class LexObjective:
+    """One minimization objective: a named weighted sum of literals."""
+
+    name: str
+    terms: list[PBTerm]
+
+    def cost(self, model: dict[int, bool]) -> int:
+        """Evaluate the objective under a model."""
+        return sum(
+            t.weight
+            for t in self.terms
+            if (t.lit > 0) == model.get(abs(t.lit), False)
+        )
+
+
+@dataclass
+class LexResult:
+    """Outcome of a lexicographic optimization."""
+
+    satisfiable: bool
+    model: dict[int, bool] | None = None
+    #: Optimal cost per objective, in priority order.
+    optima: dict[str, int] = field(default_factory=dict)
+    iterations: int = 0
+
+
+def lexicographic_optimize(
+    solver: Solver, objectives: Sequence[LexObjective]
+) -> LexResult:
+    """Minimize *objectives* in priority order over *solver*'s formula.
+
+    The solver is mutated: each objective's optimum is asserted as a hard
+    upper bound before the next objective is attacked, so after the call
+    the solver's models are exactly the lexicographic optima.
+    """
+    if not solver.solve():
+        return LexResult(satisfiable=False)
+    model = solver.model()
+    optima: dict[str, int] = {}
+    iterations = 1
+    for objective in objectives:
+        terms = [t for t in objective.terms if t.weight > 0]
+        if any(t.weight < 0 for t in objective.terms):
+            raise ValueError(
+                f"objective {objective.name!r} has negative weights; "
+                "rewrite over negated literals first"
+            )
+        current = objective.cost(model)
+        if not terms:
+            optima[objective.name] = 0
+            continue
+        if current == 0:
+            # Already optimal; freeze by forbidding every weighted literal,
+            # or later objectives could silently degrade this one.
+            optima[objective.name] = 0
+            for t in terms:
+                solver.add_clause([-t.lit])
+            satisfiable = solver.solve()
+            assert satisfiable, "frozen optimum must remain satisfiable"
+            model = solver.model()
+            continue
+        cap = sum(t.weight for t in terms) + 1
+        gte = GeneralizedTotalizer(terms, cap=cap, new_var=solver.new_var)
+        for clause in gte.clauses:
+            solver.add_clause(clause)
+        # Binary descent between 0 and the incumbent cost.
+        lo, hi = 0, current
+        while lo < hi:
+            mid = (lo + hi) // 2
+            bound_lit = gte.geq_literal(mid + 1)
+            assumptions = [] if bound_lit is None else [-bound_lit]
+            iterations += 1
+            if solver.solve(assumptions):
+                model = solver.model()
+                hi = objective.cost(model)
+            else:
+                lo = mid + 1
+        optima[objective.name] = hi
+        # Freeze this objective at its optimum before the next one.
+        bound_lit = gte.geq_literal(hi + 1)
+        if bound_lit is not None:
+            solver.add_clause([-bound_lit])
+        # Re-establish a model satisfying all frozen bounds.
+        satisfiable = solver.solve()
+        assert satisfiable, "frozen optimum must remain satisfiable"
+        model = solver.model()
+    return LexResult(True, model, optima, iterations)

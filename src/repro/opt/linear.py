@@ -1,0 +1,74 @@
+"""Minimization of linear integer expressions by bound bisection.
+
+Pseudo-Boolean totalizers degrade badly when weights are large and
+heterogeneous (hardware prices in dollars): the value-labelled nodes
+enumerate every distinct partial sum. Cost objectives instead reuse the
+bit-blasting encoder — each probe ``expr <= mid`` is one reified
+comparator circuit over the already-encoded count variables, and the
+optimum is found in ``O(log range)`` solver calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smt.encoder import IntEncoder
+from repro.smt.intervals import bounds_of
+from repro.smt.terms import LinExpr
+
+
+@dataclass
+class LinearMinimum:
+    """Outcome of :func:`minimize_linexpr`."""
+
+    value: int
+    model: dict[int, bool]
+    iterations: int
+
+
+def expr_value(
+    expr: LinExpr, encoder: IntEncoder, model: dict[int, bool]
+) -> int:
+    """Evaluate a linear expression under a SAT model."""
+    return expr.evaluate({v: encoder.value_of(v, model) for v in expr.coeffs})
+
+
+def minimize_linexpr(
+    solver,
+    encoder: IntEncoder,
+    expr: LinExpr,
+    freeze: bool = True,
+    tolerance: int = 0,
+) -> LinearMinimum | None:
+    """Minimize *expr* over the solver's current (hard) formula.
+
+    Returns None when the formula is unsatisfiable. With *freeze*, the
+    found bound is asserted as a hard upper bound afterwards, so
+    subsequent (lower-priority) objectives cannot degrade it.
+
+    *tolerance* stops the bisection once the optimality gap is that
+    small — the probes closest to the true optimum are the hardest
+    UNSAT instances, and rules-of-thumb reasoning rarely needs
+    dollar-exact answers.
+    """
+    if not solver.solve():
+        return None
+    model = solver.model()
+    hi = expr_value(expr, encoder, model)
+    lo = bounds_of(expr).lo
+    iterations = 1
+    while lo + tolerance < hi:
+        mid = lo + (hi - lo) // 2
+        probe = encoder.reify(expr <= mid)
+        iterations += 1
+        if solver.solve([probe]):
+            model = solver.model()
+            hi = expr_value(expr, encoder, model)
+        else:
+            lo = mid + 1
+    if freeze:
+        solver.add_clause([encoder.reify(expr <= hi)])
+        satisfiable = solver.solve()
+        assert satisfiable, "frozen optimum must remain satisfiable"
+        model = solver.model()
+    return LinearMinimum(value=hi, model=model, iterations=iterations)

@@ -1,0 +1,169 @@
+"""Weighted partial MaxSAT on top of the CDCL solver.
+
+Each soft clause gets a relaxation variable; the weighted sum of relaxation
+variables is encoded once with a generalized totalizer, and the optimum is
+found by tightening the bound — either by *linear* descent from the first
+model's cost or by *binary* search using assumptions on the totalizer's
+output literals (no re-encoding either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverStateError
+from repro.logic.pseudo_boolean import GeneralizedTotalizer, PBTerm
+from repro.sat.solver import Solver
+
+
+@dataclass
+class SoftClause:
+    """A clause we would like to satisfy, at a price for violating it."""
+
+    lits: list[int]
+    weight: int
+    label: str = ""
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"soft-clause weight must be positive, got {self.weight}")
+
+
+@dataclass
+class MaxSatResult:
+    """Outcome of a MaxSAT solve."""
+
+    satisfiable: bool
+    cost: int | None = None
+    model: dict[int, bool] | None = None
+    #: Labels of soft clauses that were violated in the optimum.
+    violated: list[str] = field(default_factory=list)
+    iterations: int = 0
+
+
+class MaxSatSolver:
+    """Weighted partial MaxSAT solver.
+
+    Usage::
+
+        m = MaxSatSolver()
+        x, y = m.solver.new_vars(2)
+        m.add_hard([x, y])
+        m.add_soft([-x], weight=3, label="prefer not-x")
+        result = m.solve()
+    """
+
+    def __init__(self, solver: Solver | None = None):
+        self.solver = solver if solver is not None else Solver()
+        self._softs: list[SoftClause] = []
+        self._relax: list[int] = []
+        self._frozen = False
+
+    def add_hard(self, lits) -> bool:
+        """Add a mandatory clause."""
+        if self._frozen:
+            raise SolverStateError("cannot add clauses after solve()")
+        return self.solver.add_clause(lits)
+
+    def add_soft(self, lits, weight: int = 1, label: str = "") -> None:
+        """Add an optional clause with a violation *weight*."""
+        if self._frozen:
+            raise SolverStateError("cannot add clauses after solve()")
+        soft = SoftClause(list(lits), weight, label)
+        relax = self.solver.new_var()
+        self.solver.add_clause(soft.lits + [relax])
+        self._softs.append(soft)
+        self._relax.append(relax)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all soft weights (the worst possible cost)."""
+        return sum(s.weight for s in self._softs)
+
+    def _cost_of(self, model: dict[int, bool]) -> int:
+        return sum(
+            soft.weight
+            for soft, relax in zip(self._softs, self._relax)
+            if model.get(relax, False)
+            and not any(
+                (lit > 0) == model.get(abs(lit), False) for lit in soft.lits
+            )
+        )
+
+    def _violated(self, model: dict[int, bool]) -> list[str]:
+        out = []
+        for soft in self._softs:
+            if not any((lit > 0) == model.get(abs(lit), False) for lit in soft.lits):
+                out.append(soft.label or f"soft({soft.lits})")
+        return out
+
+    def solve(self, strategy: str = "binary") -> MaxSatResult:
+        """Minimize the weighted violation cost.
+
+        *strategy* is ``"linear"`` (descend one model at a time) or
+        ``"binary"`` (bisect on the totalizer outputs).
+        """
+        if strategy not in ("linear", "binary"):
+            raise ValueError(f"unknown MaxSAT strategy {strategy!r}")
+        self._frozen = True
+        if not self.solver.solve():
+            return MaxSatResult(satisfiable=False)
+        model = self.solver.model()
+        cost = self._true_cost(model)
+        iterations = 1
+        if cost == 0 or not self._softs:
+            return MaxSatResult(True, cost, model, self._violated(model), iterations)
+
+        # Weights are positive and relaxation literals distinct, so the PB
+        # sum needs no normalization.
+        terms = [
+            PBTerm(soft.weight, relax)
+            for soft, relax in zip(self._softs, self._relax)
+        ]
+        cap = sum(t.weight for t in terms) + 1
+        gte = GeneralizedTotalizer(terms, cap=cap, new_var=self.solver.new_var)
+        for clause in gte.clauses:
+            self.solver.add_clause(clause)
+
+        if strategy == "linear":
+            best_model, best_cost = model, cost
+            while best_cost > 0:
+                bound_lit = gte.geq_literal(best_cost)
+                if bound_lit is None:
+                    break
+                if not self.solver.solve([-bound_lit]):
+                    break
+                iterations += 1
+                model = self.solver.model()
+                new_cost = self._true_cost(model)
+                if new_cost >= best_cost:
+                    break  # defensive: no progress
+                best_model, best_cost = model, new_cost
+            return MaxSatResult(
+                True, best_cost, best_model, self._violated(best_model), iterations
+            )
+
+        # Binary search between 0 and the first model's cost.
+        lo, hi = 0, cost
+        best_model = model
+        while lo < hi:
+            mid = (lo + hi) // 2
+            bound_lit = gte.geq_literal(mid + 1)
+            assumptions = [] if bound_lit is None else [-bound_lit]
+            iterations += 1
+            if self.solver.solve(assumptions):
+                best_model = self.solver.model()
+                hi = self._true_cost(best_model)
+            else:
+                lo = mid + 1
+        return MaxSatResult(
+            True, hi, best_model, self._violated(best_model), iterations
+        )
+
+    def _true_cost(self, model: dict[int, bool]) -> int:
+        """Cost from actual clause violations (relax vars can be spuriously 1)."""
+        return sum(
+            soft.weight
+            for soft in self._softs
+            if not any((lit > 0) == model.get(abs(lit), False) for lit in soft.lits)
+        )

@@ -1,0 +1,46 @@
+"""Clause representation for the CDCL solver.
+
+A :class:`Clause` owns a mutable list of literals. The first two positions
+are the *watched* literals — the solver maintains the invariant that, unless
+the clause is satisfied, neither watched literal is assigned false (or, if
+one is, the clause is unit or conflicting). Learnt clauses additionally carry
+an activity score and a literal-block-distance (LBD) used by the clause
+database reduction heuristic.
+"""
+
+from __future__ import annotations
+
+
+class Clause:
+    """A disjunction of literals, with learnt-clause metadata.
+
+    Parameters
+    ----------
+    lits:
+        The literals, DIMACS convention. Positions 0 and 1 are watched.
+    learnt:
+        Whether this clause was derived by conflict analysis (eligible for
+        deletion) rather than given by the user (permanent).
+    """
+
+    __slots__ = ("lits", "learnt", "activity", "lbd", "deleted")
+
+    def __init__(self, lits: list[int], learnt: bool = False):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = 0
+        self.deleted = False
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __iter__(self):
+        return iter(self.lits)
+
+    def __getitem__(self, idx: int) -> int:
+        return self.lits[idx]
+
+    def __repr__(self) -> str:
+        kind = "learnt" if self.learnt else "given"
+        return f"Clause({self.lits}, {kind})"

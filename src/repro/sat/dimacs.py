@@ -1,0 +1,94 @@
+"""DIMACS CNF reading and writing.
+
+The DIMACS format is the lingua franca of SAT solving: a header line
+``p cnf <vars> <clauses>`` followed by whitespace-separated clauses, each
+terminated by ``0``. Comment lines start with ``c``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import SolverError
+
+
+class DimacsFormatError(SolverError):
+    """The input did not conform to DIMACS CNF."""
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF *text* into ``(num_vars, clauses)``.
+
+    Tolerates clauses spanning multiple lines and missing trailing ``0`` on
+    the final clause (both occur in the wild).
+    """
+    num_vars: int | None = None
+    declared_clauses: int | None = None
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsFormatError(f"line {line_no}: bad header {line!r}")
+            try:
+                num_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsFormatError(
+                    f"line {line_no}: non-integer header field"
+                ) from exc
+            continue
+        if num_vars is None:
+            raise DimacsFormatError(f"line {line_no}: clause before header")
+        for tok in line.split():
+            try:
+                lit = int(tok)
+            except ValueError as exc:
+                raise DimacsFormatError(
+                    f"line {line_no}: bad literal {tok!r}"
+                ) from exc
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                if abs(lit) > num_vars:
+                    raise DimacsFormatError(
+                        f"line {line_no}: literal {lit} exceeds declared "
+                        f"variable count {num_vars}"
+                    )
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    if num_vars is None:
+        raise DimacsFormatError("missing 'p cnf' header")
+    if declared_clauses is not None and len(clauses) != declared_clauses:
+        # Many generators get the count wrong; accept but keep parsing strict
+        # about structure. The count mismatch is not fatal.
+        pass
+    return num_vars, clauses
+
+
+def read_dimacs(path: str | Path) -> tuple[int, list[list[int]]]:
+    """Read and parse a DIMACS CNF file."""
+    with open(path, encoding="utf-8") as f:
+        return parse_dimacs(f.read())
+
+
+def write_dimacs(
+    num_vars: int, clauses: Iterable[Iterable[int]], comment: str | None = None
+) -> str:
+    """Render ``(num_vars, clauses)`` as DIMACS CNF text."""
+    clause_list = [list(c) for c in clauses]
+    lines = []
+    if comment:
+        for part in comment.splitlines():
+            lines.append(f"c {part}")
+    lines.append(f"p cnf {num_vars} {len(clause_list)}")
+    for clause in clause_list:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"

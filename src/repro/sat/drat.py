@@ -1,0 +1,120 @@
+"""DRAT-style proof logging and independent RUP checking.
+
+When a :class:`~repro.sat.solver.Solver` is created with
+``proof_logging=True``, every learnt clause is recorded as an addition
+and every discarded learnt clause as a deletion; a refutation ends with
+the empty clause. The result is a standard DRAT proof (all our additions
+are RUP — reverse unit propagation — which is a subset of DRAT).
+
+:func:`check_rup_proof` verifies such a proof **independently of the
+solver**: it uses nothing but naive unit propagation over plain clause
+lists, so a bug in the CDCL machinery cannot vouch for itself. This is
+the solver-level counterpart of the engine's explainability story — an
+UNSAT verdict ("no compliant architecture exists") can be audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+
+@dataclass
+class Proof:
+    """An ordered list of clause additions ('a') and deletions ('d')."""
+
+    steps: list[tuple[str, list[int]]] = field(default_factory=list)
+
+    def add(self, lits: Iterable[int]) -> None:
+        self.steps.append(("a", list(lits)))
+
+    def delete(self, lits: Iterable[int]) -> None:
+        self.steps.append(("d", list(lits)))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def ends_with_empty_clause(self) -> bool:
+        return any(op == "a" and not lits for op, lits in self.steps)
+
+    def to_drat(self) -> str:
+        """Render in the textual DRAT format."""
+        lines = []
+        for op, lits in self.steps:
+            body = " ".join(str(lit) for lit in lits) + (" 0" if lits else "0")
+            lines.append(body if op == "a" else f"d {body}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _propagate(clauses: list[list[int]], assignment: dict[int, bool]) -> bool:
+    """Naive unit propagation to fixpoint; True when a conflict arises."""
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned: int | None = None
+            satisfied = False
+            multiple = False
+            for lit in clause:
+                var = abs(lit)
+                value = assignment.get(var)
+                if value is None:
+                    if unassigned is None:
+                        unassigned = lit
+                    else:
+                        multiple = True
+                elif value == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied or multiple:
+                continue
+            if unassigned is None:
+                return True  # every literal false: conflict
+            assignment[abs(unassigned)] = unassigned > 0
+            changed = True
+    return False
+
+
+def _is_rup(clauses: list[list[int]], candidate: Sequence[int]) -> bool:
+    """Is *candidate* derivable by reverse unit propagation?"""
+    assignment: dict[int, bool] = {}
+    for lit in candidate:
+        var = abs(lit)
+        want = lit < 0  # assert the negation
+        existing = assignment.get(var)
+        if existing is not None and existing != want:
+            return True  # the negated clause is itself contradictory
+        assignment[var] = want
+    return _propagate(clauses, assignment)
+
+
+def check_rup_proof(
+    clauses: Iterable[Iterable[int]],
+    proof: Proof,
+) -> bool:
+    """Verify that *proof* refutes *clauses*.
+
+    Every addition must be RUP with respect to the current database, and
+    the proof must derive the empty clause. Deletions remove the first
+    matching clause (and are rejected if nothing matches a learnt
+    addition — deleting an original clause is allowed by DRAT but our
+    solver never does it, so it is treated as an error here).
+    """
+    db: list[list[int]] = [list(c) for c in clauses]
+    for op, lits in proof.steps:
+        if op == "d":
+            target = sorted(lits)
+            for index, existing in enumerate(db):
+                if sorted(existing) == target:
+                    db.pop(index)
+                    break
+            else:
+                return False
+            continue
+        if not _is_rup(db, lits):
+            return False
+        if not lits:
+            return True  # empty clause derived: refutation complete
+        db.append(list(lits))
+    return False

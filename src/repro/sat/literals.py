@@ -1,0 +1,53 @@
+"""Literal conventions and helpers.
+
+A literal is a nonzero int in DIMACS convention: ``+v`` means variable ``v``
+is true, ``-v`` means it is false. Variables are numbered from 1. These
+helpers centralise the convention so the rest of the solver never does sign
+arithmetic inline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InvalidLiteralError
+
+
+def var_of(lit: int) -> int:
+    """Return the variable (a positive int) underlying *lit*."""
+    return lit if lit > 0 else -lit
+
+
+def neg(lit: int) -> int:
+    """Return the negation of *lit*."""
+    return -lit
+
+
+def is_positive(lit: int) -> bool:
+    """True when *lit* asserts its variable true."""
+    return lit > 0
+
+
+def check_literal(lit: int, num_vars: int) -> None:
+    """Raise :class:`InvalidLiteralError` unless *lit* is valid.
+
+    A valid literal is a nonzero int whose variable is within
+    ``1..num_vars``.
+    """
+    if not isinstance(lit, int) or isinstance(lit, bool):
+        raise InvalidLiteralError(f"literal must be an int, got {lit!r}")
+    if lit == 0:
+        raise InvalidLiteralError("literal 0 is reserved (DIMACS terminator)")
+    if var_of(lit) > num_vars:
+        raise InvalidLiteralError(
+            f"literal {lit} references variable {var_of(lit)}, "
+            f"but only {num_vars} variables exist"
+        )
+
+
+def check_clause(lits: Iterable[int], num_vars: int) -> list[int]:
+    """Validate every literal in *lits*; return them as a list."""
+    out = list(lits)
+    for lit in out:
+        check_literal(lit, num_vars)
+    return out

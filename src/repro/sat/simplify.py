@@ -1,0 +1,143 @@
+"""Clause-level preprocessing independent of the solver.
+
+These transformations operate on plain ``list[list[int]]`` clause sets and
+preserve satisfiability (and, except for pure-literal elimination, the model
+set over remaining variables). They are applied by the compiler before
+handing large instances to the CDCL core, and exercised directly by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of :func:`simplify_clauses`."""
+
+    clauses: list[list[int]]
+    #: Literals forced true by root-level unit propagation.
+    forced: list[int] = field(default_factory=list)
+    #: True when propagation derived a contradiction (formula is unsat).
+    contradiction: bool = False
+    tautologies_removed: int = 0
+    duplicates_removed: int = 0
+    subsumed_removed: int = 0
+
+
+def _normalize(clause: list[int]) -> list[int] | None:
+    """Dedup literals; return None for tautologies."""
+    seen: set[int] = set()
+    out: list[int] = []
+    for lit in clause:
+        if -lit in seen:
+            return None
+        if lit not in seen:
+            seen.add(lit)
+            out.append(lit)
+    return out
+
+
+def propagate_units(
+    clauses: list[list[int]], assignment: dict[int, bool] | None = None
+) -> tuple[list[list[int]], dict[int, bool], bool]:
+    """Exhaustively apply unit propagation.
+
+    Returns ``(residual_clauses, assignment, contradiction)`` where
+    *assignment* maps variables to forced truth values.
+    """
+    assign: dict[int, bool] = dict(assignment or {})
+    work = [list(c) for c in clauses]
+    changed = True
+    while changed:
+        changed = False
+        residual: list[list[int]] = []
+        for clause in work:
+            out: list[int] = []
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assign:
+                    if assign[var] == (lit > 0):
+                        satisfied = True
+                        break
+                    continue  # literal false: drop
+                out.append(lit)
+            if satisfied:
+                continue
+            if not out:
+                return [], assign, True
+            if len(out) == 1:
+                lit = out[0]
+                var = abs(lit)
+                val = lit > 0
+                if var in assign and assign[var] != val:
+                    return [], assign, True
+                assign[var] = val
+                changed = True
+                continue
+            residual.append(out)
+        work = residual
+    return work, assign, False
+
+
+def subsumes(small: list[int], big: list[int]) -> bool:
+    """True when clause *small* subsumes clause *big* (small ⊆ big)."""
+    return set(small) <= set(big)
+
+
+def remove_subsumed(clauses: list[list[int]]) -> tuple[list[list[int]], int]:
+    """Remove clauses subsumed by another clause (quadratic, size-bucketed)."""
+    indexed = sorted(clauses, key=len)
+    kept: list[list[int]] = []
+    kept_sets: list[set[int]] = []
+    removed = 0
+    for clause in indexed:
+        cset = set(clause)
+        if any(ks <= cset for ks in kept_sets):
+            removed += 1
+            continue
+        kept.append(clause)
+        kept_sets.append(cset)
+    return kept, removed
+
+
+def simplify_clauses(clauses: list[list[int]]) -> SimplifyResult:
+    """Normalize, unit-propagate, dedup, and subsume a clause set."""
+    tautologies = 0
+    normalized: list[list[int]] = []
+    for clause in clauses:
+        norm = _normalize(clause)
+        if norm is None:
+            tautologies += 1
+        else:
+            normalized.append(norm)
+    residual, assign, contradiction = propagate_units(normalized)
+    if contradiction:
+        return SimplifyResult(
+            clauses=[],
+            forced=[],
+            contradiction=True,
+            tautologies_removed=tautologies,
+        )
+    seen: set[frozenset[int]] = set()
+    deduped: list[list[int]] = []
+    duplicates = 0
+    for clause in residual:
+        key = frozenset(clause)
+        if key in seen:
+            duplicates += 1
+            continue
+        seen.add(key)
+        deduped.append(clause)
+    final, subsumed = remove_subsumed(deduped)
+    forced = [v if val else -v for v, val in sorted(assign.items())]
+    return SimplifyResult(
+        clauses=final,
+        forced=forced,
+        contradiction=False,
+        tautologies_removed=tautologies,
+        duplicates_removed=duplicates,
+        subsumed_removed=subsumed,
+    )

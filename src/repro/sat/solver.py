@@ -1,0 +1,653 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+This is a MiniSat-lineage solver implemented in pure Python:
+
+- two-watched-literal unit propagation,
+- first-UIP conflict analysis with recursive-free clause minimization,
+- VSIDS variable activities with phase saving,
+- Luby-sequence restarts,
+- learnt-clause database reduction driven by LBD and activity,
+- incremental solving under assumptions with unsat-core extraction.
+
+The feature switches (``enable_vsids``, ``enable_learning``,
+``enable_restarts``, ``enable_phase_saving``) exist so the ablation
+benchmarks can quantify what each heuristic buys (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.errors import BudgetExceededError, SolverStateError
+from repro.sat.clause import Clause
+from repro.sat.literals import check_clause, check_literal, var_of
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+def luby(i: int) -> int:
+    """Return the *i*-th element (1-indexed) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    if i < 1:
+        raise ValueError(f"Luby sequence is 1-indexed, got {i}")
+    x = i - 1  # the classic recurrence is 0-based
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over the lifetime of a :class:`Solver`."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learnt_clauses: int = 0
+    deleted_clauses: int = 0
+    minimized_literals: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learnt_clauses": self.learnt_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "minimized_literals": self.minimized_literals,
+        }
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a :meth:`Solver.solve_limited` call.
+
+    ``satisfiable`` is ``None`` when the conflict budget ran out before a
+    verdict was reached.
+    """
+
+    satisfiable: bool | None
+    model: dict[int, bool] | None = None
+    core: list[int] | None = None
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+class Solver:
+    """CDCL SAT solver over DIMACS-style integer literals.
+
+    Typical use::
+
+        s = Solver()
+        a, b, c = (s.new_var() for _ in range(3))
+        s.add_clause([a, b])
+        s.add_clause([-a, c])
+        if s.solve():
+            print(s.value(c))
+
+    The solver is incremental: clauses may be added between ``solve()``
+    calls, and ``solve(assumptions=[...])`` checks satisfiability under a
+    temporary set of literal assumptions. After an unsatisfiable
+    assumption-based call, :meth:`unsat_core` returns the subset of
+    assumptions responsible.
+    """
+
+    def __init__(
+        self,
+        enable_vsids: bool = True,
+        enable_learning: bool = True,
+        enable_restarts: bool = True,
+        enable_phase_saving: bool = True,
+        restart_base: int = 100,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        proof_logging: bool = False,
+    ):
+        self._num_vars = 0
+        # Indexed by variable (1-based); slot 0 unused.
+        self._assign: list[int] = [0]  # 0 unassigned, +1 true, -1 false
+        self._level: list[int] = [0]
+        self._reason: list[Clause | None] = [None]
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._watches: dict[int, list[Clause]] = {}
+        self._clauses: list[Clause] = []
+        self._learnts: list[Clause] = []
+        self._order_heap: list[tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._var_decay = var_decay
+        self._clause_decay = clause_decay
+        self._max_learnts = 1000.0
+        self._unsat = False
+        self._model: dict[int, bool] | None = None
+        self._core: list[int] | None = None
+        self._enable_vsids = enable_vsids
+        self._enable_learning = enable_learning
+        self._enable_restarts = enable_restarts
+        self._enable_phase_saving = enable_phase_saving
+        self._restart_base = restart_base
+        self.stats = SolverStats()
+        if proof_logging:
+            from repro.sat.drat import Proof
+
+            self.proof: "Proof | None" = Proof()
+        else:
+            self.proof = None
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables allocated so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learnt) clauses currently stored."""
+        return len(self._clauses)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return it (a positive int)."""
+        self._num_vars += 1
+        v = self._num_vars
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        heapq.heappush(self._order_heap, (0.0, v))
+        return v
+
+    def new_vars(self, n: int) -> list[int]:
+        """Allocate *n* fresh variables and return them."""
+        return [self.new_var() for _ in range(n)]
+
+    def ensure_vars(self, max_var: int) -> None:
+        """Allocate variables until *max_var* exists."""
+        while self._num_vars < max_var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; return ``False`` if the formula became trivially unsat.
+
+        Duplicates are removed and tautological clauses silently dropped.
+        Literals already false at the root level are stripped; a clause
+        emptied this way marks the formula unsatisfiable.
+        """
+        if self._trail_lim:
+            raise SolverStateError("clauses may only be added at decision level 0")
+        if self._unsat:
+            return False
+        lits = check_clause(lits, self._num_vars)
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology: trivially satisfied
+            if lit in seen:
+                continue
+            val = self._value_lit(lit)
+            if val is True:
+                return True  # satisfied at root level
+            if val is False:
+                continue  # falsified at root level: drop the literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._unsat = True
+            if self.proof is not None:
+                self.proof.add([])
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            if self._propagate() is not None:
+                self._unsat = True
+                if self.proof is not None:
+                    self.proof.add([])
+                return False
+            return True
+        clause = Clause(out, learnt=False)
+        self._clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def add_clauses(self, clause_list: Iterable[Iterable[int]]) -> bool:
+        """Add many clauses; return ``False`` once trivially unsat."""
+        ok = True
+        for lits in clause_list:
+            ok = self.add_clause(lits) and ok
+        return ok
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability (under optional *assumptions*).
+
+        Returns ``True`` when a model exists; it is then available via
+        :meth:`value` and :meth:`model`. Returns ``False`` otherwise; when
+        assumptions were given, :meth:`unsat_core` names the culprits.
+        """
+        result = self.solve_limited(assumptions, conflict_budget=None)
+        assert result.satisfiable is not None
+        return result.satisfiable
+
+    def solve_limited(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+    ) -> SolveResult:
+        """Like :meth:`solve` but bounded by a conflict budget.
+
+        ``satisfiable`` is ``None`` in the result when the budget ran out.
+        """
+        for lit in assumptions:
+            check_literal(lit, self._num_vars)
+        self._model = None
+        self._core = None
+        if self._unsat:
+            self._core = []
+            return SolveResult(False, core=[], stats=self.stats.as_dict())
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            self._core = []
+            if self.proof is not None:
+                self.proof.add([])
+            return SolveResult(False, core=[], stats=self.stats.as_dict())
+
+        assumptions = list(assumptions)
+        spent = 0
+        attempt = 0
+        status: bool | None = None
+        while status is None:
+            attempt += 1
+            if self._enable_restarts:
+                budget = luby(attempt) * self._restart_base
+            else:
+                budget = None
+            if conflict_budget is not None:
+                remaining = conflict_budget - spent
+                if remaining <= 0:
+                    break
+                budget = remaining if budget is None else min(budget, remaining)
+            status, used = self._search(budget, assumptions)
+            spent += used
+            if status is None:
+                self.stats.restarts += 1
+                self._cancel_until(0)
+        self._cancel_until(0)
+        return SolveResult(
+            satisfiable=status,
+            model=dict(self._model) if self._model is not None else None,
+            core=list(self._core) if self._core is not None else None,
+            stats=self.stats.as_dict(),
+        )
+
+    def solve_or_raise(
+        self, assumptions: Sequence[int] = (), conflict_budget: int | None = None
+    ) -> bool:
+        """Like :meth:`solve_limited` but raising on budget exhaustion."""
+        result = self.solve_limited(assumptions, conflict_budget)
+        if result.satisfiable is None:
+            raise BudgetExceededError(
+                f"no verdict within {conflict_budget} conflicts"
+            )
+        return result.satisfiable
+
+    def value(self, lit: int) -> bool | None:
+        """Truth value of *lit* in the most recent model (None if unassigned)."""
+        if self._model is None:
+            raise SolverStateError("no model available; call solve() first")
+        v = var_of(lit)
+        if v not in self._model:
+            return None
+        val = self._model[v]
+        return val if lit > 0 else not val
+
+    def model(self) -> dict[int, bool]:
+        """The most recent model, as a ``{variable: bool}`` mapping."""
+        if self._model is None:
+            raise SolverStateError("no model available; call solve() first")
+        return dict(self._model)
+
+    def unsat_core(self) -> list[int]:
+        """Assumption literals responsible for the last UNSAT answer."""
+        if self._core is None:
+            raise SolverStateError(
+                "no unsat core available; the last solve() call must have "
+                "returned False under assumptions"
+            )
+        return list(self._core)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _value_lit(self, lit: int) -> bool | None:
+        val = self._assign[var_of(lit)]
+        if val == 0:
+            return None
+        return (val > 0) == (lit > 0)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _watch(self, clause: Clause) -> None:
+        self._watches.setdefault(clause.lits[0], []).append(clause)
+        self._watches.setdefault(clause.lits[1], []).append(clause)
+
+    def _enqueue(self, lit: int, reason: Clause | None) -> None:
+        v = var_of(lit)
+        self._assign[v] = 1 if lit > 0 else -1
+        self._level[v] = self._decision_level()
+        self._reason[v] = reason
+        if self._enable_phase_saving:
+            self._phase[v] = lit > 0
+        self._trail.append(lit)
+
+    def _propagate(self) -> Clause | None:
+        """Unit propagation; return a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = -p
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            kept: list[Clause] = []
+            conflict: Clause | None = None
+            for idx, clause in enumerate(watchers):
+                if clause.deleted:
+                    continue
+                lits = clause.lits
+                # Ensure the false literal sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value_lit(first) is True:
+                    kept.append(clause)
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value_lit(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                kept.append(clause)
+                if self._value_lit(first) is False:
+                    conflict = clause
+                    kept.extend(
+                        c for c in watchers[idx + 1:] if not c.deleted
+                    )
+                    self._qhead = len(self._trail)
+                    break
+                self._enqueue(first, clause)
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            v = var_of(lit)
+            self._assign[v] = 0
+            self._reason[v] = None
+            heapq.heappush(self._order_heap, (-self._activity[v], v))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decide_var(self) -> int | None:
+        if self._enable_vsids:
+            heap = self._order_heap
+            while heap:
+                _, v = heapq.heappop(heap)
+                if self._assign[v] == 0:
+                    return v
+            # Heap exhausted by stale entries: fall through to linear scan.
+        for v in range(1, self._num_vars + 1):
+            if self._assign[v] == 0:
+                return v
+        return None
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > _RESCALE_LIMIT:
+            for u in range(1, self._num_vars + 1):
+                self._activity[u] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            self._rebuild_heap()
+        elif self._assign[v] == 0:
+            heapq.heappush(self._order_heap, (-self._activity[v], v))
+
+    def _rebuild_heap(self) -> None:
+        self._order_heap = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] == 0
+        ]
+        heapq.heapify(self._order_heap)
+
+    def _bump_clause(self, clause: Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > _RESCALE_LIMIT:
+            for c in self._learnts:
+                c.activity *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._clause_decay
+
+    def _analyze(self, confl: Clause) -> tuple[list[int], int, int]:
+        """First-UIP conflict analysis.
+
+        Returns ``(learnt_clause, backjump_level, lbd)`` where the asserting
+        literal is at position 0 of the learnt clause.
+        """
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        p: int | None = None
+        index = len(self._trail) - 1
+        cur_level = self._decision_level()
+        while True:
+            if confl.learnt:
+                self._bump_clause(confl)
+            for q in confl.lits:
+                v = var_of(q)
+                if v in seen or self._level[v] == 0:
+                    continue
+                seen.add(v)
+                self._bump_var(v)
+                if self._level[v] >= cur_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Walk back to the next marked literal on the trail.
+            while var_of(self._trail[index]) not in seen:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var_of(p)]
+            assert reason is not None, "non-decision literal must have a reason"
+            confl = reason
+        learnt[0] = -p
+
+        learnt = self._minimize_learnt(learnt, seen)
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            # Move the literal with the highest level to position 1.
+            max_i = max(
+                range(1, len(learnt)), key=lambda i: self._level[var_of(learnt[i])]
+            )
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[var_of(learnt[1])]
+        lbd = len({self._level[var_of(lit)] for lit in learnt})
+        return learnt, back_level, lbd
+
+    def _minimize_learnt(self, learnt: list[int], seen: set[int]) -> list[int]:
+        """Drop literals implied by the rest of the clause (local check)."""
+        out = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self._reason[var_of(lit)]
+            if reason is None:
+                out.append(lit)
+                continue
+            redundant = all(
+                var_of(q) in seen or self._level[var_of(q)] == 0
+                for q in reason.lits
+                if var_of(q) != var_of(lit)
+            )
+            if redundant:
+                self.stats.minimized_literals += 1
+            else:
+                out.append(lit)
+        return out
+
+    def _record_learnt(self, learnt: list[int], lbd: int) -> None:
+        if self.proof is not None:
+            self.proof.add(learnt)
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = Clause(list(learnt), learnt=True)
+        clause.lbd = lbd
+        clause.activity = self._cla_inc
+        if self._enable_learning:
+            self._learnts.append(clause)
+            self._watch(clause)
+            self.stats.learnt_clauses += 1
+            self._enqueue(learnt[0], clause)
+        else:
+            # Ablation mode: use the clause to drive the backjump assertion
+            # but do not retain it.
+            self._enqueue(learnt[0], clause)
+
+    def _reduce_db(self) -> None:
+        """Discard the least useful half of the learnt clauses."""
+        self._learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        keep_from = len(self._learnts) // 2
+        kept: list[Clause] = []
+        for i, clause in enumerate(self._learnts):
+            is_reason = (
+                self._reason[var_of(clause.lits[0])] is clause
+            )
+            if i < keep_from or len(clause.lits) <= 2 or is_reason:
+                kept.append(clause)
+            else:
+                clause.deleted = True
+                self.stats.deleted_clauses += 1
+                if self.proof is not None:
+                    self.proof.delete(clause.lits)
+        self._learnts = kept
+
+    def _search(
+        self, budget: int | None, assumptions: list[int]
+    ) -> tuple[bool | None, int]:
+        """Run CDCL until SAT, UNSAT, or *budget* conflicts; return status+used."""
+        conflicts = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                conflicts += 1
+                self.stats.conflicts += 1
+                if self._decision_level() == 0:
+                    # Learnt clauses never rely on assumptions being true, so
+                    # a root-level conflict means the formula itself is unsat.
+                    self._unsat = True
+                    self._core = []
+                    if self.proof is not None:
+                        self.proof.add([])
+                    return False, conflicts
+                learnt, back_level, lbd = self._analyze(confl)
+                self._cancel_until(back_level)
+                self._record_learnt(learnt, lbd)
+                self._decay_activities()
+                if budget is not None and conflicts >= budget:
+                    return None, conflicts
+                continue
+            if len(self._learnts) > self._max_learnts + len(self._trail):
+                self._reduce_db()
+                self._max_learnts *= 1.05
+            level = self._decision_level()
+            if level < len(assumptions):
+                p = assumptions[level]
+                val = self._value_lit(p)
+                if val is True:
+                    self._new_decision_level()
+                    continue
+                if val is False:
+                    self._core = self._analyze_final(p)
+                    return False, conflicts
+                self._new_decision_level()
+                self._enqueue(p, None)
+                continue
+            v = self._decide_var()
+            if v is None:
+                self._model = {
+                    u: self._assign[u] > 0 for u in range(1, self._num_vars + 1)
+                }
+                return True, conflicts
+            self.stats.decisions += 1
+            self._new_decision_level()
+            self._enqueue(v if self._phase[v] else -v, None)
+
+    def _analyze_final(self, p: int) -> list[int]:
+        """Compute the set of assumptions responsible for falsifying *p*."""
+        core = [p]
+        if self._decision_level() == 0:
+            return core
+        seen = {var_of(p)}
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            q = self._trail[i]
+            v = var_of(q)
+            if v not in seen:
+                continue
+            reason = self._reason[v]
+            if reason is None:
+                if self._level[v] > 0:
+                    core.append(q)
+            else:
+                for lit in reason.lits:
+                    u = var_of(lit)
+                    if u != v and self._level[u] > 0:
+                        seen.add(u)
+        return core

@@ -1,0 +1,26 @@
+"""Lightweight SMT layer: bounded integer linear arithmetic over SAT.
+
+The reasoning engine needs just enough arithmetic for resource accounting —
+"the cores demanded by the selected systems must not exceed the cores the
+selected servers provide". This package provides bounded integer variables
+(:class:`IntVar`), linear expressions and comparisons over them, and a
+bit-blasting encoder (:class:`IntEncoder`) that compiles everything to CNF
+through ripple-carry adders and lexicographic comparators.
+
+All comparisons are *reified*: :meth:`IntEncoder.reify` returns a literal
+equivalent to the constraint, so conditional rules ("if Simon is deployed,
+SmartNIC memory use rises by X") compose with the Boolean layer.
+"""
+
+from repro.smt.encoder import IntEncoder
+from repro.smt.intervals import Interval, bounds_of
+from repro.smt.terms import IntVar, LinConstraint, LinExpr
+
+__all__ = [
+    "IntEncoder",
+    "Interval",
+    "IntVar",
+    "LinConstraint",
+    "LinExpr",
+    "bounds_of",
+]

@@ -1,0 +1,70 @@
+"""Interval (bounds) arithmetic for linear expressions.
+
+Used for two things: deriving the bit-widths needed when bit-blasting, and
+short-circuiting constraints that are trivially true or false from bounds
+alone — a cheap but effective preprocessing step before any clauses are
+generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smt.terms import LinConstraint, LinExpr
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def scale(self, factor: int) -> "Interval":
+        if factor >= 0:
+            return Interval(self.lo * factor, self.hi * factor)
+        return Interval(self.hi * factor, self.lo * factor)
+
+    def shift(self, offset: int) -> "Interval":
+        return Interval(self.lo + offset, self.hi + offset)
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+
+def bounds_of(expr: LinExpr) -> Interval:
+    """Tightest interval guaranteed to contain *expr*'s value."""
+    lo = hi = expr.const
+    for var, coeff in expr.coeffs.items():
+        term = Interval(var.lo, var.hi).scale(coeff)
+        lo += term.lo
+        hi += term.hi
+    return Interval(lo, hi)
+
+
+def trivially(constraint: LinConstraint) -> bool | None:
+    """Decide a constraint from bounds alone, or None if undetermined."""
+    iv = bounds_of(constraint.expr)
+    if constraint.op == "<=":
+        if iv.hi <= 0:
+            return True
+        if iv.lo > 0:
+            return False
+        return None
+    # ==
+    if iv.lo == 0 and iv.hi == 0:
+        return True
+    if not iv.contains(0):
+        return False
+    return None

@@ -1,0 +1,191 @@
+"""Integer terms: bounded variables, linear expressions, comparisons.
+
+``IntVar`` requires explicit finite bounds — the whole point of the
+*lightweight* reasoning engine is staying decidable (paper §3.4), and
+finite bounds keep every query in propositional logic.
+
+Arithmetic builds :class:`LinExpr` objects; comparing two expressions
+builds a :class:`LinConstraint` normalized to ``expr <= 0`` /
+``expr == 0`` form.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnboundedIntError
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff_i * var_i) + const``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: dict["IntVar", int] | None = None, const: int = 0):
+        self.coeffs: dict[IntVar, int] = dict(coeffs or {})
+        self.const = const
+
+    @staticmethod
+    def of(value: "IntVar | LinExpr | int") -> "LinExpr":
+        """Coerce an int or IntVar into a LinExpr."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, IntVar):
+            return LinExpr({value: 1})
+        if isinstance(value, int) and not isinstance(value, bool):
+            return LinExpr(const=value)
+        raise TypeError(f"cannot coerce {value!r} to a linear expression")
+
+    def _combine(self, other, sign: int) -> "LinExpr":
+        other = LinExpr.of(other)
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + sign * coeff
+            if coeffs[var] == 0:
+                del coeffs[var]
+        return LinExpr(coeffs, self.const + sign * other.const)
+
+    def __add__(self, other) -> "LinExpr":
+        return self._combine(other, 1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self._combine(other, -1)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr.of(other)._combine(self, -1)
+
+    def __mul__(self, factor: int) -> "LinExpr":
+        if not isinstance(factor, int) or isinstance(factor, bool):
+            raise TypeError("linear expressions can only be scaled by ints")
+        if factor == 0:
+            return LinExpr()
+        return LinExpr(
+            {v: c * factor for v, c in self.coeffs.items()}, self.const * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    # Comparisons produce constraints (so no __eq__ in the Python sense
+    # for LinExpr-vs-LinExpr identity; use `equals` for structural checks).
+
+    def __le__(self, other) -> "LinConstraint":
+        return LinConstraint(self - other, "<=")
+
+    def __ge__(self, other) -> "LinConstraint":
+        return LinConstraint(LinExpr.of(other) - self, "<=")
+
+    def __lt__(self, other) -> "LinConstraint":
+        return LinConstraint(self - other + 1, "<=")
+
+    def __gt__(self, other) -> "LinConstraint":
+        return LinConstraint(LinExpr.of(other) - self + 1, "<=")
+
+    def eq(self, other) -> "LinConstraint":
+        """Constraint ``self == other``."""
+        return LinConstraint(self - other, "==")
+
+    def equals(self, other: "LinExpr") -> bool:
+        """Structural equality of expressions."""
+        other = LinExpr.of(other)
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def evaluate(self, values: dict["IntVar", int]) -> int:
+        """Evaluate under a variable assignment."""
+        return self.const + sum(c * values[v] for v, c in self.coeffs.items())
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.name}" for v, c in self.coeffs.items()]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+class IntVar:
+    """A named integer variable with inclusive finite bounds."""
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: str, lo: int, hi: int):
+        if not name:
+            raise ValueError("IntVar name must be non-empty")
+        if not isinstance(lo, int) or not isinstance(hi, int):
+            raise UnboundedIntError(f"bounds of {name} must be ints")
+        if lo > hi:
+            raise ValueError(f"IntVar {name}: lo {lo} > hi {hi}")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+
+    def __repr__(self) -> str:
+        return f"IntVar({self.name!r}, {self.lo}, {self.hi})"
+
+    def __hash__(self) -> int:
+        return hash(("intvar", self.name))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntVar) and self.name == other.name
+
+    # Arithmetic lifts to LinExpr.
+
+    def _expr(self) -> LinExpr:
+        return LinExpr({self: 1})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return LinExpr.of(other) - self._expr()
+
+    def __mul__(self, factor: int):
+        return self._expr() * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return -self._expr()
+
+    def __le__(self, other) -> "LinConstraint":
+        return self._expr() <= other
+
+    def __ge__(self, other) -> "LinConstraint":
+        return self._expr() >= other
+
+    def __lt__(self, other) -> "LinConstraint":
+        return self._expr() < other
+
+    def __gt__(self, other) -> "LinConstraint":
+        return self._expr() > other
+
+    def eq(self, other) -> "LinConstraint":
+        return self._expr().eq(other)
+
+
+class LinConstraint:
+    """A normalized linear constraint: ``expr <= 0`` or ``expr == 0``."""
+
+    __slots__ = ("expr", "op")
+
+    def __init__(self, expr: LinExpr, op: str):
+        if op not in ("<=", "=="):
+            raise ValueError(f"unsupported constraint op {op!r}")
+        self.expr = expr
+        self.op = op
+
+    def holds(self, values: dict[IntVar, int]) -> bool:
+        """Evaluate the constraint under an assignment."""
+        value = self.expr.evaluate(values)
+        return value <= 0 if self.op == "<=" else value == 0
+
+    def variables(self) -> set[IntVar]:
+        return set(self.expr.coeffs)
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} {self.op} 0)"

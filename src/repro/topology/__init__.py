@@ -1,0 +1,30 @@
+"""Datacenter topology substrate.
+
+The paper's flagship anecdote (§2.2, §3.4) is graph-theoretic: PFC is
+deadlock-free only without cyclic buffer dependencies; Microsoft believed
+up-down routing in their Clos fabric guaranteed acyclicity, but Ethernet
+flooding forwarded packets outside the up-down order and created a cycle.
+
+This package builds the machinery to reproduce that discovery from first
+principles: Clos/fat-tree/leaf-spine generators, valley-free up-down
+routing, flooding path enumeration, buffer-dependency-graph construction,
+and cycle detection — plus the bridge that turns a detected cycle into the
+``net::FLOODING``/``net::PFC_ENABLED`` facts the predicate-level rule
+checks (the "expert might have anticipated this" path).
+"""
+
+from repro.topology.clos import build_fat_tree, build_leaf_spine
+from repro.topology.graph import Topology
+from repro.topology.pfc import BufferDependencyGraph, find_cbd_cycles
+from repro.topology.routing import ecmp_paths, flooding_edges, up_down_paths
+
+__all__ = [
+    "BufferDependencyGraph",
+    "Topology",
+    "build_fat_tree",
+    "build_leaf_spine",
+    "ecmp_paths",
+    "find_cbd_cycles",
+    "flooding_edges",
+    "up_down_paths",
+]

@@ -1,0 +1,74 @@
+"""Clos-family topology generators.
+
+Two builders: the canonical k-ary fat tree (Al-Fares et al.) and a
+two-tier leaf-spine. Node names are structured ("pod0_edge1",
+"spine3") so tests and examples can reference positions directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+def build_fat_tree(k: int, hosts_per_edge: int | None = None) -> Topology:
+    """The k-ary fat tree: k pods, (k/2)^2 cores, k^2/2 edge + aggregation.
+
+    *k* must be even. Tiers: edge = 0, aggregation = 1, core = 2. By
+    default each edge switch gets its full k/2 hosts; pass
+    *hosts_per_edge* to scale the host count down for faster tests.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    if hosts_per_edge < 0 or hosts_per_edge > half:
+        raise TopologyError(
+            f"hosts_per_edge must be in [0, {half}], got {hosts_per_edge}"
+        )
+    topo = Topology(name=f"fat_tree_k{k}")
+    cores = [
+        topo.add_switch(f"core{i}_{j}", tier=2)
+        for i in range(half)
+        for j in range(half)
+    ]
+    for pod in range(k):
+        aggs = [
+            topo.add_switch(f"pod{pod}_agg{a}", tier=1) for a in range(half)
+        ]
+        edges = [
+            topo.add_switch(f"pod{pod}_edge{e}", tier=0) for e in range(half)
+        ]
+        for agg in aggs:
+            for edge in edges:
+                topo.add_link(agg, edge)
+        # Aggregation switch a connects to core row a.
+        for a, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, cores[a * half + j])
+        for e, edge in enumerate(edges):
+            for h in range(hosts_per_edge):
+                host = topo.add_host(f"pod{pod}_edge{e}_host{h}")
+                topo.add_link(edge, host)
+    topo.validate()
+    return topo
+
+
+def build_leaf_spine(
+    leaves: int, spines: int, hosts_per_leaf: int = 4
+) -> Topology:
+    """A two-tier leaf-spine fabric with full leaf-spine bipartite links."""
+    if leaves < 1 or spines < 1:
+        raise TopologyError("need at least one leaf and one spine")
+    topo = Topology(name=f"leaf_spine_{leaves}x{spines}")
+    spine_nodes = [topo.add_switch(f"spine{s}", tier=1) for s in range(spines)]
+    for leaf_index in range(leaves):
+        leaf = topo.add_switch(f"leaf{leaf_index}", tier=0)
+        for spine in spine_nodes:
+            topo.add_link(leaf, spine)
+        for h in range(hosts_per_leaf):
+            host = topo.add_host(f"leaf{leaf_index}_host{h}")
+            topo.add_link(leaf, host)
+    topo.validate()
+    return topo

@@ -1,0 +1,102 @@
+"""Topology model: typed nodes, tiered links, networkx-backed.
+
+Nodes are switches (with a tier: 0 = ToR/leaf, 1 = aggregation/spine,
+2 = core) or hosts (tier -1). Links are undirected; directed *port*
+references (u, v) identify the ingress buffer at v for traffic u->v,
+which is the granularity PFC pauses at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+HOST_TIER = -1
+
+
+@dataclass
+class Topology:
+    """An annotated datacenter network graph."""
+
+    graph: nx.Graph = field(default_factory=nx.Graph)
+    name: str = "topology"
+
+    def add_switch(self, node: str, tier: int) -> str:
+        if tier < 0:
+            raise TopologyError(f"switch tier must be >= 0, got {tier}")
+        self.graph.add_node(node, kind="switch", tier=tier)
+        return node
+
+    def add_host(self, node: str) -> str:
+        self.graph.add_node(node, kind="host", tier=HOST_TIER)
+        return node
+
+    def add_link(self, u: str, v: str, capacity_gbps: int = 100) -> None:
+        for node in (u, v):
+            if node not in self.graph:
+                raise TopologyError(f"unknown node {node!r}")
+        self.graph.add_edge(u, v, capacity_gbps=capacity_gbps)
+
+    def tier(self, node: str) -> int:
+        try:
+            return self.graph.nodes[node]["tier"]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
+
+    def is_switch(self, node: str) -> bool:
+        return self.graph.nodes[node].get("kind") == "switch"
+
+    def switches(self, tier: int | None = None) -> list[str]:
+        return [
+            n
+            for n, data in self.graph.nodes(data=True)
+            if data.get("kind") == "switch"
+            and (tier is None or data.get("tier") == tier)
+        ]
+
+    def hosts(self) -> list[str]:
+        return [
+            n
+            for n, data in self.graph.nodes(data=True)
+            if data.get("kind") == "host"
+        ]
+
+    def neighbors(self, node: str) -> list[str]:
+        return list(self.graph.neighbors(node))
+
+    def up_neighbors(self, node: str) -> list[str]:
+        """Adjacent switches strictly above this node's tier."""
+        mine = self.tier(node)
+        return [
+            n for n in self.graph.neighbors(node)
+            if self.is_switch(n) and self.tier(n) > mine
+        ]
+
+    def down_neighbors(self, node: str) -> list[str]:
+        """Adjacent nodes strictly below this node's tier (incl. hosts)."""
+        mine = self.tier(node)
+        return [n for n in self.graph.neighbors(node) if self.tier(n) < mine]
+
+    def validate(self) -> None:
+        """Sanity checks: connectivity, hosts only at ToR."""
+        if self.graph.number_of_nodes() == 0:
+            raise TopologyError("topology is empty")
+        if not nx.is_connected(self.graph):
+            raise TopologyError("topology is not connected")
+        for host in self.hosts():
+            for neighbor in self.graph.neighbors(host):
+                if not self.is_switch(neighbor) or self.tier(neighbor) != 0:
+                    raise TopologyError(
+                        f"host {host!r} must attach to tier-0 switches only"
+                    )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "switches": len(self.switches()),
+            "hosts": len(self.hosts()),
+            "links": self.graph.number_of_edges(),
+            "tiers": len({self.tier(s) for s in self.switches()}),
+        }

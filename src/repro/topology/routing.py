@@ -1,0 +1,117 @@
+"""Routing path computation: valley-free up-down, ECMP sets, flooding.
+
+Up-down (valley-free) routing is the invariant Microsoft relied on for
+PFC safety: a packet climbs tiers monotonically, turns around once, and
+descends monotonically — which provably yields an acyclic buffer
+dependency graph. Ethernet flooding ignores that discipline: a flooded
+frame leaves on every port except its ingress, producing down-then-up
+turns that the invariant forbids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+def up_down_paths(
+    topo: Topology, src_host: str, dst_host: str, limit: int | None = None
+) -> list[list[str]]:
+    """All valley-free paths between two hosts (up* , turn, down*).
+
+    Paths are node sequences including the endpoint hosts. *limit* bounds
+    the enumeration for very wide fabrics.
+    """
+    if topo.tier(src_host) != -1 or topo.tier(dst_host) != -1:
+        raise TopologyError("up_down_paths expects host endpoints")
+    if src_host == dst_host:
+        return [[src_host]]
+    out: list[list[str]] = []
+    for path in _up_down_iter(topo, src_host, dst_host):
+        out.append(path)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def _up_down_iter(
+    topo: Topology, src_host: str, dst_host: str
+) -> Iterator[list[str]]:
+    # Downward reachability: switches from which dst is reachable going
+    # strictly down, with the descending paths themselves.
+    down_paths: dict[str, list[list[str]]] = {dst_host: [[dst_host]]}
+    frontier = [dst_host]
+    while frontier:
+        nxt: list[str] = []
+        for node in frontier:
+            node_tier = topo.tier(node)
+            for up in topo.neighbors(node):
+                if not topo.is_switch(up) or topo.tier(up) <= node_tier:
+                    continue
+                fresh = [[up] + p for p in down_paths[node]]
+                if up in down_paths:
+                    down_paths[up].extend(fresh)
+                else:
+                    down_paths[up] = fresh
+                    nxt.append(up)
+        frontier = nxt
+    # Upward walk from src; at every switch, optionally turn around.
+    stack: list[list[str]] = [[src_host]]
+    while stack:
+        path = stack.pop()
+        node = path[-1]
+        if topo.is_switch(node):
+            for descent in down_paths.get(node, []):
+                if descent[-1] == dst_host and len(descent) > 1:
+                    candidate = path + descent[1:]
+                    if len(set(candidate)) == len(candidate):
+                        yield candidate
+        node_tier = topo.tier(node)
+        for up in topo.neighbors(node):
+            if topo.is_switch(up) and topo.tier(up) > node_tier:
+                stack.append(path + [up])
+
+
+def ecmp_paths(
+    topo: Topology, src_host: str, dst_host: str
+) -> list[list[str]]:
+    """The equal-cost path set ECMP hashes over (shortest up-down paths)."""
+    paths = up_down_paths(topo, src_host, dst_host)
+    if not paths:
+        return []
+    shortest = min(len(p) for p in paths)
+    return [p for p in paths if len(p) == shortest]
+
+
+def flooding_edges(topo: Topology) -> list[tuple[str, str, str]]:
+    """Turn triples (a, b, c) a flooded frame can traverse at switch b.
+
+    Flooding forwards out of every port except the ingress, so every
+    in/out port pair at every switch is a possible consecutive hop —
+    including the down-then-up turns that up-down routing forbids.
+    """
+    turns: list[tuple[str, str, str]] = []
+    for switch in topo.switches():
+        neighbors = topo.neighbors(switch)
+        for a in neighbors:
+            for c in neighbors:
+                if a != c:
+                    turns.append((a, switch, c))
+    return turns
+
+
+def is_valley_free(topo: Topology, path: list[str]) -> bool:
+    """Check the up*-turn-down* discipline for a switch/host node path."""
+    tiers = [topo.tier(n) for n in path]
+    descending = False
+    for prev, cur in zip(tiers, tiers[1:]):
+        if cur > prev:
+            if descending:
+                return False
+        elif cur < prev:
+            descending = True
+        else:
+            return False  # same-tier hop is never valley-free in a Clos
+    return True

@@ -1,0 +1,215 @@
+"""Hop-by-hop PFC forwarding simulation.
+
+The cycle detector (:mod:`repro.topology.pfc`) shows a deadlock is
+*possible*; this module shows it actually *happens*. A synchronous
+store-and-forward simulation with per-ingress-buffer occupancy and PFC
+pause (a buffer that is full pauses its upstream sender): route a set of
+flows, tick until quiescent, and observe either all packets delivered or
+a set of buffers frozen full forever — the production symptom of the
+Microsoft incident.
+
+The model is deliberately small: unit-size packets, single-packet
+service per buffer per tick, fixed routes. It is a demonstration
+substrate, not a performance simulator (the paper's engine would never
+model this level of detail — that is exactly its point).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+#: A directed link (u, v): the ingress buffer at v fed by u.
+Buffer = tuple[str, str]
+
+
+@dataclass
+class Flow:
+    """A stream of unit packets along a fixed node path."""
+
+    name: str
+    path: list[str]
+    packets: int
+
+    def __post_init__(self):
+        if len(self.path) < 2:
+            raise TopologyError(f"flow {self.name}: path too short")
+        if self.packets < 1:
+            raise TopologyError(f"flow {self.name}: needs >= 1 packet")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a PFC forwarding simulation."""
+
+    delivered: int
+    total: int
+    ticks: int
+    deadlocked: bool
+    #: Buffers full at quiescence (the frozen cycle, if any).
+    stuck_buffers: list[Buffer] = field(default_factory=list)
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered == self.total
+
+    def summary(self) -> str:
+        status = "DEADLOCK" if self.deadlocked else "completed"
+        lines = [
+            f"PFC simulation {status}: {self.delivered}/{self.total} "
+            f"packets delivered in {self.ticks} ticks",
+        ]
+        if self.stuck_buffers:
+            frozen = ", ".join(f"{u}->{v}" for u, v in self.stuck_buffers)
+            lines.append(f"  frozen buffers: {frozen}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Packet:
+    flow: str
+    route: list[str]
+    hop: int  # index into route: currently queued at route[hop]'s ingress
+
+
+class PfcNetwork:
+    """The simulation state machine."""
+
+    def __init__(
+        self, topo: Topology, buffer_slots: int = 2, pfc_enabled: bool = True
+    ):
+        if buffer_slots < 1:
+            raise TopologyError("buffers need at least one slot")
+        self.topo = topo
+        self.buffer_slots = buffer_slots
+        self.pfc_enabled = pfc_enabled
+        self.buffers: dict[Buffer, deque[_Packet]] = {}
+        self.delivered = 0
+        self.dropped = 0
+        self.total = 0
+
+    def _buffer(self, u: str, v: str) -> deque[_Packet]:
+        return self.buffers.setdefault((u, v), deque())
+
+    def inject(self, flow: Flow) -> None:
+        """Queue all of a flow's packets at its first-hop ingress buffer."""
+        first, second = flow.path[0], flow.path[1]
+        for _ in range(flow.packets):
+            self.total += 1
+            self._buffer(first, second).append(
+                _Packet(flow=flow.name, route=flow.path, hop=1)
+            )
+
+    def _paused(self, buffer: Buffer) -> bool:
+        """PFC: a full buffer pauses its upstream sender."""
+        return (
+            self.pfc_enabled
+            and len(self.buffers.get(buffer, ())) >= self.buffer_slots
+        )
+
+    def tick(self) -> int:
+        """One synchronous forwarding round; returns packets that moved.
+
+        Each ingress buffer forwards at most its head packet per tick,
+        and only if the next-hop ingress buffer is not asserting pause.
+        Moves are computed against the tick-start state (synchronous
+        update), which is what lets a dependency cycle freeze solid.
+        """
+        moves: list[tuple[Buffer, Buffer | None]] = []
+        occupancy = {b: len(q) for b, q in self.buffers.items()}
+        claimed: dict[Buffer, int] = {}
+        for buffer in sorted(self.buffers):
+            queue = self.buffers[buffer]
+            if not queue:
+                continue
+            packet = queue[0]
+            here = packet.route[packet.hop]
+            if packet.hop == len(packet.route) - 1:
+                moves.append((buffer, None))  # egress to the end host
+                continue
+            nxt = packet.route[packet.hop + 1]
+            target = (here, nxt)
+            projected = (
+                occupancy.get(target, 0) + claimed.get(target, 0)
+            )
+            if self.pfc_enabled and projected >= self.buffer_slots:
+                continue  # paused
+            if not self.pfc_enabled and projected >= self.buffer_slots:
+                # Lossy network: the packet is dropped instead of pausing.
+                moves.append((buffer, ("DROP", "DROP")))
+                continue
+            claimed[target] = claimed.get(target, 0) + 1
+            moves.append((buffer, target))
+        for source, target in moves:
+            packet = self.buffers[source].popleft()
+            if target is None:
+                self.delivered += 1
+            elif target == ("DROP", "DROP"):
+                self.dropped += 1
+            else:
+                packet.hop += 1
+                self._buffer(*target).append(packet)
+        return len(moves)
+
+    def in_flight(self) -> int:
+        return sum(len(q) for q in self.buffers.values())
+
+    def full_buffers(self) -> list[Buffer]:
+        return sorted(
+            b for b, q in self.buffers.items()
+            if len(q) >= self.buffer_slots
+        )
+
+
+def simulate(
+    topo: Topology,
+    flows: list[Flow],
+    buffer_slots: int = 2,
+    pfc_enabled: bool = True,
+    max_ticks: int = 10_000,
+) -> SimulationResult:
+    """Run flows to completion or quiescence."""
+    net = PfcNetwork(topo, buffer_slots=buffer_slots,
+                     pfc_enabled=pfc_enabled)
+    for flow in flows:
+        net.inject(flow)
+    ticks = 0
+    while net.in_flight() and ticks < max_ticks:
+        moved = net.tick()
+        ticks += 1
+        if moved == 0:
+            # Quiescent with packets still queued: every head packet is
+            # paused by a full downstream buffer — deadlock.
+            return SimulationResult(
+                delivered=net.delivered,
+                total=net.total,
+                ticks=ticks,
+                deadlocked=True,
+                stuck_buffers=net.full_buffers(),
+            )
+    return SimulationResult(
+        delivered=net.delivered,
+        total=net.total,
+        ticks=ticks,
+        deadlocked=False,
+    )
+
+
+def cyclic_flow_set(loop: list[str], packets: int = 4) -> list[Flow]:
+    """Flows whose routes chase each other around *loop*.
+
+    Builds one flow per loop edge, each travelling most of the way around
+    the cycle — the traffic pattern flooding makes possible and up-down
+    routing forbids. With small buffers these flows deadlock under PFC.
+    """
+    if len(loop) < 3:
+        raise TopologyError("a buffer cycle needs at least 3 nodes")
+    flows = []
+    n = len(loop)
+    for i in range(n):
+        path = [loop[(i + j) % n] for j in range(n)]
+        flows.append(Flow(name=f"loop{i}", path=path, packets=packets))
+    return flows

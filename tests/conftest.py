@@ -1,0 +1,96 @@
+"""Shared fixtures: small deterministic knowledge bases and helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.system import System
+from repro.kb.dsl import ctx, prop
+from repro.logic.ast import TRUE
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    """Reference satisfiability by enumeration (tiny instances only)."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def random_clauses(
+    rng: random.Random, num_vars: int, num_clauses: int, max_len: int = 3
+) -> list[list[int]]:
+    """A random clause set over 1..num_vars."""
+    clauses = []
+    for _ in range(num_clauses):
+        k = rng.randint(1, min(max_len, num_vars))
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clauses.append([v * rng.choice([1, -1]) for v in variables])
+    return clauses
+
+
+@pytest.fixture
+def tiny_kb() -> KnowledgeBase:
+    """A minimal KB: two stacks, one monitor, matching hardware."""
+    kb = KnowledgeBase()
+    kb.add_system(System(
+        name="StackA",
+        category="network_stack",
+        solves=["packet_processing"],
+        requires=TRUE,
+    ))
+    kb.add_system(System(
+        name="StackB",
+        category="network_stack",
+        solves=["packet_processing"],
+        requires=prop("nic", "INTERRUPT_POLLING"),
+    ))
+    kb.add_system(System(
+        name="Monitor",
+        category="monitoring",
+        solves=["detect_queue_length"],
+        requires=prop("nic", "NIC_TIMESTAMPS"),
+    ))
+    kb.add_hardware(Hardware(
+        spec=NICSpec(model="PlainNIC", rate_gbps=25, power_w=10,
+                     cost_usd=200, interrupt_polling=False),
+        max_units=8,
+    ))
+    kb.add_hardware(Hardware(
+        spec=NICSpec(model="FancyNIC", rate_gbps=100, power_w=20,
+                     cost_usd=900, timestamps=True, interrupt_polling=True),
+        max_units=8,
+    ))
+    kb.add_hardware(Hardware(
+        spec=ServerSpec(model="Box", cores=32, mem_gb=128, power_w=400,
+                        cost_usd=5000),
+        max_units=8,
+    ))
+    kb.add_hardware(Hardware(
+        spec=SwitchSpec(model="Tor", port_gbps=100, ports=32, memory_mb=16,
+                        power_w=500, cost_usd=20000),
+        max_units=4,
+    ))
+    return kb
+
+
+@pytest.fixture
+def resource_kb(tiny_kb: KnowledgeBase) -> KnowledgeBase:
+    """tiny_kb plus a core-hungry system for resource tests."""
+    tiny_kb.add_system(System(
+        name="CoreHog",
+        category="monitoring",
+        solves=["flow_telemetry"],
+        requires=TRUE,
+        resources=[ResourceDemand("cpu_cores", fixed=100)],
+    ))
+    return tiny_kb

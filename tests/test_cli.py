@@ -1,0 +1,180 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sat.dimacs import write_dimacs
+
+
+class TestStats:
+    def test_stats_prints_counts(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "systems" in out
+        assert "hardware" in out
+
+
+class TestValidate:
+    def test_validate_clean_kb(self, capsys):
+        assert main(["validate"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_stdout_is_json(self, capsys):
+        assert main(["export"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["systems"]) > 50
+
+    def test_export_to_file(self, tmp_path, capsys):
+        target = tmp_path / "kb.json"
+        assert main(["export", "-o", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["hardware"]) >= 200
+
+
+class TestOrderings:
+    def test_figure1_from_terminal(self, capsys):
+        assert main(["orderings", "throughput",
+                     "--ctx", "network_load_ge_40g"]) == 0
+        out = capsys.readouterr().out
+        assert "NetChannel > Linux" in out
+
+    def test_no_active_edges(self, capsys):
+        # 'fairness' has only context-conditioned edges; with no context
+        # flags set, nothing is active.
+        assert main(["orderings", "fairness"]) == 0
+        assert "no active edges" in capsys.readouterr().out
+
+    def test_feat_flag(self, capsys):
+        assert main(["orderings", "throughput",
+                     "--feat", "Snap::pony"]) == 0
+        assert "Snap > ZygOS" in capsys.readouterr().out
+
+    def test_unknown_dimension(self, capsys):
+        assert main(["orderings", "vibes"]) == 2
+        assert "unknown dimension" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_sat_instance(self, tmp_path, capsys):
+        cnf = tmp_path / "sat.cnf"
+        cnf.write_text(write_dimacs(2, [[1, 2], [-1]]))
+        assert main(["solve", str(cnf)]) == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert "v " in out
+
+    def test_unsat_instance(self, tmp_path, capsys):
+        cnf = tmp_path / "unsat.cnf"
+        cnf.write_text(write_dimacs(1, [[1], [-1]]))
+        assert main(["solve", str(cnf)]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_proof_emitted_and_verifies(self, tmp_path, capsys):
+        from repro.sat.dimacs import parse_dimacs
+        from repro.sat.drat import Proof, check_rup_proof
+
+        cnf = tmp_path / "unsat.cnf"
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+        cnf.write_text(write_dimacs(2, clauses))
+        proof_path = tmp_path / "proof.drat"
+        assert main(["solve", str(cnf), "--proof", str(proof_path)]) == 20
+        text = proof_path.read_text()
+        steps = []
+        for line in text.splitlines():
+            toks = line.split()
+            if toks[0] == "d":
+                steps.append(("d", [int(t) for t in toks[1:-1]]))
+            else:
+                steps.append(("a", [int(t) for t in toks[:-1]]))
+        assert check_rup_proof(clauses, Proof(steps=steps))
+
+    def test_model_satisfies(self, tmp_path, capsys):
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [2]]
+        cnf = tmp_path / "x.cnf"
+        cnf.write_text(write_dimacs(3, clauses))
+        assert main(["solve", str(cnf)]) == 10
+        line = [
+            ln for ln in capsys.readouterr().out.splitlines()
+            if ln.startswith("v ")
+        ][0]
+        lits = {int(tok) for tok in line[2:].split() if tok != "0"}
+        for clause in clauses:
+            assert any(lit in lits for lit in clause)
+
+
+class TestPlan:
+    def _request_payload(self):
+        return {
+            "workloads": [{
+                "name": "app",
+                "objectives": ["packet_processing", "bandwidth_allocation"],
+                "peak_cores": 64,
+            }],
+            "context": {"datacenter_fabric": True},
+            "inventory": {
+                "SRV-G2-64C-256G": 16,
+                "STD-100G-TS-IP": 64,
+                "FF-100G-32P": 4,
+            },
+            "optimize": ["capex_usd"],
+        }
+
+    def test_plan_feasible(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(self._request_payload()))
+        assert main(["plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT: feasible." in out
+        assert "Bill of materials:" in out
+
+    def test_plan_with_explanations(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(self._request_payload()))
+        assert main(["plan", str(path), "--explain"]) == 0
+        assert "Justifications" in capsys.readouterr().out
+
+    def test_plan_infeasible_exit_code(self, tmp_path, capsys):
+        import json
+
+        payload = self._request_payload()
+        payload["workloads"][0]["objectives"].append("teleportation")
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(payload))
+        assert main(["plan", str(path)]) == 3
+        assert "no compliant design exists" in capsys.readouterr().out
+
+
+class TestRequestRoundtrip:
+    def test_design_request_json_roundtrip(self):
+        from repro.core.design import DesignRequest
+        from repro.kb.workload import Workload
+
+        request = DesignRequest(
+            workloads=[Workload(name="w", objectives=["x"], peak_cores=3)],
+            context={"a": True},
+            given_properties=["site::RESEARCH_OK"],
+            candidate_systems=["Linux"],
+            required_systems=["Linux"],
+            budgets={"capex_usd": 10},
+            optimize=["latency"],
+            include_common_sense=False,
+        )
+        clone = DesignRequest.from_dict(request.to_dict())
+        assert clone.to_dict() == request.to_dict()
+        assert clone.exclusive_categories == request.exclusive_categories
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,216 @@
+"""Unit tests for the grounding internals (core/compile.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compile import compile_design
+from repro.core.design import DesignRequest
+from repro.errors import QueryError, UnknownEntityError
+from repro.kb.dsl import ctx, feat, obj, prop, wl
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.rules import Rule
+from repro.kb.system import Feature, System
+from repro.kb.workload import Workload
+from repro.logic.ast import Implies, Not
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_system(System(
+        name="S", category="network_stack", solves=["packet_processing"],
+        provides=["net::OVERLAY_ENCAP"],
+    ))
+    kb.add_system(System(
+        name="M", category="monitoring", solves=["telemetry"],
+        requires=prop("nic", "NIC_TIMESTAMPS"),
+        features=[Feature("deep", requires=ctx("deep_allowed"))],
+    ))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="TsNIC", rate_gbps=25, power_w=5, cost_usd=400,
+        timestamps=True,
+    ), max_units=4))
+    kb.add_hardware(Hardware(spec=ServerSpec(
+        model="Box", cores=16, mem_gb=64, power_w=200, cost_usd=3_000,
+    ), max_units=4))
+    kb.add_hardware(Hardware(spec=SwitchSpec(
+        model="Sw", port_gbps=100, ports=32, memory_mb=16, power_w=300,
+        cost_usd=7_000,
+    ), max_units=2))
+    return kb
+
+
+def _request(**kwargs) -> DesignRequest:
+    defaults = dict(workloads=[Workload(
+        name="w", properties=["short_flows"],
+        objectives=["packet_processing"],
+    )])
+    defaults.update(kwargs)
+    return DesignRequest(**defaults)
+
+
+class TestVariableGrounding:
+    def test_sys_vars_allocated_per_candidate(self):
+        compiled = compile_design(_kb(), _request())
+        assert set(compiled.sys_lits) == {"S", "M"}
+
+    def test_candidate_restriction(self):
+        compiled = compile_design(
+            _kb(), _request(candidate_systems=["S"])
+        )
+        assert set(compiled.sys_lits) == {"S"}
+
+    def test_required_system_outside_candidates_is_added(self):
+        compiled = compile_design(
+            _kb(),
+            _request(candidate_systems=["S"], required_systems=["M"]),
+        )
+        assert "M" in compiled.sys_lits
+
+    def test_hw_bool_tracks_count(self):
+        compiled = compile_design(_kb(), _request())
+        compiled.assert_guards()
+        hw = compiled.hw_bools["TsNIC"]
+        count = compiled.hw_counts["TsNIC"]
+        assert compiled.solver.solve([hw])
+        assert compiled.encoder.value_of(count, compiled.solver.model()) >= 1
+        assert compiled.solver.solve([-hw])
+        assert compiled.encoder.value_of(count, compiled.solver.model()) == 0
+
+    def test_workload_props_asserted(self):
+        compiled = compile_design(_kb(), _request())
+        lit = compiled.builder.var_for("wl::w::short_flows")
+        assert not compiled.solver.solve([-lit])
+
+
+class TestClosedWorld:
+    def test_unprovided_property_is_false(self):
+        kb = _kb()
+        kb.add_system(System(
+            name="NeedsMagic", category="firewall", solves=["magic"],
+            requires=prop("switch", "INT"),  # nothing provides INT here
+        ))
+        compiled = compile_design(kb, _request(workloads=[Workload(
+            name="w", objectives=["packet_processing", "magic"],
+        )]))
+        assert not compiled.solve()
+        assert "require:NeedsMagic" in compiled.core_names() or (
+            "objective:magic" in compiled.core_names()
+        )
+
+    def test_provided_property_iff_provider_deployed(self):
+        kb = _kb()
+        kb.add_rule(Rule(
+            name="overlay_probe",
+            formula=Implies(prop("net", "OVERLAY_ENCAP"), ctx("noticed")),
+        ))
+        compiled = compile_design(kb, _request(
+            context={"noticed": False},
+            workloads=[],  # drop cs:need_stack so ¬S stays possible
+        ))
+        compiled.assert_guards()
+        s_lit = compiled.sys_lits["S"]
+        # Deploying S raises OVERLAY_ENCAP, which the rule forbids here.
+        assert not compiled.solver.solve([s_lit])
+        assert compiled.solver.solve([-s_lit])
+
+    def test_unknown_context_defaults_false(self):
+        kb = _kb()
+        kb.add_system(System(
+            name="Gated", category="firewall", solves=["gated"],
+            requires=ctx("mystery_flag"),
+        ))
+        compiled = compile_design(kb, _request(workloads=[Workload(
+            name="w", objectives=["packet_processing", "gated"],
+        )]))
+        assert not compiled.solve()
+
+    def test_undeclared_feature_closed_off(self):
+        kb = _kb()
+        kb.add_rule(Rule(
+            name="feature_probe",
+            formula=Implies(feat("Ghost", "mode"), Not(ctx("anything"))),
+        ))
+        compiled = compile_design(kb, _request())
+        lit = compiled.builder.var_for("feat::Ghost::mode")
+        assert not compiled.solver.solve([lit])
+
+    def test_undeclared_workload_prop_false(self):
+        kb = _kb()
+        kb.add_rule(Rule(
+            name="wl_probe",
+            formula=Implies(wl("w", "nonexistent"), ctx("whatever")),
+        ))
+        compiled = compile_design(kb, _request())
+        lit = compiled.builder.var_for("wl::w::nonexistent")
+        assert not compiled.solver.solve([lit])
+
+    def test_obj_vars_defined(self):
+        kb = _kb()
+        kb.add_rule(Rule(
+            name="obj_probe",
+            formula=Implies(obj("telemetry"), prop("nic", "NIC_TIMESTAMPS")),
+        ))
+        compiled = compile_design(kb, _request())
+        compiled.assert_guards()
+        m_lit = compiled.sys_lits["M"]
+        obj_lit = compiled.builder.var_for("obj::telemetry")
+        assert not compiled.solver.solve([m_lit, -obj_lit])
+        assert not compiled.solver.solve([-m_lit, obj_lit])
+
+
+class TestGuards:
+    def test_selector_names_cover_groups(self):
+        compiled = compile_design(_kb(), _request(
+            required_systems=["S"],
+            budgets={"capex_usd": 100_000},
+        ))
+        names = set(compiled.selectors)
+        assert "require:S" in names
+        assert "require:M" in names
+        assert "required:S" in names
+        assert "objective:packet_processing" in names
+        assert "budget:capex_usd" in names
+        assert any(n.startswith("cs:") for n in names)
+
+    def test_descriptions_human_readable(self):
+        compiled = compile_design(_kb(), _request())
+        for name, description in compiled.descriptions.items():
+            assert description, f"{name} lacks a description"
+
+    def test_guards_off_means_anything_goes(self):
+        compiled = compile_design(_kb(), _request(
+            required_systems=["S"], forbidden_systems=["S"],
+        ))
+        # Without assuming the guards, the formula itself is satisfiable.
+        assert compiled.solver.solve()
+        assert not compiled.solve()
+
+
+class TestObjectiveTerms:
+    def test_unknown_objective_rejected(self):
+        compiled = compile_design(_kb(), _request())
+        with pytest.raises(QueryError):
+            compiled.objective_terms("nonsense_dimension")
+
+    def test_cost_expr_rejects_non_cost(self):
+        compiled = compile_design(_kb(), _request())
+        with pytest.raises(QueryError):
+            compiled.cost_expr("latency")
+
+    def test_cost_expr_quantized(self):
+        compiled = compile_design(_kb(), _request())
+        expr = compiled.cost_expr("capex_usd")
+        quantum = compiled.COST_QUANTUM["capex_usd"]
+        # TsNIC at $400 rounds up to one quantum unit.
+        coeffs = {v.name: c for v, c in expr.coeffs.items()}
+        assert coeffs["count::TsNIC"] == -(-400 // quantum)
+
+    def test_unknown_budget_kind_rejected(self):
+        with pytest.raises(QueryError):
+            compile_design(_kb(), _request(budgets={"joy": 10}))
+
+    def test_unknown_hardware_in_request(self):
+        with pytest.raises(UnknownEntityError):
+            compile_design(_kb(), _request(inventory={"Ghost": 1}))

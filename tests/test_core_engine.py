@@ -1,0 +1,351 @@
+"""Integration tests for the reasoning engine over small knowledge bases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.errors import UnknownEntityError
+from repro.kb.dsl import ctx, prop, sys_var
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand
+from repro.kb.rules import Rule
+from repro.kb.system import Feature, System
+from repro.kb.workload import Workload
+from repro.logic.ast import TRUE, Implies, Not
+
+
+def _request(**kwargs) -> DesignRequest:
+    defaults = dict(
+        workloads=[Workload(name="app", objectives=["packet_processing"])],
+    )
+    defaults.update(kwargs)
+    return DesignRequest(**defaults)
+
+
+class TestFeasibility:
+    def test_simple_synthesis(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(_request())
+        assert outcome.feasible
+        assert any(
+            s in ("StackA", "StackB") for s in outcome.solution.systems
+        )
+
+    def test_requirement_pulls_hardware(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(
+            _request(required_systems=["StackB"])
+        )
+        assert outcome.feasible
+        # StackB needs interrupt polling; only FancyNIC provides it.
+        assert outcome.solution.hardware.get("FancyNIC", 0) >= 1
+
+    def test_forbidden_system_respected(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(
+            _request(forbidden_systems=["StackA"])
+        )
+        assert outcome.feasible
+        assert "StackA" not in outcome.solution.systems
+        assert "StackB" in outcome.solution.systems
+
+    def test_unsolvable_objective_infeasible(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(name="app", objectives=["teleportation"])],
+        ))
+        assert not outcome.feasible
+        assert "objective:teleportation" in outcome.conflict.constraints
+
+    def test_unknown_system_in_request(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        with pytest.raises(UnknownEntityError):
+            engine.synthesize(_request(required_systems=["Ghost"]))
+
+    def test_check_exact_deployment(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        good = engine.check(_request(), deploy=["StackA"])
+        assert good.feasible
+        assert good.solution.systems == ["StackA"]
+        bad = engine.check(
+            _request(workloads=[Workload(
+                name="app",
+                objectives=["packet_processing", "detect_queue_length"],
+            )]),
+            deploy=["StackA"],  # monitor missing
+        )
+        assert not bad.feasible
+
+
+class TestConflictsAndDiagnosis:
+    def test_conflicting_systems(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="Jammer", category="monitoring", solves=["jam"],
+            conflicts=["StackA"],
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(name="app",
+                                objectives=["packet_processing", "jam"])],
+            forbidden_systems=["StackB"],
+        ))
+        assert not outcome.feasible
+        names = outcome.conflict.constraints
+        assert any(name.startswith("conflict:") for name in names)
+
+    def test_diagnosis_is_minimal(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        conflict = engine.diagnose(_request(
+            required_systems=["StackA"],
+            forbidden_systems=["StackA"],
+        ))
+        assert conflict is not None
+        assert set(conflict.constraints) == {
+            "required:StackA", "forbidden:StackA",
+        }
+
+    def test_diagnosis_none_when_feasible(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        assert engine.diagnose(_request()) is None
+
+    def test_explanation_text(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        conflict = engine.diagnose(_request(
+            required_systems=["StackA"],
+            forbidden_systems=["StackA"],
+        ))
+        text = conflict.explanation()
+        assert "required:StackA" in text and "forbidden:StackA" in text
+
+
+class TestRulesAndContext:
+    def test_hard_rule_blocks_combination(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="Flooder", category="monitoring", solves=["flood_service"],
+            provides=["net::FLOODING"],
+        ))
+        tiny_kb.add_system(System(
+            name="PFCUser", category="transport_protocol", solves=["lossless"],
+            provides=["net::PFC_ENABLED"],
+        ))
+        tiny_kb.add_rule(Rule(
+            name="pfc_no_flooding",
+            formula=Implies(prop("net", "PFC_ENABLED"),
+                            Not(prop("net", "FLOODING"))),
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing", "flood_service", "lossless"],
+            )],
+        ))
+        assert not outcome.feasible
+        assert "rule:pfc_no_flooding" in outcome.conflict.constraints
+
+    def test_context_gates_requirement(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="FastOnly", category="monitoring", solves=["speed"],
+            requires=ctx("network_load_ge_40g"),
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        workload = Workload(name="app",
+                            objectives=["packet_processing", "speed"])
+        slow = engine.synthesize(_request(workloads=[workload]))
+        assert not slow.feasible
+        fast = engine.synthesize(_request(
+            workloads=[workload],
+            context={"network_load_ge_40g": True},
+        ))
+        assert fast.feasible
+
+    def test_given_properties(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="Edgy", category="firewall", solves=["edge_filtering"],
+            requires=prop("site", "EDGE_RESOURCES"),
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        workload = Workload(name="app",
+                            objectives=["packet_processing", "edge_filtering"])
+        without = engine.synthesize(_request(workloads=[workload]))
+        assert not without.feasible
+        granted = engine.synthesize(_request(
+            workloads=[workload],
+            given_properties=["site::EDGE_RESOURCES"],
+        ))
+        assert granted.feasible
+
+    def test_research_gate(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="Proto", category="monitoring", solves=["lab_magic"],
+            research=True,
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        workload = Workload(name="app",
+                            objectives=["packet_processing", "lab_magic"])
+        blocked = engine.synthesize(_request(workloads=[workload]))
+        assert not blocked.feasible
+        allowed = engine.synthesize(_request(
+            workloads=[workload],
+            given_properties=["site::RESEARCH_OK"],
+        ))
+        assert allowed.feasible
+
+    def test_feature_requires(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="Modal", category="monitoring", solves=["modal"],
+            features=[Feature("boost", requires=prop("site", "APP_MODIFIABLE"))],
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        workload = Workload(name="app",
+                            objectives=["packet_processing", "modal"])
+        outcome = engine.synthesize(_request(workloads=[workload]))
+        assert outcome.feasible
+        # Feature off by default; forcing it on without the property fails.
+        compiled = engine.compile(_request(workloads=[workload]))
+        feat_lit = compiled.feat_lits[("Modal", "boost")]
+        assert not compiled.solve([feat_lit])
+
+    def test_soft_rule_steers_choice(self, tiny_kb):
+        tiny_kb.add_rule(Rule(
+            name="avoid_stack_a",
+            formula=Not(sys_var("StackA")),
+            severity="soft",
+            weight=3,
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(_request())
+        assert outcome.feasible
+        assert "StackA" not in outcome.solution.systems
+
+
+class TestResourceAccounting:
+    def test_core_demand_forces_servers(self, resource_kb):
+        engine = ReasoningEngine(resource_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing", "flow_telemetry"],
+                peak_cores=50,
+            )],
+        ))
+        assert outcome.feasible
+        # CoreHog (100) + workload (50) = 150 cores -> >= 5 Box servers.
+        assert outcome.solution.hardware.get("Box", 0) >= 5
+
+    def test_capacity_ceiling_infeasible(self, resource_kb):
+        engine = ReasoningEngine(resource_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing"],
+                peak_cores=8 * 32 + 1,  # one more than 8 Boxes provide
+            )],
+        ))
+        assert not outcome.feasible
+        assert "resource:cpu_cores" in outcome.conflict.constraints
+
+    def test_fixed_hardware_freeze(self, resource_kb):
+        engine = ReasoningEngine(resource_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing"],
+                peak_cores=64,
+            )],
+            fixed_hardware={"Box": 2},
+        ))
+        assert outcome.feasible
+        assert outcome.solution.hardware["Box"] == 2
+        too_small = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing"],
+                peak_cores=96,
+            )],
+            fixed_hardware={"Box": 2},
+        ))
+        assert not too_small.feasible
+        assert "fixed_hardware:Box" in too_small.conflict.constraints
+
+    def test_budget_constraint(self, resource_kb):
+        engine = ReasoningEngine(resource_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing"],
+                peak_cores=64,
+            )],
+            budgets={"capex_usd": 9_000},  # 2 Boxes would cost 10k
+        ))
+        assert not outcome.feasible
+        assert "budget:capex_usd" in outcome.conflict.constraints
+
+    def test_memory_demand(self, resource_kb):
+        engine = ReasoningEngine(resource_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing"],
+                peak_mem_gb=300,
+            )],
+        ))
+        assert outcome.feasible
+        assert outcome.solution.hardware.get("Box", 0) >= 3  # 128 GB each
+
+    def test_ledger_reported(self, resource_kb):
+        engine = ReasoningEngine(resource_kb)
+        outcome = engine.synthesize(_request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing", "flow_telemetry"],
+                peak_cores=10,
+            )],
+        ))
+        ledger = outcome.solution.ledger
+        assert ledger.demands["cpu_cores"] == 110
+        assert ledger.deficits() == {}
+
+
+class TestOptimization:
+    def test_capex_minimized(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        outcome = engine.synthesize(_request(optimize=["capex_usd"]))
+        assert outcome.feasible
+        # Cheapest compliant build: StackA + no fancy NIC requirements;
+        # common sense needs a stack, servers need NICs, one switch.
+        assert outcome.solution.cost_usd <= 26_000
+
+    def test_common_sense_toggle(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        with_cs = engine.synthesize(_request())
+        assert any(
+            switch.startswith("Tor")
+            for switch in with_cs.solution.hardware
+        ) or with_cs.solution.hardware
+        without_cs = engine.synthesize(_request(include_common_sense=False))
+        assert without_cs.feasible
+
+    def test_equivalence_classes(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        classes = engine.equivalence_classes(
+            _request(), class_limit=16, completions_limit=4,
+        )
+        assert classes
+        deployments = {tuple(c.systems) for c in classes}
+        # Both stacks alone must appear as distinct classes.
+        assert ("StackA",) in deployments
+        assert ("StackB",) in deployments
+
+    def test_compare(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        baseline = _request(optimize=["capex_usd"])
+        alternative = _request(
+            required_systems=["StackB"], optimize=["capex_usd"]
+        )
+        result = engine.compare(baseline, alternative)
+        assert result.both_feasible
+        assert result.cost_delta() >= 0  # StackB needs the pricier NIC

@@ -1,0 +1,242 @@
+"""Tests for the §6/§3.1 extension features: suggestions, measurement
+value, and knowledge-base evolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.core.measurements import measurement_value
+from repro.core.suggest import (
+    suggest_disambiguations,
+    suggest_relaxations,
+)
+from repro.errors import UnknownEntityError, ValidationError
+from repro.kb.dsl import prop
+from repro.kb.evolution import KnowledgeBaseDelta, diff_systems
+from repro.kb.hardware import Hardware, NICSpec
+from repro.kb.ordering import Ordering
+from repro.kb.registry import KnowledgeBase
+from repro.kb.rules import Rule
+from repro.kb.system import System
+from repro.kb.workload import Workload
+from repro.logic.ast import TRUE, Not
+
+
+def _request(**kwargs) -> DesignRequest:
+    defaults = dict(
+        workloads=[Workload(name="app", objectives=["packet_processing"])],
+    )
+    defaults.update(kwargs)
+    return DesignRequest(**defaults)
+
+
+class TestRelaxations:
+    def test_each_relaxation_unlocks_a_design(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        request = _request(
+            required_systems=["StackA"],
+            forbidden_systems=["StackA"],
+        )
+        conflict = engine.diagnose(request)
+        relaxations = suggest_relaxations(tiny_kb, request, conflict)
+        assert relaxations
+        dropped = {r.dropped_constraint for r in relaxations}
+        assert dropped == {"required:StackA", "forbidden:StackA"}
+        for relaxation in relaxations:
+            assert relaxation.solution.systems  # a concrete way out
+
+    def test_resource_conflict_relaxation(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        request = _request(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing"],
+                peak_cores=8 * 32 + 1,
+            )],
+        )
+        conflict = engine.diagnose(request)
+        relaxations = suggest_relaxations(tiny_kb, request, conflict)
+        assert any(
+            r.dropped_constraint == "resource:cpu_cores" for r in relaxations
+        )
+
+
+class TestDisambiguation:
+    def test_plan_narrows_to_one(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        classes = engine.equivalence_classes(
+            _request(), class_limit=16, completions_limit=1,
+        )
+        assert len(classes) >= 2
+        plan = suggest_disambiguations(classes)
+        assert len(plan) >= 1
+        # Greedy split on >= 2 classes over distinct singleton sets needs
+        # at most len(classes) - 1 questions.
+        assert len(plan) <= len(classes) - 1
+
+    def test_single_class_needs_no_questions(self):
+        from repro.core.equivalence import DeploymentClass
+
+        plan = suggest_disambiguations(
+            [DeploymentClass(systems=["A"], completions=1)]
+        )
+        assert len(plan) == 0
+
+    def test_identical_classes_stop_gracefully(self):
+        from repro.core.equivalence import DeploymentClass
+
+        classes = [
+            DeploymentClass(systems=["A"], completions=1),
+            DeploymentClass(systems=["A"], completions=2),
+        ]
+        plan = suggest_disambiguations(classes)
+        assert len(plan) == 0
+
+
+class TestMeasurementValue:
+    def _kb(self) -> KnowledgeBase:
+        kb = KnowledgeBase()
+        kb.add_system(System(name="Fast", category="network_stack",
+                             solves=["packet_processing"]))
+        kb.add_system(System(name="Slow", category="network_stack",
+                             solves=["packet_processing"]))
+        kb.add_system(System(name="Other", category="monitoring",
+                             solves=["telemetry"]))
+        kb.add_hardware(Hardware(spec=NICSpec(
+            model="N", rate_gbps=25, power_w=5, cost_usd=100,
+        )))
+        return kb
+
+    def test_measurement_matters_when_design_flips(self):
+        kb = self._kb()
+        engine = ReasoningEngine(kb, validate=False)
+        request = _request(optimize=["speed"], include_common_sense=False)
+        # 'speed' is not yet a KB dimension; the hypothetical edges
+        # create it, and the chosen stack follows the winner.
+        verdict = measurement_value(
+            engine, kb, request, "Fast", "Slow", "speed"
+        )
+        assert verdict.worth_measuring
+        assert verdict.design_if_a_wins != verdict.design_if_b_wins
+        assert "matters" in verdict.explanation()
+
+    def test_measurement_pointless_when_outcome_fixed(self):
+        kb = self._kb()
+        engine = ReasoningEngine(kb, validate=False)
+        # Architect already pinned the stack: the benchmark cannot
+        # change anything.
+        request = _request(
+            required_systems=["Fast"],
+            forbidden_systems=["Slow"],
+            optimize=["speed"],
+            include_common_sense=False,
+        )
+        verdict = measurement_value(
+            engine, kb, request, "Fast", "Slow", "speed"
+        )
+        assert not verdict.worth_measuring
+        assert "unnecessary" in verdict.explanation()
+
+    def test_kb_restored_after_query(self):
+        kb = self._kb()
+        engine = ReasoningEngine(kb, validate=False)
+        before = len(kb.orderings)
+        measurement_value(engine, kb, _request(include_common_sense=False),
+                          "Fast", "Slow", "speed")
+        assert len(kb.orderings) == before
+
+
+class TestEvolution:
+    def _kb(self) -> KnowledgeBase:
+        kb = KnowledgeBase()
+        kb.add_system(System(name="V1", category="network_stack",
+                             solves=["packet_processing"]))
+        kb.add_system(System(name="Peer", category="monitoring",
+                             solves=["telemetry"]))
+        kb.add_ordering(Ordering("V1", "Peer", "latency", source="x"))
+        return kb
+
+    def test_replace_updates_provides(self):
+        kb = self._kb()
+        v2 = System(name="V1", category="network_stack",
+                    solves=["packet_processing"],
+                    provides=["net::OVERLAY_ENCAP"])
+        delta = KnowledgeBaseDelta(author="expert", replace_systems=[v2])
+        evolved, report = delta.apply(kb)
+        assert report.replaced_systems == ["V1"]
+        assert evolved.systems["V1"].provides == ["net::OVERLAY_ENCAP"]
+        assert kb.systems["V1"].provides == []  # original untouched
+
+    def test_remove_retracts_orderings(self):
+        kb = self._kb()
+        delta = KnowledgeBaseDelta(remove_systems=["V1"])
+        evolved, report = delta.apply(kb)
+        assert "V1" not in evolved.systems
+        assert report.removed_orderings == 1
+        assert evolved.orderings == []
+
+    def test_strict_rejects_dangling_reference(self):
+        kb = self._kb()
+        bad = System(name="New", category="firewall", conflicts=["Ghost"])
+        delta = KnowledgeBaseDelta(add_systems=[bad])
+        with pytest.raises(ValidationError):
+            delta.apply(kb)
+        evolved, report = delta.apply(kb, strict=False)
+        assert any(i.severity == "error" for i in report.issues)
+
+    def test_unknown_operations_rejected(self):
+        kb = self._kb()
+        with pytest.raises(UnknownEntityError):
+            KnowledgeBaseDelta(remove_systems=["Nope"]).apply(kb)
+        with pytest.raises(UnknownEntityError):
+            KnowledgeBaseDelta(
+                replace_systems=[System(name="Nope", category="firewall")]
+            ).apply(kb)
+        with pytest.raises(UnknownEntityError):
+            KnowledgeBaseDelta(
+                remove_orderings=[("A", "B", "zeta")]
+            ).apply(kb)
+
+    def test_rule_and_ordering_addition(self):
+        kb = self._kb()
+        delta = KnowledgeBaseDelta(
+            add_rules=[Rule(name="r", formula=Not(prop("net", "FLOODING")))],
+            add_orderings=[Ordering("Peer", "V1", "deployment_ease",
+                                    source="y")],
+        )
+        evolved, report = delta.apply(kb)
+        assert "r" in evolved.rules
+        assert report.added_orderings == 1
+        assert report.summary()
+
+    def test_diff_systems(self):
+        kb = self._kb()
+        v2 = System(name="V1", category="network_stack",
+                    solves=["packet_processing"],
+                    provides=["net::OVERLAY_ENCAP"])
+        delta = KnowledgeBaseDelta(
+            replace_systems=[v2],
+            add_systems=[System(name="New", category="firewall")],
+        )
+        evolved, _ = delta.apply(kb)
+        changes = diff_systems(kb, evolved)
+        assert changes == {"V1": "modified", "New": "added"}
+
+    def test_queries_survive_evolution(self, tiny_kb):
+        """The §6 point: evolved encodings keep old queries answerable."""
+        engine_before = ReasoningEngine(tiny_kb)
+        request = _request()
+        assert engine_before.synthesize(request).feasible
+        v2 = System(
+            name="StackA", category="network_stack",
+            solves=["packet_processing"],
+            provides=["net::OVERLAY_ENCAP"],  # new version adds overlay
+        )
+        delta = KnowledgeBaseDelta(replace_systems=[v2])
+        evolved, _ = delta.apply(tiny_kb)
+        outcome = ReasoningEngine(evolved).synthesize(request)
+        assert outcome.feasible
+        if outcome.solution.uses("StackA"):
+            assert "net::OVERLAY_ENCAP" in outcome.solution.properties

@@ -1,0 +1,102 @@
+"""Tests for the request/result dataclasses and comparison helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import (
+    Conflict,
+    DesignOutcome,
+    DesignRequest,
+    DesignSolution,
+)
+from repro.core.engine import ComparisonResult
+from repro.kb.resources import ResourceLedger
+from repro.kb.workload import Workload
+
+
+def _solution(cost=100, systems=("A",), objective_costs=None) -> DesignSolution:
+    return DesignSolution(
+        systems=list(systems),
+        features={},
+        hardware={"Box": 2},
+        properties=[],
+        objective_costs=dict(objective_costs or {}),
+        ledger=ResourceLedger(),
+        cost_usd=cost,
+        power_w=10,
+    )
+
+
+class TestDesignRequest:
+    def test_totals(self):
+        request = DesignRequest(workloads=[
+            Workload(name="a", peak_cores=10, peak_gbps=2, peak_mem_gb=5,
+                     kflows=1.5),
+            Workload(name="b", peak_cores=20, peak_gbps=3, peak_mem_gb=7,
+                     kflows=0.5),
+        ])
+        assert request.total_cores() == 30
+        assert request.total_gbps() == 5
+        assert request.total_mem_gb() == 12
+        assert request.total_kflows() == 2.0
+
+    def test_required_objectives_dedup_stable(self):
+        request = DesignRequest(workloads=[
+            Workload(name="a", objectives=["x", "y"]),
+            Workload(name="b", objectives=["y", "z", "x"]),
+        ])
+        assert request.required_objectives() == ["x", "y", "z"]
+
+
+class TestDesignOutcome:
+    def test_truthiness(self):
+        assert DesignOutcome(True, solution=_solution())
+        assert not DesignOutcome(False)
+
+    def test_solution_helpers(self):
+        solution = _solution(systems=("A", "B"))
+        assert solution.uses("A")
+        assert not solution.uses("C")
+        text = solution.summary()
+        assert "A" in text and "2x Box" in text and "100" in text
+
+    def test_summary_with_features_and_objectives(self):
+        solution = _solution(objective_costs={"latency": 3})
+        solution.features["A"] = ["turbo"]
+        text = solution.summary()
+        assert "turbo" in text
+        assert "latency=3" in text
+
+
+class TestConflict:
+    def test_explanation_without_descriptions(self):
+        conflict = Conflict(constraints=["x", "y"])
+        text = conflict.explanation()
+        assert "- x" in text and "- y" in text
+
+    def test_explanation_with_descriptions(self):
+        conflict = Conflict(constraints=["x"], descriptions={"x": "why"})
+        assert "x: why" in conflict.explanation()
+
+
+class TestComparisonResult:
+    def test_deltas(self):
+        result = ComparisonResult(
+            baseline=DesignOutcome(True, solution=_solution(
+                cost=100, objective_costs={"latency": 2})),
+            alternative=DesignOutcome(True, solution=_solution(
+                cost=80, objective_costs={"latency": 5, "monitoring": 1})),
+        )
+        assert result.both_feasible
+        assert result.cost_delta() == -20
+        assert result.objective_deltas() == {"latency": 3, "monitoring": 1}
+
+    def test_infeasible_side(self):
+        result = ComparisonResult(
+            baseline=DesignOutcome(False),
+            alternative=DesignOutcome(True, solution=_solution()),
+        )
+        assert not result.both_feasible
+        assert result.cost_delta() is None
+        assert result.objective_deltas() == {}

@@ -1,0 +1,94 @@
+"""Tests for per-system design justifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.core.explain import explain_solution, explanation_text
+from repro.kb.workload import Workload
+
+
+def _request(**kwargs):
+    defaults = dict(workloads=[Workload(
+        name="app",
+        objectives=["packet_processing", "detect_queue_length"],
+    )])
+    defaults.update(kwargs)
+    return DesignRequest(**defaults)
+
+
+class TestExplain:
+    def test_unique_objectives_identified(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        request = _request()
+        outcome = engine.synthesize(request)
+        assert outcome.feasible
+        justifications = {
+            j.system: j
+            for j in explain_solution(tiny_kb, request, outcome.solution)
+        }
+        monitor = justifications["Monitor"]
+        assert monitor.unique_objectives == ["detect_queue_length"]
+
+    def test_requirement_providers_traced(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        request = _request()
+        outcome = engine.synthesize(request)
+        justifications = {
+            j.system: j
+            for j in explain_solution(tiny_kb, request, outcome.solution)
+        }
+        providers = justifications["Monitor"].requirement_providers
+        assert providers["nic::NIC_TIMESTAMPS"] == ["FancyNIC"]
+
+    def test_shared_objectives(self, tiny_kb):
+        from repro.kb.system import System
+
+        tiny_kb.add_system(System(
+            name="Monitor2", category="firewall",
+            solves=["detect_queue_length"],
+        ))
+        engine = ReasoningEngine(tiny_kb)
+        request = _request(required_systems=["Monitor", "Monitor2"])
+        outcome = engine.synthesize(request)
+        justifications = {
+            j.system: j
+            for j in explain_solution(tiny_kb, request, outcome.solution)
+        }
+        assert "detect_queue_length" in (
+            justifications["Monitor"].shared_objectives
+        )
+        assert not justifications["Monitor"].unique_objectives or (
+            "detect_queue_length"
+            not in justifications["Monitor"].unique_objectives
+        )
+
+    def test_dimension_ranks_reported(self, tiny_kb):
+        from repro.kb.ordering import Ordering
+
+        tiny_kb.add_ordering(Ordering("StackB", "StackA", "speed",
+                                      source="test"))
+        engine = ReasoningEngine(tiny_kb)
+        request = _request(optimize=["speed"])
+        outcome = engine.synthesize(request)
+        justifications = {
+            j.system: j
+            for j in explain_solution(tiny_kb, request, outcome.solution)
+        }
+        stack = next(
+            j for name, j in justifications.items()
+            if j.category == "network_stack"
+        )
+        assert "speed" in stack.dimension_ranks
+        mine, rival = stack.dimension_ranks["speed"]
+        assert mine == 0  # the optimizer picked a rank-0 stack
+
+    def test_text_rendering(self, tiny_kb):
+        engine = ReasoningEngine(tiny_kb)
+        request = _request()
+        outcome = engine.synthesize(request)
+        text = explanation_text(tiny_kb, request, outcome.solution)
+        assert "sole provider of: detect_queue_length" in text
+        assert "needs nic::NIC_TIMESTAMPS <- FancyNIC" in text

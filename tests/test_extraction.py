@@ -1,0 +1,236 @@
+"""Tests for the simulated extraction pipeline and encoding checker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extraction import (
+    EncodingChecker,
+    FaultKind,
+    NoiseModel,
+    extract_system,
+    inject_fault,
+    parse_spec_sheet,
+    spec_sheet_text,
+    system_prose,
+)
+from repro.extraction.checker import detection_rate
+from repro.extraction.noise import PERFECT
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.ordering import Ordering
+from repro.knowledge import default_knowledge_base
+from repro.logic.simplify import free_vars
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_knowledge_base()
+
+
+class TestSpecSheets:
+    @pytest.mark.parametrize("model", ["FF-100G-32P", "P4-100G-S16-32P"])
+    def test_switch_roundtrip(self, kb, model):
+        hardware = kb.hardware_model(model)
+        text = spec_sheet_text(hardware)
+        parsed = parse_spec_sheet(text, "switch")
+        assert parsed.spec == hardware.spec
+
+    @pytest.mark.parametrize("model", ["STD-100G-TS-IP", "DPU-100G-16C",
+                                       "FPGA-100G-1000K", "OCP-25G-V"])
+    def test_nic_roundtrip(self, kb, model):
+        hardware = kb.hardware_model(model)
+        parsed = parse_spec_sheet(spec_sheet_text(hardware), "nic")
+        assert parsed.spec == hardware.spec
+
+    @pytest.mark.parametrize("model", ["SRV-G2-64C-256G", "SRV-G3-128C-512G-CXL",
+                                       "SRV-G0-8C-32G"])
+    def test_server_roundtrip(self, kb, model):
+        hardware = kb.hardware_model(model)
+        parsed = parse_spec_sheet(spec_sheet_text(hardware), "server")
+        assert parsed.spec == hardware.spec
+
+    def test_full_catalog_roundtrip(self, kb):
+        """The paper's 100%-accuracy claim, over all 200+ specs."""
+        mismatches = 0
+        for hardware in kb.hardware.values():
+            parsed = parse_spec_sheet(
+                spec_sheet_text(hardware), hardware.kind
+            )
+            if parsed.spec != hardware.spec:
+                mismatches += 1
+        assert mismatches == 0
+
+    def test_missing_field_stays_default(self, kb):
+        hardware = kb.hardware_model("FF-100G-32P")
+        text = spec_sheet_text(hardware, missing_fields={"qcn"})
+        parsed = parse_spec_sheet(text, "switch")
+        assert parsed.spec.qcn is False  # schema default, not the truth
+        assert parsed.spec.ports == hardware.spec.ports
+
+    def test_bad_inputs(self):
+        with pytest.raises(ExtractionError):
+            parse_spec_sheet("", "switch")
+        with pytest.raises(ExtractionError):
+            parse_spec_sheet("X — spec", "toaster")
+
+    def test_marketing_lines_ignored(self, kb):
+        hardware = kb.hardware_model("STD-100G-TS-IP")
+        text = spec_sheet_text(hardware, seed=3)
+        parsed = parse_spec_sheet(text, "nic")
+        assert parsed.spec == hardware.spec
+
+
+class TestProseExtraction:
+    def test_perfect_noise_recovers_requirements(self, kb):
+        system = kb.system("Timely")
+        record = extract_system(
+            system_prose(system), "Timely", "congestion_control",
+            noise=PERFECT,
+        )
+        got = free_vars(record.system.requires)
+        want = free_vars(system.requires)
+        assert got == want
+        assert record.dropped_conditions == []
+
+    def test_annulus_nuance_dropped_under_noise(self, kb):
+        """§4.1 verbatim: the WAN/DC condition disappears."""
+        system = kb.system("Annulus")
+        noise = NoiseModel(p_miss_condition=1.0, p_miss_requirement=0.0,
+                           p_wrong_number=0.0)
+        record = extract_system(
+            system_prose(system), "Annulus", "congestion_control", noise,
+        )
+        assert "ctx::competing_wan_dc_traffic" in record.dropped_conditions
+        assert "ctx::competing_wan_dc_traffic" not in free_vars(
+            record.system.requires
+        )
+
+    def test_solves_extracted(self, kb):
+        system = kb.system("Simon")
+        record = extract_system(
+            system_prose(system), "Simon", "monitoring", PERFECT,
+        )
+        assert set(record.system.solves) == set(system.solves)
+
+    def test_resources_extracted(self, kb):
+        system = kb.system("Sonata")
+        record = extract_system(
+            system_prose(system), "Sonata", "monitoring", PERFECT,
+        )
+        kinds = {d.kind for d in record.system.resources}
+        assert kinds == {d.kind for d in system.resources}
+        stages = next(
+            d for d in record.system.resources if d.kind == "p4_stages"
+        )
+        assert stages.fixed == 6
+
+    def test_number_garbling(self, kb):
+        system = kb.system("Sonata")
+        noise = NoiseModel(p_wrong_number=1.0, p_miss_requirement=0.0,
+                           p_miss_condition=0.0, wrong_number_factor=2.0)
+        record = extract_system(
+            system_prose(system), "Sonata", "monitoring", noise,
+        )
+        stages = next(
+            d for d in record.system.resources if d.kind == "p4_stages"
+        )
+        assert stages.fixed == 12
+        assert record.garbled_numbers
+
+    def test_determinism(self, kb):
+        system = kb.system("Swift")
+        noise = NoiseModel(p_miss_condition=0.5, seed=42)
+        first = extract_system(system_prose(system), "Swift",
+                               "congestion_control", noise)
+        second = extract_system(system_prose(system), "Swift",
+                                "congestion_control", noise)
+        assert free_vars(first.system.requires) == free_vars(
+            second.system.requires
+        )
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(p_miss_condition=1.5)
+
+
+class TestChecker:
+    def test_detects_missing_requirement(self, kb):
+        """§4.2's Shenango/interrupt-polling example."""
+        system = kb.system("Shenango")
+        prose = system_prose(system)
+        rng = random.Random(0)
+        broken = None
+        while broken is None:
+            broken = inject_fault(system, FaultKind.MISSING_REQUIREMENT, rng)
+        findings = EncodingChecker().check_system(broken, prose)
+        assert any(f.kind == "missing_requirement" for f in findings)
+
+    def test_detects_missing_condition(self, kb):
+        system = kb.system("Annulus")
+        prose = system_prose(system)
+        broken = inject_fault(system, FaultKind.MISSING_CONDITION,
+                              random.Random(0))
+        assert broken is not None
+        findings = EncodingChecker().check_system(broken, prose)
+        assert any(f.kind == "missing_condition" for f in findings)
+
+    def test_clean_encoding_is_quiet(self, kb):
+        system = kb.system("Timely")
+        findings = EncodingChecker().check_system(
+            system, system_prose(system)
+        )
+        assert not [f for f in findings
+                    if f.kind in ("missing_requirement", "missing_condition")]
+
+    def test_small_number_fault_invisible(self, kb):
+        """§4.2: magnitude blindness on plausible numbers."""
+        system = kb.system("Sonata")
+        prose = system_prose(system)
+        broken = inject_fault(system, FaultKind.WRONG_NUMBER_SMALL,
+                              random.Random(0))
+        findings = EncodingChecker().check_system(broken, prose)
+        assert not any(f.kind == "wrong_number" for f in findings)
+
+    def test_large_number_fault_visible(self, kb):
+        system = kb.system("Sonata")
+        prose = system_prose(system)
+        broken = inject_fault(system, FaultKind.WRONG_NUMBER_LARGE,
+                              random.Random(0))
+        findings = EncodingChecker().check_system(broken, prose)
+        assert any(f.kind == "wrong_number" for f in findings)
+
+    def test_detection_rate_asymmetry(self, kb):
+        """The E3 headline: existence faults caught, small numeric missed."""
+        systems = [
+            s for s in kb.systems.values()
+            if free_vars(s.requires) or any(d.fixed for d in s.resources)
+        ]
+        prose_of = {s.name: system_prose(s) for s in systems}
+        cond_hit, cond_n = detection_rate(
+            systems, prose_of, FaultKind.MISSING_CONDITION, trials=40,
+        )
+        small_hit, small_n = detection_rate(
+            systems, prose_of, FaultKind.WRONG_NUMBER_SMALL, trials=40,
+        )
+        assert cond_n and small_n
+        assert cond_hit / cond_n >= 0.9
+        assert small_hit / small_n <= 0.1
+
+    def test_ordering_objectivity(self):
+        checker = EncodingChecker()
+        uncited = Ordering("A", "B", "latency")
+        findings = checker.check_ordering(uncited)
+        assert any(f.kind == "uncited_ordering" for f in findings)
+        subjective = Ordering("A", "B", "latency", source="paper",
+                              subjective=True)
+        findings = checker.check_ordering(subjective)
+        assert any(f.kind == "subjective_ordering" for f in findings)
+
+    def test_inject_fault_returns_none_when_impossible(self, kb):
+        system = kb.system("Cubic")  # requires TRUE, no resources
+        rng = random.Random(0)
+        assert inject_fault(system, FaultKind.MISSING_CONDITION, rng) is None
+        assert inject_fault(system, FaultKind.WRONG_NUMBER_LARGE, rng) is None

@@ -1,0 +1,278 @@
+"""End-to-end scenarios on the full knowledge base.
+
+Each test reproduces one of the paper's cross-system interaction stories
+(§1, §2.2, §2.3, §3.1) through the public engine API, against compact
+hardware shortlists that keep solves fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.kb.workload import Workload
+from repro.knowledge import default_knowledge_base
+
+BASIC_INVENTORY = {
+    "SRV-G2-64C-256G": 32,
+    "STD-100G-TS-IP": 64,
+    "STD-100G": 64,
+    "FF-100G-32P": 8,
+    "FF-100G-32P-DB": 8,
+}
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_knowledge_base()
+
+
+@pytest.fixture(scope="module")
+def engine(kb):
+    return ReasoningEngine(kb)
+
+
+def _request(objectives, *, systems=None, inventory=None, **kwargs):
+    return DesignRequest(
+        workloads=[Workload(name="app", objectives=list(objectives),
+                            peak_cores=64)],
+        candidate_systems=systems,
+        inventory=dict(inventory or BASIC_INVENTORY),
+        **kwargs,
+    )
+
+
+class TestHardwareDependencyChains:
+    """§3.1: selection hinges on a few crucial hardware details."""
+
+    def test_hpcc_forces_int_switches_and_rdma(self, engine):
+        outcome = engine.synthesize(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            systems=["Linux", "HPCC"],
+            required_systems=["HPCC"],
+            inventory={**BASIC_INVENTORY,
+                       "SPINE-100G-64P": 4, "RDMA-100G-RB": 64},
+        ))
+        assert outcome.feasible
+        assert any(m.startswith("SPINE") or m.startswith("P4")
+                   for m in outcome.solution.hardware), "INT switch needed"
+        assert any(m.startswith("RDMA") or m.startswith("DPU") or
+                   m.startswith("FPGA")
+                   for m in outcome.solution.hardware), "RDMA NIC needed"
+
+    def test_hpcc_impossible_without_int(self, engine):
+        outcome = engine.check(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            systems=["Linux", "HPCC"],
+            required_systems=["HPCC"],
+        ))  # BASIC_INVENTORY has no INT switch
+        assert not outcome.feasible
+        assert "require:HPCC" in outcome.conflict.constraints
+
+    def test_timely_needs_timestamps(self, engine):
+        no_ts = {
+            "SRV-G2-64C-256G": 32, "STD-100G": 64, "FF-100G-32P": 8,
+        }
+        outcome = engine.check(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            systems=["Linux", "Timely"],
+            required_systems=["Timely"],
+            inventory=no_ts,
+        ))
+        assert not outcome.feasible
+        with_ts = engine.check(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            systems=["Linux", "Timely"],
+            required_systems=["Timely"],
+        ))
+        assert with_ts.feasible
+
+    def test_packet_spray_needs_reorder_and_fabric(self, engine):
+        outcome = engine.check(_request(
+            ["packet_processing", "load_balancing"],
+            systems=["Linux", "PacketSpray"],
+            required_systems=["PacketSpray"],
+        ))
+        assert not outcome.feasible  # no spray fabric in basic inventory
+        upgraded = engine.check(_request(
+            ["packet_processing", "load_balancing"],
+            systems=["Linux", "PacketSpray"],
+            required_systems=["PacketSpray"],
+            inventory={**BASIC_INVENTORY,
+                       "P4-100G-S16-32P": 4, "RDMA-100G-RB": 64},
+        ))
+        assert upgraded.feasible
+
+
+class TestScavengerCaveat:
+    """§2.2: delay-based CC needs scavenger mode + deep buffers."""
+
+    def test_vegas_blocked_by_default(self, engine):
+        outcome = engine.check(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            systems=["Linux", "Vegas"],
+            required_systems=["Vegas"],
+        ))
+        assert not outcome.feasible
+
+    def test_vegas_with_scavenger_and_deep_buffers(self, engine):
+        outcome = engine.check(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            systems=["Linux", "Vegas"],
+            required_systems=["Vegas"],
+            context={"scavenger_transport_ok": True},
+        ))
+        assert outcome.feasible
+        assert any(m.endswith("-DB") for m in outcome.solution.hardware), (
+            "deep-buffer switches must be part of the build"
+        )
+
+
+class TestEdgeSharing:
+    """§1: an edge LB provisions resources an edge firewall reuses."""
+
+    def test_edge_firewall_rides_on_edge_lb(self, engine):
+        alone = engine.check(_request(
+            ["packet_processing", "edge_filtering"],
+            systems=["Linux", "EdgeFirewall", "Iptables"],
+        ))
+        assert not alone.feasible  # nothing provides EDGE_RESOURCES
+        together = engine.synthesize(_request(
+            ["packet_processing", "edge_filtering", "load_balancing"],
+            systems=["Linux", "EdgeFirewall", "EdgeL7LB", "ECMP"],
+        ))
+        assert together.feasible
+        assert together.solution.uses("EdgeL7LB")
+        assert together.solution.uses("EdgeFirewall")
+
+
+class TestSnapPony:
+    """Figure 1's feature conditions drive real choices."""
+
+    def test_pony_needs_modifiable_apps(self, engine):
+        request = _request(
+            ["packet_processing"],
+            systems=["Snap", "Linux"],
+            required_systems=["Snap"],
+        )
+        compiled = engine.compile(request)
+        assert compiled.solve()
+        pony = compiled.feat_lits[("Snap", "pony")]
+        assert not compiled.solve([pony])  # APP_MODIFIABLE not granted
+        granted = _request(
+            ["packet_processing"],
+            systems=["Snap", "Linux"],
+            required_systems=["Snap"],
+            given_properties=["site::APP_MODIFIABLE"],
+        )
+        compiled2 = engine.compile(granted)
+        pony2 = compiled2.feat_lits[("Snap", "pony")]
+        assert compiled2.solve([pony2])
+
+
+class TestResearchGate:
+    """§3.1: a sharp deadline rules out research systems wholesale."""
+
+    def test_shenango_needs_research_tolerance(self, engine):
+        request = _request(
+            ["low_latency_packet_processing"],
+            systems=["Shenango", "Snap", "Linux"],
+            required_systems=["Shenango"],
+        )
+        assert not engine.check(request).feasible
+        relaxed = _request(
+            ["low_latency_packet_processing"],
+            systems=["Shenango", "Snap", "Linux"],
+            required_systems=["Shenango"],
+            given_properties=["site::RESEARCH_OK"],
+        )
+        assert engine.check(relaxed).feasible
+
+    def test_engine_routes_around_research_systems(self, engine):
+        outcome = engine.synthesize(_request(
+            ["low_latency_packet_processing", "packet_processing"],
+            systems=["Shenango", "Demikernel", "ZygOS", "Snap", "Linux"],
+        ))
+        assert outcome.feasible
+        assert outcome.solution.uses("Snap"), (
+            "Snap is the only non-research low-latency stack here"
+        )
+
+
+class TestCrossTeamOverlay:
+    """§2.2: the VMware double-encapsulation incident, prevented."""
+
+    def test_two_overlays_rejected(self, engine):
+        outcome = engine.check(_request(
+            ["packet_processing", "network_virtualization",
+             "container_networking"],
+            systems=["Linux", "OVS", "Antrea", "Calico-eBPF"],
+            required_systems=["OVS", "Antrea"],  # two teams, two overlays
+        ))
+        assert not outcome.feasible
+        assert "rule:single_overlay_encapsulation" in (
+            outcome.conflict.constraints
+        )
+
+    def test_non_encapsulating_cni_coexists(self, engine):
+        outcome = engine.check(_request(
+            ["packet_processing", "network_virtualization",
+             "container_networking"],
+            systems=["Linux", "OVS", "Antrea", "Calico-eBPF"],
+            required_systems=["OVS", "Calico-eBPF"],
+        ))
+        assert outcome.feasible
+
+    def test_engine_picks_compatible_pair(self, engine):
+        outcome = engine.synthesize(_request(
+            ["packet_processing", "network_virtualization",
+             "container_networking"],
+            systems=["Linux", "OVS", "Antrea", "Calico-eBPF"],
+        ))
+        assert outcome.feasible
+        deployed = set(outcome.solution.systems)
+        overlays = deployed & {"OVS", "Antrea"}
+        assert len(overlays) <= 1
+
+
+class TestSmartNicAmortization:
+    """§2.3: once SmartNICs are in, the marginal cost of more SmartNIC
+    systems drops — the optimizer should co-locate them."""
+
+    def test_simon_and_smartnic_firewall_share(self, engine):
+        outcome = engine.synthesize(_request(
+            ["packet_processing", "detect_queue_length", "packet_filtering"],
+            systems=["Linux", "Simon", "SmartNIC-Firewall", "Iptables",
+                     "Pingmesh", "Sonata"],
+            inventory={**BASIC_INVENTORY, "FPGA-100G-1000K": 32},
+            optimize=["capex_usd"],
+        ))
+        assert outcome.feasible
+        if outcome.solution.uses("Simon"):
+            # Simon brought FPGA NICs; the firewall should ride them
+            # rather than burn host cores.
+            assert outcome.solution.uses("SmartNIC-Firewall") or (
+                outcome.solution.uses("Iptables")
+            )
+
+    def test_fpga_capacity_is_per_nic(self, engine):
+        """AccelNet (400K gates) + firewall (150K) need a 1000K-gate
+        model; the 500K model cannot host both (non-additive)."""
+        small_only = engine.check(_request(
+            ["packet_processing", "network_virtualization",
+             "packet_filtering"],
+            systems=["Linux", "AccelNet-Offload", "SmartNIC-Firewall"],
+            required_systems=["AccelNet-Offload", "SmartNIC-Firewall"],
+            inventory={**BASIC_INVENTORY, "FPGA-100G-500K": 32},
+        ))
+        assert not small_only.feasible
+        assert "resource:fpga_gates_k" in small_only.conflict.constraints
+        big = engine.check(_request(
+            ["packet_processing", "network_virtualization",
+             "packet_filtering"],
+            systems=["Linux", "AccelNet-Offload", "SmartNIC-Firewall"],
+            required_systems=["AccelNet-Offload", "SmartNIC-Firewall"],
+            inventory={**BASIC_INVENTORY, "FPGA-100G-1000K": 32},
+        ))
+        assert big.feasible

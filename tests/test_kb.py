@@ -1,0 +1,349 @@
+"""Tests for the knowledge-representation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DuplicateEntryError,
+    UnknownEntityError,
+    ValidationError,
+)
+from repro.kb.dsl import ctx, feat, hw, namespace_of, obj, parse_var, prop, sys_var, wl
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.ordering import Ordering, OrderingGraph
+from repro.kb.registry import KnowledgeBase, formula_size
+from repro.kb.resources import ResourceDemand, ResourceLedger
+from repro.kb.rules import Rule
+from repro.kb.serialize import formula_from_dict, formula_to_dict
+from repro.kb.system import Feature, System
+from repro.kb.workload import Workload
+from repro.logic.ast import TRUE, And, Implies, Not, Or, Var
+
+
+class TestDsl:
+    def test_namespaces(self):
+        assert sys_var("Linux").name == "sys::Linux"
+        assert prop("nic", "RDMA").name == "prop::nic::RDMA"
+        assert feat("Snap", "pony").name == "feat::Snap::pony"
+        assert ctx("dc").name == "ctx::dc"
+        assert wl("app", "short_flows").name == "wl::app::short_flows"
+        assert hw("FF-100G-32P").name == "hw::FF-100G-32P"
+        assert obj("load_balancing").name == "obj::load_balancing"
+
+    def test_invalid_scope(self):
+        with pytest.raises(ValueError):
+            prop("toaster", "HEAT")
+
+    def test_parse_var(self):
+        assert parse_var("prop::nic::RDMA") == ("prop", "nic", "RDMA")
+        assert namespace_of("sys::Linux") == "sys"
+
+
+class TestSystem:
+    def test_roundtrip(self):
+        system = System(
+            name="Timely",
+            category="congestion_control",
+            solves=["bandwidth_allocation"],
+            requires=prop("nic", "NIC_TIMESTAMPS") & prop("switch", "QOS_CLASSES_8"),
+            provides=["net::OVERLAY_ENCAP"],
+            conflicts=["Swift"],
+            resources=[ResourceDemand("cpu_cores", fixed=2, per_kflow=0.5)],
+            features=[Feature("turbo", requires=ctx("fast"))],
+            sources=["Timely SIGCOMM'15"],
+            research=False,
+        )
+        clone = System.from_dict(system.to_dict())
+        assert clone.name == system.name
+        assert clone.requires == system.requires
+        assert clone.resources == system.resources
+        assert clone.features[0].requires == system.features[0].requires
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValidationError):
+            System(name="X", category="quantum_router")
+
+    def test_bad_provides_rejected(self):
+        with pytest.raises(ValidationError):
+            System(name="X", category="monitoring", provides=["RDMA"])
+
+    def test_demand_lookup(self):
+        system = System(
+            name="X",
+            category="monitoring",
+            resources=[ResourceDemand("cpu_cores", fixed=4)],
+        )
+        assert system.demand_for("cpu_cores").fixed == 4
+        assert system.demand_for("p4_stages") is None
+
+
+class TestHardware:
+    def test_switch_provides(self):
+        spec = SwitchSpec(
+            model="S", port_gbps=100, ports=32, memory_mb=128, power_w=500,
+            cost_usd=10_000, qcn=True, int_telemetry=True,
+            p4_programmable=True, p4_stages=12, deep_buffers=True,
+        )
+        provided = spec.provides()
+        for expected in ("switch::QCN", "switch::INT",
+                         "switch::P4_PROGRAMMABLE", "switch::DEEP_BUFFERS",
+                         "switch::QOS_CLASSES_8"):
+            assert expected in provided
+
+    def test_nic_rate_thresholds(self):
+        low = NICSpec(model="L", rate_gbps=25, power_w=10, cost_usd=100)
+        mid = NICSpec(model="M", rate_gbps=40, power_w=10, cost_usd=100)
+        high = NICSpec(model="H", rate_gbps=100, power_w=10, cost_usd=100)
+        assert "nic::NIC_RATE_40G" not in low.provides()
+        assert "nic::NIC_RATE_40G" in mid.provides()
+        assert "nic::NIC_RATE_100G" in high.provides()
+
+    def test_capacities_filter_zeros(self):
+        hardware = Hardware(
+            spec=NICSpec(model="N", rate_gbps=25, power_w=10, cost_usd=100)
+        )
+        assert "smartnic_cores" not in hardware.capacities()
+
+    def test_roundtrip(self):
+        hardware = Hardware(
+            spec=ServerSpec(model="Srv", cores=64, mem_gb=512, power_w=700,
+                            cost_usd=20_000, cxl_expander=True),
+            max_units=10,
+        )
+        clone = Hardware.from_dict(hardware.to_dict())
+        assert clone.model == "Srv"
+        assert clone.kind == "server"
+        assert clone.spec == hardware.spec
+
+    def test_invalid_max_units(self):
+        with pytest.raises(ValidationError):
+            Hardware(
+                spec=ServerSpec(model="S", cores=1, mem_gb=1, power_w=1,
+                                cost_usd=1),
+                max_units=0,
+            )
+
+    def test_bad_kind_payload(self):
+        with pytest.raises(ValidationError):
+            Hardware.from_dict({"kind": "router", "spec": {}})
+
+
+class TestWorkload:
+    def test_roundtrip_with_bounds(self):
+        workload = Workload(
+            name="inference",
+            properties=["dc_flows"],
+            objectives=["load_balancing"],
+            peak_cores=100,
+            peak_gbps=10,
+            peak_mem_gb=64,
+            kflows=5.0,
+        ).set_performance_bound("load_balancing", "ECMP", "load_balance_quality")
+        clone = Workload.from_dict(workload.to_dict())
+        assert clone.performance_bounds == workload.performance_bounds
+        assert clone.peak_mem_gb == 64
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            Workload(name="w", peak_cores=-1)
+
+
+class TestOrdering:
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            Ordering("A", "A", "latency")
+
+    def test_conditional_activation(self):
+        edge = Ordering("A", "B", "throughput", condition=ctx("fast"))
+        assert not edge.active_under({})
+        assert edge.active_under({"ctx::fast": True})
+
+    def test_transitive_dominance(self):
+        orderings = [
+            Ordering("A", "B", "d"),
+            Ordering("B", "C", "d"),
+        ]
+        graph = OrderingGraph.build(orderings, "d", systems=["A", "B", "C", "D"])
+        assert graph.better_than("A", "C")
+        assert not graph.better_than("C", "A")
+        assert not graph.comparable("A", "D")
+        assert ("A", "D") in graph.incomparable_pairs()
+
+    def test_cycle_detection(self):
+        orderings = [
+            Ordering("A", "B", "d"),
+            Ordering("B", "A", "d"),
+        ]
+        with pytest.raises(ValidationError):
+            OrderingGraph.build(orderings, "d")
+
+    def test_conditional_cycle_inactive(self):
+        orderings = [
+            Ordering("A", "B", "d"),
+            Ordering("B", "A", "d", condition=ctx("weird")),
+        ]
+        graph = OrderingGraph.build(orderings, "d")
+        assert graph.better_than("A", "B")
+        with pytest.raises(ValidationError):
+            OrderingGraph.build(orderings, "d", context={"ctx::weird": True})
+
+    def test_not_worse_than(self):
+        orderings = [
+            Ordering("Top", "Mid", "d"),
+            Ordering("Mid", "Low", "d"),
+        ]
+        graph = OrderingGraph.build(
+            orderings, "d", systems=["Top", "Mid", "Low", "Other"]
+        )
+        assert graph.not_worse_than("Mid") == {"Top", "Other"}
+        assert graph.strictly_better_than("Low") == {"Top", "Mid"}
+
+    def test_ranks(self):
+        orderings = [
+            Ordering("Top", "Mid", "d"),
+            Ordering("Mid", "Low", "d"),
+            Ordering("Top", "Low", "d"),
+        ]
+        graph = OrderingGraph.build(orderings, "d", systems=["Top", "Mid", "Low"])
+        assert graph.ranks() == {"Top": 0, "Mid": 1, "Low": 2}
+
+
+class TestRules:
+    def test_roundtrip(self):
+        rule = Rule(
+            name="pfc",
+            formula=Implies(prop("net", "PFC_ENABLED"),
+                            Not(prop("net", "FLOODING"))),
+            severity="hard",
+        )
+        clone = Rule.from_dict(rule.to_dict())
+        assert clone.formula == rule.formula
+
+    def test_soft_rule_needs_weight(self):
+        with pytest.raises(ValidationError):
+            Rule(name="r", formula=TRUE, severity="soft", weight=0)
+
+    def test_bad_severity(self):
+        with pytest.raises(ValidationError):
+            Rule(name="r", formula=TRUE, severity="medium")
+
+
+class TestSerialize:
+    @pytest.mark.parametrize("formula", [
+        TRUE,
+        Var("x"),
+        Not(Var("x")),
+        And(Var("a"), Or(Var("b"), Not(Var("c")))),
+        Implies(Var("a"), Var("b")),
+        Var("a").iff(Var("b")),
+        Var("a") ^ Var("b"),
+    ])
+    def test_formula_roundtrip(self, formula):
+        assert formula_from_dict(formula_to_dict(formula)) == formula
+
+    def test_cardinality_roundtrip(self):
+        from repro.logic.ast import AtLeast, AtMost, Exactly
+
+        for node in (AtMost(2, [Var("a"), Var("b")]),
+                     AtLeast(1, [Var("a")]),
+                     Exactly(1, [Var("a"), Var("b"), Var("c")])):
+            assert formula_from_dict(formula_to_dict(node)) == node
+
+    def test_malformed_payload(self):
+        with pytest.raises(ValidationError):
+            formula_from_dict({"quantum": ["a"]})
+        with pytest.raises(ValidationError):
+            formula_from_dict(42)
+
+
+class TestRegistry:
+    def test_duplicates_rejected(self, tiny_kb):
+        with pytest.raises(DuplicateEntryError):
+            tiny_kb.add_system(System(name="StackA", category="network_stack"))
+        with pytest.raises(DuplicateEntryError):
+            tiny_kb.add_hardware(Hardware(
+                spec=NICSpec(model="PlainNIC", rate_gbps=1, power_w=1,
+                             cost_usd=1)
+            ))
+
+    def test_unknown_lookup(self, tiny_kb):
+        with pytest.raises(UnknownEntityError):
+            tiny_kb.system("Nope")
+        with pytest.raises(UnknownEntityError):
+            tiny_kb.hardware_model("Nope")
+
+    def test_category_and_objective_queries(self, tiny_kb):
+        assert {s.name for s in tiny_kb.systems_in_category("network_stack")} == {
+            "StackA", "StackB",
+        }
+        assert [s.name for s in tiny_kb.systems_solving("detect_queue_length")] == [
+            "Monitor",
+        ]
+        assert "packet_processing" in tiny_kb.objectives()
+
+    def test_validation_flags_dangling_conflict(self, tiny_kb):
+        tiny_kb.add_system(System(
+            name="Broken", category="monitoring", conflicts=["Ghost"],
+        ))
+        issues = tiny_kb.validate()
+        assert any(
+            issue.severity == "error" and "Ghost" in issue.message
+            for issue in issues
+        )
+        with pytest.raises(ValidationError):
+            tiny_kb.validate_or_raise()
+
+    def test_validation_flags_ordering_unknown_system(self, tiny_kb):
+        tiny_kb.add_ordering(Ordering("StackA", "Phantom", "latency"))
+        assert any(
+            "Phantom" in issue.message for issue in tiny_kb.validate()
+        )
+
+    def test_spec_length_counts_facts(self, tiny_kb):
+        before = tiny_kb.spec_length()
+        tiny_kb.add_system(System(
+            name="Extra",
+            category="monitoring",
+            solves=["x"],
+            requires=And(prop("nic", "RDMA"), ctx("dc")),
+        ))
+        assert tiny_kb.spec_length() > before
+
+    def test_kb_json_roundtrip(self, tiny_kb):
+        tiny_kb.add_rule(Rule(name="r", formula=Not(prop("net", "FLOODING"))))
+        tiny_kb.add_ordering(Ordering("StackA", "StackB", "throughput",
+                                      condition=ctx("fast")))
+        clone = KnowledgeBase.from_json(tiny_kb.to_json())
+        assert set(clone.systems) == set(tiny_kb.systems)
+        assert set(clone.hardware) == set(tiny_kb.hardware)
+        assert clone.orderings[0].condition == tiny_kb.orderings[0].condition
+        assert clone.stats() == tiny_kb.stats()
+
+    def test_merge(self, tiny_kb):
+        other = KnowledgeBase()
+        other.add_system(System(name="New", category="firewall"))
+        tiny_kb.merge(other)
+        assert "New" in tiny_kb.systems
+
+    def test_formula_size(self):
+        assert formula_size(Var("a")) == 1
+        assert formula_size(And(Var("a"), Not(Var("b")))) == 4
+
+
+class TestResources:
+    def test_demand_evaluation_rounds_up(self):
+        demand = ResourceDemand("cpu_cores", fixed=2, per_kflow=0.5,
+                                per_gbps=0.1)
+        assert demand.evaluate(kflows=3, gbps=1) == 2 + 2  # ceil(1.6) = 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceDemand("cpu_cores", fixed=-1)
+
+    def test_ledger_deficits(self):
+        ledger = ResourceLedger()
+        ledger.demand("cpu_cores", 100)
+        ledger.supply("cpu_cores", 60)
+        ledger.demand("p4_stages", 4)
+        assert ledger.deficits() == {"cpu_cores": 40, "p4_stages": 4}

@@ -1,0 +1,93 @@
+"""Round-trip the complete default knowledge base through JSON.
+
+The crowd-sourcing story (§3.3, §4) depends on encodings surviving
+serialization exactly: a KB exported, shared, and re-imported must answer
+queries identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.kb.registry import KnowledgeBase
+from repro.kb.workload import Workload
+from repro.knowledge import default_knowledge_base
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_knowledge_base()
+
+
+@pytest.fixture(scope="module")
+def clone(kb):
+    return KnowledgeBase.from_json(kb.to_json())
+
+
+class TestExactness:
+    def test_stats_identical(self, kb, clone):
+        assert clone.stats() == kb.stats()
+
+    def test_every_system_identical(self, kb, clone):
+        for name, system in kb.systems.items():
+            assert clone.systems[name].to_dict() == system.to_dict(), name
+
+    def test_every_hardware_identical(self, kb, clone):
+        for model, hardware in kb.hardware.items():
+            assert clone.hardware[model].to_dict() == hardware.to_dict()
+
+    def test_every_rule_identical(self, kb, clone):
+        for name, rule in kb.rules.items():
+            assert clone.rules[name].to_dict() == rule.to_dict()
+
+    def test_orderings_identical(self, kb, clone):
+        assert len(clone.orderings) == len(kb.orderings)
+        for a, b in zip(kb.orderings, clone.orderings):
+            assert (a.better, a.worse, a.dimension, a.condition,
+                    a.source, a.subjective) == (
+                b.better, b.worse, b.dimension, b.condition,
+                b.source, b.subjective,
+            )
+
+    def test_clone_validates(self, clone):
+        clone.validate_or_raise()
+
+    def test_double_roundtrip_fixpoint(self, kb, clone):
+        again = KnowledgeBase.from_json(clone.to_json())
+        assert again.to_json() == clone.to_json()
+
+
+class TestBehavioralEquivalence:
+    def test_queries_agree(self, kb, clone):
+        request = DesignRequest(
+            workloads=[Workload(
+                name="app",
+                objectives=["packet_processing", "bandwidth_allocation",
+                            "detect_queue_length"],
+                peak_cores=128,
+                kflows=5,
+            )],
+            context={"datacenter_fabric": True},
+            inventory={
+                "SRV-G2-64C-256G": 16,
+                "STD-100G-TS-IP": 64,
+                "DPU-100G-16C": 16,
+                "FF-100G-32P": 4,
+            },
+        )
+        original = ReasoningEngine(kb).check(request)
+        reloaded = ReasoningEngine(clone).check(request)
+        assert original.feasible == reloaded.feasible is True
+
+    def test_infeasible_diagnoses_agree(self, kb, clone):
+        request = DesignRequest(
+            workloads=[Workload(name="app",
+                                objectives=["packet_processing"])],
+            required_systems=["Linux"],
+            forbidden_systems=["Linux"],
+        )
+        a = ReasoningEngine(kb).diagnose(request)
+        b = ReasoningEngine(clone).diagnose(request)
+        assert a.constraints == b.constraints

@@ -1,0 +1,189 @@
+"""Tests for the built-in knowledge base content (the §5.1 prototype)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge import default_knowledge_base
+from repro.knowledge.hardware_catalog import catalog_size
+from repro.knowledge.orderings import (
+    APP_MODIFICATION,
+    DEPLOYMENT_EASE,
+    ISOLATION,
+    MONITORING,
+    THROUGHPUT,
+)
+
+FIGURE1_STACKS = ["ZygOS", "Linux", "Snap", "NetChannel", "Shenango",
+                  "Demikernel"]
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_knowledge_base()
+
+
+class TestScale:
+    """§5.1's headline numbers."""
+
+    def test_over_fifty_systems(self, kb):
+        assert len(kb.systems) > 50
+
+    def test_seven_plus_categories(self, kb):
+        paper_categories = {
+            "network_stack", "congestion_control", "monitoring", "firewall",
+            "virtual_switch", "load_balancer", "transport_protocol",
+        }
+        assert paper_categories <= kb.categories()
+
+    def test_about_two_hundred_hardware(self, kb):
+        assert len(kb.hardware) >= 200
+        assert catalog_size() >= 200
+
+    def test_validates_clean(self, kb):
+        assert [i for i in kb.validate() if i.severity == "error"] == []
+
+    def test_hardware_kinds_all_present(self, kb):
+        kinds = {h.kind for h in kb.hardware.values()}
+        assert kinds == {"switch", "nic", "server"}
+
+
+class TestFigure1:
+    """The network-stack partial ordering of Figure 1."""
+
+    def test_all_six_stacks_present(self, kb):
+        for stack in FIGURE1_STACKS:
+            assert kb.system(stack).category == "network_stack"
+
+    def test_throughput_edges_need_40g(self, kb):
+        low = kb.ordering_graph(THROUGHPUT, {})
+        assert not low.better_than("NetChannel", "Linux")
+        high = kb.ordering_graph(
+            THROUGHPUT, {"ctx::network_load_ge_40g": True}
+        )
+        assert high.better_than("NetChannel", "Linux")
+        assert high.better_than("NetChannel", "Snap")
+        assert high.better_than("Snap", "Linux")
+
+    def test_pony_conditional_edge(self, kb):
+        without = kb.ordering_graph(THROUGHPUT, {})
+        assert not without.better_than("Snap", "ZygOS")
+        with_pony = kb.ordering_graph(
+            THROUGHPUT, {"feat::Snap::pony": True}
+        )
+        assert with_pony.better_than("Snap", "ZygOS")
+
+    def test_isolation_orderings(self, kb):
+        graph = kb.ordering_graph(ISOLATION, {})
+        assert graph.better_than("Linux", "Shenango")
+        assert graph.better_than("Snap", "Shenango")
+
+    def test_deliberate_gap_shenango_demikernel(self, kb):
+        """§3.1: no isolation comparison exists in the literature."""
+        graph = kb.ordering_graph(ISOLATION, {})
+        assert not graph.comparable("Shenango", "Demikernel")
+        assert ("Demikernel", "Shenango") in graph.incomparable_pairs()
+
+    def test_app_modification_pony_edge(self, kb):
+        plain = kb.ordering_graph(APP_MODIFICATION, {})
+        assert not plain.better_than("Linux", "Snap")
+        pony = kb.ordering_graph(
+            APP_MODIFICATION, {"feat::Snap::pony": True}
+        )
+        assert pony.better_than("Linux", "Snap")
+
+
+class TestListing2:
+    """Simon's encoding and the monitoring orderings."""
+
+    def test_simon_solves(self, kb):
+        simon = kb.system("Simon")
+        assert set(simon.solves) == {"capture_delays", "detect_queue_length"}
+
+    def test_simon_needs_timestamps_and_cores(self, kb):
+        from repro.logic.simplify import free_vars
+
+        simon = kb.system("Simon")
+        assert "prop::nic::NIC_TIMESTAMPS" in free_vars(simon.requires)
+        demand = simon.demand_for("cpu_cores")
+        assert demand is not None and demand.per_kflow > 0
+
+    def test_simon_pingmesh_pair(self, kb):
+        monitoring = kb.ordering_graph(MONITORING, {})
+        ease = kb.ordering_graph(DEPLOYMENT_EASE, {})
+        assert monitoring.better_than("Simon", "Pingmesh")
+        assert ease.better_than("Pingmesh", "Simon")
+
+
+class TestSectionThreeOne:
+    """§3.1's congestion-control requirement examples."""
+
+    def test_hpcc_needs_int(self, kb):
+        from repro.logic.simplify import free_vars
+
+        assert "prop::switch::INT" in free_vars(kb.system("HPCC").requires)
+
+    def test_timely_swift_need_timestamps_and_qos(self, kb):
+        from repro.logic.simplify import free_vars
+
+        for name in ("Timely", "Swift"):
+            needs = free_vars(kb.system(name).requires)
+            assert "prop::nic::NIC_TIMESTAMPS" in needs
+            assert "prop::switch::QOS_CLASSES_8" in needs
+
+    def test_annulus_wan_dc_condition(self, kb):
+        from repro.logic.simplify import free_vars
+
+        needs = free_vars(kb.system("Annulus").requires)
+        assert "ctx::competing_wan_dc_traffic" in needs
+        assert "prop::switch::QCN" in needs
+
+    def test_vegas_scavenger_caveat(self, kb):
+        from repro.logic.simplify import free_vars
+
+        needs = free_vars(kb.system("Vegas").requires)
+        assert "ctx::scavenger_transport_ok" in needs
+        assert "prop::switch::DEEP_BUFFERS" in needs
+
+    def test_packet_spray_reorder_buffers(self, kb):
+        from repro.logic.simplify import free_vars
+
+        needs = free_vars(kb.system("PacketSpray").requires)
+        assert "prop::nic::LARGE_REORDER_BUFFER" in needs
+
+
+class TestRules:
+    def test_pfc_rules_present(self, kb):
+        assert "pfc_no_flooding" in kb.rules
+        assert "pfc_flooding_strict" in kb.rules
+        assert "single_overlay_encapsulation" in kb.rules
+
+    def test_overlay_rule_covers_all_providers(self, kb):
+        from repro.logic.simplify import free_vars
+
+        rule = kb.rules["single_overlay_encapsulation"]
+        referenced = {
+            name[len("sys::"):] for name in free_vars(rule.formula)
+        }
+        providers = {
+            s.name for s in kb.systems.values()
+            if "net::OVERLAY_ENCAP" in s.provides
+        }
+        assert referenced == providers
+        assert "Antrea" in providers and "OVS" in providers
+
+    def test_cxl_appliance_rule(self, kb):
+        assert "cxl_appliance_needs_pool" in kb.rules
+        assert kb.hardware_model("CXL-MEM-APPLIANCE").spec.mem_gb == 4096
+
+
+class TestOrderingHygiene:
+    def test_no_unconditional_cycles_any_dimension(self, kb):
+        for dimension in kb.dimensions():
+            kb.ordering_graph(dimension, {})  # raises on a cycle
+
+    def test_subjective_edges_flagged(self, kb):
+        assert any(o.subjective for o in kb.orderings)
+
+    def test_all_edges_cited(self, kb):
+        assert all(o.source for o in kb.orderings)

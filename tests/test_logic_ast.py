@@ -1,0 +1,212 @@
+"""Unit tests for the formula AST, simplifier, and NNF."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Const,
+    Exactly,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+from repro.logic.simplify import evaluate, free_vars, simplify, to_nnf
+
+
+class TestConstruction:
+    def test_var_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_operators_build_nodes(self):
+        x, y = Var("x"), Var("y")
+        assert isinstance(x & y, And)
+        assert isinstance(x | y, Or)
+        assert isinstance(~x, Not)
+        assert isinstance(x >> y, Implies)
+        assert isinstance(x ^ y, Xor)
+        assert isinstance(x.iff(y), Iff)
+
+    def test_nary_flattening(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        nested = And(And(x, y), z)
+        assert nested.children == (x, y, z)
+        nested_or = Or(x, Or(y, z))
+        assert nested_or.children == (x, y, z)
+
+    def test_and_does_not_flatten_or(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        mixed = And(Or(x, y), z)
+        assert len(mixed.children) == 2
+
+    def test_iterable_misuse_rejected(self):
+        with pytest.raises(TypeError):
+            And([Var("x"), Var("y")])  # must be unpacked
+
+    def test_negative_cardinality_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AtMost(-1, [Var("x")])
+
+    def test_structural_equality(self):
+        a = Implies(Var("x"), Var("y"))
+        b = Implies(Var("x"), Var("y"))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestFreeVars:
+    def test_collects_all(self):
+        f = Implies(Var("a") & Var("b"), Or(Not(Var("c")), Var("a")))
+        assert free_vars(f) == {"a", "b", "c"}
+
+    def test_cardinality_children(self):
+        f = Exactly(1, [Var("a"), Not(Var("b"))])
+        assert free_vars(f) == {"a", "b"}
+
+    def test_constants_have_none(self):
+        assert free_vars(TRUE) == set()
+
+
+class TestEvaluate:
+    def test_truth_tables(self):
+        x, y = Var("x"), Var("y")
+        cases = {
+            (False, False): dict(a=False, o=False, i=True, iff=True, x_=False),
+            (False, True): dict(a=False, o=True, i=True, iff=False, x_=True),
+            (True, False): dict(a=False, o=True, i=False, iff=False, x_=True),
+            (True, True): dict(a=True, o=True, i=True, iff=True, x_=False),
+        }
+        for (vx, vy), want in cases.items():
+            env = {"x": vx, "y": vy}
+            assert evaluate(x & y, env) == want["a"]
+            assert evaluate(x | y, env) == want["o"]
+            assert evaluate(x >> y, env) == want["i"]
+            assert evaluate(x.iff(y), env) == want["iff"]
+            assert evaluate(x ^ y, env) == want["x_"]
+
+    def test_cardinality_semantics(self):
+        vs = [Var(c) for c in "abc"]
+        env = {"a": True, "b": True, "c": False}
+        assert evaluate(AtMost(2, vs), env)
+        assert not evaluate(AtMost(1, vs), env)
+        assert evaluate(AtLeast(2, vs), env)
+        assert not evaluate(AtLeast(3, vs), env)
+        assert evaluate(Exactly(2, vs), env)
+        assert not evaluate(Exactly(1, vs), env)
+
+
+def _random_formula(draw, names, depth):
+    if depth == 0:
+        return draw(st.sampled_from([Var(n) for n in names] + [TRUE, FALSE]))
+    kind = draw(st.sampled_from(
+        ["var", "not", "and", "or", "implies", "iff", "xor", "am", "al", "ex"]
+    ))
+    if kind == "var":
+        return Var(draw(st.sampled_from(names)))
+    if kind == "not":
+        return Not(_random_formula(draw, names, depth - 1))
+    if kind in ("and", "or"):
+        k = draw(st.integers(2, 3))
+        kids = [_random_formula(draw, names, depth - 1) for _ in range(k)]
+        return And(*kids) if kind == "and" else Or(*kids)
+    if kind == "implies":
+        return Implies(
+            _random_formula(draw, names, depth - 1),
+            _random_formula(draw, names, depth - 1),
+        )
+    if kind == "iff":
+        return Iff(
+            _random_formula(draw, names, depth - 1),
+            _random_formula(draw, names, depth - 1),
+        )
+    if kind == "xor":
+        return Xor(
+            _random_formula(draw, names, depth - 1),
+            _random_formula(draw, names, depth - 1),
+        )
+    k = draw(st.integers(2, 3))
+    kids = [_random_formula(draw, names, depth - 1) for _ in range(k)]
+    bound = draw(st.integers(0, k))
+    return {"am": AtMost, "al": AtLeast, "ex": Exactly}[kind](bound, kids)
+
+
+@st.composite
+def formulas(draw, names=("a", "b", "c"), max_depth=3):
+    return _random_formula(draw, list(names), draw(st.integers(0, max_depth)))
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        x = Var("x")
+        assert simplify(And(x, TRUE)) == x
+        assert simplify(And(x, FALSE)) == FALSE
+        assert simplify(Or(x, TRUE)) == TRUE
+        assert simplify(Or(x, FALSE)) == x
+        assert simplify(Not(Not(x))) == x
+        assert simplify(Implies(TRUE, x)) == x
+        assert simplify(Implies(x, TRUE)) == TRUE
+
+    def test_empty_connectives(self):
+        assert simplify(And()) == TRUE
+        assert simplify(Or()) == FALSE
+
+    @settings(max_examples=120, deadline=None)
+    @given(formulas(), st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_simplify_preserves_semantics(self, formula, bits):
+        env = dict(zip("abc", bits))
+        assert evaluate(simplify(formula), env) == evaluate(formula, env)
+
+    @settings(max_examples=120, deadline=None)
+    @given(formulas(), st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_nnf_preserves_semantics(self, formula, bits):
+        env = dict(zip("abc", bits))
+        assert evaluate(to_nnf(formula), env) == evaluate(formula, env)
+
+    @settings(max_examples=120, deadline=None)
+    @given(formulas(), st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_nnf_negation(self, formula, bits):
+        env = dict(zip("abc", bits))
+        assert evaluate(to_nnf(formula, negate=True), env) == (
+            not evaluate(formula, env)
+        )
+
+    def test_nnf_pushes_negations_to_leaves(self):
+        f = Not(And(Var("a"), Or(Var("b"), Not(Var("c")))))
+        nnf = to_nnf(f)
+
+        def check(node):
+            if isinstance(node, Not):
+                assert isinstance(node.child, Var)
+            elif isinstance(node, (And, Or)):
+                for child in node.children:
+                    check(child)
+
+        check(nnf)
+
+    def test_cardinality_simplification_with_constants(self):
+        vs = [Var("a"), TRUE, Var("b"), TRUE]
+        out = simplify(AtMost(2, vs))
+        # Two constants eat the bound: at most 0 of {a, b}.
+        assert isinstance(out, AtMost) and out.bound == 0
+        for env in itertools.product([False, True], repeat=2):
+            assignment = dict(zip("ab", env))
+            assert evaluate(out, assignment) == evaluate(
+                AtMost(2, vs), assignment
+            )

@@ -1,0 +1,284 @@
+"""Tests for Tseitin transformation, cardinality, and PB encodings."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Exactly,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+)
+from repro.logic.cardinality import (
+    Totalizer,
+    at_least_k,
+    at_most_k,
+    at_most_one_pairwise,
+    exactly_k,
+)
+from repro.logic.pseudo_boolean import (
+    GeneralizedTotalizer,
+    PBTerm,
+    encode_pb_eq,
+    encode_pb_geq,
+    encode_pb_leq,
+    normalize_pb,
+)
+from repro.logic.simplify import evaluate, free_vars
+from repro.logic.tseitin import ClauseCollector, CnfBuilder
+from repro.sat import Solver
+from tests.test_logic_ast import formulas
+
+
+def _models_of(formula, names):
+    """All satisfying assignments by brute force."""
+    out = []
+    for bits in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, bits))
+        if evaluate(formula, env):
+            out.append(env)
+    return out
+
+
+class TestTseitin:
+    @settings(max_examples=150, deadline=None)
+    @given(formulas())
+    def test_equisatisfiable(self, formula):
+        names = sorted(free_vars(formula)) or ["a"]
+        brute = bool(_models_of(formula, names))
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        builder.add_formula(formula)
+        assert solver.solve() == brute
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas())
+    def test_models_satisfy_formula(self, formula):
+        names = sorted(free_vars(formula))
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        builder.add_formula(formula)
+        if solver.solve():
+            assignment = builder.assignment_from_model(solver.model())
+            env = {n: assignment.get(n, False) for n in names}
+            assert evaluate(formula, env)
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas())
+    def test_f_and_not_f_unsat(self, formula):
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        builder.add_formula(formula)
+        builder.add_formula(Not(formula))
+        assert solver.solve() is False
+
+    def test_cardinality_under_negation_is_sound(self):
+        # Regression: reified cardinality must be bidirectional.
+        a, b = Var("a"), Var("b")
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        builder.add_formula(Not(AtMost(1, [a, b])))  # => both true
+        assert solver.solve()
+        env = builder.assignment_from_model(solver.model())
+        assert env["a"] and env["b"]
+
+    def test_shared_subformulas_encoded_once(self):
+        shared = And(Var("a"), Var("b"))
+        formula = Or(shared, Var("c")) & Or(shared, Var("d"))
+        collector = ClauseCollector()
+        builder = CnfBuilder(collector)
+        builder.add_formula(formula)
+        single = ClauseCollector()
+        b2 = CnfBuilder(single)
+        b2.add_formula(Or(shared, Var("c")))
+        # Shared node must not double the clause count.
+        assert collector.num_vars < 2 * single.num_vars + 4
+
+    def test_var_roundtrip(self):
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        v = builder.var_for("sys::Linux")
+        assert builder.var_for("sys::Linux") == v
+        assert builder.name_of(v) == "sys::Linux"
+        assert builder.name_of(9999) is None
+
+    def test_constants(self):
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        builder.add_formula(TRUE)
+        assert solver.solve()
+        builder.add_formula(FALSE)
+        assert solver.solve() is False
+
+    def test_flat_clause_shortcut(self):
+        collector = ClauseCollector()
+        builder = CnfBuilder(collector)
+        builder.add_formula(Or(Var("a"), Not(Var("b")), Var("c")))
+        # One clause, no auxiliary variables beyond the three names.
+        assert collector.num_vars == 3
+        assert collector.clauses == [[1, -2, 3]]
+
+
+def _count_models(solver, over):
+    count = 0
+    while solver.solve():
+        model = solver.model()
+        count += 1
+        solver.add_clause([-v if model[v] else v for v in over])
+        if count > 300:
+            raise AssertionError("runaway enumeration")
+    return count
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("method", ["pairwise", "seq", "totalizer"])
+    @pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 3), (5, 5), (4, 0)])
+    def test_at_most_k_model_count(self, method, n, k):
+        solver = Solver()
+        lits = solver.new_vars(n)
+        for clause in at_most_k(lits, k, solver.new_var, method):
+            solver.add_clause(clause)
+        expected = sum(
+            1
+            for bits in itertools.product([0, 1], repeat=n)
+            if sum(bits) <= k
+        )
+        assert _count_models(solver, lits) == expected
+
+    @pytest.mark.parametrize("method", ["seq", "totalizer"])
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 4), (3, 3)])
+    def test_at_least_k_model_count(self, method, n, k):
+        solver = Solver()
+        lits = solver.new_vars(n)
+        for clause in at_least_k(lits, k, solver.new_var, method):
+            solver.add_clause(clause)
+        expected = sum(
+            1
+            for bits in itertools.product([0, 1], repeat=n)
+            if sum(bits) >= k
+        )
+        assert _count_models(solver, lits) == expected
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 0), (5, 5)])
+    def test_exactly_k_model_count(self, n, k):
+        solver = Solver()
+        lits = solver.new_vars(n)
+        for clause in exactly_k(lits, k, solver.new_var):
+            solver.add_clause(clause)
+        import math
+
+        assert _count_models(solver, lits) == math.comb(n, k)
+
+    def test_at_most_one_pairwise_clause_count(self):
+        lits = [1, 2, 3, 4]
+        assert len(at_most_one_pairwise(lits)) == 6
+
+    def test_bound_edge_cases(self):
+        solver = Solver()
+        lits = solver.new_vars(3)
+        assert at_most_k(lits, 5, solver.new_var) == []
+        assert at_most_k(lits, -1, solver.new_var) == [[]]
+        assert at_least_k(lits, 0, solver.new_var) == []
+        assert at_least_k(lits, 4, solver.new_var) == [[]]
+
+    def test_totalizer_incremental_tightening(self):
+        solver = Solver()
+        lits = solver.new_vars(5)
+        tot = Totalizer(lits, solver.new_var)
+        for clause in tot.clauses:
+            solver.add_clause(clause)
+        for clause in tot.at_most(3):
+            solver.add_clause(clause)
+        assert solver.solve([lits[0], lits[1], lits[2]])
+        assert not solver.solve([lits[0], lits[1], lits[2], lits[3]])
+        for clause in tot.at_most(1):
+            solver.add_clause(clause)
+        assert not solver.solve([lits[0], lits[1]])
+        assert solver.solve([lits[0]])
+
+
+class TestPseudoBoolean:
+    def test_normalize_merges_and_flips(self):
+        terms = [PBTerm(3, 1), PBTerm(2, 1), PBTerm(-4, 2)]
+        norm, bound = normalize_pb(terms, 10)
+        as_dict = {t.lit: t.weight for t in norm}
+        assert as_dict == {1: 5, -2: 4}
+        assert bound == 14
+
+    def test_normalize_opposite_polarity(self):
+        terms = [PBTerm(3, 1), PBTerm(5, -1)]
+        norm, bound = normalize_pb(terms, 10)
+        # 3x + 5(1-x) = 3x + 5 - 5x -> fold min(3,5)=3: 2*(-x) + bound 7
+        as_dict = {t.lit: t.weight for t in norm}
+        assert as_dict == {-1: 2}
+        assert bound == 7
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_pb_encodings_match_semantics(self, data):
+        n = data.draw(st.integers(1, 5))
+        weights = data.draw(
+            st.lists(st.integers(-6, 8), min_size=n, max_size=n)
+        )
+        polarities = data.draw(
+            st.lists(st.sampled_from([1, -1]), min_size=n, max_size=n)
+        )
+        bound = data.draw(st.integers(-10, 18))
+        mode = data.draw(st.sampled_from(["leq", "geq", "eq"]))
+        solver = Solver()
+        vs = solver.new_vars(n)
+        terms = [
+            PBTerm(w, p * v) for w, p, v in zip(weights, polarities, vs)
+        ]
+        encode = {"leq": encode_pb_leq, "geq": encode_pb_geq,
+                  "eq": encode_pb_eq}[mode]
+        for clause in encode(terms, bound, solver.new_var):
+            solver.add_clause(clause)
+        for bits in itertools.product([False, True], repeat=n):
+            value = sum(
+                w
+                for w, p, bit in zip(weights, polarities, bits)
+                if (bit if p > 0 else not bit)
+            )
+            want = {"leq": value <= bound, "geq": value >= bound,
+                    "eq": value == bound}[mode]
+            assumptions = [v if bit else -v for v, bit in zip(vs, bits)]
+            assert solver.solve(assumptions) == want
+
+    def test_gte_saturation_bounds_node_width(self):
+        rng = random.Random(5)
+        terms = [PBTerm(rng.randint(1, 50), i + 1) for i in range(12)]
+        clauses: list = []
+        gte = GeneralizedTotalizer(
+            terms, cap=20, new_var=iter(range(100, 10_000)).__next__,
+            clauses=clauses,
+        )
+        assert all(v <= 20 for v in gte.values())
+
+    def test_zero_weight_terms_dropped(self):
+        solver = Solver()
+        v = solver.new_var()
+        clauses = encode_pb_leq([PBTerm(0, v)], 0, solver.new_var)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve([v])
+
+    def test_invalid_terms_rejected(self):
+        with pytest.raises(ValueError):
+            PBTerm(1, 0)
+        with pytest.raises(TypeError):
+            PBTerm(1.5, 1)

@@ -1,0 +1,140 @@
+"""Tests for the PFC forwarding simulation (the deadlock made concrete)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import build_leaf_spine
+from repro.topology.graph import Topology
+from repro.topology.routing import up_down_paths
+from repro.topology.simulation import (
+    Flow,
+    PfcNetwork,
+    cyclic_flow_set,
+    simulate,
+)
+
+
+def _ring(n: int = 4) -> tuple[Topology, list[str]]:
+    """A ring of tier-0 switches (the shape flooding turns create)."""
+    topo = Topology(name=f"ring{n}")
+    nodes = [topo.add_switch(f"s{i}", tier=0) for i in range(n)]
+    for i in range(n):
+        topo.add_link(nodes[i], nodes[(i + 1) % n])
+    return topo, nodes
+
+
+class TestFlowValidation:
+    def test_short_path_rejected(self):
+        with pytest.raises(TopologyError):
+            Flow(name="f", path=["a"], packets=1)
+
+    def test_zero_packets_rejected(self):
+        with pytest.raises(TopologyError):
+            Flow(name="f", path=["a", "b"], packets=0)
+
+    def test_tiny_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            cyclic_flow_set(["a", "b"])
+
+
+class TestLinearForwarding:
+    def test_single_flow_delivers(self):
+        topo, nodes = _ring(4)
+        result = simulate(
+            topo, [Flow("f", path=nodes[:3], packets=5)], buffer_slots=2,
+        )
+        assert result.all_delivered
+        assert not result.deadlocked
+
+    def test_tick_count_scales_with_path(self):
+        topo, nodes = _ring(4)
+        short = simulate(topo, [Flow("s", nodes[:2], packets=1)])
+        longer = simulate(topo, [Flow("l", nodes[:4], packets=1)])
+        assert longer.ticks > short.ticks
+
+    def test_opposing_flows_share_buffers(self):
+        topo, nodes = _ring(4)
+        flows = [
+            Flow("fwd", nodes[:3], packets=6),
+            Flow("rev", list(reversed(nodes[:3])), packets=6),
+        ]
+        result = simulate(topo, flows, buffer_slots=2)
+        assert result.all_delivered
+
+
+class TestDeadlock:
+    def test_cyclic_flows_deadlock_under_pfc(self):
+        topo, nodes = _ring(4)
+        result = simulate(
+            topo, cyclic_flow_set(nodes, packets=4), buffer_slots=2,
+            pfc_enabled=True,
+        )
+        assert result.deadlocked
+        assert not result.all_delivered
+        assert result.stuck_buffers  # the frozen cycle is reported
+        assert "DEADLOCK" in result.summary()
+
+    def test_same_flows_without_pfc_drop_but_finish(self):
+        """Lossy Ethernet: no pause frames, so no deadlock — packets are
+        dropped instead (the other side of the PFC bargain)."""
+        topo, nodes = _ring(4)
+        result = simulate(
+            topo, cyclic_flow_set(nodes, packets=4), buffer_slots=2,
+            pfc_enabled=False,
+        )
+        assert not result.deadlocked
+
+    def test_generous_buffers_avoid_this_deadlock(self):
+        """With buffers deeper than the offered load the cycle drains."""
+        topo, nodes = _ring(4)
+        result = simulate(
+            topo, cyclic_flow_set(nodes, packets=2), buffer_slots=64,
+            pfc_enabled=True,
+        )
+        assert not result.deadlocked
+        assert result.all_delivered
+
+    def test_updown_traffic_never_deadlocks(self):
+        """The up-down invariant, demonstrated dynamically: all-pairs
+        valley-free traffic on a leaf-spine drains with tiny buffers."""
+        topo = build_leaf_spine(3, 2, hosts_per_leaf=1)
+        hosts = topo.hosts()
+        flows = []
+        for i, src in enumerate(hosts):
+            for dst in hosts[i + 1:]:
+                path = up_down_paths(topo, src, dst)[0]
+                # Simulate between the switches (hosts are endpoints).
+                flows.append(Flow(f"{src}->{dst}", path, packets=3))
+        result = simulate(topo, flows, buffer_slots=1, pfc_enabled=True)
+        assert not result.deadlocked
+        assert result.all_delivered
+
+
+class TestNetworkMechanics:
+    def test_pause_blocks_sender(self):
+        topo, nodes = _ring(4)
+        net = PfcNetwork(topo, buffer_slots=1)
+        net.inject(Flow("a", nodes[:3], packets=3))
+        # First tick moves exactly one packet into the next buffer.
+        assert net.tick() == 1
+        # Second tick: head of ingress is paused (downstream full) but
+        # the downstream packet advances.
+        moved = net.tick()
+        assert moved >= 1
+
+    def test_invalid_buffer_slots(self):
+        topo, _ = _ring(3)
+        with pytest.raises(TopologyError):
+            PfcNetwork(topo, buffer_slots=0)
+
+    def test_counters(self):
+        topo, nodes = _ring(4)
+        net = PfcNetwork(topo, buffer_slots=4)
+        net.inject(Flow("a", nodes[:2], packets=2))
+        assert net.total == 2
+        assert net.in_flight() == 2
+        while net.in_flight():
+            net.tick()
+        assert net.delivered == 2

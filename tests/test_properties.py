@@ -1,0 +1,196 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.kb.ordering import Ordering, OrderingGraph
+from repro.kb.registry import KnowledgeBase
+from repro.kb.system import SYSTEM_CATEGORIES, System
+from repro.logic.pseudo_boolean import PBTerm, normalize_pb
+from repro.sat import Solver, check_rup_proof
+from repro.sat.drat import Proof
+from repro.topology import build_fat_tree
+from tests.conftest import brute_force_sat, random_clauses
+
+# ---------------------------------------------------------------------------
+# Ordering graphs
+# ---------------------------------------------------------------------------
+
+_SYSTEMS = [f"S{i}" for i in range(6)]
+
+
+@st.composite
+def _dags(draw):
+    """Random acyclic edge sets over _SYSTEMS (i -> j only if i < j)."""
+    edges = []
+    for i in range(len(_SYSTEMS)):
+        for j in range(i + 1, len(_SYSTEMS)):
+            if draw(st.booleans()):
+                edges.append(Ordering(_SYSTEMS[i], _SYSTEMS[j], "d"))
+    return edges
+
+
+class TestOrderingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_dags())
+    def test_better_than_is_transitive(self, edges):
+        graph = OrderingGraph.build(edges, "d", systems=_SYSTEMS)
+        for a in _SYSTEMS:
+            for b in _SYSTEMS:
+                for c in _SYSTEMS:
+                    if graph.better_than(a, b) and graph.better_than(b, c):
+                        assert graph.better_than(a, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_dags())
+    def test_better_than_is_antisymmetric(self, edges):
+        graph = OrderingGraph.build(edges, "d", systems=_SYSTEMS)
+        for a in _SYSTEMS:
+            assert not graph.better_than(a, a)
+            for b in _SYSTEMS:
+                if graph.better_than(a, b):
+                    assert not graph.better_than(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_dags())
+    def test_ranks_respect_edges(self, edges):
+        graph = OrderingGraph.build(edges, "d", systems=_SYSTEMS)
+        ranks = graph.ranks()
+        for better, worse in graph.graph.edges:
+            assert ranks[better] < ranks[worse]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_dags())
+    def test_not_worse_than_excludes_descendants(self, edges):
+        graph = OrderingGraph.build(edges, "d", systems=_SYSTEMS)
+        for baseline in _SYSTEMS:
+            allowed = graph.not_worse_than(baseline)
+            assert baseline not in allowed
+            for system in allowed:
+                assert not graph.better_than(baseline, system)
+
+
+# ---------------------------------------------------------------------------
+# PB normalization
+# ---------------------------------------------------------------------------
+
+class TestNormalizeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_normalization_preserves_solutions(self, data):
+        n = data.draw(st.integers(1, 4))
+        terms = [
+            PBTerm(data.draw(st.integers(-6, 6)),
+                   (i + 1) * data.draw(st.sampled_from([1, -1])))
+            for i in range(n)
+        ]
+        bound = data.draw(st.integers(-12, 12))
+        norm_terms, norm_bound = normalize_pb(terms, bound)
+        assert all(t.weight > 0 for t in norm_terms)
+        import itertools
+
+        for bits in itertools.product([False, True], repeat=n):
+            def value(term_list):
+                total = 0
+                for term in term_list:
+                    var = abs(term.lit)
+                    truth = bits[var - 1]
+                    if term.lit < 0:
+                        truth = not truth
+                    if truth:
+                        total += term.weight
+                return total
+
+            assert (value(terms) <= bound) == (
+                value(norm_terms) <= norm_bound
+            )
+
+
+# ---------------------------------------------------------------------------
+# Solver + proofs
+# ---------------------------------------------------------------------------
+
+class TestSolverProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_every_unsat_answer_has_verifying_proof(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(3, 7)
+        clauses = random_clauses(rng, n, rng.randint(8, 30))
+        assume(not brute_force_sat(n, clauses))
+        solver = Solver(proof_logging=True)
+        solver.new_vars(n)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is False
+        assert check_rup_proof(clauses, solver.proof)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_incremental_answers_are_monotone(self, seed):
+        """Adding clauses can only shrink the model set (SAT -> UNSAT,
+        never the reverse)."""
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 6)
+        clauses = random_clauses(rng, n, rng.randint(4, 20))
+        solver = Solver()
+        solver.new_vars(n)
+        previous = True
+        for clause in clauses:
+            solver.add_clause(clause)
+            current = solver.solve()
+            assert not (previous is False and current is True)
+            previous = current
+
+
+# ---------------------------------------------------------------------------
+# Topology invariants
+# ---------------------------------------------------------------------------
+
+class TestTopologyProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from([2, 4, 6]))
+    def test_fat_tree_degree_invariants(self, k):
+        topo = build_fat_tree(k)
+        half = k // 2
+        for switch in topo.switches(tier=2):
+            assert len(topo.neighbors(switch)) == k  # one per pod
+        for switch in topo.switches(tier=1):
+            # k/2 down to edges + k/2 up to cores.
+            assert len(topo.neighbors(switch)) == k
+        for switch in topo.switches(tier=0):
+            assert len(topo.neighbors(switch)) == half + half
+
+
+# ---------------------------------------------------------------------------
+# KB registry
+# ---------------------------------------------------------------------------
+
+class TestRegistryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 50),
+            st.sampled_from(list(SYSTEM_CATEGORIES)),
+        ),
+        max_size=12, unique_by=lambda t: t[0],
+    ))
+    def test_json_roundtrip_any_system_set(self, specs):
+        kb = KnowledgeBase()
+        for index, category in specs:
+            kb.add_system(System(name=f"Sys{index}", category=category,
+                                 solves=[f"obj{index % 3}"]))
+        clone = KnowledgeBase.from_json(kb.to_json())
+        assert clone.stats() == kb.stats()
+        assert {
+            (s.name, s.category) for s in clone.systems.values()
+        } == {
+            (s.name, s.category) for s in kb.systems.values()
+        }

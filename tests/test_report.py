@@ -1,0 +1,97 @@
+"""Tests for the architect-facing report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.core.report import render_report
+from repro.kb.workload import Workload
+
+
+@pytest.fixture
+def engine(tiny_kb):
+    return ReasoningEngine(tiny_kb)
+
+
+def _request(**kwargs):
+    defaults = dict(workloads=[Workload(
+        name="app", objectives=["packet_processing"], peak_cores=40,
+    )])
+    defaults.update(kwargs)
+    return DesignRequest(**defaults)
+
+
+class TestFeasibleReport:
+    def test_contains_all_sections(self, tiny_kb, engine):
+        request = _request(optimize=["capex_usd"],
+                           context={"datacenter_fabric": True})
+        outcome = engine.synthesize(request)
+        report = render_report(tiny_kb, request, outcome)
+        assert "VERDICT: feasible." in report
+        assert "Selected systems:" in report
+        assert "Bill of materials:" in report
+        assert "TOTAL" in report
+        assert "Resource ledger:" in report
+        assert "cpu_cores" in report
+        assert "Optimize: capex_usd" in report
+        assert "datacenter_fabric=True" in report
+
+    def test_bom_totals_match_solution(self, tiny_kb, engine):
+        request = _request()
+        outcome = engine.synthesize(request)
+        report = render_report(tiny_kb, request, outcome)
+        assert f"{outcome.solution.cost_usd:,}" in report
+
+    def test_workload_demands_listed(self, tiny_kb, engine):
+        request = _request(workloads=[Workload(
+            name="big", objectives=["packet_processing"],
+            peak_cores=64, peak_gbps=10, peak_mem_gb=100,
+        )])
+        outcome = engine.synthesize(request)
+        report = render_report(tiny_kb, request, outcome)
+        assert "64 cores" in report
+        assert "10 Gbps" in report
+        assert "100 GB" in report
+
+    def test_features_rendered(self, tiny_kb, engine):
+        from repro.kb.dsl import prop
+        from repro.kb.system import Feature, System
+
+        tiny_kb.add_system(System(
+            name="Featureful", category="monitoring", solves=["ft"],
+            features=[Feature("turbo")],
+        ))
+        request = _request(workloads=[Workload(
+            name="w", objectives=["packet_processing", "ft"],
+        )])
+        compiled = engine.compile(request)
+        assert compiled.solve([compiled.feat_lits[("Featureful", "turbo")]])
+        outcome_model = compiled.solver.model()
+        solution = compiled.extract_solution(outcome_model)
+        from repro.core.design import DesignOutcome
+
+        report = render_report(
+            tiny_kb, request, DesignOutcome(True, solution=solution)
+        )
+        assert "+turbo" in report
+
+
+class TestInfeasibleReport:
+    def test_conflict_rendered(self, tiny_kb, engine):
+        request = _request(
+            required_systems=["StackA"], forbidden_systems=["StackA"],
+        )
+        outcome = engine.check(request)
+        report = render_report(tiny_kb, request, outcome)
+        assert "no compliant design exists" in report
+        assert "required:StackA" in report
+        assert "forbidden:StackA" in report
+
+    def test_custom_title(self, tiny_kb, engine):
+        request = _request()
+        outcome = engine.synthesize(request)
+        report = render_report(tiny_kb, request, outcome,
+                               title="Q3 build-out")
+        assert report.startswith("Q3 build-out\n============")

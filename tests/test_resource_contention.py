@@ -1,0 +1,177 @@
+"""Tests for §2.2 resource contention — per-device vs. pooled resources.
+
+"one form of interaction is contention for resources (e.g. QoS classes,
+FPGA gates and memory, CPU cores, etc)". CPU cores pool across servers;
+P4 stages, QoS classes, and FPGA gates are contended per device — buying
+more switches does not create more pipeline stages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.kb.dsl import prop
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.resources import ResourceDemand, is_additive
+from repro.kb.system import System
+from repro.kb.workload import Workload
+
+
+def _kb(stages_small: int = 8, stages_big: int = 20) -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_system(System(name="Stack", category="network_stack",
+                         solves=["packet_processing"]))
+    kb.add_system(System(
+        name="TelemetryQ", category="monitoring", solves=["telemetry"],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[ResourceDemand("p4_stages", fixed=6)],
+    ))
+    kb.add_system(System(
+        name="FabricLB", category="load_balancer", solves=["balancing"],
+        requires=prop("switch", "P4_PROGRAMMABLE"),
+        resources=[ResourceDemand("p4_stages", fixed=7)],
+    ))
+    kb.add_hardware(Hardware(spec=SwitchSpec(
+        model="P4Small", port_gbps=100, ports=32, memory_mb=64,
+        power_w=500, cost_usd=50_000, p4_programmable=True,
+        p4_stages=stages_small,
+    ), max_units=8))
+    kb.add_hardware(Hardware(spec=SwitchSpec(
+        model="P4Big", port_gbps=100, ports=32, memory_mb=64,
+        power_w=700, cost_usd=120_000, p4_programmable=True,
+        p4_stages=stages_big,
+    ), max_units=8))
+    kb.add_hardware(Hardware(spec=ServerSpec(
+        model="Box", cores=32, mem_gb=128, power_w=300, cost_usd=4_000,
+    )))
+    kb.add_hardware(Hardware(spec=NICSpec(
+        model="Nic", rate_gbps=25, power_w=5, cost_usd=150,
+    ), max_units=32))
+    return kb
+
+
+def _request(objectives, **kwargs) -> DesignRequest:
+    return DesignRequest(
+        workloads=[Workload(name="w", objectives=objectives)], **kwargs
+    )
+
+
+class TestCatalogFlags:
+    def test_additivity_classification(self):
+        assert is_additive("cpu_cores")
+        assert is_additive("server_mem_gb")
+        assert not is_additive("p4_stages")
+        assert not is_additive("qos_classes")
+        assert not is_additive("fpga_gates_k")
+        assert is_additive("unknown_kind")  # default
+
+
+class TestPerDeviceSemantics:
+    def test_one_program_fits_small_switch(self):
+        engine = ReasoningEngine(_kb(), validate=False)
+        outcome = engine.synthesize(
+            _request(["packet_processing", "telemetry"])
+        )
+        assert outcome.feasible
+
+    def test_two_programs_exceed_small_switch(self):
+        """6 + 7 = 13 stages: fits P4Big (20), not P4Small (8)."""
+        engine = ReasoningEngine(_kb(), validate=False)
+        outcome = engine.synthesize(
+            _request(["packet_processing", "telemetry", "balancing"],
+                     inventory={"P4Small": 8, "Box": 8, "Nic": 32}),
+        )
+        assert not outcome.feasible
+        assert "resource:p4_stages" in outcome.conflict.constraints
+
+    def test_big_switch_hosts_both(self):
+        engine = ReasoningEngine(_kb(), validate=False)
+        outcome = engine.synthesize(
+            _request(["packet_processing", "telemetry", "balancing"])
+        )
+        assert outcome.feasible
+        assert outcome.solution.hardware.get("P4Big", 0) >= 1
+
+    def test_more_units_do_not_add_stages(self):
+        """The defining non-additive property: 8 small switches still
+        cannot run a 13-stage program set."""
+        engine = ReasoningEngine(_kb(), validate=False)
+        outcome = engine.synthesize(
+            _request(["packet_processing", "telemetry", "balancing"],
+                     inventory={"P4Small": 8, "Box": 8, "Nic": 32},
+                     fixed_hardware={"P4Small": 8}),
+        )
+        assert not outcome.feasible
+
+    def test_mixed_fleet_constrained_by_weakest(self):
+        """Every deployed device must fit the program set: forcing a
+        small switch into the fleet breaks the 13-stage deployment even
+        though a big one is also present."""
+        engine = ReasoningEngine(_kb(), validate=False)
+        outcome = engine.synthesize(
+            _request(["packet_processing", "telemetry", "balancing"],
+                     fixed_hardware={"P4Small": 1, "P4Big": 1}),
+        )
+        assert not outcome.feasible
+
+    def test_ledger_reports_min_capacity(self):
+        engine = ReasoningEngine(_kb(), validate=False)
+        outcome = engine.synthesize(
+            _request(["packet_processing", "telemetry"])
+        )
+        ledger = outcome.solution.ledger
+        assert ledger.demands.get("p4_stages") == 6
+        deployed_p4 = [
+            m for m in outcome.solution.hardware if m.startswith("P4")
+        ]
+        assert deployed_p4
+        assert ledger.capacities["p4_stages"] >= 6
+
+
+class TestQosClasses:
+    def test_qos_demand_constrains_switch_choice(self, ):
+        kb = _kb()
+        kb.add_system(System(
+            name="PrioHog", category="congestion_control",
+            solves=["bandwidth_allocation"],
+            resources=[ResourceDemand("qos_classes", fixed=6)],
+        ))
+        kb.add_hardware(Hardware(spec=SwitchSpec(
+            model="FourClass", port_gbps=100, ports=32, memory_mb=16,
+            power_w=200, cost_usd=5_000, qos_classes=4,
+        )))
+        engine = ReasoningEngine(kb, validate=False)
+        outcome = engine.synthesize(_request(
+            ["packet_processing", "bandwidth_allocation"],
+            inventory={"FourClass": 4, "Box": 8, "Nic": 32},
+        ))
+        assert not outcome.feasible
+        assert "resource:qos_classes" in outcome.conflict.constraints
+        # With an 8-class switch available it works.
+        retry = engine.synthesize(_request(
+            ["packet_processing", "bandwidth_allocation"],
+        ))
+        assert retry.feasible
+
+
+class TestFullKbStillConsistent:
+    def test_default_kb_case_study_unaffected(self):
+        """Timely/Swift's 1-class demand fits every catalog switch."""
+        from repro.knowledge import default_knowledge_base
+
+        kb = default_knowledge_base()
+        engine = ReasoningEngine(kb)
+        outcome = engine.check(DesignRequest(
+            workloads=[Workload(
+                name="w",
+                objectives=["packet_processing", "bandwidth_allocation"],
+            )],
+            required_systems=["Swift"],
+            candidate_systems=["Linux", "Swift"],
+            inventory={"FF-100G-32P": 4, "STD-100G-TS-IP": 16,
+                       "SRV-G2-64C-256G": 8},
+        ))
+        assert outcome.feasible

@@ -1,0 +1,57 @@
+"""Tests for the literal convention helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidLiteralError
+from repro.sat.literals import (
+    check_clause,
+    check_literal,
+    is_positive,
+    neg,
+    var_of,
+)
+
+
+class TestHelpers:
+    def test_var_of(self):
+        assert var_of(5) == 5
+        assert var_of(-5) == 5
+
+    def test_neg_is_involution(self):
+        for lit in (1, -1, 42, -42):
+            assert neg(neg(lit)) == lit
+            assert neg(lit) == -lit
+
+    def test_is_positive(self):
+        assert is_positive(3)
+        assert not is_positive(-3)
+
+
+class TestValidation:
+    def test_valid_literals_pass(self):
+        check_literal(1, 5)
+        check_literal(-5, 5)
+
+    def test_zero_rejected(self):
+        with pytest.raises(InvalidLiteralError):
+            check_literal(0, 5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidLiteralError):
+            check_literal(6, 5)
+        with pytest.raises(InvalidLiteralError):
+            check_literal(-6, 5)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(InvalidLiteralError):
+            check_literal("1", 5)  # type: ignore[arg-type]
+        with pytest.raises(InvalidLiteralError):
+            check_literal(True, 5)
+
+    def test_check_clause_materializes(self):
+        lits = check_clause(iter([1, -2, 3]), 3)
+        assert lits == [1, -2, 3]
+        with pytest.raises(InvalidLiteralError):
+            check_clause([1, 0], 3)

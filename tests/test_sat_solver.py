@@ -1,0 +1,317 @@
+"""Unit tests for the CDCL SAT solver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidLiteralError, SolverStateError
+from repro.sat import Solver
+from repro.sat.solver import luby
+from tests.conftest import brute_force_sat, random_clauses
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve() is True
+
+    def test_single_unit_clause(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a])
+        assert s.solve()
+        assert s.value(a) is True
+        assert s.value(-a) is False
+
+    def test_contradictory_units(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert not s.add_clause([-a])
+        assert s.solve() is False
+
+    def test_model_satisfies_clauses(self):
+        s = Solver()
+        a, b, c = s.new_vars(3)
+        clauses = [[a, b], [-a, c], [-b, -c], [a, -c]]
+        for clause in clauses:
+            s.add_clause(clause)
+        assert s.solve()
+        model = s.model()
+        for clause in clauses:
+            assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+    def test_implication_chain_propagates(self):
+        s = Solver()
+        variables = s.new_vars(50)
+        for prev, cur in zip(variables, variables[1:]):
+            s.add_clause([-prev, cur])
+        s.add_clause([variables[0]])
+        assert s.solve()
+        assert all(s.value(v) for v in variables)
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a, a, a])
+        assert s.solve()
+        assert s.value(a) is True
+
+    def test_tautology_is_dropped(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        assert s.add_clause([a, -a])
+        s.add_clause([-b])
+        assert s.solve()
+        assert s.value(b) is False
+
+    def test_incremental_solving(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([a, b])
+        assert s.solve()
+        s.add_clause([-a])
+        assert s.solve()
+        assert s.value(b) is True
+        s.add_clause([-b])
+        assert s.solve() is False
+
+
+class TestValidation:
+    def test_zero_literal_rejected(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(InvalidLiteralError):
+            s.add_clause([0])
+
+    def test_unknown_variable_rejected(self):
+        s = Solver()
+        with pytest.raises(InvalidLiteralError):
+            s.add_clause([1])
+
+    def test_bool_literal_rejected(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(InvalidLiteralError):
+            s.add_clause([True])
+
+    def test_model_before_solve_raises(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(SolverStateError):
+            s.model()
+
+    def test_core_without_failed_assumptions_raises(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.solve()
+        with pytest.raises(SolverStateError):
+            s.unsat_core()
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("pigeons,holes", [(2, 1), (4, 3), (6, 5)])
+    def test_php_unsat(self, pigeons, holes):
+        s = Solver()
+        v = {
+            (p, h): s.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            s.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve() is False
+
+    def test_php_equal_is_sat(self):
+        s = Solver()
+        n = 4
+        v = {(p, h): s.new_var() for p in range(n) for h in range(n)}
+        for p in range(n):
+            s.add_clause([v[p, h] for h in range(n)])
+        for h in range(n):
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve() is True
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([a, b])
+        assert s.solve([-a])
+        assert s.value(b) is True
+
+    def test_unsat_core_is_subset_of_assumptions(self):
+        s = Solver()
+        x, y, z, w = s.new_vars(4)
+        s.add_clause([-x, y])
+        s.add_clause([-y, -z])
+        assert s.solve([x, z, w]) is False
+        core = s.unsat_core()
+        assert set(core) <= {x, z, w}
+        assert x in core and z in core
+        assert w not in core
+
+    def test_assumptions_do_not_persist(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.solve([-a])
+        assert s.solve([a])
+
+    def test_duplicate_assumptions(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([-a, b])
+        assert s.solve([a, a, a])
+        assert s.value(b) is True
+
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([a, b])  # keep the formula satisfiable
+        assert s.solve([a, -a]) is False
+        assert set(s.unsat_core()) == {a, -a}
+
+    def test_formula_level_unsat_gives_empty_core(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([a])
+        s.add_clause([-a])
+        assert s.solve([b]) is False
+        assert s.unsat_core() == []
+
+
+class TestBudget:
+    def test_budget_exhaustion_returns_none(self):
+        s = Solver(restart_base=1)
+        # A hard-ish pigeonhole so one conflict is not enough.
+        pigeons, holes = 7, 6
+        v = {
+            (p, h): s.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            s.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        result = s.solve_limited(conflict_budget=3)
+        assert result.satisfiable is None
+
+    def test_solve_or_raise(self):
+        from repro.errors import BudgetExceededError
+
+        s = Solver()
+        a, b, c = s.new_vars(3)
+        s.add_clause([a, b, c])
+        assert s.solve_or_raise() is True
+        s2 = Solver(restart_base=1)
+        v = {(p, h): s2.new_var() for p in range(7) for h in range(6)}
+        for p in range(7):
+            s2.add_clause([v[p, h] for h in range(6)])
+        for h in range(6):
+            for p1 in range(7):
+                for p2 in range(p1 + 1, 7):
+                    s2.add_clause([-v[p1, h], -v[p2, h]])
+        with pytest.raises(BudgetExceededError):
+            s2.solve_or_raise(conflict_budget=2)
+
+
+class TestAblations:
+    """Feature switches must not change verdicts, only speed."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {"enable_vsids": False},
+            {"enable_learning": False},
+            {"enable_restarts": False},
+            {"enable_phase_saving": False},
+        ],
+    )
+    def test_ablation_agrees_with_brute_force(self, flags):
+        rng = random.Random(99)
+        for _ in range(60):
+            n = rng.randint(2, 7)
+            clauses = random_clauses(rng, n, rng.randint(1, 25))
+            expected = brute_force_sat(n, clauses)
+            s = Solver(**flags)
+            s.new_vars(n)
+            for clause in clauses:
+                s.add_clause(clause)
+            assert s.solve() == expected, (flags, clauses)
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestRandomized:
+    def test_agrees_with_brute_force(self):
+        rng = random.Random(1234)
+        for _ in range(200):
+            n = rng.randint(2, 8)
+            clauses = random_clauses(rng, n, rng.randint(1, 30))
+            expected = brute_force_sat(n, clauses)
+            s = Solver()
+            s.new_vars(n)
+            for clause in clauses:
+                s.add_clause(clause)
+            got = s.solve()
+            assert got == expected, clauses
+            if got:
+                model = s.model()
+                assert all(
+                    any((lit > 0) == model[abs(lit)] for lit in clause)
+                    for clause in clauses
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_random_formulas(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        clauses = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=1, max_value=n).flatmap(
+                        lambda v: st.sampled_from([v, -v])
+                    ),
+                    min_size=1,
+                    max_size=4,
+                ),
+                min_size=0,
+                max_size=20,
+            )
+        )
+        s = Solver()
+        s.new_vars(n)
+        for clause in clauses:
+            s.add_clause(clause)
+        assert s.solve() == brute_force_sat(n, clauses)
+
+    def test_stats_accumulate(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([a, b])
+        s.solve()
+        stats = s.stats.as_dict()
+        assert stats["decisions"] >= 1

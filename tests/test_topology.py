@@ -1,0 +1,194 @@
+"""Tests for topologies, routing, and PFC deadlock analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    BufferDependencyGraph,
+    Topology,
+    build_fat_tree,
+    build_leaf_spine,
+    find_cbd_cycles,
+)
+from repro.topology.pfc import add_flooding, audit_pfc, cbd_from_updown
+from repro.topology.routing import (
+    ecmp_paths,
+    flooding_edges,
+    is_valley_free,
+    up_down_paths,
+)
+
+
+class TestTopologyModel:
+    def test_basic_construction(self):
+        topo = Topology()
+        topo.add_switch("s0", tier=0)
+        topo.add_host("h0")
+        topo.add_link("s0", "h0")
+        topo.validate()
+        assert topo.switches() == ["s0"]
+        assert topo.hosts() == ["h0"]
+
+    def test_unknown_link_endpoint(self):
+        topo = Topology()
+        topo.add_switch("s0", tier=0)
+        with pytest.raises(TopologyError):
+            topo.add_link("s0", "ghost")
+
+    def test_host_must_attach_to_tor(self):
+        topo = Topology()
+        topo.add_switch("agg", tier=1)
+        topo.add_host("h")
+        topo.add_link("agg", "h")
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_disconnected_rejected(self):
+        topo = Topology()
+        topo.add_switch("a", tier=0)
+        topo.add_switch("b", tier=0)
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_negative_switch_tier_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_switch("s", tier=-1)
+
+    def test_neighbor_queries(self):
+        topo = build_leaf_spine(2, 2, hosts_per_leaf=1)
+        assert set(topo.up_neighbors("leaf0")) == {"spine0", "spine1"}
+        assert "leaf0_host0" in topo.down_neighbors("leaf0")
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_node_counts(self, k):
+        topo = build_fat_tree(k)
+        stats = topo.stats()
+        assert stats["switches"] == (k // 2) ** 2 + k * k
+        assert stats["hosts"] == k * (k // 2) ** 2
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(TopologyError):
+            build_fat_tree(3)
+
+    def test_hosts_per_edge_bound(self):
+        with pytest.raises(TopologyError):
+            build_fat_tree(4, hosts_per_edge=5)
+
+    def test_leaf_spine_validation(self):
+        with pytest.raises(TopologyError):
+            build_leaf_spine(0, 1)
+
+
+class TestRouting:
+    def test_intra_pod_paths(self):
+        topo = build_fat_tree(4, hosts_per_edge=1)
+        paths = up_down_paths(topo, "pod0_edge0_host0", "pod0_edge1_host0")
+        assert paths
+        # Intra-pod: via aggregation (len 5) or core (len 7).
+        assert {len(p) for p in paths} <= {5, 7}
+        assert all(is_valley_free(topo, p) for p in paths)
+
+    def test_inter_pod_path_count(self):
+        topo = build_fat_tree(4, hosts_per_edge=1)
+        paths = ecmp_paths(topo, "pod0_edge0_host0", "pod1_edge0_host0")
+        # k=4: one path per core switch = 4 shortest paths.
+        assert len(paths) == 4
+
+    def test_same_host(self):
+        topo = build_leaf_spine(2, 2, hosts_per_leaf=1)
+        assert up_down_paths(topo, "leaf0_host0", "leaf0_host0") == [
+            ["leaf0_host0"]
+        ]
+
+    def test_same_leaf_short_path(self):
+        topo = build_leaf_spine(2, 2, hosts_per_leaf=2)
+        paths = up_down_paths(topo, "leaf0_host0", "leaf0_host1")
+        assert [len(p) for p in paths].count(3) == 1  # host-leaf-host
+
+    def test_limit(self):
+        topo = build_fat_tree(6, hosts_per_edge=1)
+        paths = up_down_paths(
+            topo, "pod0_edge0_host0", "pod1_edge0_host0", limit=2
+        )
+        assert len(paths) == 2
+
+    def test_host_endpoint_required(self):
+        topo = build_leaf_spine(2, 2)
+        with pytest.raises(TopologyError):
+            up_down_paths(topo, "leaf0", "leaf1")
+
+    def test_valley_detection(self):
+        topo = build_leaf_spine(2, 2, hosts_per_leaf=1)
+        valley = ["leaf0_host0", "leaf0", "spine0", "leaf1", "spine1"]
+        assert not is_valley_free(topo, valley)
+
+    def test_flooding_edges_cover_all_turns(self):
+        topo = build_leaf_spine(2, 2, hosts_per_leaf=1)
+        turns = flooding_edges(topo)
+        # leaf0 has 3 neighbors -> 3*2 = 6 turns; x2 leaves; spines have
+        # 2 neighbors -> 2 turns each.
+        assert len(turns) == 6 * 2 + 2 * 2
+
+
+class TestPfc:
+    def test_updown_cbd_acyclic(self):
+        for topo in (build_fat_tree(4, hosts_per_edge=1),
+                     build_leaf_spine(4, 2, hosts_per_leaf=1)):
+            assert find_cbd_cycles(topo, flooding=False) == []
+
+    def test_flooding_creates_cycles(self):
+        for topo in (build_fat_tree(4, hosts_per_edge=1),
+                     build_leaf_spine(2, 2, hosts_per_leaf=1)):
+            assert find_cbd_cycles(topo, flooding=True)
+
+    def test_single_spine_no_cycle_even_with_flooding(self):
+        # One spine, one leaf: no alternative paths, flooding cannot loop.
+        topo = build_leaf_spine(1, 1, hosts_per_leaf=2)
+        assert find_cbd_cycles(topo, flooding=True) == []
+
+    def test_audit_report_fields(self):
+        topo = build_leaf_spine(2, 2, hosts_per_leaf=1)
+        report = audit_pfc(topo, pfc_enabled=True, flooding=True)
+        assert report.deadlock_possible
+        assert "VIOLATION" in report.rule_verdict
+        assert "DEADLOCK" in report.summary()
+        clean = audit_pfc(topo, pfc_enabled=True, flooding=False)
+        assert not clean.deadlock_possible
+        assert "compliant" in clean.rule_verdict
+        off = audit_pfc(topo, pfc_enabled=False, flooding=True)
+        assert not off.deadlock_possible
+
+    def test_manual_cbd(self):
+        cbd = BufferDependencyGraph()
+        cbd.add_path(["a", "b", "c"])
+        cbd.add_path(["c", "b", "a"])
+        assert cbd.num_buffers == 4
+        assert not cbd.has_cycle()
+        cbd.add_turn("c", "b", "c")  # nonsense turn closing a loop
+        cbd.add_turn("b", "c", "b")
+        assert cbd.has_cycle()
+
+    def test_cycle_limit(self):
+        topo = build_fat_tree(4, hosts_per_edge=1)
+        cycles = find_cbd_cycles(topo, flooding=True, limit=3)
+        assert len(cycles) == 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 4), st.integers(2, 3))
+    def test_updown_always_acyclic_property(self, leaves, spines):
+        topo = build_leaf_spine(leaves, spines, hosts_per_leaf=1)
+        cbd = cbd_from_updown(topo)
+        assert not cbd.has_cycle()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 4), st.integers(2, 3))
+    def test_flooding_breaks_multipath_fabrics(self, leaves, spines):
+        topo = build_leaf_spine(leaves, spines, hosts_per_leaf=1)
+        cbd = add_flooding(cbd_from_updown(topo), topo)
+        assert cbd.has_cycle()

@@ -1,0 +1,112 @@
+"""Tests for DOT rendering and the case-study request builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kb.viz import orderings_to_dot
+from repro.knowledge import (
+    cxl_query_requests,
+    default_knowledge_base,
+    inference_case_study,
+    keep_sonata_requests,
+    more_workloads_request,
+)
+from repro.knowledge.casestudy import CASE_STUDY_INVENTORY
+from repro.knowledge.memory import CXL_APPLIANCE
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_knowledge_base()
+
+
+class TestDot:
+    def test_figure1_dot_structure(self, kb):
+        stacks = ["ZygOS", "Linux", "Snap", "NetChannel", "Shenango",
+                  "Demikernel"]
+        dot = orderings_to_dot(
+            kb, ["throughput", "isolation", "app_modification"],
+            systems=stacks,
+        )
+        assert dot.startswith("digraph ordering {")
+        assert dot.rstrip().endswith("}")
+        for stack in stacks:
+            assert f'"{stack}"' in dot
+        # Conditional edges are dashed and labelled.
+        assert "style=dashed" in dot
+        assert "network load ge 40g" in dot
+        assert "pony" in dot
+        # One color per dimension plus a legend.
+        assert "goldenrod" in dot and "crimson" in dot
+        assert "cluster_legend" in dot
+
+    def test_edge_direction_better_to_worse(self, kb):
+        dot = orderings_to_dot(kb, ["monitoring"],
+                               systems=["Simon", "Pingmesh"])
+        assert '"Simon" -> "Pingmesh"' in dot
+
+    def test_system_filter(self, kb):
+        dot = orderings_to_dot(kb, ["latency"], systems=["Swift", "Timely"])
+        assert "Cubic" not in dot
+
+    def test_unfiltered_includes_everything_active(self, kb):
+        dot = orderings_to_dot(kb, ["monitoring"])
+        assert "Everflow" in dot and "NetFlow" in dot
+
+
+class TestCaseStudyBuilders:
+    def test_inventory_models_exist(self, kb):
+        for model in CASE_STUDY_INVENTORY:
+            assert model in kb.hardware, model
+
+    def test_inference_request_shape(self):
+        request = inference_case_study()
+        assert request.optimize == ["latency", "capex_usd", "monitoring"]
+        workload = request.workloads[0]
+        assert workload.peak_cores == 2800  # Listing 3
+        assert workload.peak_gbps == 30
+        assert {"dc_flows", "short_flows", "high_priority"} <= set(
+            workload.properties
+        )
+        bounds = workload.performance_bounds
+        assert len(bounds) == 1
+        assert bounds[0].better_than == "PacketSpray"  # Listing 3
+        assert request.context["network_load_ge_40g"] is False
+
+    def test_builders_return_fresh_objects(self):
+        first = inference_case_study()
+        second = inference_case_study()
+        first.context["mutated"] = True
+        assert "mutated" not in second.context
+        first.workloads[0].objectives.append("extra")
+        assert "extra" not in second.workloads[0].objectives
+
+    def test_more_workloads_freezes_whole_fleet(self):
+        request = more_workloads_request({"SRV-G3-128C-512G": 20})
+        assert request.fixed_hardware["SRV-G3-128C-512G"] == 20
+        # Every other server model in the shortlist is pinned to zero.
+        assert request.fixed_hardware["SRV-G2-64C-256G"] == 0
+        assert request.fixed_hardware[CXL_APPLIANCE] == 0
+        assert len(request.workloads) == 2
+
+    def test_more_workloads_without_freeze(self):
+        request = more_workloads_request()
+        assert request.fixed_hardware == {}
+        assert request.context["network_load_ge_40g"] is True
+
+    def test_keep_sonata_pair(self):
+        keep, free = keep_sonata_requests()
+        assert keep.required_systems == ["Sonata"]
+        assert free.required_systems == []
+        assert [w.name for w in keep.workloads] == [
+            w.name for w in free.workloads
+        ]
+
+    def test_cxl_pair(self):
+        without, with_cxl = cxl_query_requests()
+        assert "CXL-Pool" in without.forbidden_systems
+        assert "CXL-Pool" not in with_cxl.forbidden_systems
+        assert without.optimize == ["capex_usd"]
+        memory_demand = sum(w.peak_mem_gb for w in without.workloads)
+        assert memory_demand >= 9000  # the replication working set

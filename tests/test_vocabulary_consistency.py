@@ -1,0 +1,113 @@
+"""Consistency checks between the KB vocabulary and its consumers.
+
+Two real regressions motivated these: a context flag used by a system but
+missing from the prose-phrase table silently degraded extraction
+benchmarks. These tests make the vocabulary contracts explicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extraction.documents import _CTX_PHRASES, _PROP_PHRASES
+from repro.extraction.paper_extractor import _PHRASE_TO_VAR
+from repro.kb.dsl import PROPERTY_SCOPES, namespace_of
+from repro.kb.properties import PROPERTY_CATALOG
+from repro.knowledge import default_knowledge_base
+from repro.logic.simplify import free_vars
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_knowledge_base()
+
+
+def _all_requirement_vars(kb) -> set[str]:
+    out: set[str] = set()
+    for system in kb.systems.values():
+        out |= free_vars(system.requires)
+        for feature in system.features:
+            out |= free_vars(feature.requires)
+    return out
+
+
+class TestPhraseTables:
+    def test_every_ctx_var_has_a_phrase(self, kb):
+        used = {
+            name.split("::", 1)[1]
+            for name in _all_requirement_vars(kb)
+            if namespace_of(name) == "ctx"
+        }
+        missing = used - set(_CTX_PHRASES)
+        assert not missing, (
+            f"context flags without prose phrases (extraction benchmarks "
+            f"will silently degrade): {sorted(missing)}"
+        )
+
+    def test_every_required_prop_has_a_phrase(self, kb):
+        used = {
+            name.split("::")[2]
+            for name in _all_requirement_vars(kb)
+            if namespace_of(name) == "prop"
+        }
+        missing = used - set(_PROP_PHRASES)
+        assert not missing, f"properties without prose phrases: {missing}"
+
+    def test_phrase_inversion_is_injective(self):
+        # Two phrases mapping to one var is fine; one phrase mapping to
+        # two vars would make extraction ambiguous.
+        assert len(_PHRASE_TO_VAR) == len(set(_PHRASE_TO_VAR))
+        phrases = list(_PHRASE_TO_VAR)
+        # No phrase may be a substring of another (matching is `in`).
+        for i, a in enumerate(phrases):
+            for b in phrases[i + 1:]:
+                assert a not in b and b not in a, (a, b)
+
+
+class TestPropertyVocabulary:
+    def test_required_props_use_valid_scopes(self, kb):
+        for name in _all_requirement_vars(kb):
+            if namespace_of(name) == "prop":
+                scope = name.split("::")[1]
+                assert scope in PROPERTY_SCOPES, name
+
+    def test_provided_props_are_consumed_or_cataloged(self, kb):
+        """Every provided property is either required somewhere or part
+        of the documented catalog — no write-only facts."""
+        required = {
+            name[len("prop::"):]
+            for name in _all_requirement_vars(kb)
+            if namespace_of(name) == "prop"
+        }
+        for formula in (r.formula for r in kb.rules.values()):
+            required |= {
+                name[len("prop::"):]
+                for name in free_vars(formula)
+                if namespace_of(name) == "prop"
+            }
+        for system in kb.systems.values():
+            for provided in system.provides:
+                prop_name = provided.split("::", 1)[1]
+                assert provided in required or prop_name in PROPERTY_CATALOG, (
+                    f"{system.name} provides {provided}, which nothing "
+                    f"requires and the catalog does not document"
+                )
+
+    def test_objectives_solved_and_demanded_line_up(self, kb):
+        """Case-study and template objectives must all be solvable."""
+        from repro.knowledge.casestudy import (
+            inference_case_study,
+            more_workloads_request,
+        )
+        from repro.knowledge.workloads import ALL_TEMPLATES
+
+        solvable = kb.objectives()
+        requests = [inference_case_study(), more_workloads_request()]
+        workloads = [w for r in requests for w in r.workloads]
+        workloads += [factory() for factory in ALL_TEMPLATES.values()]
+        for workload in workloads:
+            for objective in workload.objectives:
+                assert objective in solvable, (
+                    f"{workload.name} needs {objective!r}, which no system "
+                    f"solves"
+                )

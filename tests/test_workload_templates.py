@@ -1,0 +1,119 @@
+"""Tests for the canonical workload templates against the full KB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.engine import ReasoningEngine
+from repro.knowledge import default_knowledge_base
+from repro.knowledge.workloads import (
+    ALL_TEMPLATES,
+    ml_training,
+    storage_backend,
+    telemetry_pipeline,
+    wan_replication,
+    web_frontend,
+)
+
+#: A compact hardware shortlist that keeps solver circuits small.
+INVENTORY = {
+    "SRV-G3-128C-512G": 64,
+    "SRV-G2-64C-256G": 64,
+    "STD-100G-TS-IP": 256,
+    "RDMA-100G-RB": 128,
+    "FF-100G-32P": 16,
+    "FF-100G-32P-DB": 16,
+}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ReasoningEngine(default_knowledge_base())
+
+
+class TestTemplates:
+    def test_registry_complete(self):
+        assert set(ALL_TEMPLATES) == {
+            "web_frontend", "ml_training", "storage_backend",
+            "wan_replication", "telemetry_pipeline",
+        }
+        for factory in ALL_TEMPLATES.values():
+            workload = factory()
+            assert workload.objectives
+            assert workload.peak_cores >= 0
+
+    def test_factories_parameterize(self):
+        small = ml_training(gpus=8)
+        big = ml_training(gpus=128)
+        assert big.peak_cores > small.peak_cores
+        assert big.peak_gbps > small.peak_gbps
+        assert web_frontend(qps_k=10).kflows < web_frontend(qps_k=500).kflows
+
+    def test_fresh_instances(self):
+        a = storage_backend()
+        b = storage_backend()
+        a.objectives.append("extra")
+        assert "extra" not in b.objectives
+
+
+class TestTemplatesSolve:
+    def test_web_frontend_synthesizes(self, engine):
+        outcome = engine.synthesize(DesignRequest(
+            workloads=[web_frontend(qps_k=50)],
+            context={"datacenter_fabric": True},
+            inventory=dict(INVENTORY),
+        ))
+        assert outcome.feasible
+        categories = {
+            engine.kb.system(s).category for s in outcome.solution.systems
+        }
+        assert "load_balancer" in categories
+        assert "firewall" in categories
+
+    def test_wan_replication_needs_annulus_context(self, engine):
+        request = DesignRequest(
+            workloads=[wan_replication()],
+            context={
+                "datacenter_fabric": True,
+                "competing_wan_dc_traffic": True,
+                "wan_egress_present": True,
+            },
+            inventory={**INVENTORY, "FF-100G-32P": 16},
+        )
+        outcome = engine.synthesize(request)
+        assert outcome.feasible
+        # wan_dc_bandwidth_sharing is solved by Annulus or BwE only.
+        assert outcome.solution.uses("Annulus") or outcome.solution.uses("BwE")
+
+    def test_telemetry_pipeline(self, engine):
+        outcome = engine.synthesize(DesignRequest(
+            workloads=[telemetry_pipeline()],
+            context={"datacenter_fabric": True},
+            inventory=dict(INVENTORY),
+        ))
+        assert outcome.feasible
+        solved = {
+            objective
+            for s in outcome.solution.systems
+            for objective in engine.kb.system(s).solves
+        }
+        assert {"flow_telemetry", "capture_delays"} <= solved
+
+    def test_combined_workloads_share_infrastructure(self, engine):
+        single = engine.synthesize(DesignRequest(
+            workloads=[web_frontend(qps_k=20)],
+            context={"datacenter_fabric": True},
+            inventory=dict(INVENTORY),
+            optimize=["capex_usd"],
+        ))
+        combined = engine.synthesize(DesignRequest(
+            workloads=[web_frontend(qps_k=20), telemetry_pipeline()],
+            context={"datacenter_fabric": True},
+            inventory=dict(INVENTORY),
+            optimize=["capex_usd"],
+        ))
+        assert single.feasible and combined.feasible
+        # Adding a workload costs more, but less than double (sharing).
+        assert combined.solution.cost_usd > single.solution.cost_usd
+        assert combined.solution.cost_usd < 2.5 * single.solution.cost_usd
