@@ -29,6 +29,14 @@ from repro.sat.solver import Solver
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     kb = default_knowledge_base()
+    if getattr(args, "json", False):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.merge_dict("kb", kb.stats())
+        registry.set_gauge("kb.category_count", len(kb.categories()))
+        print(registry.to_json())
+        return 0
     for key, value in kb.stats().items():
         print(f"{key:>12}: {value}")
     print(f"{'categories':>12}: {', '.join(sorted(kb.categories()))}")
@@ -89,7 +97,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     with open(args.request, encoding="utf-8") as f:
         request = DesignRequest.from_dict(json.load(f))
     kb = default_knowledge_base()
-    engine = ReasoningEngine(kb)
+    observer = None
+    if args.profile:
+        from repro.obs import EngineObserver
+
+        observer = EngineObserver()
+    engine = ReasoningEngine(kb, observer=observer)
     outcome = engine.synthesize(request)
     print(render_report(kb, request, outcome,
                         title=f"Architecture plan ({args.request})"))
@@ -97,26 +110,62 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print("Justifications")
         print("--------------")
         print(engine.explain(request, outcome))
+    if observer is not None:
+        from repro.obs import render_profile
+
+        print()
+        print(render_profile(observer, outcome.solver_stats))
     return 0 if outcome.feasible else 3
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    observer = None
+    if args.profile:
+        from repro.obs import EngineObserver
+
+        observer = EngineObserver(progress_interval=256)
     num_vars, clauses = read_dimacs(args.cnf)
     solver = Solver(proof_logging=bool(args.proof))
-    solver.new_vars(num_vars)
-    for clause in clauses:
-        solver.add_clause(clause)
-    if solver.solve():
+    if observer is not None:
+        solver.set_progress_callback(
+            observer.progress, observer.progress_interval
+        )
+    tracer = observer.tracer if observer is not None else None
+
+    def _traced(name, thunk):
+        if tracer is None:
+            return thunk()
+        with tracer.span(name):
+            return thunk()
+
+    def _load():
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+
+    _traced("compile", _load)
+    satisfiable = _traced("solve", solver.solve)
+
+    def _epilogue() -> None:
+        if observer is not None:
+            from repro.obs import render_profile
+
+            print()
+            print(render_profile(observer, solver.stats.as_dict()))
+
+    if satisfiable:
         model = solver.model()
         print("s SATISFIABLE")
         lits = [v if model[v] else -v for v in sorted(model)]
         print("v " + " ".join(str(lit) for lit in lits) + " 0")
+        _epilogue()
         return 10  # SAT-competition convention
     print("s UNSATISFIABLE")
     if args.proof:
         with open(args.proof, "w", encoding="utf-8") as f:
             f.write(solver.proof.to_drat())
         print(f"c DRAT proof written to {args.proof}", file=sys.stderr)
+    _epilogue()
     return 20
 
 
@@ -128,9 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("stats", help="knowledge-base inventory").set_defaults(
-        func=_cmd_stats
-    )
+    stats = sub.add_parser("stats", help="knowledge-base inventory")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the inventory as metrics-registry JSON")
+    stats.set_defaults(func=_cmd_stats)
     sub.add_parser("validate", help="validate the knowledge base").set_defaults(
         func=_cmd_validate
     )
@@ -155,12 +205,16 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("request", help="path to a DesignRequest JSON file")
     plan.add_argument("--explain", action="store_true",
                       help="append per-system justifications")
+    plan.add_argument("--profile", action="store_true",
+                      help="print a phase-time and solver-progress profile")
     plan.set_defaults(func=_cmd_plan)
 
     solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
     solve.add_argument("cnf")
     solve.add_argument("--proof", metavar="FILE", default=None,
                        help="on UNSAT, write a DRAT proof to FILE")
+    solve.add_argument("--profile", action="store_true",
+                       help="print a phase-time and solver-progress profile")
     solve.set_defaults(func=_cmd_solve)
     return parser
 

@@ -247,10 +247,18 @@ class CompiledDesign:
 class _Compiler:
     """Single-use helper that builds a :class:`CompiledDesign`."""
 
-    def __init__(self, kb: KnowledgeBase, request: DesignRequest):
+    def __init__(
+        self, kb: KnowledgeBase, request: DesignRequest, observer=None
+    ):
         self.kb = kb
         self.request = request
-        self.solver = Solver()
+        if observer is not None and observer.enabled:
+            self.solver = Solver(
+                progress_callback=observer.progress,
+                progress_interval=observer.progress_interval,
+            )
+        else:
+            self.solver = Solver()
         self.builder = CnfBuilder(self.solver)
         self.encoder = IntEncoder(self.solver)
         self.candidates = self._candidate_systems()
@@ -715,6 +723,16 @@ class _Compiler:
                 self.builder.add_formula(Not(Var(full)))
 
 
-def compile_design(kb: KnowledgeBase, request: DesignRequest) -> CompiledDesign:
-    """Compile *request* against *kb* into a solvable form."""
+def compile_design(
+    kb: KnowledgeBase, request: DesignRequest, observer=None
+) -> CompiledDesign:
+    """Compile *request* against *kb* into a solvable form.
+
+    With an :class:`~repro.obs.observer.EngineObserver`, the grounding
+    work is traced under a ``compile`` span and the built solver streams
+    progress snapshots into the observer's recorder.
+    """
+    if observer is not None and observer.enabled:
+        with observer.tracer.span("compile"):
+            return _Compiler(kb, request, observer).run()
     return _Compiler(kb, request).run()

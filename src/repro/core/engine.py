@@ -14,6 +14,8 @@ from repro.core.design import (
 from repro.core.diagnose import diagnose
 from repro.core.equivalence import DeploymentClass, deployment_classes
 from repro.kb.registry import KnowledgeBase
+from repro.obs.observer import EngineObserver
+from repro.obs.trace import NULL_TRACER
 from repro.opt.lexicographic import LexObjective, lexicographic_optimize
 from repro.opt.linear import minimize_linexpr
 
@@ -57,16 +59,28 @@ class ReasoningEngine:
     >>> print(outcome.solution.summary())
     """
 
-    def __init__(self, kb: KnowledgeBase, validate: bool = True):
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        validate: bool = True,
+        observer: EngineObserver | None = None,
+    ):
         if validate:
             kb.validate_or_raise()
         self.kb = kb
+        self.observer = observer
+
+    @property
+    def _tracer(self):
+        if self.observer is not None and self.observer.enabled:
+            return self.observer.tracer
+        return NULL_TRACER
 
     # -- compilation -------------------------------------------------------------
 
     def compile(self, request: DesignRequest) -> CompiledDesign:
         """Ground a request; exposed for benchmarks and advanced callers."""
-        return compile_design(self.kb, request)
+        return compile_design(self.kb, request, observer=self.observer)
 
     # -- queries ------------------------------------------------------------------
 
@@ -78,15 +92,21 @@ class ReasoningEngine:
         With *deploy* given, the named systems are required and all other
         candidates forbidden — the "validate my whiteboard design" query.
         """
+        tracer = self._tracer
         if deploy is not None:
             request = _with_exact_systems(request, deploy, self.kb)
         compiled = self.compile(request)
-        if compiled.solve():
+        with tracer.span("solve"):
+            satisfiable = compiled.solve()
+        if satisfiable:
             solution = compiled.extract_solution(compiled.solver.model())
+            self._record_query("check", compiled)
             return DesignOutcome(
                 True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
             )
-        conflict = diagnose(compiled)
+        with tracer.span("diagnose"):
+            conflict = diagnose(compiled)
+        self._record_query("check", compiled)
         return DesignOutcome(
             False, conflict=conflict, solver_stats=compiled.solver.stats.as_dict()
         )
@@ -94,17 +114,24 @@ class ReasoningEngine:
     def synthesize(self, request: DesignRequest) -> DesignOutcome:
         """Find a compliant design, lexicographically optimal per
         ``request.optimize``; on infeasibility, return a minimal conflict."""
+        tracer = self._tracer
         compiled = self.compile(request)
-        if not compiled.solve():
-            conflict = diagnose(compiled)
+        with tracer.span("solve"):
+            satisfiable = compiled.solve()
+        if not satisfiable:
+            with tracer.span("diagnose"):
+                conflict = diagnose(compiled)
+            self._record_query("synthesize", compiled)
             return DesignOutcome(
                 False,
                 conflict=conflict,
                 solver_stats=compiled.solver.stats.as_dict(),
             )
         compiled.assert_guards()
-        model = self._optimize(compiled, request)
+        with tracer.span("optimize"):
+            model = self._optimize(compiled, request)
         solution = compiled.extract_solution(model)
+        self._record_query("synthesize", compiled)
         return DesignOutcome(
             True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
         )
@@ -119,38 +146,44 @@ class ReasoningEngine:
         """
         from repro.core.design import COST_OBJECTIVES
 
+        tracer = self._tracer
         names = list(request.optimize)
         for name in names:
             if name in COST_OBJECTIVES:
-                expr = compiled.cost_expr(name)
-                # Stop within ~2% of optimal: the probes nearest the true
-                # optimum are the hardest UNSAT instances, and shallow
-                # cost reasoning does not need dollar-exact answers.
-                if compiled.solver.solve():
-                    from repro.opt.linear import expr_value
+                with tracer.span(name):
+                    expr = compiled.cost_expr(name)
+                    # Stop within ~2% of optimal: the probes nearest the
+                    # true optimum are the hardest UNSAT instances, and
+                    # shallow cost reasoning does not need dollar-exact
+                    # answers.
+                    if compiled.solver.solve():
+                        from repro.opt.linear import expr_value
 
-                    first = expr_value(
-                        expr, compiled.encoder, compiled.solver.model()
+                        first = expr_value(
+                            expr, compiled.encoder, compiled.solver.model()
+                        )
+                    else:  # pragma: no cover - guarded by feasibility check
+                        first = 0
+                    result = minimize_linexpr(
+                        compiled.solver,
+                        compiled.encoder,
+                        expr,
+                        tolerance=max(1, first // 50),
+                        tracer=tracer,
                     )
-                else:  # pragma: no cover - guarded by feasibility check
-                    first = 0
-                result = minimize_linexpr(
-                    compiled.solver,
-                    compiled.encoder,
-                    expr,
-                    tolerance=max(1, first // 50),
-                )
-                assert result is not None, "feasible request must stay sat"
+                    assert result is not None, "feasible request must stay sat"
             else:
                 lex = lexicographic_optimize(
                     compiled.solver,
                     [LexObjective(name, compiled.objective_terms(name))],
+                    tracer=tracer,
                 )
                 assert lex.satisfiable, "feasible request must stay sat"
         if compiled.soft_rule_terms:
             lex = lexicographic_optimize(
                 compiled.solver,
                 [LexObjective("soft_rules", list(compiled.soft_rule_terms))],
+                tracer=tracer,
             )
             assert lex.satisfiable, "feasible request must stay sat"
         # Implicit lowest-priority objective: parsimony. Without it the
@@ -160,7 +193,9 @@ class ReasoningEngine:
         parsimony = [PBTerm(1, lit) for lit in compiled.sys_lits.values()]
         if parsimony:
             lex = lexicographic_optimize(
-                compiled.solver, [LexObjective("parsimony", parsimony)]
+                compiled.solver,
+                [LexObjective("parsimony", parsimony)],
+                tracer=tracer,
             )
             assert lex.satisfiable, "feasible request must stay sat"
         satisfiable = compiled.solver.solve()
@@ -169,7 +204,11 @@ class ReasoningEngine:
 
     def diagnose(self, request: DesignRequest) -> Conflict | None:
         """Minimal conflicting-requirement set, or None if feasible."""
-        return diagnose(self.compile(request))
+        compiled = self.compile(request)
+        with self._tracer.span("diagnose"):
+            conflict = diagnose(compiled)
+        self._record_query("diagnose", compiled)
+        return conflict
 
     def equivalence_classes(
         self,
@@ -178,10 +217,21 @@ class ReasoningEngine:
         completions_limit: int | None = 64,
     ) -> list[DeploymentClass]:
         """Distinct system-level deployments compliant with the request."""
+        tracer = self._tracer
         compiled = self.compile(request)
-        if not compiled.solve():
+        with tracer.span("solve"):
+            satisfiable = compiled.solve()
+        if not satisfiable:
+            self._record_query("equivalence_classes", compiled)
             return []
-        return deployment_classes(compiled, class_limit, completions_limit)
+        with tracer.span("enumerate"):
+            classes = deployment_classes(compiled, class_limit, completions_limit)
+        self._record_query("equivalence_classes", compiled)
+        return classes
+
+    def _record_query(self, name: str, compiled: CompiledDesign) -> None:
+        if self.observer is not None and self.observer.enabled:
+            self.observer.record_query(name, compiled.solver.stats.as_dict())
 
     def explain(self, request: DesignRequest, outcome: DesignOutcome) -> str:
         """Human-readable justification of an outcome.

@@ -1,0 +1,39 @@
+"""Observability for the reasoning engine and its solving substrate.
+
+The paper's vision (§6) is an *interactive* assistant, which makes query
+latency and solver behaviour first-class concerns. This package provides:
+
+- :class:`Tracer` — nested span timing with near-zero disabled overhead
+  (``repro.obs.trace``);
+- :class:`ProgressRecorder` — sink for the solver's periodic
+  :class:`~repro.sat.solver.SolverProgress` snapshots
+  (``repro.obs.progress``);
+- :class:`MetricsRegistry` — counters/gauges/observations with JSON
+  export (``repro.obs.metrics``);
+- :class:`EngineObserver` — the bundle the engine carries
+  (``repro.obs.observer``);
+- :func:`render_profile` — the CLI's ``--profile`` rendering
+  (``repro.obs.report``).
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import EngineObserver
+from repro.obs.progress import ProgressRecorder
+from repro.obs.report import (
+    render_phase_breakdown,
+    render_profile,
+    render_solver_progress,
+)
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
+
+__all__ = [
+    "EngineObserver",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ProgressRecorder",
+    "SpanRecord",
+    "Tracer",
+    "render_phase_breakdown",
+    "render_profile",
+    "render_solver_progress",
+]

@@ -1,0 +1,95 @@
+"""A small process-local metrics registry with JSON export.
+
+Three primitive kinds, mirroring the usual monitoring vocabulary:
+
+- **counters** — monotonically increasing totals (queries served,
+  conflicts across all solves);
+- **gauges** — last-write-wins point values (KB size, learnt-DB size);
+- **observations** — value series summarized as count/total/min/max/mean
+  (per-phase latencies).
+
+The registry is thread-safe and serializes deterministically, so it can
+seed benchmark artifacts (``BENCH_solver.json``) and service endpoints
+alike.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and observation series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._observations: dict[str, list[float]] = {}
+
+    # -- writing -----------------------------------------------------------
+
+    def incr(self, name: str, by: float = 1) -> None:
+        """Increase counter *name* by *by* (must be non-negative)."""
+        if by < 0:
+            raise ValueError(f"counter increment must be >= 0, got {by}")
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append *value* to the observation series *name*."""
+        with self._lock:
+            self._observations.setdefault(name, []).append(value)
+
+    def merge_dict(self, prefix: str, values: dict) -> None:
+        """Record every numeric entry of *values* as a gauge ``prefix.key``."""
+        for key, value in values.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.set_gauge(f"{prefix}.{key}", value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def observations(self, name: str) -> list[float]:
+        return list(self._observations.get(name, []))
+
+    @staticmethod
+    def _summarize(series: list[float]) -> dict[str, float]:
+        return {
+            "count": len(series),
+            "total": sum(series),
+            "min": min(series),
+            "max": max(series),
+            "mean": sum(series) / len(series),
+        }
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "observations": {
+                    name: self._summarize(series)
+                    for name, series in self._observations.items()
+                    if series
+                },
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._observations.clear()

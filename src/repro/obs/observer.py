@@ -1,0 +1,63 @@
+"""The bundle the engine carries: tracer + progress recorder + metrics.
+
+An :class:`EngineObserver` is handed to :class:`~repro.core.engine.ReasoningEngine`
+(and through it to :func:`~repro.core.compile.compile_design`, which
+attaches the progress recorder to the solver it builds). After a query,
+the observer holds the full phase/solver picture and can fold it into
+its metrics registry for JSON export.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressRecorder
+from repro.obs.trace import Tracer
+
+
+class EngineObserver:
+    """Observability context for engine queries.
+
+    >>> observer = EngineObserver()
+    >>> engine = ReasoningEngine(kb, observer=observer)
+    >>> engine.synthesize(request)
+    >>> observer.tracer.phase_totals()   # compile/solve/optimize/diagnose
+    >>> observer.progress.summary()      # solver progress + restarts
+    """
+
+    def __init__(self, enabled: bool = True, progress_interval: int = 512):
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled)
+        self.progress = ProgressRecorder()
+        self.progress_interval = progress_interval
+        self.metrics = MetricsRegistry()
+
+    def record_query(
+        self, name: str, solver_stats: dict[str, int] | None = None
+    ) -> None:
+        """Fold the current tracer/progress state into the metrics registry."""
+        self.metrics.incr("queries")
+        self.metrics.incr(f"queries.{name}")
+        for phase, seconds in self.tracer.phase_totals().items():
+            self.metrics.observe(f"phase.{phase}.seconds", seconds)
+        if solver_stats:
+            self.metrics.merge_dict("solver", solver_stats)
+        if len(self.progress):
+            rates = self.progress.throughput()
+            self.metrics.set_gauge(
+                "solver.conflicts_per_s", rates["conflicts_per_s"]
+            )
+            self.metrics.set_gauge(
+                "solver.propagations_per_s", rates["propagations_per_s"]
+            )
+
+    def reset(self) -> None:
+        """Clear per-query state (metrics persist across queries)."""
+        self.tracer.reset()
+        self.progress.reset()
+
+    def as_dict(self) -> dict:
+        return {
+            "trace": self.tracer.as_dict(),
+            "progress": self.progress.as_dict(),
+            "metrics": self.metrics.as_dict(),
+        }

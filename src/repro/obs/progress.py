@@ -1,0 +1,113 @@
+"""Collecting solver progress snapshots.
+
+:class:`~repro.sat.solver.Solver` emits :class:`~repro.sat.solver.SolverProgress`
+snapshots through an optional callback (every ``progress_interval``
+conflicts, at restarts, and once per solve). :class:`ProgressRecorder`
+is the standard sink: it keeps the sample stream, the restart timeline,
+and the last final snapshot, and summarizes them for profiles and
+benchmark exports.
+"""
+
+from __future__ import annotations
+
+from repro.sat.solver import SolverProgress
+
+
+class ProgressRecorder:
+    """A callable progress sink for one or more solve calls.
+
+    Attach with ``Solver(progress_callback=recorder)`` or
+    ``solver.set_progress_callback(recorder)``.
+    """
+
+    def __init__(self) -> None:
+        self.samples: list[SolverProgress] = []
+        self.restarts: list[SolverProgress] = []
+        self.finals: list[SolverProgress] = []
+
+    def __call__(self, progress: SolverProgress) -> None:
+        if progress.event == "restart":
+            self.restarts.append(progress)
+        elif progress.event == "final":
+            self.finals.append(progress)
+        else:
+            self.samples.append(progress)
+
+    def __len__(self) -> int:
+        return len(self.samples) + len(self.restarts) + len(self.finals)
+
+    @property
+    def last(self) -> SolverProgress | None:
+        """The most recent snapshot of any kind."""
+        candidates = [
+            seq[-1] for seq in (self.samples, self.restarts, self.finals) if seq
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: (p.conflicts, p.elapsed_s))
+
+    def restart_timeline(self) -> list[dict[str, float | int]]:
+        """``[{elapsed_s, conflicts}, ...]`` — when each restart fired."""
+        return [
+            {"elapsed_s": p.elapsed_s, "conflicts": p.conflicts}
+            for p in self.restarts
+        ]
+
+    def throughput(self) -> dict[str, float]:
+        """Aggregate conflicts/propagations per second across solve calls.
+
+        Each ``final`` snapshot carries per-call rates and the call's
+        elapsed time, so the per-call work can be reconstructed and
+        pooled into one overall rate.
+        """
+        finals = self.finals
+        if not finals:
+            # No completed call yet: fall back to the latest (cumulative)
+            # snapshot of the in-flight call.
+            finals = [self.last] if self.last is not None else []
+        elapsed = sum(p.elapsed_s for p in finals)
+        if elapsed <= 0:
+            return {"elapsed_s": 0.0, "conflicts_per_s": 0.0,
+                    "propagations_per_s": 0.0}
+        conflicts = sum(p.conflicts_per_s * p.elapsed_s for p in finals)
+        propagations = sum(p.propagations_per_s * p.elapsed_s for p in finals)
+        return {
+            "elapsed_s": elapsed,
+            "conflicts_per_s": conflicts / elapsed,
+            "propagations_per_s": propagations / elapsed,
+        }
+
+    def peak_trail_depth(self) -> int:
+        return max((p.trail_depth for p in self._all()), default=0)
+
+    def peak_learnt_db(self) -> int:
+        return max((p.learnt_db_size for p in self._all()), default=0)
+
+    def _all(self) -> list[SolverProgress]:
+        return self.samples + self.restarts + self.finals
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self.restarts.clear()
+        self.finals.clear()
+
+    def summary(self) -> dict:
+        """Aggregate view for JSON export / profile rendering."""
+        last = self.last
+        return {
+            "snapshots": len(self),
+            "restarts": len(self.restarts),
+            "restart_timeline": self.restart_timeline(),
+            "peak_trail_depth": self.peak_trail_depth(),
+            "peak_learnt_db": self.peak_learnt_db(),
+            "throughput": self.throughput(),
+            "last": last.as_dict() if last is not None else None,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": [p.as_dict() for p in self.samples],
+            "restarts": [p.as_dict() for p in self.restarts],
+            "finals": [p.as_dict() for p in self.finals],
+            "summary": self.summary(),
+        }

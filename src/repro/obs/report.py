@@ -1,0 +1,121 @@
+"""Human-readable rendering of a query profile for the CLI.
+
+``repro plan --profile`` and ``repro solve --profile`` print this after
+the query result: a phase-time breakdown (compile / solve / optimize /
+diagnose), the solver's cumulative counters, and its progress/restart
+picture.
+"""
+
+from __future__ import annotations
+
+from repro.obs.observer import EngineObserver
+from repro.obs.progress import ProgressRecorder
+from repro.obs.trace import Tracer
+
+#: Render order for the engine's canonical phases; anything else follows.
+_PHASE_ORDER = ["compile", "solve", "optimize", "diagnose"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def _format_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k/s"
+    return f"{rate:.0f}/s"
+
+
+def render_phase_breakdown(tracer: Tracer) -> str:
+    """The per-phase table: name, total time, share of the traced total.
+
+    The main rows are the engine's canonical phases (compile / solve /
+    optimize / diagnose); spans nested inside a phase (per-objective
+    descents, bisections) are listed indented under it so the shares in
+    the main table sum to ~100%.
+    """
+    totals = tracer.phase_totals()
+    phases = [
+        (name, totals[name]) for name in _PHASE_ORDER if name in totals
+    ]
+    # Unrecognized top-level spans (depth 0) join the main table too.
+    known = {name for name, _ in phases}
+    for record in tracer.records:
+        if record.depth == 0 and record.name not in known:
+            known.add(record.name)
+            phases.append((record.name, totals.get(record.name, 0.0)))
+    if not phases:
+        return "Phase breakdown\n  (no spans recorded)"
+    denominator = sum(seconds for _, seconds in phases) or 1e-9
+    # Nested detail: aggregate by path, grouped under the owning phase.
+    detail: dict[str, dict[str, float]] = {}
+    for path, slot in tracer.breakdown().items():
+        parts = path.split("/")
+        if len(parts) < 2:
+            continue
+        top = parts[0]
+        child = "/".join(parts[1:])
+        detail.setdefault(top, {})[child] = slot["total_s"]
+    width = max(
+        [len(name) for name, _ in phases]
+        + [2 + len(c) for chn in detail.values() for c in chn]
+    )
+    lines = ["Phase breakdown"]
+    for name, seconds in phases:
+        share = 100.0 * seconds / denominator
+        lines.append(
+            f"  {name.ljust(width)}  {_format_seconds(seconds):>10}  {share:5.1f}%"
+        )
+        for child, child_s in sorted(
+            detail.get(name, {}).items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"    {child.ljust(width - 2)}  {_format_seconds(child_s):>10}"
+            )
+    return "\n".join(lines)
+
+
+def render_solver_progress(
+    progress: ProgressRecorder, stats: dict[str, int] | None = None
+) -> str:
+    """Solver counters, throughput, and the restart timeline."""
+    lines = ["Solver"]
+    if stats:
+        lines.append(
+            "  conflicts {conflicts}  propagations {propagations}  "
+            "decisions {decisions}  learnt {learnt_clauses}  "
+            "deleted {deleted_clauses}  restarts {restarts}".format(**stats)
+        )
+    if len(progress):
+        rates = progress.throughput()
+        lines.append(
+            f"  throughput: {_format_rate(rates['conflicts_per_s'])} conflicts, "
+            f"{_format_rate(rates['propagations_per_s'])} propagations"
+        )
+        lines.append(
+            f"  peak trail depth {progress.peak_trail_depth()}, "
+            f"peak learnt DB {progress.peak_learnt_db()}"
+        )
+    timeline = progress.restart_timeline()
+    if timeline:
+        marks = ", ".join(str(entry["conflicts"]) for entry in timeline[:12])
+        suffix = ", ..." if len(timeline) > 12 else ""
+        lines.append(f"  restarts at conflicts: {marks}{suffix}")
+    if len(lines) == 1:
+        lines.append("  (no solver activity recorded)")
+    return "\n".join(lines)
+
+
+def render_profile(
+    observer: EngineObserver, stats: dict[str, int] | None = None
+) -> str:
+    """Full ``--profile`` output: phases + solver progress."""
+    return (
+        render_phase_breakdown(observer.tracer)
+        + "\n\n"
+        + render_solver_progress(observer.progress, stats)
+    )

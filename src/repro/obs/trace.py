@@ -1,0 +1,183 @@
+"""A lightweight span/timer tracer for the reasoning pipeline.
+
+Queries run through several phases (compile, solve, optimize, diagnose)
+whose relative cost the paper's interactivity goal (§6) makes worth
+watching. The tracer records nested, named spans with wall-clock
+durations; the engine and CLI aggregate them into per-phase breakdowns.
+
+Design constraints:
+
+- **Near-zero overhead when disabled.** ``Tracer(enabled=False).span(x)``
+  returns a shared no-op context manager — one attribute check and no
+  allocation — so instrumented hot paths cost nothing in production.
+- **Thread-safe.** The open-span stack lives in thread-local storage and
+  finished records are appended under a lock, so concurrent queries can
+  share one tracer without corrupting each other's nesting.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    #: Slash-joined ancestry, e.g. ``"synthesize/optimize/capex_usd"``.
+    path: str
+    depth: int
+    start_s: float
+    duration_s: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; records itself on exit (even when the body raises)."""
+
+    __slots__ = ("_tracer", "name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        self._tracer._pop(self.name, self._start, duration)
+        return False
+
+
+class Tracer:
+    """Collects nested timing spans.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("solve"):
+    ...     pass
+    >>> tracer.phase_totals()["solve"] >= 0.0
+    True
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str) -> _Span | _NullSpan:
+        """Open a named span as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _pop(self, name: str, start_s: float, duration_s: float) -> None:
+        stack = self._stack()
+        path = "/".join(stack)
+        stack.pop()
+        record = SpanRecord(
+            name=name,
+            path=path,
+            depth=len(stack),
+            start_s=start_s,
+            duration_s=duration_s,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def reset(self) -> None:
+        """Drop all finished records (open spans are unaffected)."""
+        with self._lock:
+            self._records.clear()
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def records(self) -> list[SpanRecord]:
+        """Finished spans, in completion order (children before parents)."""
+        with self._lock:
+            return list(self._records)
+
+    def breakdown(self) -> dict[str, dict[str, float | int]]:
+        """Aggregate by full path: ``{path: {"calls": n, "total_s": t}}``."""
+        out: dict[str, dict[str, float | int]] = {}
+        for record in self.records:
+            slot = out.setdefault(record.path, {"calls": 0, "total_s": 0.0})
+            slot["calls"] += 1
+            slot["total_s"] += record.duration_s
+        return out
+
+    def phase_totals(self) -> dict[str, float]:
+        """Total seconds per span *name*, nesting-safe.
+
+        A span nested under a same-named ancestor is skipped so recursive
+        instrumentation (e.g. ``solve`` inside ``solve``) is not counted
+        twice.
+        """
+        totals: dict[str, float] = {}
+        for record in self.records:
+            ancestors = record.path.split("/")[:-1]
+            if record.name in ancestors:
+                continue
+            totals[record.name] = totals.get(record.name, 0.0) + record.duration_s
+        return totals
+
+    def total_s(self) -> float:
+        """Wall-clock total of all top-level spans."""
+        return sum(r.duration_s for r in self.records if r.depth == 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "spans": [r.as_dict() for r in self.records],
+            "breakdown": self.breakdown(),
+            "phase_totals": self.phase_totals(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+#: A shared disabled tracer: call sites can use ``tracer or NULL_TRACER``.
+NULL_TRACER = Tracer(enabled=False)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.logic.pseudo_boolean import GeneralizedTotalizer, PBTerm
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sat.solver import Solver
 
 
@@ -43,63 +44,74 @@ class LexResult:
 
 
 def lexicographic_optimize(
-    solver: Solver, objectives: Sequence[LexObjective]
+    solver: Solver,
+    objectives: Sequence[LexObjective],
+    tracer: Tracer | None = None,
 ) -> LexResult:
     """Minimize *objectives* in priority order over *solver*'s formula.
 
     The solver is mutated: each objective's optimum is asserted as a hard
     upper bound before the next objective is attacked, so after the call
-    the solver's models are exactly the lexicographic optima.
+    the solver's models are exactly the lexicographic optima. With a
+    *tracer*, each objective's descent is timed under its own span.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     if not solver.solve():
         return LexResult(satisfiable=False)
     model = solver.model()
     optima: dict[str, int] = {}
     iterations = 1
     for objective in objectives:
-        terms = [t for t in objective.terms if t.weight > 0]
-        if any(t.weight < 0 for t in objective.terms):
-            raise ValueError(
-                f"objective {objective.name!r} has negative weights; "
-                "rewrite over negated literals first"
-            )
-        current = objective.cost(model)
-        if not terms:
-            optima[objective.name] = 0
-            continue
-        if current == 0:
-            # Already optimal; freeze by forbidding every weighted literal,
-            # or later objectives could silently degrade this one.
-            optima[objective.name] = 0
-            for t in terms:
-                solver.add_clause([-t.lit])
-            satisfiable = solver.solve()
-            assert satisfiable, "frozen optimum must remain satisfiable"
-            model = solver.model()
-            continue
-        cap = sum(t.weight for t in terms) + 1
-        gte = GeneralizedTotalizer(terms, cap=cap, new_var=solver.new_var)
-        for clause in gte.clauses:
-            solver.add_clause(clause)
-        # Binary descent between 0 and the incumbent cost.
-        lo, hi = 0, current
-        while lo < hi:
-            mid = (lo + hi) // 2
-            bound_lit = gte.geq_literal(mid + 1)
-            assumptions = [] if bound_lit is None else [-bound_lit]
-            iterations += 1
-            if solver.solve(assumptions):
-                model = solver.model()
-                hi = objective.cost(model)
-            else:
-                lo = mid + 1
-        optima[objective.name] = hi
-        # Freeze this objective at its optimum before the next one.
-        bound_lit = gte.geq_literal(hi + 1)
-        if bound_lit is not None:
-            solver.add_clause([-bound_lit])
-        # Re-establish a model satisfying all frozen bounds.
+        with tracer.span(f"lex:{objective.name}"):
+            model, optimum, probes = _descend(solver, objective, model)
+        optima[objective.name] = optimum
+        iterations += probes
+    return LexResult(True, model, optima, iterations)
+
+
+def _descend(
+    solver: Solver, objective: LexObjective, model: dict[int, bool]
+) -> tuple[dict[int, bool], int, int]:
+    """Minimize one objective; return ``(model, optimum, probe_count)``."""
+    terms = [t for t in objective.terms if t.weight > 0]
+    if any(t.weight < 0 for t in objective.terms):
+        raise ValueError(
+            f"objective {objective.name!r} has negative weights; "
+            "rewrite over negated literals first"
+        )
+    current = objective.cost(model)
+    if not terms:
+        return model, 0, 0
+    if current == 0:
+        # Already optimal; freeze by forbidding every weighted literal,
+        # or later objectives could silently degrade this one.
+        for t in terms:
+            solver.add_clause([-t.lit])
         satisfiable = solver.solve()
         assert satisfiable, "frozen optimum must remain satisfiable"
-        model = solver.model()
-    return LexResult(True, model, optima, iterations)
+        return solver.model(), 0, 0
+    cap = sum(t.weight for t in terms) + 1
+    gte = GeneralizedTotalizer(terms, cap=cap, new_var=solver.new_var)
+    for clause in gte.clauses:
+        solver.add_clause(clause)
+    # Binary descent between 0 and the incumbent cost.
+    lo, hi = 0, current
+    probes = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        bound_lit = gte.geq_literal(mid + 1)
+        assumptions = [] if bound_lit is None else [-bound_lit]
+        probes += 1
+        if solver.solve(assumptions):
+            model = solver.model()
+            hi = objective.cost(model)
+        else:
+            lo = mid + 1
+    # Freeze this objective at its optimum before the next one.
+    bound_lit = gte.geq_literal(hi + 1)
+    if bound_lit is not None:
+        solver.add_clause([-bound_lit])
+    # Re-establish a model satisfying all frozen bounds.
+    satisfiable = solver.solve()
+    assert satisfiable, "frozen optimum must remain satisfiable"
+    return solver.model(), hi, probes

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.smt.encoder import IntEncoder
 from repro.smt.intervals import bounds_of
 from repro.smt.terms import LinExpr
@@ -39,6 +40,7 @@ def minimize_linexpr(
     expr: LinExpr,
     freeze: bool = True,
     tolerance: int = 0,
+    tracer: Tracer | None = None,
 ) -> LinearMinimum | None:
     """Minimize *expr* over the solver's current (hard) formula.
 
@@ -50,25 +52,29 @@ def minimize_linexpr(
     small — the probes closest to the true optimum are the hardest
     UNSAT instances, and rules-of-thumb reasoning rarely needs
     dollar-exact answers.
+
+    With a *tracer*, the whole descent is timed under a ``bisect`` span.
     """
-    if not solver.solve():
-        return None
-    model = solver.model()
-    hi = expr_value(expr, encoder, model)
-    lo = bounds_of(expr).lo
-    iterations = 1
-    while lo + tolerance < hi:
-        mid = lo + (hi - lo) // 2
-        probe = encoder.reify(expr <= mid)
-        iterations += 1
-        if solver.solve([probe]):
-            model = solver.model()
-            hi = expr_value(expr, encoder, model)
-        else:
-            lo = mid + 1
-    if freeze:
-        solver.add_clause([encoder.reify(expr <= hi)])
-        satisfiable = solver.solve()
-        assert satisfiable, "frozen optimum must remain satisfiable"
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("bisect"):
+        if not solver.solve():
+            return None
         model = solver.model()
+        hi = expr_value(expr, encoder, model)
+        lo = bounds_of(expr).lo
+        iterations = 1
+        while lo + tolerance < hi:
+            mid = lo + (hi - lo) // 2
+            probe = encoder.reify(expr <= mid)
+            iterations += 1
+            if solver.solve([probe]):
+                model = solver.model()
+                hi = expr_value(expr, encoder, model)
+            else:
+                lo = mid + 1
+        if freeze:
+            solver.add_clause([encoder.reify(expr <= hi)])
+            satisfiable = solver.solve()
+            assert satisfiable, "frozen optimum must remain satisfiable"
+            model = solver.model()
     return LinearMinimum(value=hi, model=model, iterations=iterations)

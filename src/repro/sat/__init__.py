@@ -29,13 +29,14 @@ from repro.sat.clause import Clause
 from repro.sat.dimacs import parse_dimacs, write_dimacs
 from repro.sat.drat import Proof, check_rup_proof
 from repro.sat.simplify import simplify_clauses
-from repro.sat.solver import SolveResult, Solver, SolverStats
+from repro.sat.solver import SolveResult, Solver, SolverProgress, SolverStats
 
 __all__ = [
     "Clause",
     "Proof",
     "SolveResult",
     "Solver",
+    "SolverProgress",
     "SolverStats",
     "check_rup_proof",
     "parse_dimacs",

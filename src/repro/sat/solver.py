@@ -17,8 +17,9 @@ benchmarks can quantify what each heuristic buys (DESIGN.md §6).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import BudgetExceededError, SolverStateError
 from repro.sat.clause import Clause
@@ -26,6 +27,9 @@ from repro.sat.literals import check_clause, check_literal, var_of
 
 _RESCALE_LIMIT = 1e100
 _RESCALE_FACTOR = 1e-100
+
+#: Minimum lazy-heap size before duplicate-entry pressure triggers a rebuild.
+_HEAP_REBUILD_FLOOR = 32
 
 
 def luby(i: int) -> int:
@@ -72,6 +76,45 @@ class SolverStats:
 
 
 @dataclass
+class SolverProgress:
+    """One point-in-time snapshot of a running search.
+
+    Emitted through the solver's optional progress callback every
+    ``progress_interval`` conflicts, at every restart, and once when a
+    ``solve_limited`` call returns. Rates are cumulative over the current
+    solve call.
+    """
+
+    event: str  # "sample" | "restart" | "final"
+    elapsed_s: float
+    conflicts: int
+    propagations: int
+    decisions: int
+    restarts: int
+    trail_depth: int
+    learnt_db_size: int
+    conflicts_per_s: float
+    propagations_per_s: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "event": self.event,
+            "elapsed_s": self.elapsed_s,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "decisions": self.decisions,
+            "restarts": self.restarts,
+            "trail_depth": self.trail_depth,
+            "learnt_db_size": self.learnt_db_size,
+            "conflicts_per_s": self.conflicts_per_s,
+            "propagations_per_s": self.propagations_per_s,
+        }
+
+
+ProgressCallback = Callable[[SolverProgress], None]
+
+
+@dataclass
 class SolveResult:
     """Outcome of a :meth:`Solver.solve_limited` call.
 
@@ -114,6 +157,8 @@ class Solver:
         var_decay: float = 0.95,
         clause_decay: float = 0.999,
         proof_logging: bool = False,
+        progress_callback: ProgressCallback | None = None,
+        progress_interval: int = 2048,
     ):
         self._num_vars = 0
         # Indexed by variable (1-based); slot 0 unused.
@@ -143,6 +188,11 @@ class Solver:
         self._enable_phase_saving = enable_phase_saving
         self._restart_base = restart_base
         self.stats = SolverStats()
+        self._progress_cb = progress_callback
+        self._progress_interval = max(1, progress_interval)
+        self._solve_start = 0.0
+        self._conflicts_at_start = 0
+        self._propagations_at_start = 0
         if proof_logging:
             from repro.sat.drat import Proof
 
@@ -190,15 +240,20 @@ class Solver:
 
         Duplicates are removed and tautological clauses silently dropped.
         Literals already false at the root level are stripped; a clause
-        emptied this way marks the formula unsatisfiable.
+        emptied this way marks the formula unsatisfiable. Any previously
+        computed model or core is invalidated — callers must re-solve
+        before reading :meth:`model`/:meth:`value`/:meth:`unsat_core`.
         """
         if self._trail_lim:
             raise SolverStateError("clauses may only be added at decision level 0")
         if self._unsat:
             return False
+        self._model = None
+        self._core = None
         lits = check_clause(lits, self._num_vars)
         seen: set[int] = set()
         out: list[int] = []
+        stripped = False
         for lit in lits:
             if -lit in seen:
                 return True  # tautology: trivially satisfied
@@ -208,6 +263,7 @@ class Solver:
             if val is True:
                 return True  # satisfied at root level
             if val is False:
+                stripped = True
                 continue  # falsified at root level: drop the literal
             seen.add(lit)
             out.append(lit)
@@ -216,6 +272,11 @@ class Solver:
             if self.proof is not None:
                 self.proof.add([])
             return False
+        if stripped and self.proof is not None:
+            # The solver works with the strengthened clause, so the proof
+            # must derive it: it is RUP from the original clause plus the
+            # root-level units that falsified the stripped literals.
+            self.proof.add(out)
         if len(out) == 1:
             self._enqueue(out[0], None)
             if self._propagate() is not None:
@@ -239,6 +300,39 @@ class Solver:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
+
+    def set_progress_callback(
+        self, callback: ProgressCallback | None, interval: int = 2048
+    ) -> None:
+        """Install (or clear) the progress-sampling callback.
+
+        *callback* receives a :class:`SolverProgress` snapshot every
+        *interval* conflicts, at every restart, and once per
+        :meth:`solve_limited` call when it returns.
+        """
+        self._progress_cb = callback
+        self._progress_interval = max(1, interval)
+
+    def _emit_progress(self, event: str) -> None:
+        elapsed = time.perf_counter() - self._solve_start
+        safe = elapsed if elapsed > 0 else 1e-9
+        # Rates cover the current solve call only: lifetime counters
+        # divided by per-call elapsed time would overstate throughput
+        # badly under incremental solving.
+        conflicts_here = self.stats.conflicts - self._conflicts_at_start
+        propagations_here = self.stats.propagations - self._propagations_at_start
+        self._progress_cb(SolverProgress(
+            event=event,
+            elapsed_s=elapsed,
+            conflicts=self.stats.conflicts,
+            propagations=self.stats.propagations,
+            decisions=self.stats.decisions,
+            restarts=self.stats.restarts,
+            trail_depth=len(self._trail),
+            learnt_db_size=len(self._learnts),
+            conflicts_per_s=conflicts_here / safe,
+            propagations_per_s=propagations_here / safe,
+        ))
 
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
         """Decide satisfiability (under optional *assumptions*).
@@ -264,6 +358,9 @@ class Solver:
             check_literal(lit, self._num_vars)
         self._model = None
         self._core = None
+        self._solve_start = time.perf_counter()
+        self._conflicts_at_start = self.stats.conflicts
+        self._propagations_at_start = self.stats.propagations
         if self._unsat:
             self._core = []
             return SolveResult(False, core=[], stats=self.stats.as_dict())
@@ -295,7 +392,11 @@ class Solver:
             if status is None:
                 self.stats.restarts += 1
                 self._cancel_until(0)
+                if self._progress_cb is not None:
+                    self._emit_progress("restart")
         self._cancel_until(0)
+        if self._progress_cb is not None:
+            self._emit_progress("final")
         return SolveResult(
             satisfiable=status,
             model=dict(self._model) if self._model is not None else None,
@@ -429,13 +530,18 @@ class Solver:
         del self._trail[bound:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
+        self._maybe_compact_heap()
 
     def _decide_var(self) -> int | None:
         if self._enable_vsids:
             heap = self._order_heap
+            activity = self._activity
+            assign = self._assign
             while heap:
-                _, v = heapq.heappop(heap)
-                if self._assign[v] == 0:
+                neg_act, v = heapq.heappop(heap)
+                # Lazy deletion: skip assigned variables and entries whose
+                # recorded activity is stale (a fresher duplicate exists).
+                if assign[v] == 0 and -neg_act == activity[v]:
                     return v
             # Heap exhausted by stale entries: fall through to linear scan.
         for v in range(1, self._num_vars + 1):
@@ -452,6 +558,17 @@ class Solver:
             self._rebuild_heap()
         elif self._assign[v] == 0:
             heapq.heappush(self._order_heap, (-self._activity[v], v))
+            self._maybe_compact_heap()
+
+    def _maybe_compact_heap(self) -> None:
+        """Rebuild once stale/duplicate entries dominate the order heap.
+
+        Every bump of an unassigned variable and every backtrack pushes a
+        fresh entry without removing the old one; without this check the
+        heap grows without bound on conflict-heavy instances.
+        """
+        if len(self._order_heap) > max(_HEAP_REBUILD_FLOOR, 2 * self._num_vars):
+            self._rebuild_heap()
 
     def _rebuild_heap(self) -> None:
         self._order_heap = [
@@ -601,6 +718,12 @@ class Solver:
                 self._cancel_until(back_level)
                 self._record_learnt(learnt, lbd)
                 self._decay_activities()
+                if (
+                    self._progress_cb is not None
+                    and (self.stats.conflicts - self._conflicts_at_start)
+                    % self._progress_interval == 0
+                ):
+                    self._emit_progress("sample")
                 if budget is not None and conflicts >= budget:
                     return None, conflicts
                 continue

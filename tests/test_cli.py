@@ -178,3 +178,55 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestProfileFlags:
+    def _request_path(self, tmp_path):
+        payload = {
+            "workloads": [{
+                "name": "app",
+                "objectives": ["packet_processing", "bandwidth_allocation"],
+                "peak_cores": 64,
+            }],
+            "context": {"datacenter_fabric": True},
+            "inventory": {
+                "SRV-G2-64C-256G": 16,
+                "STD-100G-TS-IP": 64,
+                "FF-100G-32P": 4,
+            },
+            "optimize": ["capex_usd"],
+        }
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_plan_profile_prints_breakdown(self, tmp_path, capsys):
+        path = self._request_path(tmp_path)
+        assert main(["plan", str(path), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        for phase in ("compile", "solve", "optimize"):
+            assert phase in out
+        assert "Solver" in out
+        assert "conflicts" in out
+
+    def test_plan_without_profile_is_clean(self, tmp_path, capsys):
+        path = self._request_path(tmp_path)
+        assert main(["plan", str(path)]) == 0
+        assert "Phase breakdown" not in capsys.readouterr().out
+
+    def test_solve_profile_prints_breakdown(self, tmp_path, capsys):
+        cnf = tmp_path / "f.cnf"
+        cnf.write_text(write_dimacs(2, [[1, 2], [-1], [-2]]))
+        assert main(["solve", str(cnf), "--profile"]) == 20
+        out = capsys.readouterr().out
+        assert "s UNSATISFIABLE" in out
+        assert "Phase breakdown" in out
+        assert "Solver" in out
+
+    def test_stats_json_is_metrics_registry_shape(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"counters", "gauges", "observations"} <= payload.keys()
+        assert payload["gauges"]["kb.systems"] > 50
+        assert payload["gauges"]["kb.hardware"] >= 200

@@ -1,0 +1,321 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the span tracer (nesting, threads, exceptions, disabled mode),
+the solver progress recorder against a real solver, the metrics
+registry's JSON export, the engine integration (canonical phase spans
+from a real query), and the ``--profile`` renderers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import ReasoningEngine
+from repro.obs import (
+    EngineObserver,
+    MetricsRegistry,
+    NULL_TRACER,
+    ProgressRecorder,
+    Tracer,
+    render_phase_breakdown,
+    render_profile,
+    render_solver_progress,
+)
+from repro.sat import Solver
+
+
+def _php_clauses(holes: int) -> tuple[int, list[list[int]]]:
+    """PHP(holes+1, holes): conflict-heavy and unsatisfiable."""
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestTracer:
+    def test_nested_spans_record_paths_and_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        paths = [r.path for r in tracer.records]
+        assert paths.count("outer/inner") == 2
+        assert "outer" in paths
+        outer = next(r for r in tracer.records if r.path == "outer")
+        assert outer.depth == 0
+        assert all(
+            r.depth == 1 for r in tracer.records if r.path == "outer/inner"
+        )
+
+    def test_breakdown_aggregates_by_path(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                time.sleep(0.001)
+        slot = tracer.breakdown()["phase"]
+        assert slot["calls"] == 3
+        assert slot["total_s"] >= 0.003
+
+    def test_phase_totals_do_not_double_count_recursion(self):
+        tracer = Tracer()
+        with tracer.span("solve"):
+            time.sleep(0.002)
+            with tracer.span("solve"):
+                time.sleep(0.002)
+        outer = next(r for r in tracer.records if r.depth == 0)
+        # The nested same-named span must not be added on top of its
+        # enclosing span's time.
+        assert tracer.phase_totals()["solve"] == pytest.approx(
+            outer.duration_s
+        )
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert [r.name for r in tracer.records] == ["boom"]
+        # The stack unwound: a new span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert tracer.records[-1].depth == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            with tracer.span("y"):
+                pass
+        assert tracer.records == []
+        assert tracer.phase_totals() == {}
+        assert NULL_TRACER.records == []
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        errors: list[str] = []
+
+        def work(name: str) -> None:
+            for _ in range(50):
+                with tracer.span(name):
+                    with tracer.span("child"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Each thread's children nest under its own root, never a sibling's.
+        child_paths = {r.path for r in tracer.records if r.name == "child"}
+        assert child_paths == {f"t{i}/child" for i in range(4)}
+        assert len(tracer.records) == 4 * 50 * 2
+
+    def test_reset_and_json_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        payload = json.loads(tracer.to_json())
+        assert payload["phase_totals"].keys() == {"a"}
+        tracer.reset()
+        assert tracer.records == []
+
+
+class TestProgressRecorder:
+    def test_real_solver_emits_samples_restarts_and_final(self):
+        num_vars, clauses = _php_clauses(6)
+        recorder = ProgressRecorder()
+        solver = Solver(progress_callback=recorder, progress_interval=64)
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is False
+        assert len(recorder.finals) == 1
+        assert recorder.restarts, "PHP(7,6) must restart at least once"
+        assert recorder.samples, "interval samples expected"
+        final = recorder.finals[0]
+        assert final.conflicts == solver.stats.conflicts
+        assert final.elapsed_s > 0
+        assert recorder.peak_trail_depth() > 0
+        assert recorder.peak_learnt_db() > 0
+        timeline = recorder.restart_timeline()
+        assert [e["conflicts"] for e in timeline] == sorted(
+            e["conflicts"] for e in timeline
+        )
+
+    def test_throughput_pools_multiple_solve_calls(self):
+        recorder = ProgressRecorder()
+        solver = Solver(progress_callback=recorder, progress_interval=64)
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        assert solver.solve()
+        assert solver.solve([-a])
+        assert len(recorder.finals) == 2
+        rates = recorder.throughput()
+        assert rates["elapsed_s"] > 0
+        assert rates["propagations_per_s"] >= 0
+
+    def test_rates_reflect_per_call_work_not_lifetime(self):
+        # After a heavy first call, a trivial second call must not report
+        # the lifetime conflict count as if it happened in microseconds.
+        num_vars, clauses = _php_clauses(5)
+        recorder = ProgressRecorder()
+        solver = Solver(progress_callback=recorder, progress_interval=64)
+        solver.new_vars(num_vars)
+        extra = solver.new_var()
+        for clause in clauses:
+            solver.add_clause([extra] + clause)
+        assert solver.solve([-extra]) is False
+        heavy = recorder.finals[-1]
+        assert solver.solve([extra]) is True
+        trivial = recorder.finals[-1]
+        assert heavy.conflicts > 0
+        trivial_conflicts = trivial.conflicts_per_s * trivial.elapsed_s
+        assert trivial_conflicts < 1.0  # no conflicts happened in call 2
+
+    def test_reset(self):
+        recorder = ProgressRecorder()
+        solver = Solver(progress_callback=recorder)
+        a = solver.new_var()
+        solver.add_clause([a])
+        solver.solve()
+        assert len(recorder)
+        recorder.reset()
+        assert len(recorder) == 0
+        assert recorder.last is None
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_observations(self):
+        m = MetricsRegistry()
+        m.incr("queries")
+        m.incr("queries", 2)
+        m.set_gauge("depth", 7)
+        for v in (1.0, 3.0):
+            m.observe("seconds", v)
+        data = m.as_dict()
+        assert data["counters"]["queries"] == 3
+        assert data["gauges"]["depth"] == 7
+        summary = data["observations"]["seconds"]
+        assert summary["count"] == 2
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+    def test_negative_increment_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.incr("x", -1)
+
+    def test_merge_dict_takes_numbers_only(self):
+        m = MetricsRegistry()
+        m.merge_dict("solver", {"conflicts": 5, "note": "hi", "flag": True})
+        gauges = m.as_dict()["gauges"]
+        assert gauges == {"solver.conflicts": 5}
+
+    def test_to_json_is_valid(self):
+        m = MetricsRegistry()
+        m.incr("a")
+        payload = json.loads(m.to_json())
+        assert payload["counters"]["a"] == 1
+
+    def test_thread_safety_of_incr(self):
+        m = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                m.incr("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.as_dict()["counters"]["n"] == 4000
+
+
+class TestEngineIntegration:
+    def test_synthesize_produces_canonical_phases(self, tiny_kb):
+        from repro.core.design import DesignRequest
+        from repro.kb.workload import Workload
+
+        observer = EngineObserver()
+        engine = ReasoningEngine(tiny_kb, observer=observer)
+        request = DesignRequest(
+            workloads=[Workload(name="w", objectives=["packet_processing"])],
+            include_common_sense=False,
+        )
+        outcome = engine.synthesize(request)
+        assert outcome.feasible
+        totals = observer.tracer.phase_totals()
+        assert "compile" in totals and "solve" in totals
+        assert all(v >= 0 for v in totals.values())
+        counters = observer.metrics.as_dict()["counters"]
+        assert counters["queries"] == 1
+        assert counters["queries.synthesize"] == 1
+
+    def test_disabled_observer_traces_nothing(self, tiny_kb):
+        from repro.core.design import DesignRequest
+        from repro.kb.workload import Workload
+
+        observer = EngineObserver(enabled=False)
+        engine = ReasoningEngine(tiny_kb, observer=observer)
+        request = DesignRequest(
+            workloads=[Workload(name="w", objectives=["packet_processing"])],
+            include_common_sense=False,
+        )
+        assert engine.check(request).feasible
+        assert observer.tracer.records == []
+
+
+class TestRenderers:
+    def _observer_after_solve(self) -> tuple[EngineObserver, dict]:
+        observer = EngineObserver(progress_interval=64)
+        num_vars, clauses = _php_clauses(6)
+        solver = Solver(
+            progress_callback=observer.progress, progress_interval=64
+        )
+        solver.new_vars(num_vars)
+        with observer.tracer.span("compile"):
+            for clause in clauses:
+                solver.add_clause(clause)
+        with observer.tracer.span("solve"):
+            solver.solve()
+        return observer, solver.stats.as_dict()
+
+    def test_phase_breakdown_contains_phases_and_shares(self):
+        observer, _ = self._observer_after_solve()
+        text = render_phase_breakdown(observer.tracer)
+        assert "compile" in text and "solve" in text
+        assert "%" in text
+
+    def test_solver_progress_mentions_counters_and_restarts(self):
+        observer, stats = self._observer_after_solve()
+        text = render_solver_progress(observer.progress, stats)
+        assert f"conflicts {stats['conflicts']}" in text
+        assert "throughput:" in text
+        assert "restarts at conflicts:" in text
+
+    def test_render_profile_combines_both(self):
+        observer, stats = self._observer_after_solve()
+        text = render_profile(observer, stats)
+        assert "Phase breakdown" in text and "Solver" in text
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert "no spans" in render_phase_breakdown(Tracer())
+        assert "no solver activity" in render_solver_progress(
+            ProgressRecorder()
+        )

@@ -1,0 +1,32 @@
+"""Smoke test for the standalone benchmark driver."""
+
+from __future__ import annotations
+
+import json
+
+
+def test_quick_run_writes_well_formed_report(tmp_path, capsys):
+    from benchmarks.run_perf import main
+
+    out = tmp_path / "BENCH_solver.json"
+    assert main(["--quick", "--repeats", "1", "-o", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "solver-observability"
+    assert report["quick"] is True
+    workloads = report["workloads"]
+    assert {"prototype_query", "solver_scaling", "tracer_overhead"} <= (
+        workloads.keys()
+    )
+    for query in ("check", "synthesize"):
+        result = workloads["prototype_query"][query]
+        assert result["feasible"] is True
+        assert result["elapsed_s"] > 0
+        assert "compile" in result["phases_s"]
+    rows = workloads["solver_scaling"]["instances"]
+    assert rows, "scaling workload must solve at least one instance"
+    for row in rows:
+        assert row["solver"]["conflicts"] >= 0
+        assert row["throughput"]["elapsed_s"] >= 0
+    overhead = workloads["tracer_overhead"]
+    assert overhead["bare_s"] > 0
+    assert "overhead_pct" in overhead

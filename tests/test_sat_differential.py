@@ -1,0 +1,107 @@
+"""Differential fuzzing of the CDCL solver against brute-force enumeration.
+
+The promoted harness: hundreds of seeded random CNFs, solved with and
+without assumptions, cross-checked against exhaustive enumeration.
+Every SAT answer is validated clause by clause (and against the
+assumptions); every UNSAT-under-assumptions answer must come with a
+core that is a subset of the assumptions and is itself sufficient for
+unsatisfiability.
+
+Instances stay at <= 8 variables so the brute-force oracle is exact;
+the solver-vs-reference-DPLL suite covers the larger range.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import Solver
+from tests.conftest import brute_force_sat, random_clauses
+
+#: (seed, num_vars, num_clauses, with_assumptions) — 320 instances.
+_CASES = [
+    (seed, num_vars, num_clauses, with_assumptions)
+    for seed in range(40)
+    for num_vars, num_clauses in ((4, 10), (6, 18), (8, 26), (8, 34))
+    for with_assumptions in (False, True)
+][:320]
+
+
+def _model_satisfies(model: dict[int, bool], clauses) -> bool:
+    return all(
+        any(model[abs(lit)] == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+def _random_assumptions(rng: random.Random, num_vars: int) -> list[int]:
+    count = rng.randint(1, max(1, num_vars // 2))
+    variables = rng.sample(range(1, num_vars + 1), count)
+    return [v * rng.choice([1, -1]) for v in variables]
+
+
+@pytest.mark.parametrize(
+    "seed,num_vars,num_clauses,with_assumptions", _CASES
+)
+def test_differential(seed, num_vars, num_clauses, with_assumptions):
+    rng = random.Random((seed, num_vars, num_clauses, with_assumptions).__hash__())
+    clauses = random_clauses(rng, num_vars, num_clauses)
+    assumptions = (
+        _random_assumptions(rng, num_vars) if with_assumptions else []
+    )
+
+    solver = Solver()
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    got = solver.solve(assumptions)
+
+    # Oracle: assumptions become unit clauses.
+    expected = brute_force_sat(
+        num_vars, clauses + [[lit] for lit in assumptions]
+    )
+    assert got == expected, (
+        f"disagreement on seed={seed} n={num_vars} m={num_clauses} "
+        f"assumptions={assumptions}"
+    )
+
+    if got:
+        model = solver.model()
+        assert _model_satisfies(model, clauses)
+        for lit in assumptions:
+            assert model[abs(lit)] == (lit > 0)
+    elif assumptions:
+        core = solver.unsat_core()
+        assert set(core) <= set(assumptions)
+        # The core alone must still make the formula unsatisfiable.
+        assert not brute_force_sat(
+            num_vars, clauses + [[lit] for lit in core]
+        )
+
+
+def test_case_count_meets_floor():
+    assert len(_CASES) >= 300
+
+
+def test_incremental_solving_matches_oracle():
+    """Clause additions between solve calls stay consistent with the oracle."""
+    for seed in range(12):
+        rng = random.Random(seed)
+        num_vars = 6
+        solver = Solver()
+        solver.new_vars(num_vars)
+        clauses: list[list[int]] = []
+        for round_no in range(6):
+            for clause in random_clauses(rng, num_vars, 4):
+                clauses.append(clause)
+                solver.add_clause(clause)
+            got = solver.solve()
+            expected = brute_force_sat(num_vars, clauses)
+            assert got == expected, f"seed={seed} round={round_no}"
+            if got:
+                assert _model_satisfies(solver.model(), clauses)
+            else:
+                break

@@ -315,3 +315,115 @@ class TestRandomized:
         s.solve()
         stats = s.stats.as_dict()
         assert stats["decisions"] >= 1
+
+
+def _php_solver(pigeons: int, holes: int, **kwargs) -> Solver:
+    """A solver loaded with PHP(pigeons, holes)."""
+    s = Solver(**kwargs)
+    v = {
+        (p, h): s.new_var() for p in range(pigeons) for h in range(holes)
+    }
+    for p in range(pigeons):
+        s.add_clause([v[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-v[p1, h], -v[p2, h]])
+    return s
+
+
+class TestModelInvalidation:
+    def test_add_clause_invalidates_model(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([a, b])
+        assert s.solve()
+        s.model()  # fine right after solve
+        s.add_clause([-a, b])
+        with pytest.raises(SolverStateError):
+            s.model()
+        with pytest.raises(SolverStateError):
+            s.value(a)
+        # Re-solving restores access, under the new clause set.
+        assert s.solve()
+        model = s.model()
+        assert model[a] or model[b]
+        assert not model[a] or model[b]
+
+    def test_add_clause_invalidates_core(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([-a, b])
+        assert s.solve([a, -b]) is False
+        assert set(s.unsat_core()) <= {a, -b}
+        s.add_clause([a, b])
+        with pytest.raises(SolverStateError):
+            s.unsat_core()
+
+
+class TestHeapBound:
+    def test_order_heap_stays_bounded_under_heavy_bumping(self):
+        # PHP(7,6) generates hundreds of conflicts, each bumping every
+        # variable on the conflict side; without lazy-deletion compaction
+        # the heap grows with the number of bumps instead of the number
+        # of variables.
+        s = _php_solver(7, 6)
+        assert s.solve() is False
+        assert s.stats.conflicts > 100  # the workload actually bumped a lot
+        assert len(s._order_heap) <= 3 * s.num_vars + 64
+
+    def test_decide_var_skips_stale_entries(self):
+        s = Solver()
+        variables = s.new_vars(8)
+        for i in range(0, 8, 2):
+            s.add_clause([variables[i], variables[i + 1]])
+        assert s.solve()
+        # Solved instance: heap may hold stale entries, but a fresh solve
+        # must still pick every variable exactly once.
+        assert s.solve()
+        assert len(s.model()) == 8
+
+
+class TestProofForStrengthenedClauses:
+    def test_root_strengthened_clause_is_logged_and_verifies(self):
+        from repro.sat.drat import check_rup_proof
+
+        s = Solver(proof_logging=True)
+        a, b, c = s.new_vars(3)
+        clauses = [[-a], [a, b, c], [-b], [-c]]
+        for clause in clauses:
+            s.add_clause(clause)
+        # [a, b, c] was strengthened to [b, c] by the root unit -a, then
+        # to the unit [b]... the formula is unsat; the proof must include
+        # the strengthened additions so the refutation checks out.
+        assert s.solve() is False
+        assert s.proof.ends_with_empty_clause
+        assert check_rup_proof(clauses, s.proof)
+
+    def test_strengthened_to_unit_is_logged(self):
+        from repro.sat.drat import check_rup_proof
+
+        s = Solver(proof_logging=True)
+        a, b = s.new_vars(2)
+        clauses = [[-a], [a, b], [-b]]
+        for clause in clauses:
+            s.add_clause(clause)
+        # [a, b] strengthens to the unit [b], which clashes with [-b]:
+        # the empty clause lands at add_clause time, before any solve.
+        assert s.solve() is False
+        added = [lits for op, lits in s.proof.steps if op == "a"]
+        assert [b] in added, "the strengthened unit must appear in the proof"
+        assert check_rup_proof(clauses, s.proof)
+
+    def test_strengthened_binary_is_logged(self):
+        from repro.sat.drat import check_rup_proof
+
+        s = Solver(proof_logging=True)
+        a, b, c, d = s.new_vars(4)
+        clauses = [[-a], [a, b, c], [b, d], [-b], [-c], [-d]]
+        for clause in clauses:
+            s.add_clause(clause)
+        assert s.solve() is False
+        added = [sorted(lits) for op, lits in s.proof.steps if op == "a"]
+        assert sorted([b, c]) in added
+        assert check_rup_proof(clauses, s.proof)
