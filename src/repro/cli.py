@@ -87,38 +87,56 @@ def _cmd_orderings(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    """Synthesize a design for a JSON request file and print the report."""
+    """Synthesize designs for JSON request file(s) and print the reports.
+
+    Several request files form one batch: cached results are answered
+    instantly and the remaining queries fan out over ``--jobs`` workers.
+    """
     import json
 
     from repro.core.design import DesignRequest
     from repro.core.engine import ReasoningEngine
     from repro.core.report import render_report
 
-    with open(args.request, encoding="utf-8") as f:
-        request = DesignRequest.from_dict(json.load(f))
+    requests = []
+    for path in args.request:
+        with open(path, encoding="utf-8") as f:
+            requests.append(DesignRequest.from_dict(json.load(f)))
     kb = default_knowledge_base()
     observer = None
     if args.profile:
         from repro.obs import EngineObserver
 
         observer = EngineObserver()
-    engine = ReasoningEngine(kb, observer=observer)
-    outcome = engine.synthesize(request)
-    print(render_report(kb, request, outcome,
-                        title=f"Architecture plan ({args.request})"))
-    if args.explain and outcome.feasible:
-        print("Justifications")
-        print("--------------")
-        print(engine.explain(request, outcome))
+    cache = None
+    if not args.no_cache:
+        from repro.par import QueryCache
+
+        cache = QueryCache()
+    engine = ReasoningEngine(kb, observer=observer, cache=cache,
+                             jobs=args.jobs)
+    if len(requests) == 1:
+        outcomes = [engine.synthesize(requests[0])]
+    else:
+        outcomes = engine.synthesize_many(requests)
+    for path, request, outcome in zip(args.request, requests, outcomes):
+        print(render_report(kb, request, outcome,
+                            title=f"Architecture plan ({path})"))
+        if args.explain and outcome.feasible:
+            print("Justifications")
+            print("--------------")
+            print(engine.explain(request, outcome))
     if observer is not None:
         from repro.obs import render_profile
 
         print()
-        print(render_profile(observer, outcome.solver_stats))
-    return 0 if outcome.feasible else 3
+        print(render_profile(observer, outcomes[-1].solver_stats))
+    return 0 if all(o.feasible for o in outcomes) else 3
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.portfolio > 1:
+        return _solve_portfolio_cmd(args)
     observer = None
     if args.profile:
         from repro.obs import EngineObserver
@@ -169,6 +187,33 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 20
 
 
+def _solve_portfolio_cmd(args: argparse.Namespace) -> int:
+    """Race ``--portfolio N`` diversified solver configs on the CNF."""
+    from repro.par import default_portfolio, solve_portfolio
+
+    if args.proof:
+        print("error: --proof is not supported with --portfolio "
+              "(no single solver owns the derivation)", file=sys.stderr)
+        return 2
+    num_vars, clauses = read_dimacs(args.cnf)
+    result = solve_portfolio(
+        num_vars,
+        clauses,
+        configs=default_portfolio(args.portfolio),
+        jobs=args.jobs,
+    )
+    print(f"c portfolio winner={result.winner} mode={result.mode} "
+          f"conflicts={result.conflicts}", file=sys.stderr)
+    if result.satisfiable:
+        print("s SATISFIABLE")
+        model = result.model
+        lits = [v if model[v] else -v for v in sorted(model)]
+        print("v " + " ".join(str(lit) for lit in lits) + " 0")
+        return 10
+    print("s UNSATISFIABLE")
+    return 20
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -200,13 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
     orderings.set_defaults(func=_cmd_orderings)
 
     plan = sub.add_parser(
-        "plan", help="synthesize a design for a JSON request file"
+        "plan", help="synthesize designs for JSON request file(s)"
     )
-    plan.add_argument("request", help="path to a DesignRequest JSON file")
+    plan.add_argument("request", nargs="+",
+                      help="path(s) to DesignRequest JSON files; several "
+                           "files form one batch")
     plan.add_argument("--explain", action="store_true",
                       help="append per-system justifications")
     plan.add_argument("--profile", action="store_true",
                       help="print a phase-time and solver-progress profile")
+    plan.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for batch requests (default 1)")
+    plan.add_argument("--no-cache", action="store_true",
+                      help="disable the query-result cache")
     plan.set_defaults(func=_cmd_plan)
 
     solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
@@ -215,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on UNSAT, write a DRAT proof to FILE")
     solve.add_argument("--profile", action="store_true",
                        help="print a phase-time and solver-progress profile")
+    solve.add_argument("--portfolio", type=int, default=0, metavar="N",
+                       help="race N diversified solver configs (first "
+                            "verdict wins)")
+    solve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="portfolio worker processes; 1 = deterministic "
+                            "interleaved schedule (default)")
     solve.set_defaults(func=_cmd_solve)
     return parser
 

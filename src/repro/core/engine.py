@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.compile import CompiledDesign, compile_design
@@ -18,6 +19,8 @@ from repro.obs.observer import EngineObserver
 from repro.obs.trace import NULL_TRACER
 from repro.opt.lexicographic import LexObjective, lexicographic_optimize
 from repro.opt.linear import minimize_linexpr
+from repro.par.batch import run_queries
+from repro.par.cache import QueryCache, request_cache_key
 
 
 @dataclass
@@ -64,11 +67,25 @@ class ReasoningEngine:
         kb: KnowledgeBase,
         validate: bool = True,
         observer: EngineObserver | None = None,
+        cache: QueryCache | None = None,
+        jobs: int = 1,
     ):
         if validate:
             kb.validate_or_raise()
         self.kb = kb
         self.observer = observer
+        #: Optional result cache for ``check``/``synthesize`` (and their
+        #: batch forms). Keys cover the KB fingerprint, so any KB
+        #: mutation through the registry API invalidates prior entries.
+        self.cache = cache
+        if (
+            cache is not None
+            and cache.metrics is None
+            and observer is not None
+        ):
+            cache.metrics = observer.metrics
+        #: Default worker count for ``check_many``/``synthesize_many``.
+        self.jobs = max(1, jobs)
 
     @property
     def _tracer(self):
@@ -95,26 +112,38 @@ class ReasoningEngine:
         tracer = self._tracer
         if deploy is not None:
             request = _with_exact_systems(request, deploy, self.kb)
+        key = self._cache_key("check", request)
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         compiled = self.compile(request)
         with tracer.span("solve"):
             satisfiable = compiled.solve()
         if satisfiable:
             solution = compiled.extract_solution(compiled.solver.model())
             self._record_query("check", compiled)
-            return DesignOutcome(
+            outcome = DesignOutcome(
                 True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
             )
+            return self._cache_put(key, outcome)
         with tracer.span("diagnose"):
             conflict = diagnose(compiled)
         self._record_query("check", compiled)
-        return DesignOutcome(
+        outcome = DesignOutcome(
             False, conflict=conflict, solver_stats=compiled.solver.stats.as_dict()
         )
+        return self._cache_put(key, outcome)
 
     def synthesize(self, request: DesignRequest) -> DesignOutcome:
         """Find a compliant design, lexicographically optimal per
         ``request.optimize``; on infeasibility, return a minimal conflict."""
         tracer = self._tracer
+        key = self._cache_key("synthesize", request)
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         compiled = self.compile(request)
         with tracer.span("solve"):
             satisfiable = compiled.solve()
@@ -122,19 +151,94 @@ class ReasoningEngine:
             with tracer.span("diagnose"):
                 conflict = diagnose(compiled)
             self._record_query("synthesize", compiled)
-            return DesignOutcome(
+            outcome = DesignOutcome(
                 False,
                 conflict=conflict,
                 solver_stats=compiled.solver.stats.as_dict(),
             )
+            return self._cache_put(key, outcome)
         compiled.assert_guards()
         with tracer.span("optimize"):
             model = self._optimize(compiled, request)
         solution = compiled.extract_solution(model)
         self._record_query("synthesize", compiled)
-        return DesignOutcome(
+        outcome = DesignOutcome(
             True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
         )
+        return self._cache_put(key, outcome)
+
+    def _cache_key(self, verb: str, request: DesignRequest) -> str | None:
+        if self.cache is None:
+            return None
+        return request_cache_key(verb, self.kb, request)
+
+    def _cache_put(self, key: str | None, outcome: DesignOutcome) -> DesignOutcome:
+        if key is not None:
+            self.cache.put(key, outcome)
+        return outcome
+
+    # -- batch queries ------------------------------------------------------------
+
+    def check_many(
+        self,
+        requests: Sequence[DesignRequest],
+        jobs: int | None = None,
+        deploy: list[str] | None = None,
+    ) -> list[DesignOutcome]:
+        """Run :meth:`check` on every request, fanning misses over workers."""
+        if deploy is not None:
+            requests = [
+                _with_exact_systems(r, deploy, self.kb) for r in requests
+            ]
+        return self._run_many("check", list(requests), jobs)
+
+    def synthesize_many(
+        self,
+        requests: Sequence[DesignRequest],
+        jobs: int | None = None,
+    ) -> list[DesignOutcome]:
+        """Run :meth:`synthesize` on every request, fanning misses over workers."""
+        return self._run_many("synthesize", list(requests), jobs)
+
+    def _run_many(
+        self, verb: str, requests: list[DesignRequest], jobs: int | None
+    ) -> list[DesignOutcome]:
+        """Cache-aware fan-out: hits are answered inline, misses go to
+        :func:`repro.par.batch.run_queries` (a process pool when *jobs*
+        allows, sequential otherwise), results return in input order."""
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        outcomes: list[DesignOutcome | None] = [None] * len(requests)
+        # Duplicate requests in one batch (same cache key) are computed
+        # once and fanned back to every position that asked.
+        pending_keys: list[str | None] = []
+        pending_reqs: list[DesignRequest] = []
+        pending_idx: list[list[int]] = []
+        slot_by_key: dict[str, int] = {}
+        for i, request in enumerate(requests):
+            key = self._cache_key(verb, request)
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    outcomes[i] = cached
+                    continue
+                slot = slot_by_key.get(key)
+                if slot is not None:
+                    pending_idx[slot].append(i)
+                    continue
+                slot_by_key[key] = len(pending_reqs)
+            pending_keys.append(key)
+            pending_reqs.append(request)
+            pending_idx.append([i])
+        if pending_reqs:
+            computed = run_queries(self.kb, verb, pending_reqs, jobs)
+            for slot, outcome in enumerate(computed):
+                outcome = self._cache_put(pending_keys[slot], outcome)
+                for i in pending_idx[slot]:
+                    outcomes[i] = outcome
+                if self.observer is not None and self.observer.enabled:
+                    self.observer.metrics.incr("queries")
+                    self.observer.metrics.incr(f"queries.{verb}")
+        return outcomes
 
     def _optimize(self, compiled: CompiledDesign, request: DesignRequest):
         """Lexicographic descent over the request's objectives.

@@ -10,6 +10,7 @@ dicts for the extraction pipeline and crowd-sourced contribution.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 
@@ -75,13 +76,43 @@ class KnowledgeBase:
     hardware: dict[str, Hardware] = field(default_factory=dict)
     rules: dict[str, Rule] = field(default_factory=dict)
     orderings: list[Ordering] = field(default_factory=list)
+    #: Bumped on every registration; lets caches detect KB mutation
+    #: without rehashing. Mutations must go through the ``add_*``/
+    #: ``merge`` methods for this (and :meth:`fingerprint`) to be valid.
+    _version: int = field(default=0, repr=False, compare=False)
+    _fingerprint_cache: str | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- registration -------------------------------------------------------------
+
+    def _mutated(self) -> None:
+        self._version += 1
+        self._fingerprint_cache = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see :meth:`fingerprint`)."""
+        return self._version
+
+    def fingerprint(self) -> str:
+        """Content hash of the KB's canonical serialization.
+
+        Query caches key on this: any registration changes the
+        fingerprint, so entries computed against the old KB state become
+        unreachable (invalidation by key, no flush needed).
+        """
+        if self._fingerprint_cache is None:
+            self._fingerprint_cache = hashlib.sha256(
+                self.to_json().encode()
+            ).hexdigest()
+        return self._fingerprint_cache
 
     def add_system(self, system: System) -> System:
         if system.name in self.systems:
             raise DuplicateEntryError(f"system {system.name!r} already registered")
         self.systems[system.name] = system
+        self._mutated()
         return system
 
     def add_hardware(self, hardware: Hardware) -> Hardware:
@@ -90,16 +121,19 @@ class KnowledgeBase:
                 f"hardware {hardware.model!r} already registered"
             )
         self.hardware[hardware.model] = hardware
+        self._mutated()
         return hardware
 
     def add_rule(self, rule: Rule) -> Rule:
         if rule.name in self.rules:
             raise DuplicateEntryError(f"rule {rule.name!r} already registered")
         self.rules[rule.name] = rule
+        self._mutated()
         return rule
 
     def add_ordering(self, ordering: Ordering) -> Ordering:
         self.orderings.append(ordering)
+        self._mutated()
         return ordering
 
     def merge(self, other: "KnowledgeBase") -> "KnowledgeBase":

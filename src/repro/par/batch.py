@@ -1,0 +1,56 @@
+"""Fan independent engine queries out over a process pool.
+
+The engine's batch verbs (:meth:`ReasoningEngine.check_many` /
+:meth:`ReasoningEngine.synthesize_many`) delegate here once cache hits
+have been peeled off. Each worker rebuilds a :class:`ReasoningEngine`
+around the (already validated) knowledge base it received and runs one
+query; results come back as ordinary picklable
+:class:`~repro.core.design.DesignOutcome` values in input order.
+
+When ``jobs <= 1``, there is a single query to run, or multiprocessing is
+unavailable in the host environment, the queries run sequentially in
+this process — same results, no pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+__all__ = ["run_queries"]
+
+
+def _query_worker(payload):
+    kb, verb, request = payload
+    from repro.core.engine import ReasoningEngine
+
+    engine = ReasoningEngine(kb, validate=False)
+    return getattr(engine, verb)(request)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_queries(kb, verb: str, requests: list, jobs: int = 1) -> list:
+    """Run ``verb(request)`` for every request; preserve input order.
+
+    Query-level exceptions (unknown entities, bad objectives, ...)
+    propagate to the caller exactly as in the sequential path. Only pool
+    *infrastructure* failures (no fork/spawn support, resource limits)
+    fall back to sequential execution.
+    """
+    if not requests:
+        return []
+    if jobs <= 1 or len(requests) == 1:
+        return [_query_worker((kb, verb, r)) for r in requests]
+    try:
+        ctx = _mp_context()
+        with ctx.Pool(processes=min(jobs, len(requests))) as pool:
+            return pool.map(
+                _query_worker, [(kb, verb, r) for r in requests]
+            )
+    except (OSError, ImportError, PermissionError):
+        return [_query_worker((kb, verb, r)) for r in requests]

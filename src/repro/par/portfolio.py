@@ -1,0 +1,337 @@
+"""Portfolio solving: race diversified CDCL configurations on one CNF.
+
+CDCL runtime on a fixed instance varies by orders of magnitude with the
+restart schedule, activity decay, and initial polarities/tie-breaks. A
+portfolio exploits that variance by running several *diversified*
+configurations of :class:`~repro.sat.Solver` on the same instance and
+returning the first verdict. Verdicts are always identical across
+configurations (the solver is sound and complete), so the portfolio can
+only change *when* the answer arrives, never *what* it is.
+
+Two execution modes:
+
+- **interleaved** (``jobs <= 1``, the default) — every configuration gets
+  its own solver in this process and they take turns, each turn bounded
+  by a conflict-budget slice that doubles every round. This is a
+  universal-schedule sequential portfolio: total work is within a small
+  constant factor of the best configuration's, it needs no OS
+  parallelism, and it is *fully deterministic* — same instance, same
+  configs, same winner, same model, same conflict counts, every run.
+- **process** (``jobs >= 2``) — up to *jobs* ``multiprocessing`` workers
+  each run one configuration to completion; the first verdict wins and
+  the rest are terminated. The verdict is still deterministic; which
+  config wins (and hence which model is returned for SAT) depends on
+  scheduling.
+
+Solvers are built lazily in interleaved mode, so an instance the first
+configuration solves inside the first slice pays almost no portfolio
+overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+from dataclasses import dataclass, field, replace
+
+from repro.sat.solver import Solver
+
+from repro.par.cache import QueryCache, cnf_cache_key
+
+__all__ = [
+    "PortfolioConfig",
+    "PortfolioResult",
+    "default_portfolio",
+    "solve_portfolio",
+]
+
+#: First interleaved slice, in conflicts. Doubles every round.
+_BASE_SLICE = 64
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One diversified solver configuration."""
+
+    name: str
+    enable_vsids: bool = True
+    enable_phase_saving: bool = True
+    restart_base: int = 100
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    seed: int | None = None
+    random_phase: bool = False
+
+    def build_solver(self) -> Solver:
+        return Solver(
+            enable_vsids=self.enable_vsids,
+            enable_phase_saving=self.enable_phase_saving,
+            restart_base=self.restart_base,
+            var_decay=self.var_decay,
+            clause_decay=self.clause_decay,
+            seed=self.seed,
+            random_phase=self.random_phase,
+        )
+
+
+#: The diversification ladder: entry 0 is the reference configuration
+#: (identical to a bare ``Solver()``), later entries vary one or two
+#: dimensions each — restart cadence, decay aggressiveness, phase policy.
+_VARIANTS: tuple[PortfolioConfig, ...] = (
+    PortfolioConfig(name="default"),
+    PortfolioConfig(name="fast-restarts", restart_base=32, random_phase=True),
+    PortfolioConfig(name="slow-restarts", restart_base=512, var_decay=0.99),
+    PortfolioConfig(name="agile-decay", var_decay=0.85, random_phase=True),
+    PortfolioConfig(name="no-phase-saving", enable_phase_saving=False),
+    PortfolioConfig(name="jittered", restart_base=64),
+    PortfolioConfig(name="sticky", restart_base=256, clause_decay=0.99),
+    PortfolioConfig(name="wild", restart_base=16, var_decay=0.8,
+                    random_phase=True),
+)
+
+
+def default_portfolio(n: int, base_seed: int = 0) -> list[PortfolioConfig]:
+    """*n* diversified configurations, deterministic in ``(n, base_seed)``.
+
+    Config 0 is always the reference (default ``Solver()``) configuration,
+    so a 1-config portfolio degenerates to sequential solving. Seeds are
+    derived from *base_seed* and the slot index, so distinct slots never
+    share an RNG stream even when they reuse a variant template.
+    """
+    if n < 1:
+        raise ValueError(f"portfolio size must be >= 1, got {n}")
+    configs = []
+    for i in range(n):
+        template = _VARIANTS[i % len(_VARIANTS)]
+        if i == 0:
+            configs.append(template)
+            continue
+        configs.append(replace(
+            template,
+            name=f"{template.name}#{i}",
+            seed=base_seed * 10_000 + i,
+        ))
+    return configs
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a :func:`solve_portfolio` call.
+
+    ``satisfiable`` is ``None`` only when a ``conflict_budget`` ran out
+    on every configuration before any reached a verdict.
+    """
+
+    satisfiable: bool | None
+    model: dict[int, bool] | None = None
+    core: list[int] | None = None
+    winner: str | None = None
+    mode: str = "interleaved"
+    conflicts: int = 0  #: total conflicts spent across all configurations
+    stats: dict[str, int] = field(default_factory=dict)
+    from_cache: bool = False
+
+
+def solve_portfolio(
+    num_vars: int,
+    clauses: list[list[int]],
+    assumptions: list[int] | None = None,
+    configs: list[PortfolioConfig] | None = None,
+    jobs: int = 1,
+    conflict_budget: int | None = None,
+    cache: QueryCache | None = None,
+) -> PortfolioResult:
+    """Race *configs* on one CNF; return the first verdict.
+
+    *jobs* selects the execution mode (see module docstring). With a
+    *cache*, the canonical CNF+assumptions key is consulted first and
+    decided results are stored back; budget-exhausted results are never
+    cached.
+    """
+    assumptions = list(assumptions or [])
+    if configs is None:
+        configs = default_portfolio(4)
+    if not configs:
+        raise ValueError("portfolio needs at least one configuration")
+    key = None
+    if cache is not None:
+        key = cnf_cache_key(num_vars, clauses, assumptions)
+        hit = cache.get(key)
+        if hit is not None:
+            return replace(
+                hit,
+                model=dict(hit.model) if hit.model is not None else None,
+                core=list(hit.core) if hit.core is not None else None,
+                from_cache=True,
+            )
+    if jobs >= 2 and len(configs) >= 2:
+        result = _solve_process(
+            num_vars, clauses, assumptions, configs, jobs, conflict_budget
+        )
+    else:
+        result = _solve_interleaved(
+            num_vars, clauses, assumptions, configs, conflict_budget
+        )
+    if key is not None and result.satisfiable is not None:
+        cache.put(key, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Interleaved (deterministic) mode
+# ---------------------------------------------------------------------------
+
+
+def _load(config: PortfolioConfig, num_vars: int, clauses) -> Solver:
+    solver = config.build_solver()
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            break  # root-level unsat; solve_limited reports it
+    return solver
+
+
+def _solve_interleaved(
+    num_vars: int,
+    clauses: list[list[int]],
+    assumptions: list[int],
+    configs: list[PortfolioConfig],
+    conflict_budget: int | None,
+) -> PortfolioResult:
+    """Deterministic round-robin over whole restart segments.
+
+    Each round raises a per-config conflict *quota* (doubling from
+    ``_BASE_SLICE``); a config takes :meth:`~repro.sat.Solver.solve_step`
+    turns until its cumulative conflicts reach the quota, then yields.
+    Because turns are whole restart segments, every config follows
+    exactly the trajectory it would follow running alone — the schedule
+    decides only who gets CPU, never how anyone searches. Total work
+    until the first verdict is within a small factor of
+    ``len(configs) ×`` the best config's solo cost.
+    """
+    solvers: list[Solver | None] = [None] * len(configs)
+    spent = [0] * len(configs)
+    quota = _BASE_SLICE
+    while True:
+        for i, config in enumerate(configs):
+            if solvers[i] is None:
+                solvers[i] = _load(config, num_vars, clauses)
+            solver = solvers[i]
+            cap = quota
+            if conflict_budget is not None:
+                cap = min(cap, conflict_budget)
+            while spent[i] < cap:
+                before = solver.stats.conflicts
+                result = solver.solve_step(assumptions)
+                spent[i] += solver.stats.conflicts - before
+                if result.satisfiable is not None:
+                    return PortfolioResult(
+                        satisfiable=result.satisfiable,
+                        model=result.model,
+                        core=result.core,
+                        winner=config.name,
+                        mode="interleaved",
+                        conflicts=sum(spent),
+                        stats=result.stats,
+                    )
+        if conflict_budget is not None and all(
+            s >= conflict_budget for s in spent
+        ):
+            return PortfolioResult(
+                satisfiable=None, mode="interleaved", conflicts=sum(spent)
+            )
+        quota *= 2
+
+
+# ---------------------------------------------------------------------------
+# Process (multiprocessing) mode
+# ---------------------------------------------------------------------------
+
+
+def _worker(index, config, num_vars, clauses, assumptions,
+            conflict_budget, results) -> None:
+    solver = _load(config, num_vars, clauses)
+    result = solver.solve_limited(assumptions, conflict_budget=conflict_budget)
+    results.put((
+        index,
+        result.satisfiable,
+        result.model,
+        result.core,
+        result.stats,
+    ))
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _solve_process(
+    num_vars: int,
+    clauses: list[list[int]],
+    assumptions: list[int],
+    configs: list[PortfolioConfig],
+    jobs: int,
+    conflict_budget: int | None,
+) -> PortfolioResult:
+    ctx = _mp_context()
+    results: multiprocessing.Queue = ctx.Queue()
+    pending = list(enumerate(configs))
+    running: dict[int, multiprocessing.Process] = {}
+    exhausted = 0
+    try:
+        while True:
+            while pending and len(running) < jobs:
+                index, config = pending.pop(0)
+                proc = ctx.Process(
+                    target=_worker,
+                    args=(index, config, num_vars, clauses, assumptions,
+                          conflict_budget, results),
+                    daemon=True,
+                )
+                proc.start()
+                running[index] = proc
+            try:
+                index, satisfiable, model, core, stats = results.get(
+                    timeout=0.05
+                )
+            except queue_mod.Empty:
+                # Reap workers that died without reporting (crash) or whose
+                # budget ran out upstream of a verdict.
+                for index, proc in list(running.items()):
+                    if not proc.is_alive():
+                        proc.join()
+                        del running[index]
+                if not running and not pending:
+                    return PortfolioResult(
+                        satisfiable=None, mode="process",
+                        conflicts=exhausted,
+                    )
+                continue
+            if satisfiable is None:
+                exhausted += stats.get("conflicts", 0)
+                proc = running.pop(index, None)
+                if proc is not None:
+                    proc.join()
+                if not running and not pending:
+                    return PortfolioResult(
+                        satisfiable=None, mode="process", conflicts=exhausted,
+                    )
+                continue
+            return PortfolioResult(
+                satisfiable=satisfiable,
+                model=model,
+                core=core,
+                winner=configs[index].name,
+                mode="process",
+                conflicts=stats.get("conflicts", 0) + exhausted,
+                stats=stats,
+            )
+    finally:
+        for proc in running.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in running.values():
+            proc.join(timeout=2.0)

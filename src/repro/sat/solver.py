@@ -17,6 +17,7 @@ benchmarks can quantify what each heuristic buys (DESIGN.md §6).
 from __future__ import annotations
 
 import heapq
+import random
 import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
@@ -159,6 +160,8 @@ class Solver:
         proof_logging: bool = False,
         progress_callback: ProgressCallback | None = None,
         progress_interval: int = 2048,
+        seed: int | None = None,
+        random_phase: bool = False,
     ):
         self._num_vars = 0
         # Indexed by variable (1-based); slot 0 unused.
@@ -187,6 +190,13 @@ class Solver:
         self._enable_restarts = enable_restarts
         self._enable_phase_saving = enable_phase_saving
         self._restart_base = restart_base
+        # Diversification hooks for portfolio solving (repro.par). The RNG
+        # is a private instance so concurrent solvers — in threads or in
+        # forked workers — never share module-level random state, and a
+        # fixed seed fully determines the search.
+        self._rng = random.Random(seed) if seed is not None else None
+        self._random_phase = random_phase and self._rng is not None
+        self._step_attempt = 0
         self.stats = SolverStats()
         self._progress_cb = progress_callback
         self._progress_interval = max(1, progress_interval)
@@ -215,15 +225,27 @@ class Solver:
         return len(self._clauses)
 
     def new_var(self) -> int:
-        """Allocate a fresh variable and return it (a positive int)."""
+        """Allocate a fresh variable and return it (a positive int).
+
+        With a ``seed``, each variable starts with a tiny activity jitter
+        (breaking VSIDS ties in a seed-determined order); with
+        ``random_phase`` as well, its initial polarity is randomized.
+        Both leave verdicts untouched — they only diversify the search.
+        """
         self._num_vars += 1
         v = self._num_vars
         self._assign.append(0)
         self._level.append(0)
         self._reason.append(None)
-        self._phase.append(False)
-        self._activity.append(0.0)
-        heapq.heappush(self._order_heap, (0.0, v))
+        if self._random_phase:
+            self._phase.append(self._rng.random() < 0.5)
+        else:
+            self._phase.append(False)
+        if self._rng is not None:
+            self._activity.append(self._rng.random() * 1e-6)
+        else:
+            self._activity.append(0.0)
+        heapq.heappush(self._order_heap, (-self._activity[v], v))
         return v
 
     def new_vars(self, n: int) -> list[int]:
@@ -394,6 +416,60 @@ class Solver:
                 self._cancel_until(0)
                 if self._progress_cb is not None:
                     self._emit_progress("restart")
+        self._cancel_until(0)
+        if self._progress_cb is not None:
+            self._emit_progress("final")
+        return SolveResult(
+            satisfiable=status,
+            model=dict(self._model) if self._model is not None else None,
+            core=list(self._core) if self._core is not None else None,
+            stats=self.stats.as_dict(),
+        )
+
+    def solve_step(self, assumptions: Sequence[int] = ()) -> SolveResult:
+        """Run exactly one restart segment of the search (resumable solve).
+
+        Each call advances a persistent Luby restart counter, runs CDCL
+        until that segment's conflict budget is spent or a verdict is
+        reached, and returns. ``satisfiable`` is ``None`` while the
+        search is still open — call again (with the *same* assumptions)
+        to continue. Because CDCL restarts cancel to the root level
+        anyway, a sequence of ``solve_step`` calls follows the *same
+        trajectory* as one uninterrupted :meth:`solve` — which is what
+        lets a portfolio interleave configurations without perturbing
+        any of them (``repro.par.portfolio``).
+
+        With ``enable_restarts=False`` a single call runs to completion.
+        """
+        for lit in assumptions:
+            check_literal(lit, self._num_vars)
+        self._model = None
+        self._core = None
+        self._solve_start = time.perf_counter()
+        self._conflicts_at_start = self.stats.conflicts
+        self._propagations_at_start = self.stats.propagations
+        if self._unsat:
+            self._core = []
+            return SolveResult(False, core=[], stats=self.stats.as_dict())
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            self._core = []
+            if self.proof is not None:
+                self.proof.add([])
+            return SolveResult(False, core=[], stats=self.stats.as_dict())
+        if self._enable_restarts:
+            self._step_attempt += 1
+            budget = luby(self._step_attempt) * self._restart_base
+        else:
+            budget = None
+        status, _ = self._search(budget, list(assumptions))
+        if status is None:
+            self.stats.restarts += 1
+            self._cancel_until(0)
+            if self._progress_cb is not None:
+                self._emit_progress("restart")
+            return SolveResult(None, stats=self.stats.as_dict())
         self._cancel_until(0)
         if self._progress_cb is not None:
             self._emit_progress("final")

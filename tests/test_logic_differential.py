@@ -1,0 +1,130 @@
+"""Differential fuzzing of cardinality and pseudo-Boolean encodings.
+
+Every encoder in ``repro.logic`` introduces auxiliary variables, so the
+right correctness statement is *projected* equivalence: for each total
+assignment to the base variables, the CNF must be satisfiable (with some
+auxiliary assignment) exactly when the semantic constraint holds. The
+test enumerates every base assignment and asks the CDCL solver to settle
+the auxiliaries under assumptions — an exact oracle for the projection.
+
+240+ seeded instances sweep the encoding methods (pairwise / sequential
+counter / totalizer, and the generalized totalizer for PB), literal
+polarities, and out-of-range bounds (k < 0, k > n, infeasible weights).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.logic.cardinality import at_least_k, at_most_k, exactly_k
+from repro.logic.pseudo_boolean import (
+    PBTerm,
+    encode_pb_eq,
+    encode_pb_geq,
+    encode_pb_leq,
+)
+from repro.sat import Solver
+
+_CARD_KINDS = ("at_most", "at_least", "exactly")
+_CARD_METHODS = ("pairwise", "seq", "totalizer")
+_CARD_CASES = [
+    (seed, kind, method)
+    for seed in range(14)
+    for kind in _CARD_KINDS
+    for method in _CARD_METHODS
+]
+
+_PB_OPS = ("leq", "geq", "eq")
+_PB_CASES = [(seed, op) for seed in range(40) for op in _PB_OPS]
+
+
+def _fresh_var_counter(start: int):
+    state = {"next": start}
+
+    def new_var() -> int:
+        state["next"] += 1
+        return state["next"] - 1
+
+    return new_var, state
+
+
+def _random_lits(rng: random.Random, num_vars: int) -> list[int]:
+    variables = rng.sample(range(1, num_vars + 1), rng.randint(2, num_vars))
+    return [v * rng.choice([1, -1]) for v in variables]
+
+
+def _check_projection(num_vars, clauses, aux_top, semantic):
+    """CNF (with aux vars) restricted to each base assignment must match
+    the semantic evaluator exactly."""
+    solver = Solver()
+    solver.new_vars(aux_top)
+    root_ok = True
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            root_ok = False
+            break
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        assumptions = [v if bits[v - 1] else -v for v in range(1, num_vars + 1)]
+        got = root_ok and solver.solve(assumptions)
+        expected = semantic(assignment)
+        assert got == expected, (
+            f"projection mismatch on assignment={assignment}"
+        )
+
+
+@pytest.mark.parametrize("seed,kind,method", _CARD_CASES)
+def test_cardinality_differential(seed, kind, method):
+    rng = random.Random(f"card-{kind}-{method}-{seed}")
+    num_vars = rng.randint(3, 5)
+    lits = _random_lits(rng, num_vars)
+    k = rng.randint(-1, len(lits) + 1)
+    new_var, state = _fresh_var_counter(num_vars + 1)
+    encode = {"at_most": at_most_k, "at_least": at_least_k,
+              "exactly": exactly_k}[kind]
+    clauses = encode(lits, k, new_var, method=method)
+
+    def count(assignment):
+        return sum(
+            1 for lit in lits if assignment[abs(lit)] == (lit > 0)
+        )
+
+    semantic = {
+        "at_most": lambda a: count(a) <= k,
+        "at_least": lambda a: count(a) >= k,
+        "exactly": lambda a: count(a) == k,
+    }[kind]
+    _check_projection(num_vars, clauses, state["next"] - 1, semantic)
+
+
+@pytest.mark.parametrize("seed,op", _PB_CASES)
+def test_pseudo_boolean_differential(seed, op):
+    rng = random.Random(f"pb-{op}-{seed}")
+    num_vars = rng.randint(3, 5)
+    lits = _random_lits(rng, num_vars)
+    terms = [PBTerm(rng.randint(1, 5), lit) for lit in lits]
+    total = sum(t.weight for t in terms)
+    bound = rng.randint(-2, total + 2)
+    new_var, state = _fresh_var_counter(num_vars + 1)
+    encode = {"leq": encode_pb_leq, "geq": encode_pb_geq,
+              "eq": encode_pb_eq}[op]
+    clauses = encode(terms, bound, new_var)
+
+    def weight(assignment):
+        return sum(
+            t.weight for t in terms if assignment[abs(t.lit)] == (t.lit > 0)
+        )
+
+    semantic = {
+        "leq": lambda a: weight(a) <= bound,
+        "geq": lambda a: weight(a) >= bound,
+        "eq": lambda a: weight(a) == bound,
+    }[op]
+    _check_projection(num_vars, clauses, state["next"] - 1, semantic)
+
+
+def test_case_count_meets_floor():
+    assert len(_CARD_CASES) + len(_PB_CASES) >= 200

@@ -1,0 +1,396 @@
+"""Unit tests for ``repro.par``: portfolio, cache, and batch queries.
+
+Covers the three contract points the differential suites don't:
+
+- **determinism** — the interleaved portfolio is a pure function of
+  (instance, configs): same winner, same model, same conflict counts on
+  every run, and immune to the global ``random`` module state (the
+  solver keeps instance-level RNGs only);
+- **cache semantics** — canonical keys, LRU bounds, hit/miss/eviction
+  accounting, metrics mirroring, KB-fingerprint invalidation;
+- **batch API** — ``check_many``/``synthesize_many`` agree with the
+  sequential verbs, dedupe identical requests, and survive a real
+  worker pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.par import (
+    PortfolioConfig,
+    QueryCache,
+    cnf_cache_key,
+    default_portfolio,
+    request_cache_key,
+    solve_portfolio,
+)
+from repro.sat import Solver
+from tests.conftest import brute_force_sat, random_clauses
+
+
+def _hard_instance(seed: int, num_vars: int = 40):
+    rng = random.Random(f"par-instance-{seed}")
+    clauses = []
+    for _ in range(int(num_vars * 4.2)):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v * rng.choice([1, -1]) for v in variables])
+    return num_vars, clauses
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def test_interleaved_portfolio_is_deterministic():
+    num_vars, clauses = _hard_instance(0)
+    results = [
+        solve_portfolio(num_vars, clauses, configs=default_portfolio(4))
+        for _ in range(2)
+    ]
+    first, second = results
+    assert first.satisfiable == second.satisfiable
+    assert first.winner == second.winner
+    assert first.conflicts == second.conflicts
+    assert first.model == second.model
+    assert first.stats == second.stats
+
+
+def test_portfolio_ignores_global_random_state():
+    """Seeding the global random module must not perturb the solver:
+    all portfolio randomness flows through instance-level RNGs."""
+    num_vars, clauses = _hard_instance(1)
+    random.seed(12345)
+    first = solve_portfolio(num_vars, clauses, configs=default_portfolio(4))
+    random.seed(99999)
+    second = solve_portfolio(num_vars, clauses, configs=default_portfolio(4))
+    assert first.winner == second.winner
+    assert first.conflicts == second.conflicts
+    assert first.model == second.model
+
+
+def test_solver_seed_gives_reproducible_runs():
+    num_vars, clauses = _hard_instance(2)
+
+    def run():
+        solver = Solver(seed=7, random_phase=True)
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        verdict = solver.solve()
+        return verdict, solver.stats.conflicts, solver.stats.decisions
+
+    assert run() == run()
+
+
+def test_solve_step_follows_solo_trajectory():
+    """Interleaving whole restart segments must not change the search:
+    stepping to completion equals one uninterrupted solve() call."""
+    for seed in range(6):
+        num_vars, clauses = _hard_instance(seed, num_vars=30)
+        solo = Solver()
+        solo.new_vars(num_vars)
+        for clause in clauses:
+            solo.add_clause(clause)
+        expected = solo.solve()
+
+        stepped = Solver()
+        stepped.new_vars(num_vars)
+        for clause in clauses:
+            stepped.add_clause(clause)
+        while True:
+            result = stepped.solve_step()
+            if result.satisfiable is not None:
+                break
+        assert result.satisfiable == expected
+        assert stepped.stats.conflicts == solo.stats.conflicts
+        assert stepped.stats.decisions == solo.stats.decisions
+
+
+def test_process_mode_verdict_is_deterministic():
+    num_vars, clauses = _hard_instance(3, num_vars=20)
+    expected = brute_force_sat(
+        num_vars, clauses
+    ) if num_vars <= 20 else None
+    verdicts = {
+        solve_portfolio(
+            num_vars, clauses, configs=default_portfolio(2), jobs=2
+        ).satisfiable
+        for _ in range(2)
+    }
+    assert len(verdicts) == 1
+    if expected is not None:
+        assert verdicts == {expected}
+
+
+# -- portfolio construction --------------------------------------------------
+
+
+def test_default_portfolio_reference_slot_and_seeds():
+    configs = default_portfolio(6, base_seed=3)
+    assert configs[0] == PortfolioConfig(name="default")
+    seeds = [c.seed for c in configs[1:]]
+    assert len(set(seeds)) == len(seeds), "slots must not share RNG streams"
+    assert all(s is not None for s in seeds)
+
+
+def test_default_portfolio_rejects_empty():
+    with pytest.raises(ValueError):
+        default_portfolio(0)
+
+
+def test_portfolio_conflict_budget_exhaustion():
+    """An unsatisfiable-but-hard instance under a tiny budget yields the
+    indeterminate verdict rather than a wrong one."""
+    # PHP(6,5): needs far more than 2 conflicts.
+    holes, pigeons = 5, 6
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    cache = QueryCache()
+    result = solve_portfolio(
+        pigeons * holes, clauses, configs=default_portfolio(2),
+        conflict_budget=2, cache=cache,
+    )
+    assert result.satisfiable is None
+    assert len(cache) == 0, "indeterminate results must not be cached"
+
+
+def test_portfolio_respects_assumptions():
+    result = solve_portfolio(
+        3, [[1, 2], [-1, 3]], assumptions=[-2],
+        configs=default_portfolio(3),
+    )
+    assert result.satisfiable is True
+    assert result.model[2] is False
+    assert result.model[1] is True
+
+    unsat = solve_portfolio(
+        2, [[1, 2]], assumptions=[-1, -2], configs=default_portfolio(3),
+    )
+    assert unsat.satisfiable is False
+    assert set(unsat.core) <= {-1, -2}
+
+
+# -- cnf cache keys ----------------------------------------------------------
+
+
+def test_cnf_cache_key_is_canonical():
+    base = cnf_cache_key(3, [[1, -2], [2, 3]], [1])
+    assert cnf_cache_key(3, [[2, 3], [-2, 1]], [1]) == base
+    assert cnf_cache_key(3, [[1, -2], [3, 2]], [1]) == base
+    assert cnf_cache_key(3, [[1, -2], [2, 3]], [-1]) != base
+    assert cnf_cache_key(4, [[1, -2], [2, 3]], [1]) != base
+    assert cnf_cache_key(3, [[1, -2]], [1]) != base
+
+
+def test_cnf_cache_key_assumption_order_is_irrelevant():
+    assert cnf_cache_key(2, [[1, 2]], [1, -2]) == cnf_cache_key(
+        2, [[1, 2]], [-2, 1]
+    )
+
+
+def test_portfolio_cache_round_trip():
+    num_vars, clauses = _hard_instance(4, num_vars=20)
+    cache = QueryCache()
+    cold = solve_portfolio(
+        num_vars, clauses, configs=default_portfolio(2), cache=cache
+    )
+    warm = solve_portfolio(
+        num_vars, clauses, configs=default_portfolio(2), cache=cache
+    )
+    assert not cold.from_cache
+    assert warm.from_cache
+    assert warm.satisfiable == cold.satisfiable
+    assert warm.model == cold.model
+    # The hit hands out copies: mutating them must not poison the cache.
+    if warm.model is not None:
+        warm.model[1] = not warm.model[1]
+        again = solve_portfolio(
+            num_vars, clauses, configs=default_portfolio(2), cache=cache
+        )
+        assert again.model == cold.model
+
+
+# -- LRU cache ---------------------------------------------------------------
+
+
+def test_cache_lru_eviction_order():
+    cache = QueryCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a"; "b" is now LRU
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+
+
+def test_cache_counters_and_metrics_mirroring():
+    metrics = MetricsRegistry()
+    cache = QueryCache(maxsize=1, metrics=metrics, name="qc")
+    cache.get("missing")
+    cache.put("k", "v")
+    cache.get("k")
+    cache.put("k2", "v2")  # evicts "k"
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert metrics.counter("qc.hits") == 1
+    assert metrics.counter("qc.misses") == 1
+    assert metrics.counter("qc.evictions") == 1
+    assert metrics.gauge("qc.size") == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert metrics.gauge("qc.size") == 0
+
+
+def test_cache_rejects_nonpositive_maxsize():
+    with pytest.raises(ValueError):
+        QueryCache(maxsize=0)
+
+
+# -- KB fingerprint and engine-level invalidation ----------------------------
+
+
+def test_kb_fingerprint_changes_on_mutation(tiny_kb):
+    from repro.kb.system import System
+    from repro.logic.ast import TRUE
+
+    before = tiny_kb.fingerprint()
+    assert tiny_kb.fingerprint() == before, "fingerprint must be stable"
+    version_before = tiny_kb.version
+    tiny_kb.add_system(System(
+        name="Extra", category="monitoring", solves=["detect_queue_length"],
+        requires=TRUE,
+    ))
+    assert tiny_kb.version == version_before + 1
+    assert tiny_kb.fingerprint() != before
+
+
+def test_request_cache_key_tracks_kb_and_request(tiny_kb):
+    from repro.core.design import DesignRequest
+    from repro.kb.system import System
+    from repro.kb.workload import Workload
+    from repro.logic.ast import TRUE
+
+    request = DesignRequest(workloads=[Workload(
+        name="w", objectives=["packet_processing"]
+    )])
+    base = request_cache_key("check", tiny_kb, request)
+    assert request_cache_key("check", tiny_kb, request) == base
+    assert request_cache_key("synthesize", tiny_kb, request) != base
+    other = DesignRequest(workloads=[Workload(
+        name="w2", objectives=["packet_processing"]
+    )])
+    assert request_cache_key("check", tiny_kb, other) != base
+    tiny_kb.add_system(System(
+        name="Extra", category="monitoring", solves=["detect_queue_length"],
+        requires=TRUE,
+    ))
+    assert request_cache_key("check", tiny_kb, request) != base
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def _requests(tiny_kb):
+    from repro.core.design import DesignRequest
+    from repro.kb.workload import Workload
+
+    return [
+        DesignRequest(workloads=[Workload(
+            name=f"w{i}", objectives=["packet_processing"],
+        )])
+        for i in range(3)
+    ]
+
+
+def test_engine_cache_hit_returns_same_outcome(tiny_kb):
+    from repro.core.engine import ReasoningEngine
+
+    cache = QueryCache()
+    engine = ReasoningEngine(tiny_kb, cache=cache)
+    request = _requests(tiny_kb)[0]
+    cold = engine.check(request)
+    warm = engine.check(request)
+    assert warm.feasible == cold.feasible
+    assert cache.stats()["hits"] >= 1
+    synth_cold = engine.synthesize(request)
+    synth_warm = engine.synthesize(request)
+    assert synth_warm.feasible == synth_cold.feasible
+    assert synth_warm.solution.systems == synth_cold.solution.systems
+
+
+def test_engine_cache_invalidated_by_kb_mutation(tiny_kb):
+    from repro.core.engine import ReasoningEngine
+    from repro.kb.system import System
+    from repro.logic.ast import TRUE
+
+    cache = QueryCache()
+    engine = ReasoningEngine(tiny_kb, cache=cache)
+    request = _requests(tiny_kb)[0]
+    engine.check(request)
+    hits_before = cache.stats()["hits"]
+    tiny_kb.add_system(System(
+        name="Shadow", category="monitoring",
+        solves=["detect_queue_length"], requires=TRUE,
+    ))
+    engine.check(request)  # new fingerprint -> recompute, not a stale hit
+    assert cache.stats()["hits"] == hits_before
+    assert cache.stats()["size"] == 2
+
+
+def test_batch_matches_sequential(tiny_kb):
+    from repro.core.engine import ReasoningEngine
+
+    engine = ReasoningEngine(tiny_kb)
+    requests = _requests(tiny_kb)
+    sequential = [engine.check(r) for r in requests]
+    batched = engine.check_many(requests)
+    assert [o.feasible for o in batched] == [o.feasible for o in sequential]
+    synth = engine.synthesize_many(requests[:2])
+    assert [o.feasible for o in synth] == [
+        engine.synthesize(r).feasible for r in requests[:2]
+    ]
+
+
+def test_batch_dedupes_identical_requests(tiny_kb):
+    from repro.core.engine import ReasoningEngine
+    from repro.obs import EngineObserver
+
+    observer = EngineObserver()
+    cache = QueryCache()
+    engine = ReasoningEngine(tiny_kb, observer=observer, cache=cache)
+    request = _requests(tiny_kb)[0]
+    outcomes = engine.check_many([request, request, request])
+    assert len(outcomes) == 3
+    assert len({id(o) for o in outcomes}) == 1, "one computation, fanned out"
+    assert observer.metrics.counter("queries.check") == 1
+
+
+def test_batch_with_worker_pool(tiny_kb):
+    from repro.core.engine import ReasoningEngine
+
+    engine = ReasoningEngine(tiny_kb)
+    requests = _requests(tiny_kb)
+    sequential = [o.feasible for o in engine.check_many(requests, jobs=1)]
+    pooled = [o.feasible for o in engine.check_many(requests, jobs=2)]
+    assert pooled == sequential
+
+
+def test_engine_wires_observer_metrics_into_cache(tiny_kb):
+    from repro.core.engine import ReasoningEngine
+    from repro.obs import EngineObserver
+
+    observer = EngineObserver()
+    cache = QueryCache(name="engine_cache")
+    ReasoningEngine(tiny_kb, observer=observer, cache=cache)
+    assert cache.metrics is observer.metrics

@@ -14,9 +14,10 @@ def test_quick_run_writes_well_formed_report(tmp_path, capsys):
     assert report["benchmark"] == "solver-observability"
     assert report["quick"] is True
     workloads = report["workloads"]
-    assert {"prototype_query", "solver_scaling", "tracer_overhead"} <= (
-        workloads.keys()
-    )
+    assert {
+        "prototype_query", "solver_scaling", "tracer_overhead",
+        "portfolio_batch", "query_cache",
+    } <= workloads.keys()
     for query in ("check", "synthesize"):
         result = workloads["prototype_query"][query]
         assert result["feasible"] is True
@@ -30,3 +31,32 @@ def test_quick_run_writes_well_formed_report(tmp_path, capsys):
     overhead = workloads["tracer_overhead"]
     assert overhead["bare_s"] > 0
     assert "overhead_pct" in overhead
+    portfolio = workloads["portfolio_batch"]
+    assert portfolio["configs"][0] == "default"
+    assert portfolio["sequential_s"] > 0
+    assert portfolio["portfolio_s"] > 0
+    for row in portfolio["instances"]:
+        assert row["satisfiable"] in (True, False)
+        assert row["winner"] in portfolio["configs"]
+    cache = workloads["query_cache"]
+    for query in ("check", "synthesize"):
+        assert cache[query]["cold_s"] > 0
+        assert cache[query]["warm_s"] >= 0
+    assert cache["cache"]["hits"] >= 2
+    assert cache["cache"]["misses"] >= 2
+
+
+def test_committed_report_meets_acceptance():
+    """The checked-in BENCH_solver.json records the acceptance numbers:
+    portfolio wall-clock <= sequential on the batch, warm cache >= 10x
+    faster than cold."""
+    from benchmarks.run_perf import REPO_ROOT
+
+    report = json.loads((REPO_ROOT / "BENCH_solver.json").read_text())
+    assert report["version"] >= 2
+    assert report["quick"] is False
+    portfolio = report["workloads"]["portfolio_batch"]
+    assert portfolio["portfolio_s"] <= portfolio["sequential_s"]
+    cache = report["workloads"]["query_cache"]
+    for query in ("check", "synthesize"):
+        assert cache[query]["speedup"] >= 10

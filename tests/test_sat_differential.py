@@ -86,6 +86,84 @@ def test_case_count_meets_floor():
     assert len(_CASES) >= 300
 
 
+# -- portfolio-vs-sequential equivalence ------------------------------------
+#
+# The portfolio may only change *when* an answer arrives, never *what*
+# it is: every configuration is a sound and complete solver. These cases
+# cross-check the interleaved portfolio against both the brute-force
+# oracle and the plain sequential solver, and validate SAT models
+# clause by clause.
+
+_PORTFOLIO_CASES = [
+    (seed, num_vars, num_clauses, with_assumptions)
+    for seed in range(10)
+    for num_vars, num_clauses in ((4, 10), (6, 18), (8, 26), (8, 34))
+    for with_assumptions in (False, True)
+]
+
+
+@pytest.mark.parametrize(
+    "seed,num_vars,num_clauses,with_assumptions", _PORTFOLIO_CASES
+)
+def test_portfolio_matches_sequential(
+    seed, num_vars, num_clauses, with_assumptions
+):
+    from repro.par import default_portfolio, solve_portfolio
+
+    rng = random.Random(
+        f"portfolio-{seed}-{num_vars}-{num_clauses}-{with_assumptions}"
+    )
+    clauses = random_clauses(rng, num_vars, num_clauses)
+    assumptions = (
+        _random_assumptions(rng, num_vars) if with_assumptions else []
+    )
+
+    sequential = Solver()
+    sequential.new_vars(num_vars)
+    for clause in clauses:
+        sequential.add_clause(clause)
+    expected = sequential.solve(assumptions)
+    oracle = brute_force_sat(
+        num_vars, clauses + [[lit] for lit in assumptions]
+    )
+    assert expected == oracle
+
+    result = solve_portfolio(
+        num_vars, clauses, assumptions=assumptions,
+        configs=default_portfolio(4, base_seed=seed),
+    )
+    assert result.satisfiable == expected, (
+        f"portfolio disagrees on seed={seed} n={num_vars} m={num_clauses} "
+        f"assumptions={assumptions} winner={result.winner}"
+    )
+    if result.satisfiable:
+        assert _model_satisfies(result.model, clauses)
+        for lit in assumptions:
+            assert result.model[abs(lit)] == (lit > 0)
+    elif assumptions:
+        assert set(result.core) <= set(assumptions)
+        assert not brute_force_sat(
+            num_vars, clauses + [[lit] for lit in result.core]
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_portfolio_process_mode_matches_oracle(seed):
+    """jobs=2 races real worker processes; the verdict must not change."""
+    from repro.par import default_portfolio, solve_portfolio
+
+    rng = random.Random(f"process-mode-{seed}")
+    clauses = random_clauses(rng, 8, 30)
+    expected = brute_force_sat(8, clauses)
+    result = solve_portfolio(
+        8, clauses, configs=default_portfolio(2, base_seed=seed), jobs=2,
+    )
+    assert result.satisfiable == expected
+    assert result.mode == "process"
+    if result.satisfiable:
+        assert _model_satisfies(result.model, clauses)
+
+
 def test_incremental_solving_matches_oracle():
     """Clause additions between solve calls stay consistent with the oracle."""
     for seed in range(12):
