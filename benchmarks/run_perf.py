@@ -22,6 +22,15 @@ results to ``BENCH_solver.json``:
 - **query_cache** — engine queries with a cold vs. warm
   :class:`~repro.par.QueryCache`, reporting the hit/miss counters and
   the warm/cold speedup (acceptance: warm >= 10x faster).
+- **incremental_whatif** — a 20-query what-if sweep (the §5.1
+  multi-workload request plus structural variations) answered by a
+  fresh engine per query vs. one compile-once
+  :class:`~repro.core.session.ReasoningSession`, with verdict parity
+  asserted (acceptance: session >= 3x faster end-to-end).
+- **propagate_microopt** — unit-propagation throughput on a
+  conflict-heavy reference instance, recorded against the throughput
+  measured on the same instance before the watch-loop
+  micro-optimization.
 
 Usage::
 
@@ -303,6 +312,107 @@ def run_query_cache(quick: bool) -> dict:
     return results
 
 
+def _whatif_sweep(quick: bool):
+    """The what-if query stream: one base request plus 19 variations.
+
+    All variations are structural (required/forbidden systems, pinned
+    hardware, context flips) — the questions an architect actually
+    iterates on — so each differs from the base by one or two guarded
+    constraint groups.
+    """
+    from dataclasses import replace
+
+    from repro.knowledge.casestudy import more_workloads_request
+
+    base = more_workloads_request()
+    out = [base]
+    for name in ("Sonata", "DCTCP", "Swift", "HPCC"):
+        out.append(replace(base, required_systems=[name]))
+        out.append(replace(base, forbidden_systems=[name]))
+    out += [
+        replace(base, required_systems=["QUIC"]),
+        replace(base, required_systems=["Sonata"], forbidden_systems=["DCTCP"]),
+        replace(base, required_systems=["Swift"], forbidden_systems=["Sonata"]),
+        replace(base, required_systems=["HPCC", "Sonata"]),
+        replace(base, fixed_hardware={"SRV-G2-64C-256G": 32}),
+        replace(base, fixed_hardware={"SRV-G3-128C-512G": 24}),
+        replace(base, fixed_hardware={"SRV-G2-64C-256G": 32, "RDMA-100G-RB": 64}),
+        replace(base, context={**base.context, "network_load_ge_40g": False}),
+        replace(base, required_systems=["DCTCP"],
+                fixed_hardware={"SRV-G2-64C-256G": 32}),
+        replace(base, forbidden_systems=["Sonata", "Swift"]),
+        base,  # the architect re-asks the baseline at the end
+    ]
+    return out[:6] if quick else out
+
+
+def run_incremental_whatif(quick: bool) -> dict:
+    """Fresh engine per query vs. one compile-once incremental session."""
+    from repro.core.session import ReasoningSession
+
+    kb = default_knowledge_base()
+    queries = _whatif_sweep(quick)
+
+    engine = ReasoningEngine(kb, incremental=False)
+    start = time.perf_counter()
+    fresh = [engine.check(r) for r in queries]
+    fresh_s = time.perf_counter() - start
+
+    session = ReasoningSession(kb)
+    start = time.perf_counter()
+    incremental = [session.check(r) for r in queries]
+    session_s = time.perf_counter() - start
+
+    for i, (a, b) in enumerate(zip(fresh, incremental)):
+        assert a.feasible == b.feasible, f"verdict mismatch on query {i}"
+
+    speedup = fresh_s / session_s if session_s > 0 else float("inf")
+    return {
+        "queries": len(queries),
+        "feasible": sum(1 for o in fresh if o.feasible),
+        "fresh_s": round(fresh_s, 4),
+        "session_s": round(session_s, 4),
+        "fresh_per_query_s": round(fresh_s / len(queries), 5),
+        "session_per_query_s": round(session_s / len(queries), 5),
+        "speedup": round(speedup, 3),
+        "session": session.stats.as_dict(),
+    }
+
+
+#: Unit-propagation throughput on the reference instance below, measured
+#: immediately before the `_propagate` watch-loop micro-optimization
+#: (locals binding, inlined literal-truth tests, batched counters) on the
+#: same machine that produced the committed BENCH_solver.json.
+_PROPAGATE_BASELINE = {"instance": "php_8_7", "props_per_s": 41_583}
+
+
+def run_propagate_microopt(quick: bool) -> dict:
+    """Propagation throughput now vs. the recorded pre-optimization rate."""
+    holes = 6 if quick else 7
+    num_vars, clauses = pigeonhole(holes)
+    best = 0.0
+    for _ in range(2 if quick else 3):
+        solver = Solver()
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        start = time.perf_counter()
+        solver.solve()
+        elapsed = time.perf_counter() - start
+        rate = solver.stats.propagations / elapsed if elapsed > 0 else 0.0
+        best = max(best, rate)
+    result = {
+        "instance": f"php_{holes + 1}_{holes}",
+        "props_per_s": round(best),
+        "baseline": dict(_PROPAGATE_BASELINE),
+    }
+    if not quick:
+        result["speedup_vs_baseline"] = round(
+            best / _PROPAGATE_BASELINE["props_per_s"], 3
+        )
+    return result
+
+
 # -- driver ------------------------------------------------------------------------
 
 
@@ -319,26 +429,32 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "solver-observability",
-        "version": 2,
+        "version": 3,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": {},
     }
 
-    print("[1/5] prototype queries ...", flush=True)
+    print("[1/7] prototype queries ...", flush=True)
     report["workloads"]["prototype_query"] = run_prototype_query(args.quick)
-    print("[2/5] solver scaling ...", flush=True)
+    print("[2/7] solver scaling ...", flush=True)
     report["workloads"]["solver_scaling"] = run_solver_scaling(args.quick)
-    print("[3/5] tracer overhead ...", flush=True)
+    print("[3/7] tracer overhead ...", flush=True)
     overhead = run_tracer_overhead(args.quick, repeats)
     report["workloads"]["tracer_overhead"] = overhead
-    print("[4/5] portfolio batch ...", flush=True)
+    print("[4/7] portfolio batch ...", flush=True)
     portfolio = run_portfolio_batch(args.quick)
     report["workloads"]["portfolio_batch"] = portfolio
-    print("[5/5] query cache ...", flush=True)
+    print("[5/7] query cache ...", flush=True)
     cache_result = run_query_cache(args.quick)
     report["workloads"]["query_cache"] = cache_result
+    print("[6/7] incremental what-if ...", flush=True)
+    whatif = run_incremental_whatif(args.quick)
+    report["workloads"]["incremental_whatif"] = whatif
+    print("[7/7] propagate micro-opt ...", flush=True)
+    propagate = run_propagate_microopt(args.quick)
+    report["workloads"]["propagate_microopt"] = propagate
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
@@ -364,6 +480,12 @@ def main(argv: list[str] | None = None) -> int:
         row = cache_result[query]
         print(f"  cache {query:<11} cold {row['cold_s']:.4f} s "
               f"warm {row['warm_s']:.6f} s ({row['speedup']:.0f}x)")
+    print(f"  what-if sweep: fresh {whatif['fresh_s']:.3f} s "
+          f"vs session {whatif['session_s']:.3f} s "
+          f"({whatif['speedup']:.2f}x over {whatif['queries']} queries)")
+    print(f"  propagate: {propagate['props_per_s']:,.0f} props/s "
+          f"on {propagate['instance']} "
+          f"(baseline {propagate['baseline']['props_per_s']:,.0f})")
     return 0
 
 

@@ -8,6 +8,8 @@ Four subcommands covering the architect workflows the paper describes:
   interchange format; Listing 1's shape)
 - ``orderings`` — print one dimension's partial order under a context
   (regenerate Figure 1 from the terminal)
+- ``whatif``    — answer a stream of design variations on one
+  compile-once incremental session
 - ``solve``     — decide a DIMACS CNF file with the built-in CDCL solver
 
 Entry point::
@@ -132,6 +134,49 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print()
         print(render_profile(observer, outcomes[-1].solver_stats))
     return 0 if all(o.feasible for o in outcomes) else 3
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    """Answer a stream of what-if requests on one incremental session.
+
+    Every file is a full DesignRequest JSON; the first is the baseline
+    and the rest are variations. The KB encoding is compiled (and
+    preprocessed) once, each request adds only its own constraint groups,
+    and learned clauses carry across the whole stream.
+    """
+    import json
+    import time
+
+    from repro.core.design import DesignRequest
+    from repro.core.session import ReasoningSession
+
+    requests = []
+    for path in args.request:
+        with open(path, encoding="utf-8") as f:
+            requests.append(DesignRequest.from_dict(json.load(f)))
+    kb = default_knowledge_base()
+    session = ReasoningSession(kb, preprocess=not args.no_preprocess)
+    verb = session.check if args.check else session.synthesize
+    all_feasible = True
+    for path, request in zip(args.request, requests):
+        start = time.perf_counter()
+        outcome = verb(request)
+        elapsed = time.perf_counter() - start
+        if outcome.feasible:
+            systems = ", ".join(sorted(outcome.solution.systems)) or "(none)"
+            print(f"{path}: feasible [{elapsed:.3f}s] -> {systems}")
+        else:
+            all_feasible = False
+            names = (
+                ", ".join(outcome.conflict.constraints)
+                if outcome.conflict is not None
+                else "?"
+            )
+            print(f"{path}: INFEASIBLE [{elapsed:.3f}s] conflict: {names}")
+    if args.stats:
+        for key, value in session.stats.as_dict().items():
+            print(f"# {key}: {value}", file=sys.stderr)
+    return 0 if all_feasible else 3
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -259,6 +304,22 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--no-cache", action="store_true",
                       help="disable the query-result cache")
     plan.set_defaults(func=_cmd_plan)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="answer a what-if request stream on one incremental session",
+    )
+    whatif.add_argument("request", nargs="+",
+                        help="DesignRequest JSON files: baseline first, "
+                             "then variations; all answered on one "
+                             "compile-once session")
+    whatif.add_argument("--check", action="store_true",
+                        help="feasibility only (skip optimization)")
+    whatif.add_argument("--no-preprocess", action="store_true",
+                        help="skip SatELite-style CNF preprocessing")
+    whatif.add_argument("--stats", action="store_true",
+                        help="print session statistics to stderr")
+    whatif.set_defaults(func=_cmd_whatif)
 
     solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
     solve.add_argument("cnf")

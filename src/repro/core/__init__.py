@@ -11,6 +11,12 @@ Grounds a :class:`~repro.kb.registry.KnowledgeBase` plus an architect's
   requirements (§6 explainability);
 - ``equivalence_classes`` — enumerate the distinct deployments rather than
   one arbitrary witness (§6).
+
+For what-if streams (many variations of one design context),
+:class:`~repro.core.session.ReasoningSession` compiles the KB encoding
+once and answers every query on a single persistent solver via
+assumptions, so learned clauses and branching heuristics carry across
+queries.
 """
 
 from repro.core.design import (
@@ -21,6 +27,7 @@ from repro.core.design import (
 )
 from repro.core.compile import CompiledDesign, compile_design
 from repro.core.engine import ReasoningEngine
+from repro.core.session import ReasoningSession, SessionStats
 
 __all__ = [
     "CompiledDesign",
@@ -29,5 +36,7 @@ __all__ = [
     "DesignRequest",
     "DesignSolution",
     "ReasoningEngine",
+    "ReasoningSession",
+    "SessionStats",
     "compile_design",
 ]

@@ -60,6 +60,15 @@ class CompiledDesign:
     hw_counts: dict[str, IntVar] = field(default_factory=dict)
     soft_rule_terms: list[PBTerm] = field(default_factory=list)
     soft_rule_names: dict[int, str] = field(default_factory=dict)
+    #: Every grounded constraint group, keyed by ``(canonical name,
+    #: content)``: the same group is never encoded twice, and a what-if
+    #: variant (same name, different budget/bound/context value) gets its
+    #: own suffixed guard variable. Sessions re-ground requests against
+    #: this registry to reuse clauses across queries.
+    request_groups: dict[tuple[str, object], tuple[str, int]] = field(
+        default_factory=dict
+    )
+    _guard_variants: dict[str, int] = field(default_factory=dict)
     _guards_asserted: bool = False
 
     # -- solving ----------------------------------------------------------------
@@ -148,19 +157,9 @@ class CompiledDesign:
         return expr
 
     def _static_context(self) -> dict[str, bool]:
-        """Grounding context for ordering conditions.
-
-        Context flags come from the request; everything else (feature
-        flags, workload props of undeclared workloads) conservatively
-        defaults to False — the engine never invents facts.
-        """
-        context = {f"ctx::{k}": v for k, v in self.request.context.items()}
-        for prop_name in self.request.given_properties:
-            context[f"prop::{prop_name}"] = True
-        for workload in self.request.workloads:
-            for prop_name in workload.properties:
-                context[f"wl::{workload.name}::{prop_name}"] = True
-        return context
+        """Grounding context for ordering conditions (see
+        :func:`static_context_of`)."""
+        return static_context_of(self.request)
 
     # -- model extraction ----------------------------------------------------------------
 
@@ -239,6 +238,22 @@ class CompiledDesign:
         return ledger
 
 
+def static_context_of(request: DesignRequest) -> dict[str, bool]:
+    """Grounding context for ordering conditions under *request*.
+
+    Context flags come from the request; everything else (feature flags,
+    workload props of undeclared workloads) conservatively defaults to
+    False — the engine never invents facts.
+    """
+    context = {f"ctx::{k}": v for k, v in request.context.items()}
+    for prop_name in request.given_properties:
+        context[f"prop::{prop_name}"] = True
+    for workload in request.workloads:
+        for prop_name in workload.properties:
+            context[f"wl::{workload.name}::{prop_name}"] = True
+    return context
+
+
 # ---------------------------------------------------------------------------
 # Compilation
 # ---------------------------------------------------------------------------
@@ -272,6 +287,16 @@ class _Compiler:
             candidates=self.candidates,
             hw_models=self.hw_models,
         )
+        # Guard registrations land here; ground_request() temporarily
+        # redirects them into a per-query selector map.
+        self._selectors = self.compiled.selectors
+        self._descriptions = self.compiled.descriptions
+        #: Canonical names of request-specific groups (vs KB-static ones).
+        self._request_names: set[str] = set()
+        self._in_request = False
+        self._static_selectors: dict[str, int] = {}
+        self._static_descriptions: dict[str, str] = {}
+        self._referenced_ctx: set[str] = set()
 
     # -- setup helpers ---------------------------------------------------------
 
@@ -305,34 +330,112 @@ class _Compiler:
                 raise UnknownEntityError(f"unknown hardware model {model!r}")
         return models
 
-    def _guard(self, name: str, description: str) -> Var:
-        """Create (or fetch) the guard variable for a constraint group."""
-        guard_name = f"guard::{name}"
+    def _guard(
+        self, name: str, description: str, content: object = ""
+    ) -> tuple[Var, bool]:
+        """Guard variable for a constraint group, deduplicated by content.
+
+        Groups are registered under ``(name, content)``: re-grounding the
+        same group fetches its existing guard without re-encoding, while
+        a group with the same canonical name but different content (a
+        what-if variant of a budget, bound, or context value) gets a
+        fresh suffixed guard variable (``guard::name#k``). Returns
+        ``(guard_var, created)`` — callers emit the guarded clauses only
+        when *created* is true. The selector map always records the
+        canonical name, so cores and diagnoses read the same regardless
+        of which variant is active.
+        """
+        compiled = self.compiled
+        if self._in_request:
+            self._request_names.add(name)
+        entry = compiled.request_groups.get((name, content))
+        if entry is not None:
+            guard_name, lit = entry
+            self._selectors[name] = lit
+            self._descriptions[name] = description
+            return Var(guard_name), False
+        variant = compiled._guard_variants.get(name, 0)
+        compiled._guard_variants[name] = variant + 1
+        guard_name = (
+            f"guard::{name}" if variant == 0 else f"guard::{name}#{variant}"
+        )
         lit = self.builder.var_for(guard_name)
-        self.compiled.selectors[name] = lit
-        self.compiled.descriptions[name] = description
-        return Var(guard_name)
+        compiled.request_groups[(name, content)] = (guard_name, lit)
+        self._selectors[name] = lit
+        self._descriptions[name] = description
+        return Var(guard_name), True
 
     def _add_guarded(self, name: str, description: str, formula: Formula) -> None:
-        guard = self._guard(name, description)
-        self.builder.add_formula(Implies(guard, formula))
+        guard, created = self._guard(name, description, content=formula)
+        if created:
+            self.builder.add_formula(Implies(guard, formula))
 
     # -- main ------------------------------------------------------------------
 
     def run(self) -> CompiledDesign:
         self._ground_systems()
+        self._in_request = True
+        self._ground_required_forbidden(self.request)
+        self._in_request = False
         self._ground_hardware()
         self._ground_rules()
-        self._ground_objectives()
-        self._ground_performance_bounds()
+        self._assert_workload_props(self.request)
+        self._in_request = True
+        self._ground_request_objectives(self.request)
+        self._in_request = False
+        self._ground_obj_closure()
+        self._in_request = True
+        self._ground_performance_bounds(self.request)
+        self._in_request = False
         self._ground_resources()
+        self._in_request = True
+        self._ground_budgets(self.request)
+        self._in_request = False
         if self.request.include_common_sense:
             self._ground_common_sense()
         self._close_world()
+        self._static_selectors = {
+            n: lit
+            for n, lit in self.compiled.selectors.items()
+            if n not in self._request_names
+        }
+        self._static_descriptions = {
+            n: d
+            for n, d in self.compiled.descriptions.items()
+            if n not in self._request_names
+        }
         return self.compiled
 
+    def ground_request(
+        self, request: DesignRequest
+    ) -> tuple[dict[str, int], dict[str, str]]:
+        """Ground (or fetch) every request-specific group for *request*.
+
+        Used by :class:`~repro.core.session.ReasoningSession` after the
+        base compile: groups already in the registry are reused verbatim
+        (no new clauses), new variants are encoded incrementally on the
+        persistent solver. Returns the per-query ``(selectors,
+        descriptions)`` maps, static groups included — exactly the shape
+        a fresh compile would have produced for *request*.
+        """
+        selectors = dict(self._static_selectors)
+        descriptions = dict(self._static_descriptions)
+        self._selectors, self._descriptions = selectors, descriptions
+        self._in_request = True
+        try:
+            self._ground_required_forbidden(request)
+            self._ground_fixed_hardware(request)
+            self._ground_request_objectives(request)
+            self._ground_performance_bounds(request)
+            self._ground_budgets(request)
+            self._ground_context(request)
+        finally:
+            self._in_request = False
+            self._selectors = self.compiled.selectors
+            self._descriptions = self.compiled.descriptions
+        return selectors, descriptions
+
     def _ground_systems(self) -> None:
-        request = self.request
         seen_conflicts: set[tuple[str, str]] = set()
         for name in self.candidates:
             system = self.kb.system(name)
@@ -371,7 +474,14 @@ class _Compiler:
                         Implies(Var(feat_name), feature.requires),
                     ),
                 )
+
+    def _ground_required_forbidden(self, request: DesignRequest) -> None:
         for name in request.required_systems:
+            if name not in self.compiled.sys_lits:
+                raise UnknownEntityError(
+                    f"required system {name!r} is not a candidate in this "
+                    "compiled design"
+                )
             self._add_guarded(
                 f"required:{name}",
                 f"the architect requires {name}",
@@ -403,13 +513,36 @@ class _Compiler:
             self.solver.add_clause([-hw_lit, ge1])
             self.solver.add_clause([hw_lit, -ge1])
             if fixed is not None:
-                guard = self._guard(
-                    f"fixed_hardware:{model}",
-                    f"hardware {model} frozen at {fixed} unit(s)",
+                self._in_request = True
+                self._fixed_guard(model, fixed)
+                self._in_request = False
+
+    def _fixed_guard(self, model: str, fixed: int) -> None:
+        guard, created = self._guard(
+            f"fixed_hardware:{model}",
+            f"hardware {model} frozen at {fixed} unit(s)",
+            content=("eq", model, fixed),
+        )
+        if created:
+            self.encoder.assert_implies(
+                self.builder.var_for(guard.name),
+                self.compiled.hw_counts[model].eq(fixed),
+            )
+
+    def _ground_fixed_hardware(self, request: DesignRequest) -> None:
+        for model, fixed in request.fixed_hardware.items():
+            count = self.compiled.hw_counts.get(model)
+            if count is None:
+                raise UnknownEntityError(
+                    f"fixed hardware {model!r} is not in this compiled "
+                    "design's inventory"
                 )
-                self.encoder.assert_implies(
-                    self.builder.var_for(guard.name), count.eq(fixed)
+            if fixed > count.hi:
+                raise QueryError(
+                    f"fixed count {fixed} for {model!r} exceeds the "
+                    f"compiled domain [0, {count.hi}]"
                 )
+            self._fixed_guard(model, fixed)
 
     def _ground_rules(self) -> None:
         for rule in self.kb.rules.values():
@@ -425,11 +558,13 @@ class _Compiler:
                 self.compiled.soft_rule_terms.append(term)
                 self.compiled.soft_rule_names[-lit] = rule.name
 
-    def _ground_objectives(self) -> None:
-        for workload in self.request.workloads:
+    def _assert_workload_props(self, request: DesignRequest) -> None:
+        for workload in request.workloads:
             for prop_name in workload.properties:
                 self.builder.add_formula(Var(f"wl::{workload.name}::{prop_name}"))
-        for objective in self.request.required_objectives():
+
+    def _ground_request_objectives(self, request: DesignRequest) -> None:
+        for objective in request.required_objectives():
             solvers = [
                 s for s in self.candidates
                 if objective in self.kb.system(s).solves
@@ -439,6 +574,8 @@ class _Compiler:
                 f"some deployed system must solve {objective!r}",
                 Or(*[Var(f"sys::{s}") for s in solvers]),
             )
+
+    def _ground_obj_closure(self) -> None:
         # Definitional closure for obj:: variables referenced anywhere.
         for obj_name in sorted(self._referenced("obj")):
             solvers = [
@@ -451,9 +588,9 @@ class _Compiler:
                 )
             )
 
-    def _ground_performance_bounds(self) -> None:
-        context = self.compiled._static_context()
-        for workload in self.request.workloads:
+    def _ground_performance_bounds(self, request: DesignRequest) -> None:
+        context = static_context_of(request)
+        for workload in request.workloads:
             for bound in workload.performance_bounds:
                 graph = self.kb.ordering_graph(bound.dimension, context)
                 excluded = [
@@ -504,7 +641,6 @@ class _Compiler:
                 self._additive_resource(kind, demand_expr)
             else:
                 self._per_device_resource(kind, demand_expr, per_system)
-        self._ground_budgets()
 
     def _additive_resource(self, kind: str, demand_expr: LinExpr) -> None:
         """Pooled capacity: total demand <= sum of unit capacities."""
@@ -515,14 +651,15 @@ class _Compiler:
                 capacity_expr = (
                     capacity_expr + per_unit * self.compiled.hw_counts[model]
                 )
-        guard = self._guard(
+        guard, created = self._guard(
             f"resource:{kind}",
             f"aggregate {kind} demand must fit deployed capacity",
         )
-        self.encoder.assert_implies(
-            self.builder.var_for(guard.name),
-            demand_expr <= capacity_expr,
-        )
+        if created:
+            self.encoder.assert_implies(
+                self.builder.var_for(guard.name),
+                demand_expr <= capacity_expr,
+            )
 
     def _per_device_resource(
         self,
@@ -533,11 +670,13 @@ class _Compiler:
         """Per-device contention (§2.2): the programs run on every device,
         so the *total* demand must fit *each* deployed device model, and
         any demand at all requires a capable device to exist."""
-        guard = self._guard(
+        guard, created = self._guard(
             f"resource:{kind}",
             f"total {kind} demand must fit every deployed device "
             f"(per-device resource)",
         )
+        if not created:
+            return
         guard_lit = self.builder.var_for(guard.name)
         providers: list[tuple[str, int]] = []
         for model in self.hw_models:
@@ -559,8 +698,8 @@ class _Compiler:
                 [-guard_lit, -self.compiled.sys_lits[name]] + capable
             )
 
-    def _ground_budgets(self) -> None:
-        for kind, budget in self.request.budgets.items():
+    def _ground_budgets(self, request: DesignRequest) -> None:
+        for kind, budget in request.budgets.items():
             spend = LinExpr()
             for model in self.hw_models:
                 hardware = self.kb.hardware_model(model)
@@ -572,12 +711,15 @@ class _Compiler:
                     raise QueryError(f"unsupported budget kind {kind!r}")
                 if unit:
                     spend = spend + unit * self.compiled.hw_counts[model]
-            guard = self._guard(
-                f"budget:{kind}", f"{kind} budget of {budget}"
+            guard, created = self._guard(
+                f"budget:{kind}",
+                f"{kind} budget of {budget}",
+                content=("le", kind, budget),
             )
-            self.encoder.assert_implies(
-                self.builder.var_for(guard.name), spend <= budget
-            )
+            if created:
+                self.encoder.assert_implies(
+                    self.builder.var_for(guard.name), spend <= budget
+                )
 
     def _sys_int(self, name: str) -> IntVar:
         """0/1 IntVar bound to a system's selection boolean."""
@@ -624,19 +766,21 @@ class _Compiler:
         nics = self._hw_kind_count("nic")
         switches = self._hw_kind_count("switch")
         if servers.coeffs:
-            guard = self._guard(
+            guard, created = self._guard(
                 "cs:servers_need_nics", "every server needs a NIC"
             )
-            self.encoder.assert_implies(
-                self.builder.var_for(guard.name), servers <= nics
-            )
+            if created:
+                self.encoder.assert_implies(
+                    self.builder.var_for(guard.name), servers <= nics
+                )
         if switches.coeffs:
-            guard = self._guard(
+            guard, created = self._guard(
                 "cs:need_switch", "serving traffic needs at least one switch"
             )
-            self.encoder.assert_implies(
-                self.builder.var_for(guard.name), switches >= 1
-            )
+            if created:
+                self.encoder.assert_implies(
+                    self.builder.var_for(guard.name), switches >= 1
+                )
 
     # -- closed world -------------------------------------------------------------
 
@@ -691,14 +835,10 @@ class _Compiler:
         for prop_name in sorted(given - prop_names):
             self.builder.add_formula(Var(prop_name))
         # Context flags: request values, everything else false.
-        referenced_ctx = self._referenced("ctx")
-        for ctx_name in sorted(referenced_ctx | set(self.request.context)):
-            value = self.request.context.get(ctx_name, False)
-            self._add_guarded(
-                f"context:{ctx_name}",
-                f"deployment context: {ctx_name} = {value}",
-                Var(f"ctx::{ctx_name}") if value else Not(Var(f"ctx::{ctx_name}")),
-            )
+        self._referenced_ctx = self._referenced("ctx")
+        self._in_request = True
+        self._ground_context(self.request)
+        self._in_request = False
         # Workload property vars: true ones were asserted in
         # _ground_objectives; referenced-but-undeclared ones become false.
         declared = {
@@ -721,6 +861,16 @@ class _Compiler:
             full = f"feat::{ref}"
             if full not in declared_feats:
                 self.builder.add_formula(Not(Var(full)))
+
+    def _ground_context(self, request: DesignRequest) -> None:
+        """Every referenced or requested context flag, pinned per query."""
+        for ctx_name in sorted(self._referenced_ctx | set(request.context)):
+            value = request.context.get(ctx_name, False)
+            self._add_guarded(
+                f"context:{ctx_name}",
+                f"deployment context: {ctx_name} = {value}",
+                Var(f"ctx::{ctx_name}") if value else Not(Var(f"ctx::{ctx_name}")),
+            )
 
 
 def compile_design(

@@ -69,6 +69,8 @@ class ReasoningEngine:
         observer: EngineObserver | None = None,
         cache: QueryCache | None = None,
         jobs: int = 1,
+        incremental: bool = True,
+        preprocess: bool = True,
     ):
         if validate:
             kb.validate_or_raise()
@@ -86,6 +88,32 @@ class ReasoningEngine:
             cache.metrics = observer.metrics
         #: Default worker count for ``check_many``/``synthesize_many``.
         self.jobs = max(1, jobs)
+        #: Route what-if streams (``compare``, sequential ``check_many``)
+        #: through a shared :class:`~repro.core.session.ReasoningSession`
+        #: so the KB encoding compiles once per shape and learned clauses
+        #: carry across queries.
+        self.incremental = incremental
+        #: Run SatELite-style CNF preprocessing inside the session.
+        self.preprocess = preprocess
+        self._session = None
+
+    def session(self):
+        """The engine's shared :class:`~repro.core.session.ReasoningSession`.
+
+        Created lazily; survives across queries so each one pays only for
+        its request-specific constraint groups. The session checks the KB
+        fingerprint per query and recompiles itself when the KB mutates.
+        """
+        if self._session is None:
+            from repro.core.session import ReasoningSession
+
+            self._session = ReasoningSession(
+                self.kb,
+                preprocess=self.preprocess,
+                observer=self.observer,
+                validate=False,
+            )
+        return self._session
 
     @property
     def _tracer(self):
@@ -170,7 +198,16 @@ class ReasoningEngine:
     def _cache_key(self, verb: str, request: DesignRequest) -> str | None:
         if self.cache is None:
             return None
-        return request_cache_key(verb, self.kb, request)
+        return request_cache_key(verb, self.kb, request, self._config_tag())
+
+    def _config_tag(self) -> str:
+        """Solver/preprocessing configuration component of cache keys.
+
+        Incremental sessions and preprocessing both change which (equally
+        valid) model or minimal conflict is returned, so engines under
+        different configurations must not share cache entries.
+        """
+        return f"inc={int(self.incremental)};pp={int(self.preprocess)}"
 
     def _cache_put(self, key: str | None, outcome: DesignOutcome) -> DesignOutcome:
         if key is not None:
@@ -230,7 +267,14 @@ class ReasoningEngine:
             pending_reqs.append(request)
             pending_idx.append([i])
         if pending_reqs:
-            computed = run_queries(self.kb, verb, pending_reqs, jobs)
+            if jobs == 1 and self.incremental and verb in ("check", "synthesize"):
+                # Sequential what-if sweep: answer on the persistent
+                # session solver instead of compiling each miss fresh.
+                session = self.session()
+                run = session.check if verb == "check" else session.synthesize
+                computed = [run(r) for r in pending_reqs]
+            else:
+                computed = run_queries(self.kb, verb, pending_reqs, jobs)
             for slot, outcome in enumerate(computed):
                 outcome = self._cache_put(pending_keys[slot], outcome)
                 for i in pending_idx[slot]:
@@ -355,11 +399,28 @@ class ReasoningEngine:
     def compare(
         self, baseline: DesignRequest, alternative: DesignRequest
     ) -> ComparisonResult:
-        """Synthesize both requests and report the deltas (what-if query)."""
-        return ComparisonResult(
-            baseline=self.synthesize(baseline),
-            alternative=self.synthesize(alternative),
-        )
+        """Synthesize both requests and report the deltas (what-if query).
+
+        With ``incremental``, both sides run on the shared session solver:
+        the alternative pays only for its own constraint groups, and
+        learned clauses from the baseline carry over.
+        """
+        if not self.incremental:
+            return ComparisonResult(
+                baseline=self.synthesize(baseline),
+                alternative=self.synthesize(alternative),
+            )
+        session = self.session()
+        outcomes = []
+        for request in (baseline, alternative):
+            key = self._cache_key("synthesize", request)
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    outcomes.append(cached)
+                    continue
+            outcomes.append(self._cache_put(key, session.synthesize(request)))
+        return ComparisonResult(baseline=outcomes[0], alternative=outcomes[1])
 
 
 def _with_exact_systems(

@@ -1,0 +1,389 @@
+"""Incremental what-if sessions: compile once, assume many (§2.3).
+
+The paper's headline workload is an architect iterating *what-if*
+queries over one knowledge base — relax a budget, swap a NIC, flip a
+context flag, re-ask. A fresh :class:`~repro.core.engine.ReasoningEngine`
+call re-grounds the whole KB and starts an empty solver each time,
+discarding everything the previous query taught it.
+
+:class:`ReasoningSession` keeps one persistent
+:class:`~repro.sat.Solver` per knowledge-base *shape*:
+
+- the KB encoding is compiled **once** (and optionally run through the
+  SatELite-style :mod:`repro.sat.preprocess` passes, with every named /
+  cached variable frozen);
+- every request-specific constraint group (required/forbidden systems,
+  budgets, fixed hardware, performance bounds, context values) sits
+  behind a guard literal, so each query is a ``solve(assumptions)``
+  call — learned clauses, VSIDS activity, and saved phases carry across
+  queries;
+- what-if variants of a group (a different budget value, a flipped
+  context flag) are grounded incrementally and registered in the
+  compiled design's group registry, so re-asking any earlier variant
+  adds no clauses at all;
+- optimization bounds are frozen behind a per-query activation literal
+  and retired afterwards, so ``synthesize`` never poisons the shared
+  formula; totalizer circuits are cached and reused across queries.
+
+Invalidation is automatic: a KB mutation changes
+``kb.fingerprint()``, and a request whose *shape* (workload traffic and
+properties, candidate pool, inventory, given properties) differs from
+the compiled base triggers a transparent rebase — correctness first,
+amortization second.
+
+Typical use::
+
+    session = ReasoningSession(kb)
+    base = session.synthesize(request)              # compiles + solves
+    for variant in what_if_variants(request):
+        outcome = session.synthesize(variant)       # assumptions only
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.compile import CompiledDesign, _Compiler
+from repro.core.design import (
+    COST_OBJECTIVES,
+    Conflict,
+    DesignOutcome,
+    DesignRequest,
+)
+from repro.core.diagnose import diagnose
+from repro.kb.registry import KnowledgeBase
+from repro.logic.pseudo_boolean import PBTerm
+from repro.obs.observer import EngineObserver
+from repro.obs.trace import NULL_TRACER
+from repro.opt.lexicographic import LexObjective, lexicographic_optimize
+from repro.opt.linear import expr_value, minimize_linexpr
+from repro.sat.preprocess import preprocess_solver
+
+__all__ = ["ReasoningSession", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Counters describing how much work the session amortized."""
+
+    queries: int = 0
+    #: Base compiles (1 + rebases).
+    compiles: int = 0
+    rebases: int = 0
+    #: Request-specific groups served from the registry vs newly encoded.
+    groups_reused: int = 0
+    groups_encoded: int = 0
+    last_preprocess: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "compiles": self.compiles,
+            "rebases": self.rebases,
+            "groups_reused": self.groups_reused,
+            "groups_encoded": self.groups_encoded,
+            "last_preprocess": dict(self.last_preprocess),
+        }
+
+
+class ReasoningSession:
+    """A stream of design queries answered on one persistent solver.
+
+    Answers are semantically identical to what a fresh
+    :class:`~repro.core.engine.ReasoningEngine` would produce for each
+    request in isolation: same feasibility verdicts, same minimal-core
+    diagnosis semantics, same exact optima on ordering objectives, and
+    cost optima within the engine's documented bisection tolerance.
+    (Ties between equally-good models may break differently, since the
+    solver arrives at each query warm.)
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base. Mutating it between queries is fine — the
+        fingerprint check triggers a transparent recompile.
+    preprocess:
+        Run the SatELite-style CNF preprocessing passes once per compile
+        (subsumption, self-subsuming resolution, bounded variable
+        elimination). All named and structurally-cached variables are
+        frozen, so assumption literals and model extraction stay valid.
+    observer:
+        Optional :class:`~repro.obs.EngineObserver` for tracing.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        preprocess: bool = True,
+        observer: EngineObserver | None = None,
+        validate: bool = True,
+    ):
+        if validate:
+            kb.validate_or_raise()
+        self.kb = kb
+        self.preprocess = preprocess
+        self.observer = observer
+        self.stats = SessionStats()
+        self._compiler: _Compiler | None = None
+        self._compiled: CompiledDesign | None = None
+        self._fingerprint: str | None = None
+        self._shape: tuple | None = None
+        self._totalizers: dict = {}
+
+    @property
+    def _tracer(self):
+        if self.observer is not None and self.observer.enabled:
+            return self.observer.tracer
+        return NULL_TRACER
+
+    # -- queries ------------------------------------------------------------------
+
+    def check(self, request: DesignRequest) -> DesignOutcome:
+        """Is the request feasible? (incremental :meth:`ReasoningEngine.check`)"""
+        view = self._view(request)
+        self.stats.queries += 1
+        with self._tracer.span("solve"):
+            satisfiable = view.solve()
+        if satisfiable:
+            solution = view.extract_solution(view.solver.model())
+            return DesignOutcome(
+                True,
+                solution=solution,
+                solver_stats=view.solver.stats.as_dict(),
+            )
+        with self._tracer.span("diagnose"):
+            conflict = diagnose(view)
+        return DesignOutcome(
+            False, conflict=conflict, solver_stats=view.solver.stats.as_dict()
+        )
+
+    def check_many(self, requests) -> list[DesignOutcome]:
+        """Answer a sweep of feasibility queries on the shared solver."""
+        return [self.check(r) for r in requests]
+
+    def synthesize(self, request: DesignRequest) -> DesignOutcome:
+        """Find an optimal design (incremental
+        :meth:`ReasoningEngine.synthesize`).
+
+        Optimization bounds are frozen behind a fresh activation literal
+        that is retired when the query finishes, so later queries see
+        the original formula plus reusable circuits only.
+        """
+        view = self._view(request)
+        self.stats.queries += 1
+        with self._tracer.span("solve"):
+            satisfiable = view.solve()
+        if not satisfiable:
+            with self._tracer.span("diagnose"):
+                conflict = diagnose(view)
+            return DesignOutcome(
+                False,
+                conflict=conflict,
+                solver_stats=view.solver.stats.as_dict(),
+            )
+        act = view.solver.new_var()
+        with self._tracer.span("optimize"):
+            model = self._optimize(view, view.assumptions() + [act], act)
+        solution = view.extract_solution(model)
+        # Retire this query's frozen optimization bounds.
+        view.solver.add_clause([-act])
+        return DesignOutcome(
+            True, solution=solution, solver_stats=view.solver.stats.as_dict()
+        )
+
+    def diagnose(self, request: DesignRequest) -> Conflict | None:
+        """Minimal conflicting-requirement set, or None if feasible."""
+        view = self._view(request)
+        self.stats.queries += 1
+        with self._tracer.span("diagnose"):
+            return diagnose(view)
+
+    def compare(self, baseline: DesignRequest, alternative: DesignRequest):
+        """Synthesize both requests on the shared solver (A/B what-if)."""
+        from repro.core.engine import ComparisonResult
+
+        return ComparisonResult(
+            baseline=self.synthesize(baseline),
+            alternative=self.synthesize(alternative),
+        )
+
+    # -- compile-once machinery --------------------------------------------------
+
+    def _view(self, request: DesignRequest) -> CompiledDesign:
+        """A per-query :class:`CompiledDesign` over the shared solver.
+
+        Compiles (or rebases) if needed, grounds the request-specific
+        groups incrementally, and returns a lightweight copy of the base
+        design carrying this query's request, selectors, and
+        descriptions — every ``CompiledDesign`` method (solve, cores,
+        extraction, objective terms) then answers for *this* query.
+        """
+        fingerprint = self.kb.fingerprint()
+        shape = _shape_key(request)
+        if (
+            self._compiled is None
+            or fingerprint != self._fingerprint
+            or shape != self._shape
+            or not self._compatible(request)
+        ):
+            if self._compiled is not None:
+                self.stats.rebases += 1
+            self._rebase(request, fingerprint, shape)
+        before = len(self._compiled.request_groups)
+        selectors, descriptions = self._compiler.ground_request(request)
+        encoded = len(self._compiled.request_groups) - before
+        self.stats.groups_encoded += encoded
+        self.stats.groups_reused += len(selectors) - len(
+            self._compiler._static_selectors
+        ) - encoded
+        return replace(
+            self._compiled,
+            request=request,
+            selectors=selectors,
+            descriptions=descriptions,
+            _guards_asserted=False,
+        )
+
+    def _compatible(self, request: DesignRequest) -> bool:
+        """Can *request* be answered on the compiled base?"""
+        compiled = self._compiled
+        for name in request.required_systems:
+            if name not in compiled.sys_lits:
+                return False
+        for model, fixed in request.fixed_hardware.items():
+            count = compiled.hw_counts.get(model)
+            if count is None or fixed > count.hi:
+                return False
+        return True
+
+    def _rebase(
+        self, request: DesignRequest, fingerprint: str, shape: tuple
+    ) -> None:
+        observer = self.observer
+        if observer is not None and observer.enabled:
+            with observer.tracer.span("compile"):
+                self._compiler = _Compiler(self.kb, request, observer)
+                self._compiled = self._compiler.run()
+        else:
+            self._compiler = _Compiler(self.kb, request)
+            self._compiled = self._compiler.run()
+        self._fingerprint = fingerprint
+        self._shape = shape
+        self._totalizers = {}
+        self.stats.compiles += 1
+        if self.preprocess:
+            with self._tracer.span("preprocess"):
+                stats = preprocess_solver(
+                    self._compiled.solver, self._frozen_vars()
+                )
+            self.stats.last_preprocess = stats.as_dict()
+
+    def _frozen_vars(self) -> set[int]:
+        """Every variable a later query (or extraction) may mention.
+
+        Named variables, structurally-cached subformula literals, IntVar
+        bits, cached gates and adder trees, guard selectors, and soft-rule
+        literals — only anonymous circuit internals stay eliminable.
+        """
+        compiled = self._compiled
+        frozen = compiled.builder.referenced_vars()
+        frozen |= compiled.encoder.referenced_vars()
+        frozen.update(abs(lit) for lit in compiled.selectors.values())
+        frozen.update(abs(t.lit) for t in compiled.soft_rule_terms)
+        return frozen
+
+    # -- optimization ------------------------------------------------------------
+
+    def _optimize(
+        self, view: CompiledDesign, assumptions: list[int], act: int
+    ) -> dict[int, bool]:
+        """Assumption-guarded mirror of ``ReasoningEngine._optimize``."""
+        tracer = self._tracer
+        solver, encoder = view.solver, view.encoder
+        for name in view.request.optimize:
+            if name in COST_OBJECTIVES:
+                with tracer.span(name):
+                    expr = view.cost_expr(name)
+                    if solver.solve(assumptions):
+                        first = expr_value(expr, encoder, solver.model())
+                    else:  # pragma: no cover - guarded by feasibility check
+                        first = 0
+                    result = minimize_linexpr(
+                        solver,
+                        encoder,
+                        expr,
+                        tolerance=max(1, first // 50),
+                        tracer=tracer,
+                        assumptions=assumptions,
+                        freeze_lit=act,
+                    )
+                    assert result is not None, "feasible request must stay sat"
+            else:
+                lex = lexicographic_optimize(
+                    solver,
+                    [LexObjective(name, view.objective_terms(name))],
+                    tracer=tracer,
+                    assumptions=assumptions,
+                    freeze_lit=act,
+                    totalizer_cache=self._totalizers,
+                )
+                assert lex.satisfiable, "feasible request must stay sat"
+        if view.soft_rule_terms:
+            lex = lexicographic_optimize(
+                solver,
+                [LexObjective("soft_rules", list(view.soft_rule_terms))],
+                tracer=tracer,
+                assumptions=assumptions,
+                freeze_lit=act,
+                totalizer_cache=self._totalizers,
+            )
+            assert lex.satisfiable, "feasible request must stay sat"
+        parsimony = [PBTerm(1, lit) for lit in view.sys_lits.values()]
+        if parsimony:
+            lex = lexicographic_optimize(
+                solver,
+                [LexObjective("parsimony", parsimony)],
+                tracer=tracer,
+                assumptions=assumptions,
+                freeze_lit=act,
+                totalizer_cache=self._totalizers,
+            )
+            assert lex.satisfiable, "feasible request must stay sat"
+        satisfiable = solver.solve(assumptions)
+        assert satisfiable, "feasible request must stay sat"
+        return solver.model()
+
+
+def _shape_key(request: DesignRequest) -> tuple:
+    """The parts of a request that are compiled structurally (unguarded).
+
+    Two requests with equal shapes share one compiled base; everything
+    else (required/forbidden systems, budgets, fixed hardware, bounds,
+    context values, objectives) is guard-switched per query.
+    """
+    return (
+        tuple(
+            (
+                w.name,
+                tuple(sorted(w.properties)),
+                w.peak_cores,
+                w.peak_gbps,
+                w.peak_mem_gb,
+                w.kflows,
+            )
+            for w in request.workloads
+        ),
+        tuple(sorted(request.given_properties)),
+        (
+            tuple(request.candidate_systems)
+            if request.candidate_systems is not None
+            else None
+        ),
+        (
+            tuple(sorted(request.inventory.items()))
+            if request.inventory is not None
+            else None
+        ),
+        tuple(sorted(request.exclusive_categories)),
+        request.include_common_sense,
+    )

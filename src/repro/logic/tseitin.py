@@ -225,6 +225,22 @@ class CnfBuilder:
             return
         self.solver.add_clause([self.literal(formula)])
 
+    def referenced_vars(self) -> set[int]:
+        """Variables that future encodings may mention again.
+
+        Named variables and structurally-cached subformula literals are
+        returned by later :meth:`var_for`/:meth:`literal` calls without
+        re-encoding, so they must be frozen before CNF preprocessing —
+        eliminating one would make its cached literal dangle. Auxiliary
+        variables *inside* already-emitted circuits (cardinality-network
+        internals) are not referenced again and may be eliminated.
+        """
+        out = set(self._name_to_var.values())
+        out.update(abs(lit) for lit in self._cache.values())
+        if self._true_lit is not None:
+            out.add(self._true_lit)
+        return out
+
     def assignment_from_model(self, model: dict[int, bool]) -> dict[str, bool]:
         """Project a solver model onto the named formula variables."""
         return {

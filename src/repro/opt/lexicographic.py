@@ -47,6 +47,9 @@ def lexicographic_optimize(
     solver: Solver,
     objectives: Sequence[LexObjective],
     tracer: Tracer | None = None,
+    assumptions: list[int] | None = None,
+    freeze_lit: int | None = None,
+    totalizer_cache: dict | None = None,
 ) -> LexResult:
     """Minimize *objectives* in priority order over *solver*'s formula.
 
@@ -54,23 +57,44 @@ def lexicographic_optimize(
     upper bound before the next objective is attacked, so after the call
     the solver's models are exactly the lexicographic optima. With a
     *tracer*, each objective's descent is timed under its own span.
+
+    With *assumptions*, every solve runs under those literals; with
+    *freeze_lit*, optimum-freezing clauses are guarded by that activation
+    literal (include it in *assumptions*) so an incremental session can
+    retire them after the query. *totalizer_cache* maps a terms key to an
+    already-built :class:`GeneralizedTotalizer`, letting sessions reuse
+    counting circuits across queries on one persistent solver.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
-    if not solver.solve():
+    base = list(assumptions) if assumptions else []
+    if not solver.solve(base):
         return LexResult(satisfiable=False)
     model = solver.model()
     optima: dict[str, int] = {}
     iterations = 1
     for objective in objectives:
         with tracer.span(f"lex:{objective.name}"):
-            model, optimum, probes = _descend(solver, objective, model)
+            model, optimum, probes = _descend(
+                solver, objective, model, base, freeze_lit, totalizer_cache
+            )
         optima[objective.name] = optimum
         iterations += probes
     return LexResult(True, model, optima, iterations)
 
 
+def _freeze(solver: Solver, lits: list[int], freeze_lit: int | None) -> None:
+    """Assert each literal, optionally guarded by an activation literal."""
+    for lit in lits:
+        solver.add_clause([lit] if freeze_lit is None else [-freeze_lit, lit])
+
+
 def _descend(
-    solver: Solver, objective: LexObjective, model: dict[int, bool]
+    solver: Solver,
+    objective: LexObjective,
+    model: dict[int, bool],
+    base: list[int],
+    freeze_lit: int | None = None,
+    totalizer_cache: dict | None = None,
 ) -> tuple[dict[int, bool], int, int]:
     """Minimize one objective; return ``(model, optimum, probe_count)``."""
     terms = [t for t in objective.terms if t.weight > 0]
@@ -85,22 +109,26 @@ def _descend(
     if current == 0:
         # Already optimal; freeze by forbidding every weighted literal,
         # or later objectives could silently degrade this one.
-        for t in terms:
-            solver.add_clause([-t.lit])
-        satisfiable = solver.solve()
+        _freeze(solver, [-t.lit for t in terms], freeze_lit)
+        satisfiable = solver.solve(base)
         assert satisfiable, "frozen optimum must remain satisfiable"
         return solver.model(), 0, 0
     cap = sum(t.weight for t in terms) + 1
-    gte = GeneralizedTotalizer(terms, cap=cap, new_var=solver.new_var)
-    for clause in gte.clauses:
-        solver.add_clause(clause)
+    cache_key = tuple((t.weight, t.lit) for t in terms)
+    gte = totalizer_cache.get(cache_key) if totalizer_cache is not None else None
+    if gte is None:
+        gte = GeneralizedTotalizer(terms, cap=cap, new_var=solver.new_var)
+        for clause in gte.clauses:
+            solver.add_clause(clause)
+        if totalizer_cache is not None:
+            totalizer_cache[cache_key] = gte
     # Binary descent between 0 and the incumbent cost.
     lo, hi = 0, current
     probes = 0
     while lo < hi:
         mid = (lo + hi) // 2
         bound_lit = gte.geq_literal(mid + 1)
-        assumptions = [] if bound_lit is None else [-bound_lit]
+        assumptions = base if bound_lit is None else base + [-bound_lit]
         probes += 1
         if solver.solve(assumptions):
             model = solver.model()
@@ -110,8 +138,8 @@ def _descend(
     # Freeze this objective at its optimum before the next one.
     bound_lit = gte.geq_literal(hi + 1)
     if bound_lit is not None:
-        solver.add_clause([-bound_lit])
+        _freeze(solver, [-bound_lit], freeze_lit)
     # Re-establish a model satisfying all frozen bounds.
-    satisfiable = solver.solve()
+    satisfiable = solver.solve(base)
     assert satisfiable, "frozen optimum must remain satisfiable"
     return solver.model(), hi, probes

@@ -41,6 +41,8 @@ def minimize_linexpr(
     freeze: bool = True,
     tolerance: int = 0,
     tracer: Tracer | None = None,
+    assumptions: list[int] | None = None,
+    freeze_lit: int | None = None,
 ) -> LinearMinimum | None:
     """Minimize *expr* over the solver's current (hard) formula.
 
@@ -53,11 +55,17 @@ def minimize_linexpr(
     UNSAT instances, and rules-of-thumb reasoning rarely needs
     dollar-exact answers.
 
+    With *assumptions*, every solve (including probes) runs under those
+    assumption literals; with *freeze_lit*, freeze clauses are emitted as
+    ``freeze_lit -> bound`` so an incremental session can retire them by
+    dropping the activation literal instead of mutating the formula.
+
     With a *tracer*, the whole descent is timed under a ``bisect`` span.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    base = list(assumptions) if assumptions else []
     with tracer.span("bisect"):
-        if not solver.solve():
+        if not solver.solve(base):
             return None
         model = solver.model()
         hi = expr_value(expr, encoder, model)
@@ -67,14 +75,18 @@ def minimize_linexpr(
             mid = lo + (hi - lo) // 2
             probe = encoder.reify(expr <= mid)
             iterations += 1
-            if solver.solve([probe]):
+            if solver.solve(base + [probe]):
                 model = solver.model()
                 hi = expr_value(expr, encoder, model)
             else:
                 lo = mid + 1
         if freeze:
-            solver.add_clause([encoder.reify(expr <= hi)])
-            satisfiable = solver.solve()
+            bound = encoder.reify(expr <= hi)
+            if freeze_lit is None:
+                solver.add_clause([bound])
+            else:
+                solver.add_clause([-freeze_lit, bound])
+            satisfiable = solver.solve(base)
             assert satisfiable, "frozen optimum must remain satisfiable"
             model = solver.model()
     return LinearMinimum(value=hi, model=model, iterations=iterations)

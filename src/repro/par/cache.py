@@ -57,12 +57,21 @@ def cnf_cache_key(
     return h.hexdigest()
 
 
-def request_cache_key(verb: str, kb, request) -> str:
-    """Canonical hash of an engine query: verb + KB state + request."""
+def request_cache_key(verb: str, kb, request, config: str = "") -> str:
+    """Canonical hash of an engine query: verb + KB state + request.
+
+    *config* names the solver/preprocessing configuration that produced
+    the answer (e.g. ``"inc=1;pp=0"``). Engines running under different
+    configurations may legitimately return different (equally valid)
+    models or differently-minimized conflicts, so their results must not
+    alias in a shared cache.
+    """
     h = hashlib.sha256()
     h.update(verb.encode())
     h.update(b"\x00")
     h.update(kb.fingerprint().encode())
+    h.update(b"\x00")
+    h.update(config.encode())
     h.update(b"\x00")
     h.update(
         json.dumps(request.to_dict(), sort_keys=True, default=str).encode()

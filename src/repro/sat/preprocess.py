@@ -1,0 +1,471 @@
+"""SatELite-style CNF preprocessing (Eén & Biere 2005).
+
+Three equisatisfiability-preserving passes over a clause set, iterated to
+a fixpoint and bounded so the pure-Python implementation stays cheap
+relative to search:
+
+- **backward subsumption** — a clause deletes every superset clause;
+- **self-subsuming resolution** — ``(A ∨ l)`` strengthens ``(A' ∨ ¬l)``
+  to ``A'`` whenever ``A ⊆ A'``;
+- **bounded variable elimination (BVE)** — a variable whose resolvent
+  set is no larger than the clauses it replaces is resolved away
+  (pure literals are the zero-resolvent special case).
+
+Variable elimination changes the model set, so every eliminated variable
+records the clauses it appeared in; :func:`reconstruct_model` (and the
+solver hook :meth:`~repro.sat.solver.Solver.install_elimination`) re-value
+eliminated variables from any model of the preprocessed formula, in
+reverse elimination order.
+
+**Frozen variables are never eliminated.** Any variable that can appear
+in a later ``add_clause``, in solve assumptions (guards, activation
+literals), or that the caller needs to read out of models verbatim
+(objective/selector variables) must be frozen — the session layer
+(:mod:`repro.core.session`) freezes everything named or cached by its
+builder and encoder. Eliminated variables are rejected by the solver in
+new clauses and assumptions, so a missing freeze fails loudly rather
+than silently corrupting answers. Unsat cores stay valid because cores
+only name assumption literals, which are always frozen.
+
+Entry points: :func:`preprocess_clauses` for plain clause lists, and
+:func:`preprocess_solver` to rebuild a :class:`~repro.sat.Solver` with
+the preprocessed database in place.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SolverStateError
+from repro.sat.solver import Solver
+
+__all__ = [
+    "PreprocessResult",
+    "PreprocessStats",
+    "preprocess_clauses",
+    "preprocess_solver",
+    "reconstruct_model",
+]
+
+
+@dataclass
+class PreprocessStats:
+    """Counters for one :func:`preprocess_clauses` run."""
+
+    subsumed: int = 0
+    strengthened: int = 0
+    eliminated_vars: int = 0
+    resolvents_added: int = 0
+    units_derived: int = 0
+    rounds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "subsumed": self.subsumed,
+            "strengthened": self.strengthened,
+            "eliminated_vars": self.eliminated_vars,
+            "resolvents_added": self.resolvents_added,
+            "units_derived": self.units_derived,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of :func:`preprocess_clauses`.
+
+    ``units`` are root-level forced literals, ``clauses`` the surviving
+    non-unit clauses, and ``eliminated`` the reconstruction stack of
+    ``(var, saved_clauses)`` pairs in elimination order.
+    """
+
+    num_vars: int
+    units: list[int]
+    clauses: list[list[int]]
+    eliminated: list[tuple[int, list[list[int]]]]
+    contradiction: bool = False
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+
+
+class _Worker:
+    """Occurrence-list state machine for one preprocessing run."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: Iterable[Iterable[int]],
+        frozen: frozenset[int],
+        elim_occ_limit: int,
+        elim_growth: int,
+        elim_clause_limit: int,
+    ):
+        self.num_vars = num_vars
+        self.frozen = frozen
+        self.elim_occ_limit = elim_occ_limit
+        self.elim_growth = elim_growth
+        self.elim_clause_limit = elim_clause_limit
+        self.stats = PreprocessStats()
+        self.assign: dict[int, bool] = {}
+        self.unit_queue: list[int] = []
+        self.contradiction = False
+        self.eliminated: list[tuple[int, list[list[int]]]] = []
+        self.elim_set: set[int] = set()
+        #: Clause storage; a slot is None once its clause is removed.
+        self.clauses: list[list[int] | None] = []
+        self.occ: dict[int, set[int]] = defaultdict(set)
+        self.dirty: list[int] = []  # clause indices awaiting backward pass
+        seen: set[frozenset[int]] = set()
+        for raw in clauses:
+            lits = self._normalize(raw)
+            if lits is None:
+                continue  # tautology
+            if not lits:
+                self.contradiction = True
+                return
+            if len(lits) == 1:
+                self.unit_queue.append(lits[0])
+                continue
+            key = frozenset(lits)
+            if key in seen:
+                continue
+            seen.add(key)
+            self._attach(lits)
+
+    @staticmethod
+    def _normalize(raw: Iterable[int]) -> list[int] | None:
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in raw:
+            if -lit in seen:
+                return None
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        return out
+
+    def _attach(self, lits: list[int]) -> int:
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        for lit in lits:
+            self.occ[lit].add(idx)
+        self.dirty.append(idx)
+        return idx
+
+    def _detach(self, idx: int) -> None:
+        lits = self.clauses[idx]
+        if lits is None:
+            return
+        for lit in lits:
+            self.occ[lit].discard(idx)
+        self.clauses[idx] = None
+
+    # -- unit propagation ----------------------------------------------------
+
+    def propagate(self) -> None:
+        """Exhaustively apply the queued unit literals."""
+        while self.unit_queue and not self.contradiction:
+            lit = self.unit_queue.pop()
+            var = abs(lit)
+            value = lit > 0
+            prev = self.assign.get(var)
+            if prev is not None:
+                if prev != value:
+                    self.contradiction = True
+                continue
+            self.assign[var] = value
+            # Clauses satisfied by lit disappear; clauses with -lit shrink.
+            for idx in list(self.occ[lit]):
+                self._detach(idx)
+            for idx in list(self.occ[-lit]):
+                lits = self.clauses[idx]
+                if lits is None:
+                    continue
+                lits.remove(-lit)
+                self.occ[-lit].discard(idx)
+                if len(lits) == 1:
+                    self._detach(idx)
+                    self.unit_queue.append(lits[0])
+                    self.stats.units_derived += 1
+                else:
+                    self.dirty.append(idx)
+
+    # -- subsumption & self-subsuming resolution -----------------------------
+
+    def backward_pass(self) -> bool:
+        """Use each dirty clause to subsume/strengthen the rest."""
+        changed = False
+        while self.dirty and not self.contradiction:
+            idx = self.dirty.pop()
+            lits = self.clauses[idx]
+            if lits is None:
+                continue
+            cset = frozenset(lits)
+            # Subsumption: candidates must contain C's rarest literal.
+            rarest = min(lits, key=lambda l: len(self.occ[l]))
+            for other in list(self.occ[rarest]):
+                dlits = self.clauses[other]
+                if other == idx or dlits is None or len(dlits) < len(lits):
+                    continue
+                if cset <= set(dlits):
+                    self._detach(other)
+                    self.stats.subsumed += 1
+                    changed = True
+            # Self-subsuming resolution: C = (A ∨ l) strengthens any
+            # D ⊇ (A ∨ ¬l) by removing ¬l from D.
+            for lit in lits:
+                rest = cset - {lit}
+                for other in list(self.occ[-lit]):
+                    dlits = self.clauses[other]
+                    if other == idx or dlits is None or len(dlits) < len(lits):
+                        continue
+                    dset = set(dlits)
+                    if rest <= dset:
+                        dlits.remove(-lit)
+                        self.occ[-lit].discard(other)
+                        self.stats.strengthened += 1
+                        changed = True
+                        if len(dlits) == 1:
+                            self._detach(other)
+                            self.unit_queue.append(dlits[0])
+                            self.stats.units_derived += 1
+                        else:
+                            self.dirty.append(other)
+            if self.unit_queue:
+                self.propagate()
+        return changed
+
+    # -- bounded variable elimination ----------------------------------------
+
+    def eliminate_pass(self) -> bool:
+        """Resolve away cheap unfrozen variables (one sweep)."""
+        changed = False
+        for var in range(1, self.num_vars + 1):
+            if self.contradiction:
+                break
+            if (
+                var in self.frozen
+                or var in self.elim_set
+                or var in self.assign
+            ):
+                continue
+            if self._try_eliminate(var):
+                changed = True
+                self.propagate()
+        return changed
+
+    def _try_eliminate(self, var: int) -> bool:
+        pos = [i for i in self.occ[var] if self.clauses[i] is not None]
+        neg = [i for i in self.occ[-var] if self.clauses[i] is not None]
+        total = len(pos) + len(neg)
+        if total == 0:
+            return False  # never constrained; nothing to record
+        if total > self.elim_occ_limit:
+            return False
+        resolvents: list[list[int]] = []
+        seen: set[frozenset[int]] = set()
+        for pi in pos:
+            plits = self.clauses[pi]
+            prest = [l for l in plits if l != var]
+            for ni in neg:
+                nlits = self.clauses[ni]
+                merged = self._resolve(prest, nlits, var)
+                if merged is None:
+                    continue  # tautological resolvent
+                if len(merged) > self.elim_clause_limit:
+                    return False  # resolvent too wide: abort this var
+                key = frozenset(merged)
+                if key in seen:
+                    continue
+                seen.add(key)
+                resolvents.append(merged)
+                if len(resolvents) > total + self.elim_growth:
+                    return False  # clause count would grow: abort
+        saved = [list(self.clauses[i]) for i in pos]
+        saved += [list(self.clauses[i]) for i in neg]
+        for i in pos + neg:
+            self._detach(i)
+        self.eliminated.append((var, saved))
+        self.elim_set.add(var)
+        self.stats.eliminated_vars += 1
+        for merged in resolvents:
+            if len(merged) == 1:
+                self.unit_queue.append(merged[0])
+                self.stats.units_derived += 1
+            else:
+                self._attach(merged)
+            self.stats.resolvents_added += 1
+        return True
+
+    @staticmethod
+    def _resolve(
+        prest: list[int], nlits: list[int], var: int
+    ) -> list[int] | None:
+        out = list(prest)
+        present = set(prest)
+        for lit in nlits:
+            if lit == -var:
+                continue
+            if -lit in present:
+                return None
+            if lit not in present:
+                present.add(lit)
+                out.append(lit)
+        return out
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, max_rounds: int) -> PreprocessResult:
+        if not self.contradiction:
+            self.propagate()
+        for _ in range(max_rounds):
+            if self.contradiction:
+                break
+            self.stats.rounds += 1
+            changed = self.backward_pass()
+            changed = self.eliminate_pass() or changed
+            changed = self.backward_pass() or changed
+            if not changed:
+                break
+        units = [
+            (v if value else -v) for v, value in sorted(self.assign.items())
+        ]
+        surviving = [list(c) for c in self.clauses if c is not None]
+        return PreprocessResult(
+            num_vars=self.num_vars,
+            units=[] if self.contradiction else units,
+            clauses=[] if self.contradiction else surviving,
+            eliminated=self.eliminated,
+            contradiction=self.contradiction,
+            stats=self.stats,
+        )
+
+
+def preprocess_clauses(
+    num_vars: int,
+    clauses: Iterable[Iterable[int]],
+    frozen: Iterable[int] = (),
+    *,
+    elim_occ_limit: int = 16,
+    elim_growth: int = 0,
+    elim_clause_limit: int = 16,
+    max_rounds: int = 3,
+) -> PreprocessResult:
+    """Preprocess a clause set; *frozen* variables are never eliminated.
+
+    Limits: a variable is only eliminated when it occurs in at most
+    *elim_occ_limit* clauses, no resolvent exceeds *elim_clause_limit*
+    literals, and the clause count grows by at most *elim_growth*.
+    """
+    worker = _Worker(
+        num_vars,
+        clauses,
+        frozenset(abs(v) for v in frozen),
+        elim_occ_limit,
+        elim_growth,
+        elim_clause_limit,
+    )
+    return worker.run(max_rounds)
+
+
+def reconstruct_model(
+    model: dict[int, bool],
+    eliminated: Sequence[tuple[int, Sequence[Sequence[int]]]],
+) -> dict[int, bool]:
+    """Extend *model* over the eliminated variables (returns a new dict).
+
+    Walks the elimination stack backwards; each variable is set to
+    satisfy whichever of its saved clauses is not already satisfied by
+    the rest of the model (BVE guarantees at most one polarity is
+    forcing, because every resolvent was added back).
+    """
+    out = dict(model)
+    for var, saved in reversed(eliminated):
+        value = False
+        for clause in saved:
+            through: int | None = None
+            satisfied = False
+            for lit in clause:
+                v = lit if lit > 0 else -lit
+                if v == var:
+                    through = lit
+                elif (lit > 0) == out.get(v, False):
+                    satisfied = True
+                    break
+            if not satisfied and through is not None:
+                value = through > 0
+                break
+        out[var] = value
+    return out
+
+
+def preprocess_solver(
+    solver: Solver,
+    frozen: Iterable[int] = (),
+    *,
+    elim_occ_limit: int = 16,
+    elim_growth: int = 0,
+    elim_clause_limit: int = 16,
+    max_rounds: int = 3,
+) -> PreprocessStats:
+    """Preprocess *solver*'s clause database in place.
+
+    Must be called at decision level 0. The solver's problem clauses and
+    root-level units are rewritten to the preprocessed form; learnt
+    clauses are discarded (they are implied and may mention eliminated
+    variables). Eliminated variables are registered through
+    :meth:`~repro.sat.solver.Solver.install_elimination`, so later
+    models are reconstructed transparently and any attempt to mention an
+    eliminated variable raises.
+
+    Not compatible with DRAT proof logging: variable elimination steps
+    are not RUP, so preprocessing a proof-logging solver raises.
+    """
+    if solver.proof is not None:
+        raise SolverStateError(
+            "preprocessing is not supported with DRAT proof logging "
+            "(variable elimination is not a RUP step)"
+        )
+    if solver._trail_lim:
+        raise SolverStateError("preprocess requires decision level 0")
+    if solver._unsat:
+        return PreprocessStats()
+    units = [lit for lit in solver._trail]
+    clauses = [
+        list(c.lits) for c in solver._clauses if not c.deleted
+    ]
+    result = preprocess_clauses(
+        solver.num_vars,
+        clauses + [[u] for u in units],
+        frozen,
+        elim_occ_limit=elim_occ_limit,
+        elim_growth=elim_growth,
+        elim_clause_limit=elim_clause_limit,
+        max_rounds=max_rounds,
+    )
+    # Rebuild the database in place: reset root assignments and watches,
+    # then re-add the preprocessed units and clauses.
+    for lit in solver._trail:
+        v = abs(lit)
+        solver._assign[v] = 0
+        solver._reason[v] = None
+        solver._level[v] = 0
+    solver._trail.clear()
+    solver._qhead = 0
+    solver._watches.clear()
+    solver._clauses = []
+    solver._learnts = []
+    solver._model = None
+    solver._core = None
+    if result.contradiction:
+        solver._unsat = True
+        solver._rebuild_heap()
+        return result.stats
+    solver.install_elimination(result.eliminated)
+    for unit in result.units:
+        solver.add_clause([unit])
+    for lits in result.clauses:
+        solver.add_clause(lits)
+    solver._rebuild_heap()
+    return result.stats

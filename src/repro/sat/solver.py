@@ -197,6 +197,12 @@ class Solver:
         self._rng = random.Random(seed) if seed is not None else None
         self._random_phase = random_phase and self._rng is not None
         self._step_attempt = 0
+        # Variables removed by preprocessing (bounded variable
+        # elimination). They carry no clauses, must never be mentioned
+        # again, and are re-valued on every model through the
+        # reconstruction stack (repro.sat.preprocess).
+        self._eliminated: set[int] = set()
+        self._elim_stack: list[tuple[int, list[list[int]]]] = []
         self.stats = SolverStats()
         self._progress_cb = progress_callback
         self._progress_interval = max(1, progress_interval)
@@ -273,6 +279,14 @@ class Solver:
         self._model = None
         self._core = None
         lits = check_clause(lits, self._num_vars)
+        if self._eliminated:
+            for lit in lits:
+                if var_of(lit) in self._eliminated:
+                    raise SolverStateError(
+                        f"variable {var_of(lit)} was eliminated by "
+                        "preprocessing and cannot appear in new clauses; "
+                        "freeze it before preprocessing"
+                    )
         seen: set[int] = set()
         out: list[int] = []
         stripped = False
@@ -376,8 +390,7 @@ class Solver:
 
         ``satisfiable`` is ``None`` in the result when the budget ran out.
         """
-        for lit in assumptions:
-            check_literal(lit, self._num_vars)
+        self._check_assumptions(assumptions)
         self._model = None
         self._core = None
         self._solve_start = time.perf_counter()
@@ -441,8 +454,7 @@ class Solver:
 
         With ``enable_restarts=False`` a single call runs to completion.
         """
-        for lit in assumptions:
-            check_literal(lit, self._num_vars)
+        self._check_assumptions(assumptions)
         self._model = None
         self._core = None
         self._solve_start = time.perf_counter()
@@ -517,6 +529,64 @@ class Solver:
         return list(self._core)
 
     # ------------------------------------------------------------------
+    # Preprocessing hooks (repro.sat.preprocess)
+    # ------------------------------------------------------------------
+
+    @property
+    def eliminated_vars(self) -> frozenset[int]:
+        """Variables removed by preprocessing (never decide/mention them)."""
+        return frozenset(self._eliminated)
+
+    def install_elimination(
+        self, stack: Sequence[tuple[int, Sequence[Sequence[int]]]]
+    ) -> None:
+        """Register variables eliminated by preprocessing.
+
+        *stack* lists ``(var, saved_clauses)`` in elimination order, where
+        *saved_clauses* are the original clauses mentioning *var* at the
+        time it was eliminated. Eliminated variables are excluded from
+        branching, rejected in new clauses and assumptions, and re-valued
+        on every model by :meth:`_reconstruct_model` (in reverse order, so
+        each saved clause only reads already-reconstructed values).
+        """
+        for var, saved in stack:
+            self._elim_stack.append((var, [list(c) for c in saved]))
+            self._eliminated.add(var)
+        self._rebuild_heap()
+
+    def _reconstruct_model(self, model: dict[int, bool]) -> None:
+        """Extend a model over surviving vars to the eliminated ones."""
+        for var, saved in reversed(self._elim_stack):
+            value = False
+            for clause in saved:
+                through: int | None = None
+                satisfied = False
+                for lit in clause:
+                    v = lit if lit > 0 else -lit
+                    if v == var:
+                        through = lit
+                    elif (lit > 0) == model.get(v, False):
+                        satisfied = True
+                        break
+                if not satisfied and through is not None:
+                    # The clause must be satisfied through *var*; variable
+                    # elimination guarantees no opposite-polarity clause is
+                    # simultaneously forcing (their resolvent holds).
+                    value = through > 0
+                    break
+            model[var] = value
+
+    def _check_assumptions(self, assumptions: Sequence[int]) -> None:
+        for lit in assumptions:
+            check_literal(lit, self._num_vars)
+            if var_of(lit) in self._eliminated:
+                raise SolverStateError(
+                    f"assumption {lit} mentions variable {var_of(lit)}, "
+                    "which was eliminated by preprocessing; freeze it "
+                    "before preprocessing"
+                )
+
+    # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
 
@@ -543,17 +613,31 @@ class Solver:
         self._trail.append(lit)
 
     def _propagate(self) -> Clause | None:
-        """Unit propagation; return a conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
+        """Unit propagation; return a conflicting clause or None.
+
+        This is the solver's hottest loop, so everything touched per
+        literal is bound to a local up front (attribute loads dominate in
+        CPython) and truth values are read straight off the assignment
+        array instead of through :meth:`_value_lit`.
+        """
+        trail = self._trail
+        assign = self._assign
+        watches = self._watches
+        watches_get = watches.get
+        enqueue = self._enqueue
+        qhead = self._qhead
+        propagations = 0
+        conflict: Clause | None = None
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            propagations += 1
             false_lit = -p
-            watchers = self._watches.get(false_lit)
+            watchers = watches_get(false_lit)
             if not watchers:
                 continue
             kept: list[Clause] = []
-            conflict: Clause | None = None
+            kept_append = kept.append
             for idx, clause in enumerate(watchers):
                 if clause.deleted:
                     continue
@@ -562,33 +646,42 @@ class Solver:
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._value_lit(first) is True:
-                    kept.append(clause)
+                val = assign[first if first > 0 else -first]
+                if val != 0 and (val > 0) == (first > 0):
+                    kept_append(clause)  # satisfied by the other watch
                     continue
                 # Look for a replacement watch.
                 moved = False
                 for k in range(2, len(lits)):
-                    if self._value_lit(lits[k]) is not False:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches.setdefault(lits[1], []).append(clause)
+                    lk = lits[k]
+                    vk = assign[lk if lk > 0 else -lk]
+                    if vk == 0 or (vk > 0) == (lk > 0):
+                        lits[1], lits[k] = lk, lits[1]
+                        bucket = watches_get(lk)
+                        if bucket is None:
+                            watches[lk] = [clause]
+                        else:
+                            bucket.append(clause)
                         moved = True
                         break
                 if moved:
                     continue
                 # Clause is unit or conflicting.
-                kept.append(clause)
-                if self._value_lit(first) is False:
+                kept_append(clause)
+                if val != 0:  # the other watch is false: conflict
                     conflict = clause
                     kept.extend(
                         c for c in watchers[idx + 1:] if not c.deleted
                     )
-                    self._qhead = len(self._trail)
+                    qhead = len(trail)
                     break
-                self._enqueue(first, clause)
-            self._watches[false_lit] = kept
+                enqueue(first, clause)
+            watches[false_lit] = kept
             if conflict is not None:
-                return conflict
-        return None
+                break
+        self._qhead = qhead
+        self.stats.propagations += propagations
+        return conflict
 
     def _new_decision_level(self) -> None:
         self._trail_lim.append(len(self._trail))
@@ -609,6 +702,7 @@ class Solver:
         self._maybe_compact_heap()
 
     def _decide_var(self) -> int | None:
+        eliminated = self._eliminated
         if self._enable_vsids:
             heap = self._order_heap
             activity = self._activity
@@ -617,11 +711,11 @@ class Solver:
                 neg_act, v = heapq.heappop(heap)
                 # Lazy deletion: skip assigned variables and entries whose
                 # recorded activity is stale (a fresher duplicate exists).
-                if assign[v] == 0 and -neg_act == activity[v]:
+                if assign[v] == 0 and -neg_act == activity[v] and v not in eliminated:
                     return v
             # Heap exhausted by stale entries: fall through to linear scan.
         for v in range(1, self._num_vars + 1):
-            if self._assign[v] == 0:
+            if self._assign[v] == 0 and v not in eliminated:
                 return v
         return None
 
@@ -650,7 +744,7 @@ class Solver:
         self._order_heap = [
             (-self._activity[v], v)
             for v in range(1, self._num_vars + 1)
-            if self._assign[v] == 0
+            if self._assign[v] == 0 and v not in self._eliminated
         ]
         heapq.heapify(self._order_heap)
 
@@ -824,6 +918,8 @@ class Solver:
                 self._model = {
                     u: self._assign[u] > 0 for u in range(1, self._num_vars + 1)
                 }
+                if self._elim_stack:
+                    self._reconstruct_model(self._model)
                 return True, conflicts
             self.stats.decisions += 1
             self._new_decision_level()

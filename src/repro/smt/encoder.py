@@ -301,6 +301,27 @@ class IntEncoder:
         """Assert ``guard -> constraint`` (conditional resource rule)."""
         self.solver.add_clause([-guard_lit, self.reify(constraint)])
 
+    def referenced_vars(self) -> set[int]:
+        """Variables that future encodings may mention again.
+
+        IntVar bit vectors, cached gate inputs/outputs, and cached adder
+        trees are all returned verbatim by later :meth:`reify` calls, so
+        they must survive CNF preprocessing (frozen, never eliminated).
+        """
+        out: set[int] = set()
+        for bits in self._bits.values():
+            out.update(abs(b) for b in bits)
+        for cache in (self._and_cache, self._xor_cache):
+            for (a, b), lit in cache.items():
+                out.add(abs(a))
+                out.add(abs(b))
+                out.add(abs(lit))
+        for bits in self._sum_cache.values():
+            out.update(abs(b) for b in bits)
+        if self._true_lit is not None:
+            out.add(self._true_lit)
+        return out
+
     # -- model extraction --------------------------------------------------------
 
     def value_of(self, var: IntVar, model: dict[int, bool]) -> int:

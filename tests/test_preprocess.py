@@ -1,0 +1,238 @@
+"""Correctness tests for the SatELite-style CNF preprocessing passes.
+
+The load-bearing property is *equisatisfiability with model
+reconstruction*: for any input CNF, preprocessing must preserve the
+verdict, and a model of the simplified formula must extend — via the
+elimination stack — to a model of the **original** clauses. Frozen
+variables must survive every pass so assumption literals, cached circuit
+outputs, and unsat cores stay meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SolverStateError
+from repro.sat.preprocess import (
+    preprocess_clauses,
+    preprocess_solver,
+    reconstruct_model,
+)
+from repro.sat.solver import Solver
+
+
+def _random_3sat(num_vars: int, num_clauses: int, rng: random.Random):
+    clauses = []
+    for _ in range(num_clauses):
+        vs = rng.sample(range(1, num_vars + 1), min(3, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return clauses
+
+
+def _solve(num_vars: int, clauses) -> tuple[bool, dict[int, bool] | None]:
+    solver = Solver()
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    if solver.solve():
+        return True, solver.model()
+    return False, None
+
+
+def _check_model(clauses, model: dict[int, bool]) -> bool:
+    return all(
+        any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+# -- differential fuzz -------------------------------------------------------------
+
+
+def test_differential_fuzz_preprocess_clauses():
+    """>= 200 random instances: verdict preserved, reconstructed models
+    satisfy the original clauses."""
+    rng = random.Random(20240826)
+    mismatches = 0
+    for trial in range(220):
+        num_vars = rng.randint(4, 22)
+        ratio = rng.uniform(2.0, 5.5)
+        clauses = _random_3sat(num_vars, int(ratio * num_vars) + 1, rng)
+        expected, _ = _solve(num_vars, clauses)
+        result = preprocess_clauses(num_vars, clauses)
+        if result.contradiction:
+            got = False
+        else:
+            simplified = [[u] for u in result.units] + result.clauses
+            got, model = _solve(num_vars, simplified)
+            if got:
+                full = reconstruct_model(model, result.eliminated)
+                assert _check_model(clauses, full), (
+                    f"trial {trial}: reconstructed model violates originals"
+                )
+        if got != expected:
+            mismatches += 1
+    assert mismatches == 0
+
+
+def test_differential_fuzz_preprocess_solver_in_place():
+    """In-place preprocessing of a loaded solver answers identically and
+    its models (after internal reconstruction) satisfy the originals."""
+    rng = random.Random(77)
+    for trial in range(200):
+        num_vars = rng.randint(4, 20)
+        clauses = _random_3sat(num_vars, int(4.0 * num_vars) + 1, rng)
+        expected, _ = _solve(num_vars, clauses)
+        solver = Solver()
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        preprocess_solver(solver)
+        got = solver.solve()
+        assert got == expected, f"trial {trial}: verdict flipped"
+        if got:
+            assert _check_model(clauses, solver.model()), (
+                f"trial {trial}: model violates original clauses"
+            )
+
+
+# -- specific passes ---------------------------------------------------------------
+
+
+def test_subsumed_clause_is_removed():
+    result = preprocess_clauses(3, [[1, 2], [1, 2, 3]], frozen=[1, 2, 3])
+    assert result.stats.subsumed >= 1
+    assert [1, 2] in result.clauses
+    assert all(sorted(c) != [1, 2, 3] for c in result.clauses)
+
+
+def test_self_subsuming_resolution_strengthens():
+    # (1 2) and (1 -2 3): resolving on 2 gives (1 3) which replaces the
+    # second clause.
+    result = preprocess_clauses(3, [[1, 2], [1, -2, 3]], frozen=[1, 2, 3])
+    assert result.stats.strengthened >= 1
+    assert sorted(map(sorted, result.clauses)) == [[1, 2], [1, 3]]
+
+
+def test_variable_elimination_with_reconstruction():
+    # Var 2 occurs once positively and once negatively: eliminated, with
+    # resolvent (1 3).
+    clauses = [[1, 2], [-2, 3]]
+    result = preprocess_clauses(3, clauses, frozen=[1, 3])
+    assert result.stats.eliminated_vars == 1
+    assert [v for v, _ in result.eliminated] == [2]
+    simplified = [[u] for u in result.units] + result.clauses
+    sat, model = _solve(3, simplified)
+    assert sat
+    full = reconstruct_model(model, result.eliminated)
+    assert 2 in full
+    assert _check_model(clauses, full)
+
+
+def test_pure_literal_elimination():
+    # Var 3 occurs only positively: zero resolvents, clauses just drop.
+    result = preprocess_clauses(3, [[1, 3], [2, 3]], frozen=[1, 2])
+    assert result.stats.eliminated_vars >= 1
+    sat, model = _solve(3, [[u] for u in result.units] + result.clauses)
+    assert sat
+    full = reconstruct_model(model, result.eliminated)
+    assert _check_model([[1, 3], [2, 3]], full)
+
+
+def test_contradiction_detected():
+    result = preprocess_clauses(1, [[1], [-1]])
+    assert result.contradiction
+
+
+def test_frozen_variables_never_eliminated():
+    rng = random.Random(5)
+    for _ in range(50):
+        num_vars = rng.randint(5, 15)
+        clauses = _random_3sat(num_vars, 3 * num_vars, rng)
+        frozen = rng.sample(range(1, num_vars + 1), 3)
+        result = preprocess_clauses(num_vars, clauses, frozen=frozen)
+        eliminated = {v for v, _ in result.eliminated}
+        assert not eliminated & set(frozen)
+
+
+# -- solver integration ------------------------------------------------------------
+
+
+def test_assumptions_on_frozen_vars_and_valid_cores():
+    """Selector-style assumptions survive preprocessing: querying under
+    them gives the same verdicts as an unpreprocessed solver, and unsat
+    cores only name assumption literals."""
+    rng = random.Random(11)
+    for _ in range(40):
+        num_vars = rng.randint(6, 16)
+        clauses = _random_3sat(num_vars, int(4.2 * num_vars), rng)
+        selectors = rng.sample(range(1, num_vars + 1), 3)
+
+        plain = Solver()
+        plain.new_vars(num_vars)
+        pre = Solver()
+        pre.new_vars(num_vars)
+        for clause in clauses:
+            plain.add_clause(clause)
+            pre.add_clause(clause)
+        preprocess_solver(pre, frozen=selectors)
+
+        for signs in ((1, 1, 1), (1, -1, 1), (-1, -1, -1)):
+            assumptions = [s * v for s, v in zip(signs, selectors)]
+            expected = plain.solve(assumptions)
+            assert pre.solve(assumptions) == expected
+            if not expected:
+                core = pre.unsat_core()
+                assert set(core) <= set(assumptions)
+                # The core really is unsatisfiable on the original CNF.
+                recheck = Solver()
+                recheck.new_vars(num_vars)
+                for clause in clauses:
+                    recheck.add_clause(clause)
+                assert not recheck.solve(list(core))
+
+
+def test_eliminated_vars_are_rejected_in_new_clauses_and_assumptions():
+    clauses = [[1, 2], [-2, 3]]
+    solver = Solver()
+    solver.new_vars(3)
+    for clause in clauses:
+        solver.add_clause(clause)
+    preprocess_solver(solver, frozen=[1, 3])
+    assert 2 in solver.eliminated_vars
+    with pytest.raises(SolverStateError):
+        solver.add_clause([2, 3])
+    with pytest.raises(SolverStateError):
+        solver.solve([2])
+
+
+def test_preprocess_refuses_proof_logging():
+    solver = Solver(proof_logging=True)
+    solver.new_vars(2)
+    solver.add_clause([1, 2])
+    with pytest.raises(SolverStateError):
+        preprocess_solver(solver)
+
+
+def test_preprocess_preserves_incremental_use():
+    """Clauses added after preprocessing (over frozen vars) behave
+    normally — the session's request-grounding pattern."""
+    rng = random.Random(3)
+    clauses = _random_3sat(12, 40, rng)
+    frozen = [1, 2, 3, 4]
+    solver = Solver()
+    solver.new_vars(12)
+    for clause in clauses:
+        solver.add_clause(clause)
+    preprocess_solver(solver, frozen=frozen)
+    guard = solver.new_var()
+    solver.add_clause([-guard, 1])
+    solver.add_clause([-guard, -2])
+    plain = Solver()
+    plain.new_vars(12)
+    for clause in clauses:
+        plain.add_clause(clause)
+    assert solver.solve([guard]) == plain.solve([1, -2])
+    assert solver.solve([-guard]) == plain.solve([])

@@ -16,7 +16,8 @@ def test_quick_run_writes_well_formed_report(tmp_path, capsys):
     workloads = report["workloads"]
     assert {
         "prototype_query", "solver_scaling", "tracer_overhead",
-        "portfolio_batch", "query_cache",
+        "portfolio_batch", "query_cache", "incremental_whatif",
+        "propagate_microopt",
     } <= workloads.keys()
     for query in ("check", "synthesize"):
         result = workloads["prototype_query"][query]
@@ -44,19 +45,33 @@ def test_quick_run_writes_well_formed_report(tmp_path, capsys):
         assert cache[query]["warm_s"] >= 0
     assert cache["cache"]["hits"] >= 2
     assert cache["cache"]["misses"] >= 2
+    whatif = workloads["incremental_whatif"]
+    assert whatif["queries"] >= 6
+    assert whatif["fresh_s"] > 0 and whatif["session_s"] > 0
+    assert whatif["session"]["compiles"] == 1
+    propagate = workloads["propagate_microopt"]
+    assert propagate["props_per_s"] > 0
 
 
 def test_committed_report_meets_acceptance():
     """The checked-in BENCH_solver.json records the acceptance numbers:
     portfolio wall-clock <= sequential on the batch, warm cache >= 10x
-    faster than cold."""
+    faster than cold, the incremental what-if session >= 3x faster than
+    fresh-engine-per-query on the 20-query sweep, and unit propagation
+    no slower than the pre-optimization baseline."""
     from benchmarks.run_perf import REPO_ROOT
 
     report = json.loads((REPO_ROOT / "BENCH_solver.json").read_text())
-    assert report["version"] >= 2
+    assert report["version"] >= 3
     assert report["quick"] is False
     portfolio = report["workloads"]["portfolio_batch"]
     assert portfolio["portfolio_s"] <= portfolio["sequential_s"]
     cache = report["workloads"]["query_cache"]
     for query in ("check", "synthesize"):
         assert cache[query]["speedup"] >= 10
+    whatif = report["workloads"]["incremental_whatif"]
+    assert whatif["queries"] == 20
+    assert whatif["speedup"] >= 3.0
+    assert whatif["session"]["compiles"] == 1
+    propagate = report["workloads"]["propagate_microopt"]
+    assert propagate["speedup_vs_baseline"] >= 1.0
