@@ -27,6 +27,14 @@ results to ``BENCH_solver.json``:
   fresh engine per query vs. one compile-once
   :class:`~repro.core.session.ReasoningSession`, with verdict parity
   asserted (acceptance: session >= 3x faster end-to-end).
+- **incremental_diagnose** — a 20-query repeated-conflict sweep (tight
+  budgets plus structural variations) diagnosed fresh-compile-per-query
+  vs. through the shared incremental session, with the minimal conflict
+  sets asserted *identical* (acceptance: session >= 2x faster).
+- **executor_dispatch** — a warm-cache ``check`` hot loop through the
+  Query-IR executor vs. a direct ``request_cache_key`` + ``cache.get``
+  probe, pinning the cost of the unified dispatch layer (acceptance:
+  < 5% overhead).
 - **propagate_microopt** — unit-propagation throughput on a
   conflict-heavy reference instance, recorded against the throughput
   measured on the same instance before the watch-loop
@@ -57,6 +65,7 @@ from repro.kb.workload import Workload  # noqa: E402
 from repro.knowledge import default_knowledge_base, inference_case_study  # noqa: E402
 from repro.obs import EngineObserver, NULL_TRACER, ProgressRecorder  # noqa: E402
 from repro.par import QueryCache, default_portfolio, solve_portfolio  # noqa: E402
+from repro.par.cache import request_cache_key  # noqa: E402
 from repro.sat import Solver  # noqa: E402
 
 #: Hard-region clause/variable ratio for random 3-SAT.
@@ -379,6 +388,171 @@ def run_incremental_whatif(quick: bool) -> dict:
     }
 
 
+def _diagnose_sweep(quick: bool):
+    """The repeated-conflict stream: tight budgets plus variations.
+
+    This is the architect's "why does nothing fit?" loop — most requests
+    are infeasible, each differing from the last by a required/forbidden
+    system, a pinned hardware count, or the budget figure itself, so the
+    diagnosis (core minimization) runs on nearly every query.
+    """
+    from dataclasses import replace
+
+    from repro.knowledge.casestudy import more_workloads_request
+
+    base = more_workloads_request()
+    tight = replace(base, budgets={"capex_usd": 100})
+    out = [tight]
+    for name in ("Sonata", "DCTCP", "Swift", "HPCC"):
+        out.append(replace(tight, required_systems=[name]))
+        out.append(replace(tight, forbidden_systems=[name]))
+    out += [
+        replace(base, budgets={"power_w": 1}),
+        replace(tight, required_systems=["QUIC"]),
+        replace(tight, forbidden_systems=["Sonata", "Swift"]),
+        replace(tight, fixed_hardware={"SRV-G2-64C-256G": 32}),
+        replace(base, budgets={"power_w": 1},
+                fixed_hardware={"SRV-G2-64C-256G": 32}),
+        replace(base, budgets={"capex_usd": 200}),
+        replace(base, budgets={"capex_usd": 500}),
+        replace(base, budgets={"power_w": 10}),
+        base,  # a feasible probe mid-stream
+        replace(base, required_systems=["Sonata"]),  # another feasible one
+        tight,  # the architect re-asks the original question
+    ]
+    return out[:6] if quick else out
+
+
+def run_incremental_diagnose(quick: bool) -> dict:
+    """Fresh compile per diagnosis vs. the shared incremental session.
+
+    Beyond the timing, this asserts the executor's determinism promise:
+    the *same* minimal conflict set from both paths on every query.
+    """
+    kb = default_knowledge_base()
+    queries = _diagnose_sweep(quick)
+
+    fresh_engine = ReasoningEngine(kb, incremental=False)
+    start = time.perf_counter()
+    fresh = [fresh_engine.diagnose(r) for r in queries]
+    fresh_s = time.perf_counter() - start
+
+    inc_engine = ReasoningEngine(kb, incremental=True)
+    start = time.perf_counter()
+    incremental = [inc_engine.diagnose(r) for r in queries]
+    session_s = time.perf_counter() - start
+
+    for i, (a, b) in enumerate(zip(fresh, incremental)):
+        assert (a is None) == (b is None), f"verdict mismatch on query {i}"
+        if a is not None:
+            assert a.constraints == b.constraints, (
+                f"conflict mismatch on query {i}: "
+                f"{a.constraints} != {b.constraints}"
+            )
+
+    speedup = fresh_s / session_s if session_s > 0 else float("inf")
+    return {
+        "queries": len(queries),
+        "conflicts": sum(1 for c in fresh if c is not None),
+        "fresh_s": round(fresh_s, 4),
+        "session_s": round(session_s, 4),
+        "fresh_per_query_s": round(fresh_s / len(queries), 5),
+        "session_per_query_s": round(session_s / len(queries), 5),
+        "speedup": round(speedup, 3),
+        "session": inc_engine.session().stats.as_dict(),
+    }
+
+
+class _DirectCheckPath:
+    """The hand-rolled per-verb cache plumbing the Query IR replaced.
+
+    This reproduces, call for call, what ``ReasoningEngine.check`` did on
+    a warm cache hit before every verb lowered to a Query: read the
+    tracer property, build the configuration tag, compute the request
+    key, probe the cache. It is the honest "direct path" baseline for
+    the dispatch-overhead measurement — not an idealized single-frame
+    loop with the key precomputed, which no per-verb wrapper ever was.
+    """
+
+    def __init__(self, kb, cache, incremental=True, preprocess=True):
+        self.kb = kb
+        self.cache = cache
+        self.observer = None
+        self.incremental = incremental
+        self.preprocess = preprocess
+
+    @property
+    def _tracer(self):
+        if self.observer is not None and self.observer.enabled:
+            return self.observer.tracer
+        return NULL_TRACER
+
+    def _config_tag(self):
+        return f"inc={int(self.incremental)};pp={int(self.preprocess)}"
+
+    def _cache_key(self, verb, request):
+        if self.cache is None:
+            return None
+        return request_cache_key(verb, self.kb, request, self._config_tag())
+
+    def check(self, request):
+        tracer = self._tracer  # noqa: F841 - the old hot path read this
+        key = self._cache_key("check", request)
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        raise AssertionError("warm dispatch loop must hit the cache")
+
+
+def run_executor_dispatch(quick: bool, repeats: int) -> dict:
+    """Warm-cache ``check`` through the Query IR vs. the direct path.
+
+    Every verb now lowers to a Query and runs through the executor's
+    staged pipeline; this pins what that unified dispatch costs on the
+    hottest path (a cache hit) against :class:`_DirectCheckPath`, the
+    per-verb plumbing it replaced. The two loops are interleaved and
+    min-of-N on each side, washing out scheduler noise and drift.
+    """
+    from repro.knowledge.casestudy import more_workloads_request
+
+    kb = default_knowledge_base()
+    request = cheap_request() if quick else more_workloads_request()
+    engine = ReasoningEngine(kb, cache=QueryCache())
+    outcome = engine.check(request)  # fill the executor's cache
+    assert outcome.feasible
+    direct_path = _DirectCheckPath(kb, QueryCache())
+    direct_path.cache.put(direct_path._cache_key("check", request), outcome)
+    loops = 300 if quick else 3000
+    if not quick:
+        repeats = max(repeats, 15)
+
+    direct = ir = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            direct_path.check(request)
+        elapsed = time.perf_counter() - start
+        direct = elapsed if direct is None else min(direct, elapsed)
+        start = time.perf_counter()
+        for _ in range(loops):
+            engine.check(request)
+        elapsed = time.perf_counter() - start
+        ir = elapsed if ir is None else min(ir, elapsed)
+
+    overhead_pct = 100.0 * (ir - direct) / direct if direct > 0 else 0.0
+    return {
+        "loops": loops,
+        "repeats": repeats,
+        "direct_s": round(direct, 5),
+        "ir_s": round(ir, 5),
+        "direct_per_query_us": round(1e6 * direct / loops, 2),
+        "ir_per_query_us": round(1e6 * ir / loops, 2),
+        "overhead_pct": round(overhead_pct, 2),
+        "request": "cheap" if quick else "more_workloads",
+    }
+
+
 #: Unit-propagation throughput on the reference instance below, measured
 #: immediately before the `_propagate` watch-loop micro-optimization
 #: (locals binding, inlined literal-truth tests, batched counters) on the
@@ -429,30 +603,36 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "solver-observability",
-        "version": 3,
+        "version": 4,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": {},
     }
 
-    print("[1/7] prototype queries ...", flush=True)
+    print("[1/9] prototype queries ...", flush=True)
     report["workloads"]["prototype_query"] = run_prototype_query(args.quick)
-    print("[2/7] solver scaling ...", flush=True)
+    print("[2/9] solver scaling ...", flush=True)
     report["workloads"]["solver_scaling"] = run_solver_scaling(args.quick)
-    print("[3/7] tracer overhead ...", flush=True)
+    print("[3/9] tracer overhead ...", flush=True)
     overhead = run_tracer_overhead(args.quick, repeats)
     report["workloads"]["tracer_overhead"] = overhead
-    print("[4/7] portfolio batch ...", flush=True)
+    print("[4/9] portfolio batch ...", flush=True)
     portfolio = run_portfolio_batch(args.quick)
     report["workloads"]["portfolio_batch"] = portfolio
-    print("[5/7] query cache ...", flush=True)
+    print("[5/9] query cache ...", flush=True)
     cache_result = run_query_cache(args.quick)
     report["workloads"]["query_cache"] = cache_result
-    print("[6/7] incremental what-if ...", flush=True)
+    print("[6/9] incremental what-if ...", flush=True)
     whatif = run_incremental_whatif(args.quick)
     report["workloads"]["incremental_whatif"] = whatif
-    print("[7/7] propagate micro-opt ...", flush=True)
+    print("[7/9] incremental diagnose ...", flush=True)
+    diag = run_incremental_diagnose(args.quick)
+    report["workloads"]["incremental_diagnose"] = diag
+    print("[8/9] executor dispatch ...", flush=True)
+    dispatch = run_executor_dispatch(args.quick, repeats)
+    report["workloads"]["executor_dispatch"] = dispatch
+    print("[9/9] propagate micro-opt ...", flush=True)
     propagate = run_propagate_microopt(args.quick)
     report["workloads"]["propagate_microopt"] = propagate
 
@@ -483,6 +663,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  what-if sweep: fresh {whatif['fresh_s']:.3f} s "
           f"vs session {whatif['session_s']:.3f} s "
           f"({whatif['speedup']:.2f}x over {whatif['queries']} queries)")
+    print(f"  diagnose sweep: fresh {diag['fresh_s']:.3f} s "
+          f"vs session {diag['session_s']:.3f} s "
+          f"({diag['speedup']:.2f}x over {diag['queries']} queries, "
+          f"{diag['conflicts']} conflicts)")
+    print(f"  executor dispatch: direct {dispatch['direct_per_query_us']:.1f} us "
+          f"vs IR {dispatch['ir_per_query_us']:.1f} us "
+          f"({dispatch['overhead_pct']:+.2f}%)")
     print(f"  propagate: {propagate['props_per_s']:,.0f} props/s "
           f"on {propagate['instance']} "
           f"(baseline {propagate['baseline']['props_per_s']:,.0f})")

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import print_table
 from repro.core.design import DesignRequest
-from repro.core.diagnose import diagnose, minimize_core
+from repro.core.diagnose import diagnose
 from repro.core.engine import ReasoningEngine
 from repro.kb.dsl import ctx, prop
 from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec

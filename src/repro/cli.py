@@ -10,7 +10,14 @@ Four subcommands covering the architect workflows the paper describes:
   (regenerate Figure 1 from the terminal)
 - ``whatif``    — answer a stream of design variations on one
   compile-once incremental session
+- ``diagnose``  — explain a stream of infeasible requests with minimal
+  conflict sets, sharing one incremental session
 - ``solve``     — decide a DIMACS CNF file with the built-in CDCL solver
+
+The design subcommands (``plan``, ``whatif``, ``diagnose``) all sit on
+the engine's unified query pipeline (see ``docs/architecture.md``):
+each request lowers to a Query and runs through the same cache →
+session → solve → verb stages.
 
 Entry point::
 
@@ -88,22 +95,29 @@ def _cmd_orderings(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_requests(paths: list[str]):
+    """Parse DesignRequest JSON files (the CLI's request-file format)."""
+    import json
+
+    from repro.core.design import DesignRequest
+
+    requests = []
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            requests.append(DesignRequest.from_dict(json.load(f)))
+    return requests
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     """Synthesize designs for JSON request file(s) and print the reports.
 
     Several request files form one batch: cached results are answered
     instantly and the remaining queries fan out over ``--jobs`` workers.
     """
-    import json
-
-    from repro.core.design import DesignRequest
     from repro.core.engine import ReasoningEngine
     from repro.core.report import render_report
 
-    requests = []
-    for path in args.request:
-        with open(path, encoding="utf-8") as f:
-            requests.append(DesignRequest.from_dict(json.load(f)))
+    requests = _load_requests(args.request)
     kb = default_knowledge_base()
     observer = None
     if args.profile:
@@ -140,23 +154,20 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     """Answer a stream of what-if requests on one incremental session.
 
     Every file is a full DesignRequest JSON; the first is the baseline
-    and the rest are variations. The KB encoding is compiled (and
-    preprocessed) once, each request adds only its own constraint groups,
-    and learned clauses carry across the whole stream.
+    and the rest are variations. Each request lowers to a Query on the
+    engine's executor, which keeps one compile-once session: the KB
+    encoding is compiled (and preprocessed) once, each request adds only
+    its own constraint groups, and learned clauses carry across the
+    whole stream.
     """
-    import json
     import time
 
-    from repro.core.design import DesignRequest
-    from repro.core.session import ReasoningSession
+    from repro.core.engine import ReasoningEngine
 
-    requests = []
-    for path in args.request:
-        with open(path, encoding="utf-8") as f:
-            requests.append(DesignRequest.from_dict(json.load(f)))
+    requests = _load_requests(args.request)
     kb = default_knowledge_base()
-    session = ReasoningSession(kb, preprocess=not args.no_preprocess)
-    verb = session.check if args.check else session.synthesize
+    engine = ReasoningEngine(kb, preprocess=not args.no_preprocess)
+    verb = engine.check if args.check else engine.synthesize
     all_feasible = True
     for path, request in zip(args.request, requests):
         start = time.perf_counter()
@@ -174,9 +185,44 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
             )
             print(f"{path}: INFEASIBLE [{elapsed:.3f}s] conflict: {names}")
     if args.stats:
-        for key, value in session.stats.as_dict().items():
+        for key, value in engine.session().stats.as_dict().items():
             print(f"# {key}: {value}", file=sys.stderr)
     return 0 if all_feasible else 3
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    """Explain a stream of requests: minimal conflict per infeasible one.
+
+    All requests share one incremental session, so a repeated-conflict
+    sweep (the common "which of my requirements clash?" loop) pays the
+    KB compilation once. Exit 0 when every request is feasible, 3 when
+    at least one conflict was found.
+    """
+    import time
+
+    from repro.core.engine import ReasoningEngine
+
+    requests = _load_requests(args.request)
+    kb = default_knowledge_base()
+    engine = ReasoningEngine(kb, preprocess=not args.no_preprocess)
+    any_conflict = False
+    for path, request in zip(args.request, requests):
+        start = time.perf_counter()
+        conflict = engine.diagnose(request)
+        elapsed = time.perf_counter() - start
+        if conflict is None:
+            print(f"{path}: feasible [{elapsed:.3f}s]")
+            continue
+        any_conflict = True
+        names = ", ".join(conflict.constraints)
+        print(f"{path}: INFEASIBLE [{elapsed:.3f}s] conflict: {names}")
+        if args.explain:
+            for line in conflict.explanation().splitlines():
+                print(f"  {line}")
+    if args.stats:
+        for key, value in engine.session().stats.as_dict().items():
+            print(f"# {key}: {value}", file=sys.stderr)
+    return 3 if any_conflict else 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -320,6 +366,22 @@ def build_parser() -> argparse.ArgumentParser:
     whatif.add_argument("--stats", action="store_true",
                         help="print session statistics to stderr")
     whatif.set_defaults(func=_cmd_whatif)
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="explain infeasible requests with minimal conflict sets",
+    )
+    diagnose.add_argument("request", nargs="+",
+                          help="DesignRequest JSON files; all diagnosed on "
+                               "one compile-once session")
+    diagnose.add_argument("--explain", action="store_true",
+                          help="append the human-readable conflict "
+                               "explanation under each infeasible request")
+    diagnose.add_argument("--no-preprocess", action="store_true",
+                          help="skip SatELite-style CNF preprocessing")
+    diagnose.add_argument("--stats", action="store_true",
+                          help="print session statistics to stderr")
+    diagnose.set_defaults(func=_cmd_diagnose)
 
     solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
     solve.add_argument("cnf")

@@ -27,6 +27,8 @@ from repro.core.design import (
 )
 from repro.core.compile import CompiledDesign, compile_design
 from repro.core.engine import ReasoningEngine
+from repro.core.executor import QueryExecutor
+from repro.core.query import Query
 from repro.core.session import ReasoningSession, SessionStats
 
 __all__ = [
@@ -35,6 +37,8 @@ __all__ = [
     "DesignOutcome",
     "DesignRequest",
     "DesignSolution",
+    "Query",
+    "QueryExecutor",
     "ReasoningEngine",
     "ReasoningSession",
     "SessionStats",

@@ -873,6 +873,31 @@ class _Compiler:
             )
 
 
+def validate_request_entities(
+    kb: KnowledgeBase, request: DesignRequest
+) -> None:
+    """Raise :class:`UnknownEntityError` for names *request* references
+    that are not in *kb*.
+
+    A fresh compile performs these checks while selecting candidates;
+    the incremental session path must run them explicitly, because a
+    guard for e.g. an unknown forbidden system would otherwise be
+    silently skipped instead of rejected.
+    """
+    names = list(request.required_systems) + list(request.forbidden_systems)
+    if request.candidate_systems is not None:
+        names += list(request.candidate_systems)
+    for name in names:
+        if name not in kb.systems:
+            raise UnknownEntityError(f"unknown system {name!r} in request")
+    models = list(request.fixed_hardware)
+    if request.inventory is not None:
+        models += list(request.inventory)
+    for model in models:
+        if model not in kb.hardware:
+            raise UnknownEntityError(f"unknown hardware model {model!r}")
+
+
 def compile_design(
     kb: KnowledgeBase, request: DesignRequest, observer=None
 ) -> CompiledDesign:

@@ -1,4 +1,11 @@
-"""The architect-facing facade over compile / solve / optimize / explain."""
+"""The architect-facing facade over the unified query pipeline.
+
+Every verb on :class:`ReasoningEngine` lowers to a
+:class:`~repro.core.query.Query` and dispatches to the engine's
+:class:`~repro.core.executor.QueryExecutor` — caching, incremental
+sessions, batching, and observability live there, once, instead of
+being re-plumbed per verb.
+"""
 
 from __future__ import annotations
 
@@ -12,15 +19,12 @@ from repro.core.design import (
     DesignRequest,
     DesignSolution,
 )
-from repro.core.diagnose import diagnose
-from repro.core.equivalence import DeploymentClass, deployment_classes
+from repro.core.equivalence import DeploymentClass
+from repro.core.executor import QueryExecutor
+from repro.core.query import Query
 from repro.kb.registry import KnowledgeBase
 from repro.obs.observer import EngineObserver
-from repro.obs.trace import NULL_TRACER
-from repro.opt.lexicographic import LexObjective, lexicographic_optimize
-from repro.opt.linear import minimize_linexpr
-from repro.par.batch import run_queries
-from repro.par.cache import QueryCache, request_cache_key
+from repro.par.cache import QueryCache
 
 
 @dataclass
@@ -55,7 +59,9 @@ class ReasoningEngine:
     """Lightweight automated reasoning over a knowledge base.
 
     The three verbs from the paper's vision (§1): *check* a candidate
-    design, *synthesize* a good design, and *explain* why none exists.
+    design, *synthesize* a good design, and *explain* why none exists —
+    plus diagnosis, equivalence classes, comparison, and batch forms.
+    All of them are thin wrappers building a Query for the executor.
 
     >>> engine = ReasoningEngine(default_knowledge_base())
     >>> outcome = engine.synthesize(DesignRequest(workloads=[...]))
@@ -75,27 +81,40 @@ class ReasoningEngine:
         if validate:
             kb.validate_or_raise()
         self.kb = kb
-        self.observer = observer
-        #: Optional result cache for ``check``/``synthesize`` (and their
-        #: batch forms). Keys cover the KB fingerprint, so any KB
-        #: mutation through the registry API invalidates prior entries.
-        self.cache = cache
-        if (
-            cache is not None
-            and cache.metrics is None
-            and observer is not None
-        ):
-            cache.metrics = observer.metrics
-        #: Default worker count for ``check_many``/``synthesize_many``.
-        self.jobs = max(1, jobs)
-        #: Route what-if streams (``compare``, sequential ``check_many``)
-        #: through a shared :class:`~repro.core.session.ReasoningSession`
-        #: so the KB encoding compiles once per shape and learned clauses
-        #: carry across queries.
-        self.incremental = incremental
-        #: Run SatELite-style CNF preprocessing inside the session.
-        self.preprocess = preprocess
-        self._session = None
+        #: The unified pipeline every verb dispatches through. Result
+        #: caching (keys cover the KB fingerprint, so registry mutations
+        #: invalidate prior entries), the shared incremental session,
+        #: batch fan-out, and per-stage observability all live here.
+        self.executor = QueryExecutor(
+            kb,
+            observer=observer,
+            cache=cache,
+            jobs=jobs,
+            incremental=incremental,
+            preprocess=preprocess,
+        )
+
+    # -- executor configuration (read-only views) ---------------------------------
+
+    @property
+    def observer(self) -> EngineObserver | None:
+        return self.executor.observer
+
+    @property
+    def cache(self) -> QueryCache | None:
+        return self.executor.cache
+
+    @property
+    def jobs(self) -> int:
+        return self.executor.jobs
+
+    @property
+    def incremental(self) -> bool:
+        return self.executor.incremental
+
+    @property
+    def preprocess(self) -> bool:
+        return self.executor.preprocess
 
     def session(self):
         """The engine's shared :class:`~repro.core.session.ReasoningSession`.
@@ -104,22 +123,7 @@ class ReasoningEngine:
         its request-specific constraint groups. The session checks the KB
         fingerprint per query and recompiles itself when the KB mutates.
         """
-        if self._session is None:
-            from repro.core.session import ReasoningSession
-
-            self._session = ReasoningSession(
-                self.kb,
-                preprocess=self.preprocess,
-                observer=self.observer,
-                validate=False,
-            )
-        return self._session
-
-    @property
-    def _tracer(self):
-        if self.observer is not None and self.observer.enabled:
-            return self.observer.tracer
-        return NULL_TRACER
+        return self.executor.session()
 
     # -- compilation -------------------------------------------------------------
 
@@ -137,82 +141,64 @@ class ReasoningEngine:
         With *deploy* given, the named systems are required and all other
         candidates forbidden — the "validate my whiteboard design" query.
         """
-        tracer = self._tracer
         if deploy is not None:
             request = _with_exact_systems(request, deploy, self.kb)
-        key = self._cache_key("check", request)
-        if key is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        compiled = self.compile(request)
-        with tracer.span("solve"):
-            satisfiable = compiled.solve()
-        if satisfiable:
-            solution = compiled.extract_solution(compiled.solver.model())
-            self._record_query("check", compiled)
-            outcome = DesignOutcome(
-                True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
-            )
-            return self._cache_put(key, outcome)
-        with tracer.span("diagnose"):
-            conflict = diagnose(compiled)
-        self._record_query("check", compiled)
-        outcome = DesignOutcome(
-            False, conflict=conflict, solver_stats=compiled.solver.stats.as_dict()
-        )
-        return self._cache_put(key, outcome)
+        return self.executor.execute(Query("check", request))
 
     def synthesize(self, request: DesignRequest) -> DesignOutcome:
         """Find a compliant design, lexicographically optimal per
         ``request.optimize``; on infeasibility, return a minimal conflict."""
-        tracer = self._tracer
-        key = self._cache_key("synthesize", request)
-        if key is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        compiled = self.compile(request)
-        with tracer.span("solve"):
-            satisfiable = compiled.solve()
-        if not satisfiable:
-            with tracer.span("diagnose"):
-                conflict = diagnose(compiled)
-            self._record_query("synthesize", compiled)
-            outcome = DesignOutcome(
-                False,
-                conflict=conflict,
-                solver_stats=compiled.solver.stats.as_dict(),
+        return self.executor.execute(Query("synthesize", request))
+
+    def diagnose(self, request: DesignRequest) -> Conflict | None:
+        """Minimal conflicting-requirement set, or None if feasible."""
+        return self.executor.execute(Query("diagnose", request))
+
+    def equivalence_classes(
+        self,
+        request: DesignRequest,
+        class_limit: int | None = 64,
+        completions_limit: int | None = 64,
+    ) -> list[DeploymentClass]:
+        """Distinct system-level deployments compliant with the request."""
+        return self.executor.execute(
+            Query(
+                "equivalence",
+                request,
+                class_limit=class_limit,
+                completions_limit=completions_limit,
             )
-            return self._cache_put(key, outcome)
-        compiled.assert_guards()
-        with tracer.span("optimize"):
-            model = self._optimize(compiled, request)
-        solution = compiled.extract_solution(model)
-        self._record_query("synthesize", compiled)
-        outcome = DesignOutcome(
-            True, solution=solution, solver_stats=compiled.solver.stats.as_dict()
         )
-        return self._cache_put(key, outcome)
 
-    def _cache_key(self, verb: str, request: DesignRequest) -> str | None:
-        if self.cache is None:
-            return None
-        return request_cache_key(verb, self.kb, request, self._config_tag())
+    def enumerate_deployments(
+        self, request: DesignRequest, limit: int | None = 64
+    ) -> list[tuple[str, ...]]:
+        """Distinct compliant system sets, smallest first (no counting)."""
+        return self.executor.execute(Query("enumerate", request, limit=limit))
 
-    def _config_tag(self) -> str:
-        """Solver/preprocessing configuration component of cache keys.
+    def explain(self, request: DesignRequest, outcome: DesignOutcome) -> str:
+        """Human-readable justification of an outcome.
 
-        Incremental sessions and preprocessing both change which (equally
-        valid) model or minimal conflict is returned, so engines under
-        different configurations must not share cache entries.
+        For feasible outcomes: per-system justifications (role,
+        requirement providers, ranks). For infeasible ones: the conflict
+        explanation.
         """
-        return f"inc={int(self.incremental)};pp={int(self.preprocess)}"
+        return self.executor.execute(Query("explain", request), outcome=outcome)
 
-    def _cache_put(self, key: str | None, outcome: DesignOutcome) -> DesignOutcome:
-        if key is not None:
-            self.cache.put(key, outcome)
-        return outcome
+    def compare(
+        self, baseline: DesignRequest, alternative: DesignRequest
+    ) -> ComparisonResult:
+        """Synthesize both requests and report the deltas (what-if query).
+
+        Both sides run through the executor: with ``incremental`` they
+        share the session solver (the alternative pays only for its own
+        constraint groups), and with a cache both outcomes are memoized.
+        """
+        outcomes = self.executor.execute_many(
+            [Query("synthesize", baseline), Query("synthesize", alternative)],
+            jobs=1,
+        )
+        return ComparisonResult(baseline=outcomes[0], alternative=outcomes[1])
 
     # -- batch queries ------------------------------------------------------------
 
@@ -227,7 +213,9 @@ class ReasoningEngine:
             requests = [
                 _with_exact_systems(r, deploy, self.kb) for r in requests
             ]
-        return self._run_many("check", list(requests), jobs)
+        return self.executor.execute_many(
+            [Query("check", r) for r in requests], jobs
+        )
 
     def synthesize_many(
         self,
@@ -235,192 +223,9 @@ class ReasoningEngine:
         jobs: int | None = None,
     ) -> list[DesignOutcome]:
         """Run :meth:`synthesize` on every request, fanning misses over workers."""
-        return self._run_many("synthesize", list(requests), jobs)
-
-    def _run_many(
-        self, verb: str, requests: list[DesignRequest], jobs: int | None
-    ) -> list[DesignOutcome]:
-        """Cache-aware fan-out: hits are answered inline, misses go to
-        :func:`repro.par.batch.run_queries` (a process pool when *jobs*
-        allows, sequential otherwise), results return in input order."""
-        jobs = self.jobs if jobs is None else max(1, jobs)
-        outcomes: list[DesignOutcome | None] = [None] * len(requests)
-        # Duplicate requests in one batch (same cache key) are computed
-        # once and fanned back to every position that asked.
-        pending_keys: list[str | None] = []
-        pending_reqs: list[DesignRequest] = []
-        pending_idx: list[list[int]] = []
-        slot_by_key: dict[str, int] = {}
-        for i, request in enumerate(requests):
-            key = self._cache_key(verb, request)
-            if key is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    outcomes[i] = cached
-                    continue
-                slot = slot_by_key.get(key)
-                if slot is not None:
-                    pending_idx[slot].append(i)
-                    continue
-                slot_by_key[key] = len(pending_reqs)
-            pending_keys.append(key)
-            pending_reqs.append(request)
-            pending_idx.append([i])
-        if pending_reqs:
-            if jobs == 1 and self.incremental and verb in ("check", "synthesize"):
-                # Sequential what-if sweep: answer on the persistent
-                # session solver instead of compiling each miss fresh.
-                session = self.session()
-                run = session.check if verb == "check" else session.synthesize
-                computed = [run(r) for r in pending_reqs]
-            else:
-                computed = run_queries(self.kb, verb, pending_reqs, jobs)
-            for slot, outcome in enumerate(computed):
-                outcome = self._cache_put(pending_keys[slot], outcome)
-                for i in pending_idx[slot]:
-                    outcomes[i] = outcome
-                if self.observer is not None and self.observer.enabled:
-                    self.observer.metrics.incr("queries")
-                    self.observer.metrics.incr(f"queries.{verb}")
-        return outcomes
-
-    def _optimize(self, compiled: CompiledDesign, request: DesignRequest):
-        """Lexicographic descent over the request's objectives.
-
-        Ordering dimensions are minimized via the pseudo-Boolean engine
-        (small rank weights); cost objectives via bound bisection on the
-        bit-vector encoding (dollar/watt-scale weights). Soft rules form
-        an implicit lowest-priority objective.
-        """
-        from repro.core.design import COST_OBJECTIVES
-
-        tracer = self._tracer
-        names = list(request.optimize)
-        for name in names:
-            if name in COST_OBJECTIVES:
-                with tracer.span(name):
-                    expr = compiled.cost_expr(name)
-                    # Stop within ~2% of optimal: the probes nearest the
-                    # true optimum are the hardest UNSAT instances, and
-                    # shallow cost reasoning does not need dollar-exact
-                    # answers.
-                    if compiled.solver.solve():
-                        from repro.opt.linear import expr_value
-
-                        first = expr_value(
-                            expr, compiled.encoder, compiled.solver.model()
-                        )
-                    else:  # pragma: no cover - guarded by feasibility check
-                        first = 0
-                    result = minimize_linexpr(
-                        compiled.solver,
-                        compiled.encoder,
-                        expr,
-                        tolerance=max(1, first // 50),
-                        tracer=tracer,
-                    )
-                    assert result is not None, "feasible request must stay sat"
-            else:
-                lex = lexicographic_optimize(
-                    compiled.solver,
-                    [LexObjective(name, compiled.objective_terms(name))],
-                    tracer=tracer,
-                )
-                assert lex.satisfiable, "feasible request must stay sat"
-        if compiled.soft_rule_terms:
-            lex = lexicographic_optimize(
-                compiled.solver,
-                [LexObjective("soft_rules", list(compiled.soft_rule_terms))],
-                tracer=tracer,
-            )
-            assert lex.satisfiable, "feasible request must stay sat"
-        # Implicit lowest-priority objective: parsimony. Without it the
-        # solver happily deploys harmless-but-pointless extra systems.
-        from repro.logic.pseudo_boolean import PBTerm
-
-        parsimony = [PBTerm(1, lit) for lit in compiled.sys_lits.values()]
-        if parsimony:
-            lex = lexicographic_optimize(
-                compiled.solver,
-                [LexObjective("parsimony", parsimony)],
-                tracer=tracer,
-            )
-            assert lex.satisfiable, "feasible request must stay sat"
-        satisfiable = compiled.solver.solve()
-        assert satisfiable, "feasible request must stay sat"
-        return compiled.solver.model()
-
-    def diagnose(self, request: DesignRequest) -> Conflict | None:
-        """Minimal conflicting-requirement set, or None if feasible."""
-        compiled = self.compile(request)
-        with self._tracer.span("diagnose"):
-            conflict = diagnose(compiled)
-        self._record_query("diagnose", compiled)
-        return conflict
-
-    def equivalence_classes(
-        self,
-        request: DesignRequest,
-        class_limit: int | None = 64,
-        completions_limit: int | None = 64,
-    ) -> list[DeploymentClass]:
-        """Distinct system-level deployments compliant with the request."""
-        tracer = self._tracer
-        compiled = self.compile(request)
-        with tracer.span("solve"):
-            satisfiable = compiled.solve()
-        if not satisfiable:
-            self._record_query("equivalence_classes", compiled)
-            return []
-        with tracer.span("enumerate"):
-            classes = deployment_classes(compiled, class_limit, completions_limit)
-        self._record_query("equivalence_classes", compiled)
-        return classes
-
-    def _record_query(self, name: str, compiled: CompiledDesign) -> None:
-        if self.observer is not None and self.observer.enabled:
-            self.observer.record_query(name, compiled.solver.stats.as_dict())
-
-    def explain(self, request: DesignRequest, outcome: DesignOutcome) -> str:
-        """Human-readable justification of an outcome.
-
-        For feasible outcomes: per-system justifications (role,
-        requirement providers, ranks). For infeasible ones: the conflict
-        explanation.
-        """
-        if outcome.feasible:
-            from repro.core.explain import explanation_text
-
-            return explanation_text(self.kb, request, outcome.solution)
-        if outcome.conflict is not None:
-            return outcome.conflict.explanation()
-        return "infeasible (no diagnosis computed)"
-
-    def compare(
-        self, baseline: DesignRequest, alternative: DesignRequest
-    ) -> ComparisonResult:
-        """Synthesize both requests and report the deltas (what-if query).
-
-        With ``incremental``, both sides run on the shared session solver:
-        the alternative pays only for its own constraint groups, and
-        learned clauses from the baseline carry over.
-        """
-        if not self.incremental:
-            return ComparisonResult(
-                baseline=self.synthesize(baseline),
-                alternative=self.synthesize(alternative),
-            )
-        session = self.session()
-        outcomes = []
-        for request in (baseline, alternative):
-            key = self._cache_key("synthesize", request)
-            if key is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    outcomes.append(cached)
-                    continue
-            outcomes.append(self._cache_put(key, session.synthesize(request)))
-        return ComparisonResult(baseline=outcomes[0], alternative=outcomes[1])
+        return self.executor.execute_many(
+            [Query("synthesize", r) for r in requests], jobs
+        )
 
 
 def _with_exact_systems(

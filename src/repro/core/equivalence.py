@@ -31,13 +31,19 @@ def deployment_classes(
     compiled: CompiledDesign,
     class_limit: int | None = 64,
     completions_limit: int | None = 64,
+    assumptions: list[int] | None = None,
 ) -> list[DeploymentClass]:
     """Enumerate system-level equivalence classes of a feasible request.
 
-    The compiled design's guards are asserted hard; the compiled object
-    should be treated as consumed afterwards.
+    Without *assumptions* the compiled design's guards are asserted hard
+    and the compiled object should be treated as consumed afterwards.
+    With *assumptions* (a shared incremental session's guard literals)
+    every solve is scoped to them instead, and the solver stays clean —
+    blocking clauses are retired through enumeration guards.
     """
-    compiled.assert_guards()
+    if assumptions is None:
+        compiled.assert_guards()
+        assumptions = []
     observed = [compiled.sys_lits[s] for s in sorted(compiled.sys_lits)]
     refinement = [compiled.hw_bools[m] for m in sorted(compiled.hw_bools)]
     refinement += list(compiled.feat_lits.values())
@@ -48,6 +54,7 @@ def deployment_classes(
         refinement=refinement,
         class_limit=class_limit,
         completions_limit=completions_limit,
+        assumptions=assumptions,
     )
     out = []
     for cls in classes:

@@ -1,0 +1,432 @@
+"""One executor for every reasoning verb.
+
+A :class:`QueryExecutor` answers :class:`~repro.core.query.Query` values
+through a single staged pipeline:
+
+1. **cache** — look the query's canonical key up in the shared
+   :class:`~repro.par.QueryCache` (per-verb hit/miss metrics);
+2. **acquire** — obtain a :class:`~repro.core.compile.CompiledDesign`
+   view, either from the persistent incremental
+   :class:`~repro.core.session.ReasoningSession` (compile once per KB
+   shape, guard-literal assumptions per query) or by a fresh compile;
+3. **solve** — one feasibility call under the view's assumptions;
+4. **verb dispatch** — extraction (``check``), lexicographic descent
+   (``synthesize``), core minimization (``diagnose``), or projected
+   enumeration (``equivalence`` / ``enumerate``);
+5. **post-process** — observability record + cache fill.
+
+Every stage emits one tracer span and its metrics, so ``check``,
+``diagnose``, and ``equivalence`` produce the same shaped telemetry.
+The engine and session front-ends are thin wrappers that build a Query
+and dispatch here; no verb carries its own cache/session plumbing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.compile import CompiledDesign, compile_design
+from repro.core.design import (
+    COST_OBJECTIVES,
+    DesignOutcome,
+    DesignRequest,
+)
+from repro.core.diagnose import conflict_from_core
+from repro.core.equivalence import deployment_classes
+from repro.core.query import CACHEABLE_VERBS, Query
+from repro.errors import QueryError
+from repro.kb.registry import KnowledgeBase
+from repro.logic.pseudo_boolean import PBTerm
+from repro.obs.observer import EngineObserver
+from repro.obs.trace import NULL_TRACER
+from repro.opt.enumerate import equivalence_classes as _sat_classes
+from repro.opt.lexicographic import LexObjective, lexicographic_optimize
+from repro.opt.linear import expr_value, minimize_linexpr
+from repro.par.cache import QueryCache, request_cache_key
+
+__all__ = ["QueryExecutor"]
+
+#: Cache sentinel distinct from any result (``diagnose`` caches ``None``
+#: for feasible requests, so ``None`` cannot signal a miss).
+_MISS = object()
+
+
+class QueryExecutor:
+    """Uniform cache → compile/session → solve → verb → record pipeline.
+
+    Parameters mirror :class:`~repro.core.engine.ReasoningEngine`, which
+    owns exactly one executor. A :class:`ReasoningSession` also embeds
+    one (bound back to itself) so both facades share this code path.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        observer: EngineObserver | None = None,
+        cache: QueryCache | None = None,
+        jobs: int = 1,
+        incremental: bool = True,
+        preprocess: bool = True,
+        session=None,
+    ):
+        self.kb = kb
+        self.observer = observer
+        self.cache = cache
+        if (
+            cache is not None
+            and cache.metrics is None
+            and observer is not None
+        ):
+            cache.metrics = observer.metrics
+        self.jobs = max(1, jobs)
+        self.incremental = incremental
+        self.preprocess = preprocess
+        self._session = session
+        self._config_tag = f"inc={int(incremental)};pp={int(preprocess)}"
+        # Key suffix for option-less queries (check/synthesize/diagnose),
+        # precomputed so the warm cache-hit path builds no strings.
+        self._default_options_config = (
+            f"{self._config_tag}|cl=None;co=None;n=None"
+        )
+
+    # -- wiring -------------------------------------------------------------------
+
+    @property
+    def _tracer(self):
+        if self.observer is not None and self.observer.enabled:
+            return self.observer.tracer
+        return NULL_TRACER
+
+    def session(self):
+        """The shared incremental session (created lazily)."""
+        if self._session is None:
+            from repro.core.session import ReasoningSession
+
+            self._session = ReasoningSession(
+                self.kb,
+                preprocess=self.preprocess,
+                observer=self.observer,
+                validate=False,
+            )
+        return self._session
+
+    def config_tag(self) -> str:
+        """Solver/preprocessing configuration component of cache keys.
+
+        Incremental sessions and preprocessing both change which (equally
+        valid) model or minimal conflict is returned, so executors under
+        different configurations must not share cache entries.
+        """
+        return self._config_tag
+
+    def cache_key(self, query: Query) -> str | None:
+        """*query*'s key in the shared cache; None when not cacheable."""
+        if self.cache is None or not query.cacheable:
+            return None
+        return query.cache_key(self.kb, self._config_tag)
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def execute(self, query: Query, outcome: DesignOutcome | None = None):
+        """Run one query through the full pipeline.
+
+        *outcome* is only read by the ``explain`` verb (explanations
+        post-process a previously computed outcome; they are not solver
+        queries and are never cached).
+        """
+        verb = query.verb
+        if verb == "explain":
+            with self._tracer.span("explain"):
+                text = self._explain(query.request, outcome)
+            self._record(verb, None)
+            return text
+        if self.cache is not None and verb in CACHEABLE_VERBS:
+            if (
+                query.class_limit is None
+                and query.completions_limit is None
+                and query.limit is None
+            ):
+                key = request_cache_key(
+                    verb, self.kb, query.request,
+                    self._default_options_config,
+                )
+            else:
+                key = query.cache_key(self.kb, self._config_tag)
+        else:
+            key = None
+        if key is not None:
+            observer = self.observer
+            if observer is not None and observer.enabled:
+                with observer.tracer.span("cache"):
+                    cached = self.cache.get(key, _MISS)
+                observer.record_cache(verb, hit=cached is not _MISS)
+            else:
+                cached = self.cache.get(key, _MISS)
+            if cached is not _MISS:
+                return cached
+        result = self._execute_miss(query)
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        jobs: int | None = None,
+    ) -> list:
+        """Answer every query, fanning cache misses over workers.
+
+        Hits are answered inline; duplicate queries (same cache key) are
+        computed once and fanned back to every position that asked. With
+        one worker the misses run on the shared incremental session;
+        with more they go to a :func:`repro.par.batch.run_query_batch`
+        process pool. Results return in input order.
+        """
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        results: list = [None] * len(queries)
+        pending_keys: list[str | None] = []
+        pending: list[Query] = []
+        pending_idx: list[list[int]] = []
+        slot_by_key: dict[str, int] = {}
+        for i, query in enumerate(queries):
+            key = self.cache_key(query)
+            if key is not None:
+                with self._tracer.span("cache"):
+                    cached = self.cache.get(key, _MISS)
+                self._record_cache(query.verb, hit=cached is not _MISS)
+                if cached is not _MISS:
+                    results[i] = cached
+                    continue
+                slot = slot_by_key.get(key)
+                if slot is not None:
+                    pending_idx[slot].append(i)
+                    continue
+                slot_by_key[key] = len(pending)
+            pending_keys.append(key)
+            pending.append(query)
+            pending_idx.append([i])
+        if pending:
+            if jobs == 1:
+                computed = [self._execute_miss(q) for q in pending]
+            else:
+                from repro.par.batch import run_query_batch
+
+                computed = run_query_batch(self.kb, pending, jobs)
+                for query in pending:
+                    self._record(query.verb, None)
+            for slot, result in enumerate(computed):
+                if pending_keys[slot] is not None:
+                    self.cache.put(pending_keys[slot], result)
+                for i in pending_idx[slot]:
+                    results[i] = result
+        return results
+
+    def _execute_miss(self, query: Query):
+        """Stages 2-5: acquire a view, solve, dispatch, record."""
+        view = self._acquire(query.request)
+        result = self._dispatch(query, view)
+        self._record(query.verb, view)
+        return result
+
+    def _acquire(self, request: DesignRequest) -> CompiledDesign:
+        """Session view (incremental) or fresh compile, one code path."""
+        if self.incremental:
+            return self.session().view(request)
+        return compile_design(self.kb, request, observer=self.observer)
+
+    def _dispatch(self, query: Query, view: CompiledDesign):
+        tracer = self._tracer
+        with tracer.span("solve"):
+            satisfiable = view.solve()
+        verb = query.verb
+        if verb == "diagnose":
+            if satisfiable:
+                return None
+            with tracer.span("diagnose"):
+                return conflict_from_core(view)
+        if verb == "equivalence":
+            if not satisfiable:
+                return []
+            with tracer.span("enumerate"):
+                return deployment_classes(
+                    view,
+                    query.class_limit,
+                    query.completions_limit,
+                    assumptions=(
+                        view.assumptions() if self.incremental else None
+                    ),
+                )
+        if verb == "enumerate":
+            if not satisfiable:
+                return []
+            with tracer.span("enumerate"):
+                return self._enumerate(view, query.limit)
+        # check / synthesize produce DesignOutcome values.
+        if not satisfiable:
+            with tracer.span("diagnose"):
+                conflict = conflict_from_core(view)
+            return DesignOutcome(
+                False,
+                conflict=conflict,
+                solver_stats=view.solver.stats.as_dict(),
+            )
+        if verb == "check":
+            model = view.solver.model()
+        else:  # synthesize
+            with tracer.span("optimize"):
+                model = self._optimize(view)
+        solution = view.extract_solution(model)
+        return DesignOutcome(
+            True,
+            solution=solution,
+            solver_stats=view.solver.stats.as_dict(),
+        )
+
+    # -- verb helpers -------------------------------------------------------------
+
+    def _enumerate(
+        self, view: CompiledDesign, limit: int | None
+    ) -> list[tuple[str, ...]]:
+        """Distinct system-level deployments (no completion counting)."""
+        observed = [view.sys_lits[s] for s in sorted(view.sys_lits)]
+        names_by_lit = {lit: name for name, lit in view.sys_lits.items()}
+        classes = _sat_classes(
+            view.solver,
+            observed=observed,
+            refinement=(),
+            class_limit=limit,
+            assumptions=view.assumptions(),
+        )
+        deployments = [
+            tuple(
+                sorted(
+                    names_by_lit[lit]
+                    for lit, value in cls.signature.items()
+                    if value
+                )
+            )
+            for cls in classes
+        ]
+        deployments.sort(key=lambda systems: (len(systems), systems))
+        return deployments
+
+    def _optimize(self, view: CompiledDesign) -> dict[int, bool]:
+        """Lexicographic descent over the request's objectives.
+
+        Ordering dimensions are minimized via the pseudo-Boolean engine
+        (small rank weights); cost objectives via bound bisection on the
+        bit-vector encoding (dollar/watt-scale weights). Soft rules and
+        parsimony form implicit lowest-priority objectives.
+
+        On the fresh path the view's guards are asserted hard and bounds
+        are added permanently (the solver is discarded afterwards). On
+        the session path everything runs under the view's assumptions,
+        with bounds frozen behind a per-query activation literal that is
+        retired afterwards, so the shared formula is never poisoned.
+        """
+        if not self.incremental:
+            view.assert_guards()
+            return self._descend(view, None, None, None)
+        session = self.session()
+        act = view.solver.new_var()
+        try:
+            return self._descend(
+                view, view.assumptions() + [act], act, session._totalizers
+            )
+        finally:
+            # Retire this query's frozen optimization bounds.
+            view.solver.add_clause([-act])
+
+    def _descend(
+        self,
+        view: CompiledDesign,
+        assumptions: list[int] | None,
+        act: int | None,
+        totalizers: dict | None,
+    ) -> dict[int, bool]:
+        tracer = self._tracer
+        solver, encoder = view.solver, view.encoder
+        base = assumptions or []
+        for name in view.request.optimize:
+            if name in COST_OBJECTIVES:
+                with tracer.span(name):
+                    expr = view.cost_expr(name)
+                    # Stop within ~2% of optimal: the probes nearest the
+                    # true optimum are the hardest UNSAT instances, and
+                    # shallow cost reasoning does not need dollar-exact
+                    # answers.
+                    if solver.solve(base):
+                        first = expr_value(expr, encoder, solver.model())
+                    else:  # pragma: no cover - guarded by feasibility check
+                        first = 0
+                    result = minimize_linexpr(
+                        solver,
+                        encoder,
+                        expr,
+                        tolerance=max(1, first // 50),
+                        tracer=tracer,
+                        assumptions=assumptions,
+                        freeze_lit=act,
+                    )
+                    assert result is not None, "feasible request must stay sat"
+            else:
+                lex = lexicographic_optimize(
+                    solver,
+                    [LexObjective(name, view.objective_terms(name))],
+                    tracer=tracer,
+                    assumptions=assumptions,
+                    freeze_lit=act,
+                    totalizer_cache=totalizers,
+                )
+                assert lex.satisfiable, "feasible request must stay sat"
+        if view.soft_rule_terms:
+            lex = lexicographic_optimize(
+                solver,
+                [LexObjective("soft_rules", list(view.soft_rule_terms))],
+                tracer=tracer,
+                assumptions=assumptions,
+                freeze_lit=act,
+                totalizer_cache=totalizers,
+            )
+            assert lex.satisfiable, "feasible request must stay sat"
+        # Implicit lowest-priority objective: parsimony. Without it the
+        # solver happily deploys harmless-but-pointless extra systems.
+        parsimony = [PBTerm(1, lit) for lit in view.sys_lits.values()]
+        if parsimony:
+            lex = lexicographic_optimize(
+                solver,
+                [LexObjective("parsimony", parsimony)],
+                tracer=tracer,
+                assumptions=assumptions,
+                freeze_lit=act,
+                totalizer_cache=totalizers,
+            )
+            assert lex.satisfiable, "feasible request must stay sat"
+        satisfiable = solver.solve(base)
+        assert satisfiable, "feasible request must stay sat"
+        return solver.model()
+
+    def _explain(
+        self, request: DesignRequest, outcome: DesignOutcome | None
+    ) -> str:
+        if outcome is None:
+            raise QueryError("explain requires the outcome to justify")
+        if outcome.feasible:
+            from repro.core.explain import explanation_text
+
+            return explanation_text(self.kb, request, outcome.solution)
+        if outcome.conflict is not None:
+            return outcome.conflict.explanation()
+        return "infeasible (no diagnosis computed)"
+
+    # -- observability ------------------------------------------------------------
+
+    def _record(self, verb: str, view: CompiledDesign | None) -> None:
+        if self.observer is None or not self.observer.enabled:
+            return
+        stats = view.solver.stats.as_dict() if view is not None else None
+        self.observer.record_query(verb, stats)
+
+    def _record_cache(self, verb: str, hit: bool) -> None:
+        if self.observer is not None and self.observer.enabled:
+            self.observer.record_cache(verb, hit)

@@ -31,6 +31,13 @@ properties, candidate pool, inventory, given properties) differs from
 the compiled base triggers a transparent rebase — correctness first,
 amortization second.
 
+The session itself is the *compile-once* half of the story: it serves
+per-query :class:`~repro.core.compile.CompiledDesign` views over the
+shared solver via :meth:`ReasoningSession.view`. The verbs (`check`,
+`synthesize`, `diagnose`, `compare`) are answered by the same
+:class:`~repro.core.executor.QueryExecutor` pipeline the engine uses,
+bound back to this session.
+
 Typical use::
 
     session = ReasoningSession(kb)
@@ -43,20 +50,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.compile import CompiledDesign, _Compiler
-from repro.core.design import (
-    COST_OBJECTIVES,
-    Conflict,
-    DesignOutcome,
-    DesignRequest,
+from repro.core.compile import (
+    CompiledDesign,
+    _Compiler,
+    validate_request_entities,
 )
-from repro.core.diagnose import diagnose
+from repro.core.design import Conflict, DesignOutcome, DesignRequest
+from repro.core.executor import QueryExecutor
+from repro.core.query import Query
 from repro.kb.registry import KnowledgeBase
-from repro.logic.pseudo_boolean import PBTerm
 from repro.obs.observer import EngineObserver
 from repro.obs.trace import NULL_TRACER
-from repro.opt.lexicographic import LexObjective, lexicographic_optimize
-from repro.opt.linear import expr_value, minimize_linexpr
 from repro.sat.preprocess import preprocess_solver
 
 __all__ = ["ReasoningSession", "SessionStats"]
@@ -129,6 +133,15 @@ class ReasoningSession:
         self._fingerprint: str | None = None
         self._shape: tuple | None = None
         self._totalizers: dict = {}
+        #: Sessions answer verbs through the same pipeline as the
+        #: engine, with this session as the compile-once backend.
+        self._executor = QueryExecutor(
+            kb,
+            observer=observer,
+            incremental=True,
+            preprocess=preprocess,
+            session=self,
+        )
 
     @property
     def _tracer(self):
@@ -140,26 +153,13 @@ class ReasoningSession:
 
     def check(self, request: DesignRequest) -> DesignOutcome:
         """Is the request feasible? (incremental :meth:`ReasoningEngine.check`)"""
-        view = self._view(request)
-        self.stats.queries += 1
-        with self._tracer.span("solve"):
-            satisfiable = view.solve()
-        if satisfiable:
-            solution = view.extract_solution(view.solver.model())
-            return DesignOutcome(
-                True,
-                solution=solution,
-                solver_stats=view.solver.stats.as_dict(),
-            )
-        with self._tracer.span("diagnose"):
-            conflict = diagnose(view)
-        return DesignOutcome(
-            False, conflict=conflict, solver_stats=view.solver.stats.as_dict()
-        )
+        return self._executor.execute(Query("check", request))
 
     def check_many(self, requests) -> list[DesignOutcome]:
         """Answer a sweep of feasibility queries on the shared solver."""
-        return [self.check(r) for r in requests]
+        return self._executor.execute_many(
+            [Query("check", r) for r in requests], jobs=1
+        )
 
     def synthesize(self, request: DesignRequest) -> DesignOutcome:
         """Find an optimal design (incremental
@@ -169,34 +169,11 @@ class ReasoningSession:
         that is retired when the query finishes, so later queries see
         the original formula plus reusable circuits only.
         """
-        view = self._view(request)
-        self.stats.queries += 1
-        with self._tracer.span("solve"):
-            satisfiable = view.solve()
-        if not satisfiable:
-            with self._tracer.span("diagnose"):
-                conflict = diagnose(view)
-            return DesignOutcome(
-                False,
-                conflict=conflict,
-                solver_stats=view.solver.stats.as_dict(),
-            )
-        act = view.solver.new_var()
-        with self._tracer.span("optimize"):
-            model = self._optimize(view, view.assumptions() + [act], act)
-        solution = view.extract_solution(model)
-        # Retire this query's frozen optimization bounds.
-        view.solver.add_clause([-act])
-        return DesignOutcome(
-            True, solution=solution, solver_stats=view.solver.stats.as_dict()
-        )
+        return self._executor.execute(Query("synthesize", request))
 
     def diagnose(self, request: DesignRequest) -> Conflict | None:
         """Minimal conflicting-requirement set, or None if feasible."""
-        view = self._view(request)
-        self.stats.queries += 1
-        with self._tracer.span("diagnose"):
-            return diagnose(view)
+        return self._executor.execute(Query("diagnose", request))
 
     def compare(self, baseline: DesignRequest, alternative: DesignRequest):
         """Synthesize both requests on the shared solver (A/B what-if)."""
@@ -209,7 +186,7 @@ class ReasoningSession:
 
     # -- compile-once machinery --------------------------------------------------
 
-    def _view(self, request: DesignRequest) -> CompiledDesign:
+    def view(self, request: DesignRequest) -> CompiledDesign:
         """A per-query :class:`CompiledDesign` over the shared solver.
 
         Compiles (or rebases) if needed, grounds the request-specific
@@ -218,6 +195,8 @@ class ReasoningSession:
         descriptions — every ``CompiledDesign`` method (solve, cores,
         extraction, objective terms) then answers for *this* query.
         """
+        validate_request_entities(self.kb, request)
+        self.stats.queries += 1
         fingerprint = self.kb.fingerprint()
         shape = _shape_key(request)
         if (
@@ -291,67 +270,6 @@ class ReasoningSession:
         frozen.update(abs(lit) for lit in compiled.selectors.values())
         frozen.update(abs(t.lit) for t in compiled.soft_rule_terms)
         return frozen
-
-    # -- optimization ------------------------------------------------------------
-
-    def _optimize(
-        self, view: CompiledDesign, assumptions: list[int], act: int
-    ) -> dict[int, bool]:
-        """Assumption-guarded mirror of ``ReasoningEngine._optimize``."""
-        tracer = self._tracer
-        solver, encoder = view.solver, view.encoder
-        for name in view.request.optimize:
-            if name in COST_OBJECTIVES:
-                with tracer.span(name):
-                    expr = view.cost_expr(name)
-                    if solver.solve(assumptions):
-                        first = expr_value(expr, encoder, solver.model())
-                    else:  # pragma: no cover - guarded by feasibility check
-                        first = 0
-                    result = minimize_linexpr(
-                        solver,
-                        encoder,
-                        expr,
-                        tolerance=max(1, first // 50),
-                        tracer=tracer,
-                        assumptions=assumptions,
-                        freeze_lit=act,
-                    )
-                    assert result is not None, "feasible request must stay sat"
-            else:
-                lex = lexicographic_optimize(
-                    solver,
-                    [LexObjective(name, view.objective_terms(name))],
-                    tracer=tracer,
-                    assumptions=assumptions,
-                    freeze_lit=act,
-                    totalizer_cache=self._totalizers,
-                )
-                assert lex.satisfiable, "feasible request must stay sat"
-        if view.soft_rule_terms:
-            lex = lexicographic_optimize(
-                solver,
-                [LexObjective("soft_rules", list(view.soft_rule_terms))],
-                tracer=tracer,
-                assumptions=assumptions,
-                freeze_lit=act,
-                totalizer_cache=self._totalizers,
-            )
-            assert lex.satisfiable, "feasible request must stay sat"
-        parsimony = [PBTerm(1, lit) for lit in view.sys_lits.values()]
-        if parsimony:
-            lex = lexicographic_optimize(
-                solver,
-                [LexObjective("parsimony", parsimony)],
-                tracer=tracer,
-                assumptions=assumptions,
-                freeze_lit=act,
-                totalizer_cache=self._totalizers,
-            )
-            assert lex.satisfiable, "feasible request must stay sat"
-        satisfiable = solver.solve(assumptions)
-        assert satisfiable, "feasible request must stay sat"
-        return solver.model()
 
 
 def _shape_key(request: DesignRequest) -> tuple:

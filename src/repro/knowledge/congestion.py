@@ -11,7 +11,7 @@ Centralized allocators (Fastpass, BwE) are in their own
 
 from __future__ import annotations
 
-from repro.kb.dsl import ctx, prop, wl
+from repro.kb.dsl import ctx, prop
 from repro.kb.registry import KnowledgeBase
 from repro.kb.resources import ResourceDemand
 from repro.kb.system import System

@@ -50,6 +50,16 @@ class EngineObserver:
                 "solver.propagations_per_s", rates["propagations_per_s"]
             )
 
+    def record_cache(self, verb: str, hit: bool) -> None:
+        """Per-verb hit/miss mirror of the shared result cache.
+
+        The :class:`~repro.par.QueryCache` counts aggregate hits/misses;
+        these counters split them by query verb so a dashboard can see
+        e.g. ``cache.diagnose.hits`` separately from ``cache.check.hits``.
+        """
+        suffix = "hits" if hit else "misses"
+        self.metrics.incr(f"cache.{verb}.{suffix}")
+
     def reset(self) -> None:
         """Clear per-query state (metrics persist across queries)."""
         self.tracer.reset()

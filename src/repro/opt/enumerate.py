@@ -66,6 +66,7 @@ def equivalence_classes(
     refinement: Sequence[int] = (),
     class_limit: int | None = None,
     completions_limit: int | None = 64,
+    assumptions: Sequence[int] = (),
 ) -> list[EquivalenceClass]:
     """Group solutions into classes by their *observed*-variable signature.
 
@@ -73,8 +74,13 @@ def equivalence_classes(
     assignments complete it (bounded by *completions_limit* to keep the
     enumeration cheap).
 
-    The solver is mutated by blocking clauses; treat it as consumed.
+    *assumptions* scope every solve: on a shared incremental solver the
+    caller passes its guard literals here instead of asserting them, and
+    all blocking clauses are retired through guard literals, so the
+    solver stays reusable. Without assumptions the solver is still
+    mutated by the (inert once retired) blocking clauses.
     """
+    base = list(assumptions)
     classes: list[EquivalenceClass] = []
     signatures: list[dict[int, bool]] = []
     # Enumerate class signatures under a guard literal, so the blocking
@@ -83,7 +89,7 @@ def equivalence_classes(
     enum_guard = solver.new_var()
     count = 0
     while class_limit is None or count < class_limit:
-        if not solver.solve([enum_guard]):
+        if not solver.solve(base + [enum_guard]):
             break
         model = solver.model()
         signature = {v: model[v] for v in observed}
@@ -97,7 +103,7 @@ def equivalence_classes(
     for signature in signatures:
         completions = 1
         if refinement:
-            probe_assumptions = [
+            probe_assumptions = base + [
                 v if val else -v for v, val in signature.items()
             ]
             completions = _count_completions(

@@ -5,15 +5,16 @@ aims at. Three pieces:
 
 - :func:`solve_portfolio` / :func:`default_portfolio` — race diversified
   CDCL configurations on one CNF (``repro.par.portfolio``);
-- :func:`run_queries` — fan independent engine queries over a process
-  pool (``repro.par.batch``), surfaced as ``ReasoningEngine.check_many``
+- :func:`run_query_batch` / :func:`run_queries` — fan independent
+  :class:`~repro.core.query.Query` values over a process pool
+  (``repro.par.batch``), surfaced as ``ReasoningEngine.check_many``
   and ``synthesize_many``;
 - :class:`QueryCache` with :func:`cnf_cache_key` /
   :func:`request_cache_key` — bounded LRU result caching with metrics
   (``repro.par.cache``).
 """
 
-from repro.par.batch import run_queries
+from repro.par.batch import run_queries, run_query_batch
 from repro.par.cache import QueryCache, cnf_cache_key, request_cache_key
 from repro.par.portfolio import (
     PortfolioConfig,
@@ -30,5 +31,6 @@ __all__ = [
     "default_portfolio",
     "request_cache_key",
     "run_queries",
+    "run_query_batch",
     "solve_portfolio",
 ]

@@ -1,11 +1,12 @@
-"""Fan independent engine queries out over a process pool.
+"""Fan independent reasoning queries out over a process pool.
 
-The engine's batch verbs (:meth:`ReasoningEngine.check_many` /
-:meth:`ReasoningEngine.synthesize_many`) delegate here once cache hits
-have been peeled off. Each worker rebuilds a :class:`ReasoningEngine`
-around the (already validated) knowledge base it received and runs one
-query; results come back as ordinary picklable
-:class:`~repro.core.design.DesignOutcome` values in input order.
+The executor's batch path (:meth:`QueryExecutor.execute_many`, surfaced
+as ``ReasoningEngine.check_many`` / ``synthesize_many``) delegates here
+once cache hits have been peeled off. Each worker rebuilds a
+:class:`~repro.core.executor.QueryExecutor` around the (already
+validated) knowledge base it received and runs one
+:class:`~repro.core.query.Query`; results come back as ordinary
+picklable values in input order.
 
 When ``jobs <= 1``, there is a single query to run, or multiprocessing is
 unavailable in the host environment, the queries run sequentially in
@@ -16,15 +17,17 @@ from __future__ import annotations
 
 import multiprocessing
 
-__all__ = ["run_queries"]
+__all__ = ["run_queries", "run_query_batch"]
 
 
 def _query_worker(payload):
-    kb, verb, request = payload
-    from repro.core.engine import ReasoningEngine
+    kb, query = payload
+    from repro.core.executor import QueryExecutor
 
-    engine = ReasoningEngine(kb, validate=False)
-    return getattr(engine, verb)(request)
+    # One-shot workers compile fresh: a per-process session would pay
+    # compile + preprocessing for a single query.
+    executor = QueryExecutor(kb, incremental=False)
+    return executor.execute(query)
 
 
 def _mp_context():
@@ -34,23 +37,28 @@ def _mp_context():
     )
 
 
-def run_queries(kb, verb: str, requests: list, jobs: int = 1) -> list:
-    """Run ``verb(request)`` for every request; preserve input order.
+def run_query_batch(kb, queries: list, jobs: int = 1) -> list:
+    """Execute every :class:`Query` against *kb*; preserve input order.
 
     Query-level exceptions (unknown entities, bad objectives, ...)
     propagate to the caller exactly as in the sequential path. Only pool
     *infrastructure* failures (no fork/spawn support, resource limits)
     fall back to sequential execution.
     """
-    if not requests:
+    if not queries:
         return []
-    if jobs <= 1 or len(requests) == 1:
-        return [_query_worker((kb, verb, r)) for r in requests]
+    if jobs <= 1 or len(queries) == 1:
+        return [_query_worker((kb, q)) for q in queries]
     try:
         ctx = _mp_context()
-        with ctx.Pool(processes=min(jobs, len(requests))) as pool:
-            return pool.map(
-                _query_worker, [(kb, verb, r) for r in requests]
-            )
+        with ctx.Pool(processes=min(jobs, len(queries))) as pool:
+            return pool.map(_query_worker, [(kb, q) for q in queries])
     except (OSError, ImportError, PermissionError):
-        return [_query_worker((kb, verb, r)) for r in requests]
+        return [_query_worker((kb, q)) for q in queries]
+
+
+def run_queries(kb, verb: str, requests: list, jobs: int = 1) -> list:
+    """Compatibility wrapper: lower ``(verb, request)`` pairs to Queries."""
+    from repro.core.query import Query
+
+    return run_query_batch(kb, [Query(verb, r) for r in requests], jobs)

@@ -11,7 +11,7 @@ from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
 from repro.kb.registry import KnowledgeBase
 from repro.kb.resources import ResourceDemand
 from repro.kb.system import System
-from repro.kb.dsl import ctx, prop
+from repro.kb.dsl import prop
 from repro.logic.ast import TRUE
 
 

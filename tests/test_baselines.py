@@ -14,7 +14,6 @@ from repro.kb.ordering import Ordering
 from repro.kb.registry import KnowledgeBase
 from repro.kb.system import System
 from repro.kb.workload import Workload
-from repro.logic.ast import TRUE
 
 
 def _boolean_kb() -> KnowledgeBase:

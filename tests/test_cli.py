@@ -154,6 +154,87 @@ class TestPlan:
         assert "no compliant design exists" in capsys.readouterr().out
 
 
+def _stream_payload(**overrides):
+    payload = {
+        "workloads": [{
+            "name": "app",
+            "objectives": ["packet_processing", "bandwidth_allocation"],
+            "peak_cores": 64,
+        }],
+        "context": {"datacenter_fabric": True},
+        "inventory": {
+            "SRV-G2-64C-256G": 16,
+            "STD-100G-TS-IP": 64,
+            "FF-100G-32P": 4,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _write_stream(tmp_path, *payloads):
+    paths = []
+    for i, payload in enumerate(payloads):
+        path = tmp_path / f"req{i}.json"
+        path.write_text(json.dumps(payload))
+        paths.append(str(path))
+    return paths
+
+
+class TestWhatif:
+    def test_stream_on_one_session(self, tmp_path, capsys):
+        paths = _write_stream(
+            tmp_path,
+            _stream_payload(),
+            _stream_payload(budgets={"capex_usd": 1}),
+        )
+        assert main(["whatif", "--check", "--stats", *paths]) == 3
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert lines[0].startswith(f"{paths[0]}: feasible [")
+        assert "conflict:" in lines[1]
+        assert "INFEASIBLE" in lines[1]
+        stats = dict(
+            line[2:].split(": ", 1)
+            for line in captured.err.splitlines()
+            if line.startswith("# ")
+        )
+        assert stats["compiles"] == "1"
+        assert stats["queries"] == "2"
+
+    def test_all_feasible_exits_zero(self, tmp_path, capsys):
+        paths = _write_stream(tmp_path, _stream_payload())
+        assert main(["whatif", "--check", *paths]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+
+class TestDiagnose:
+    def test_feasible_stream_exits_zero(self, tmp_path, capsys):
+        paths = _write_stream(tmp_path, _stream_payload())
+        assert main(["diagnose", *paths]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"{paths[0]}: feasible [")
+        assert "INFEASIBLE" not in out
+
+    def test_conflict_is_reported_with_explanation(self, tmp_path, capsys):
+        infeasible = _stream_payload(budgets={"capex_usd": 1})
+        paths = _write_stream(tmp_path, _stream_payload(), infeasible)
+        assert main(["diagnose", "--explain", "--stats", *paths]) == 3
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert lines[0].startswith(f"{paths[0]}: feasible [")
+        assert "INFEASIBLE" in lines[1]
+        assert "budget:capex_usd" in lines[1]
+        # --explain indents the human-readable breakdown underneath.
+        assert any(line.startswith("  ") for line in lines[2:])
+        stats = dict(
+            line[2:].split(": ", 1)
+            for line in captured.err.splitlines()
+            if line.startswith("# ")
+        )
+        assert stats["compiles"] == "1"
+
+
 class TestRequestRoundtrip:
     def test_design_request_json_roundtrip(self):
         from repro.core.design import DesignRequest

@@ -8,13 +8,10 @@ from repro.core.design import DesignRequest
 from repro.core.engine import ReasoningEngine
 from repro.errors import UnknownEntityError
 from repro.kb.dsl import ctx, prop, sys_var
-from repro.kb.hardware import Hardware, NICSpec, ServerSpec
-from repro.kb.registry import KnowledgeBase
-from repro.kb.resources import ResourceDemand
 from repro.kb.rules import Rule
 from repro.kb.system import Feature, System
 from repro.kb.workload import Workload
-from repro.logic.ast import TRUE, Implies, Not
+from repro.logic.ast import Implies, Not
 
 
 def _request(**kwargs) -> DesignRequest:

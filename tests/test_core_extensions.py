@@ -21,7 +21,7 @@ from repro.kb.registry import KnowledgeBase
 from repro.kb.rules import Rule
 from repro.kb.system import System
 from repro.kb.workload import Workload
-from repro.logic.ast import TRUE, Not
+from repro.logic.ast import Not
 
 
 def _request(**kwargs) -> DesignRequest:

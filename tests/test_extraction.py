@@ -19,7 +19,6 @@ from repro.extraction import (
 )
 from repro.extraction.checker import detection_rate
 from repro.extraction.noise import PERFECT
-from repro.kb.hardware import Hardware, NICSpec, ServerSpec, SwitchSpec
 from repro.kb.ordering import Ordering
 from repro.knowledge import default_knowledge_base
 from repro.logic.simplify import free_vars

@@ -14,7 +14,6 @@ from repro.logic.ast import (
     And,
     AtLeast,
     AtMost,
-    Const,
     Exactly,
     Iff,
     Implies,

@@ -13,15 +13,10 @@ from repro.logic.ast import (
     FALSE,
     TRUE,
     And,
-    AtLeast,
     AtMost,
-    Exactly,
-    Iff,
-    Implies,
     Not,
     Or,
     Var,
-    Xor,
 )
 from repro.logic.cardinality import (
     Totalizer,

@@ -29,7 +29,7 @@ from repro.par import (
     solve_portfolio,
 )
 from repro.sat import Solver
-from tests.conftest import brute_force_sat, random_clauses
+from tests.conftest import brute_force_sat
 
 
 def _hard_instance(seed: int, num_vars: int = 40):

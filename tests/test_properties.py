@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +10,6 @@ from repro.kb.registry import KnowledgeBase
 from repro.kb.system import SYSTEM_CATEGORIES, System
 from repro.logic.pseudo_boolean import PBTerm, normalize_pb
 from repro.sat import Solver, check_rup_proof
-from repro.sat.drat import Proof
 from repro.topology import build_fat_tree
 from tests.conftest import brute_force_sat, random_clauses
 

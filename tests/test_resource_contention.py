@@ -8,7 +8,6 @@ more switches does not create more pipeline stages.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.design import DesignRequest
 from repro.core.engine import ReasoningEngine

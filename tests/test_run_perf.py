@@ -17,6 +17,7 @@ def test_quick_run_writes_well_formed_report(tmp_path, capsys):
     assert {
         "prototype_query", "solver_scaling", "tracer_overhead",
         "portfolio_batch", "query_cache", "incremental_whatif",
+        "incremental_diagnose", "executor_dispatch",
         "propagate_microopt",
     } <= workloads.keys()
     for query in ("check", "synthesize"):
@@ -49,6 +50,14 @@ def test_quick_run_writes_well_formed_report(tmp_path, capsys):
     assert whatif["queries"] >= 6
     assert whatif["fresh_s"] > 0 and whatif["session_s"] > 0
     assert whatif["session"]["compiles"] == 1
+    diag = workloads["incremental_diagnose"]
+    assert diag["queries"] >= 6
+    assert diag["conflicts"] > 0
+    assert diag["fresh_s"] > 0 and diag["session_s"] > 0
+    assert diag["session"]["compiles"] == 1
+    dispatch = workloads["executor_dispatch"]
+    assert dispatch["direct_s"] > 0 and dispatch["ir_s"] > 0
+    assert "overhead_pct" in dispatch
     propagate = workloads["propagate_microopt"]
     assert propagate["props_per_s"] > 0
 
@@ -57,12 +66,14 @@ def test_committed_report_meets_acceptance():
     """The checked-in BENCH_solver.json records the acceptance numbers:
     portfolio wall-clock <= sequential on the batch, warm cache >= 10x
     faster than cold, the incremental what-if session >= 3x faster than
-    fresh-engine-per-query on the 20-query sweep, and unit propagation
-    no slower than the pre-optimization baseline."""
+    fresh-engine-per-query on the 20-query sweep, the shared session
+    >= 2x faster on the 20-query repeated-conflict diagnose sweep, the
+    Query-IR dispatch layer < 5% over a direct cache probe, and unit
+    propagation no slower than the pre-optimization baseline."""
     from benchmarks.run_perf import REPO_ROOT
 
     report = json.loads((REPO_ROOT / "BENCH_solver.json").read_text())
-    assert report["version"] >= 3
+    assert report["version"] >= 4
     assert report["quick"] is False
     portfolio = report["workloads"]["portfolio_batch"]
     assert portfolio["portfolio_s"] <= portfolio["sequential_s"]
@@ -73,5 +84,12 @@ def test_committed_report_meets_acceptance():
     assert whatif["queries"] == 20
     assert whatif["speedup"] >= 3.0
     assert whatif["session"]["compiles"] == 1
+    diag = report["workloads"]["incremental_diagnose"]
+    assert diag["queries"] == 20
+    assert diag["conflicts"] >= 10
+    assert diag["speedup"] >= 2.0
+    assert diag["session"]["compiles"] == 1
+    dispatch = report["workloads"]["executor_dispatch"]
+    assert dispatch["overhead_pct"] < 5.0
     propagate = report["workloads"]["propagate_microopt"]
     assert propagate["speedup_vs_baseline"] >= 1.0

@@ -13,7 +13,6 @@ the solver-vs-reference-DPLL suite covers the larger range.
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest

@@ -14,6 +14,7 @@ import pytest
 from repro.core.compile import compile_design
 from repro.core.design import DesignRequest
 from repro.core.engine import ReasoningEngine
+from repro.core.query import Query
 from repro.core.session import ReasoningSession
 from repro.kb.ordering import Ordering
 from repro.kb.workload import Workload
@@ -179,15 +180,23 @@ class TestEngineIntegration:
         assert len(keys) == 4
         inc = ReasoningEngine(tiny_kb, cache=QueryCache(), incremental=True)
         fresh = ReasoningEngine(tiny_kb, cache=QueryCache(), incremental=False)
-        assert inc._cache_key("check", request) != fresh._cache_key(
-            "check", request
+        query = Query("check", request)
+        assert inc.executor.cache_key(query) != fresh.executor.cache_key(query)
+        # Same request, different verb or options -> different key.
+        assert inc.executor.cache_key(Query("diagnose", request)) != (
+            inc.executor.cache_key(query)
+        )
+        assert inc.executor.cache_key(
+            Query("equivalence", request, class_limit=4)
+        ) != inc.executor.cache_key(
+            Query("equivalence", request, class_limit=64)
         )
 
     def test_check_many_routes_through_session(self, tiny_kb):
         engine = ReasoningEngine(tiny_kb)
         sweep = _sweep()
         outcomes = engine.check_many(sweep)
-        assert engine._session is not None
+        assert engine.executor._session is not None
         assert engine.session().stats.queries > 0
         assert engine.session().stats.compiles == 1
         baseline = ReasoningEngine(tiny_kb, incremental=False).check_many(sweep)
@@ -196,4 +205,4 @@ class TestEngineIntegration:
     def test_non_incremental_engine_never_builds_session(self, tiny_kb):
         engine = ReasoningEngine(tiny_kb, incremental=False)
         engine.check_many(_sweep()[:3])
-        assert engine._session is None
+        assert engine.executor._session is None
