@@ -226,6 +226,8 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.cubes > 0:
+        return _solve_cubes_cmd(args)
     if args.portfolio > 1:
         return _solve_portfolio_cmd(args)
     observer = None
@@ -275,6 +277,33 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f.write(solver.proof.to_drat())
         print(f"c DRAT proof written to {args.proof}", file=sys.stderr)
     _epilogue()
+    return 20
+
+
+def _solve_cubes_cmd(args: argparse.Namespace) -> int:
+    """Cube-and-conquer: split on ``--cubes K`` top-VSIDS variables."""
+    from repro.par import solve_cubes
+
+    if args.proof:
+        print("error: --proof is not supported with --cubes "
+              "(no single solver owns the derivation)", file=sys.stderr)
+        return 2
+    if args.portfolio > 1:
+        print("error: --cubes and --portfolio are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    num_vars, clauses = read_dimacs(args.cnf)
+    result = solve_cubes(num_vars, clauses, k=args.cubes, jobs=args.jobs)
+    print(f"c cubes mode={result.mode} cubes={result.cubes} "
+          f"split={result.split_vars} conflicts={result.conflicts}",
+          file=sys.stderr)
+    if result.satisfiable:
+        print("s SATISFIABLE")
+        model = result.model
+        lits = [v if model[v] else -v for v in sorted(model)]
+        print("v " + " ".join(str(lit) for lit in lits) + " 0")
+        return 10
+    print("s UNSATISFIABLE")
     return 20
 
 
@@ -392,9 +421,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--portfolio", type=int, default=0, metavar="N",
                        help="race N diversified solver configs (first "
                             "verdict wins)")
+    solve.add_argument("--cubes", type=int, default=0, metavar="K",
+                       help="cube-and-conquer: split on the K top-VSIDS "
+                            "variables into 2**K cubes")
     solve.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="portfolio worker processes; 1 = deterministic "
-                            "interleaved schedule (default)")
+                       help="portfolio/cube worker processes; 1 = "
+                            "deterministic single-process schedule "
+                            "(default)")
     solve.set_defaults(func=_cmd_solve)
     return parser
 

@@ -3,6 +3,9 @@
 The scaling layer between one-shot queries and the service the ROADMAP
 aims at. Three pieces:
 
+- :func:`solve_cubes` / :func:`make_cubes` — cube-and-conquer: split on
+  top-VSIDS variables and conquer the cubes with shared lemmas
+  (``repro.par.cubes``);
 - :func:`solve_portfolio` / :func:`default_portfolio` — race diversified
   CDCL configurations on one CNF (``repro.par.portfolio``);
 - :func:`run_query_batch` / :func:`run_queries` — fan independent
@@ -16,6 +19,7 @@ aims at. Three pieces:
 
 from repro.par.batch import run_queries, run_query_batch
 from repro.par.cache import QueryCache, cnf_cache_key, request_cache_key
+from repro.par.cubes import CubeResult, make_cubes, solve_cubes
 from repro.par.portfolio import (
     PortfolioConfig,
     PortfolioResult,
@@ -24,13 +28,16 @@ from repro.par.portfolio import (
 )
 
 __all__ = [
+    "CubeResult",
     "PortfolioConfig",
     "PortfolioResult",
     "QueryCache",
     "cnf_cache_key",
     "default_portfolio",
+    "make_cubes",
     "request_cache_key",
     "run_queries",
     "run_query_batch",
+    "solve_cubes",
     "solve_portfolio",
 ]

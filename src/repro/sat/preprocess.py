@@ -90,7 +90,15 @@ class PreprocessResult:
 
 
 class _Worker:
-    """Occurrence-list state machine for one preprocessing run."""
+    """Occurrence-list state machine for one preprocessing run.
+
+    With a *proof* attached (DRAT :class:`~repro.sat.drat.Proof`), every
+    clause mutation is mirrored as proof events: subsumed and satisfied
+    clauses get delete lines, strengthened/shrunk clauses get the new
+    clause added before the original is deleted (both are RUP steps).
+    Bounded variable elimination is **skipped entirely** under a proof —
+    BVE is not expressible as RUP steps.
+    """
 
     def __init__(
         self,
@@ -100,12 +108,14 @@ class _Worker:
         elim_occ_limit: int,
         elim_growth: int,
         elim_clause_limit: int,
+        proof=None,
     ):
         self.num_vars = num_vars
         self.frozen = frozen
         self.elim_occ_limit = elim_occ_limit
         self.elim_growth = elim_growth
         self.elim_clause_limit = elim_clause_limit
+        self.proof = proof
         self.stats = PreprocessStats()
         self.assign: dict[int, bool] = {}
         self.unit_queue: list[int] = []
@@ -177,13 +187,20 @@ class _Worker:
             self.assign[var] = value
             # Clauses satisfied by lit disappear; clauses with -lit shrink.
             for idx in list(self.occ[lit]):
+                old = self.clauses[idx]
+                if old is not None and self.proof is not None:
+                    self.proof.delete(old)
                 self._detach(idx)
             for idx in list(self.occ[-lit]):
                 lits = self.clauses[idx]
                 if lits is None:
                     continue
+                old = list(lits) if self.proof is not None else None
                 lits.remove(-lit)
                 self.occ[-lit].discard(idx)
+                if self.proof is not None:
+                    self.proof.add(list(lits))
+                    self.proof.delete(old)
                 if len(lits) == 1:
                     self._detach(idx)
                     self.unit_queue.append(lits[0])
@@ -209,6 +226,8 @@ class _Worker:
                 if other == idx or dlits is None or len(dlits) < len(lits):
                     continue
                 if cset <= set(dlits):
+                    if self.proof is not None:
+                        self.proof.delete(dlits)
                     self._detach(other)
                     self.stats.subsumed += 1
                     changed = True
@@ -222,8 +241,12 @@ class _Worker:
                         continue
                     dset = set(dlits)
                     if rest <= dset:
+                        old = list(dlits) if self.proof is not None else None
                         dlits.remove(-lit)
                         self.occ[-lit].discard(other)
+                        if self.proof is not None:
+                            self.proof.add(list(dlits))
+                            self.proof.delete(old)
                         self.stats.strengthened += 1
                         changed = True
                         if len(dlits) == 1:
@@ -324,8 +347,11 @@ class _Worker:
                 break
             self.stats.rounds += 1
             changed = self.backward_pass()
-            changed = self.eliminate_pass() or changed
-            changed = self.backward_pass() or changed
+            if self.proof is None:
+                # BVE is not a RUP step; under proof logging only the
+                # subsumption/strengthening passes run.
+                changed = self.eliminate_pass() or changed
+                changed = self.backward_pass() or changed
             if not changed:
                 break
         units = [
@@ -351,12 +377,18 @@ def preprocess_clauses(
     elim_growth: int = 0,
     elim_clause_limit: int = 16,
     max_rounds: int = 3,
+    proof=None,
 ) -> PreprocessResult:
     """Preprocess a clause set; *frozen* variables are never eliminated.
 
     Limits: a variable is only eliminated when it occurs in at most
     *elim_occ_limit* clauses, no resolvent exceeds *elim_clause_limit*
-    literals, and the clause count grows by at most *elim_growth*.
+    literals, and the clause count grows by at most *elim_growth*
+    (``elim_occ_limit=0`` disables elimination altogether).
+
+    *proof*, when given, is a DRAT :class:`~repro.sat.drat.Proof` that
+    receives add/delete lines for every transformation; variable
+    elimination is skipped in that case (it is not RUP).
     """
     worker = _Worker(
         num_vars,
@@ -365,6 +397,7 @@ def preprocess_clauses(
         elim_occ_limit,
         elim_growth,
         elim_clause_limit,
+        proof=proof,
     )
     return worker.run(max_rounds)
 
@@ -431,10 +464,8 @@ def preprocess_solver(
         raise SolverStateError("preprocess requires decision level 0")
     if solver._unsat:
         return PreprocessStats()
-    units = [lit for lit in solver._trail]
-    clauses = [
-        list(c.lits) for c in solver._clauses if not c.deleted
-    ]
+    units = list(solver._trail)
+    clauses = solver.clause_literals()
     result = preprocess_clauses(
         solver.num_vars,
         clauses + [[u] for u in units],
@@ -444,28 +475,18 @@ def preprocess_solver(
         elim_clause_limit=elim_clause_limit,
         max_rounds=max_rounds,
     )
-    # Rebuild the database in place: reset root assignments and watches,
-    # then re-add the preprocessed units and clauses.
-    for lit in solver._trail:
-        v = abs(lit)
-        solver._assign[v] = 0
-        solver._reason[v] = None
-        solver._level[v] = 0
-    solver._trail.clear()
-    solver._qhead = 0
-    solver._watches.clear()
-    solver._clauses = []
-    solver._learnts = []
-    solver._model = None
-    solver._core = None
+    # Rebuild the database: a fresh arena with the preprocessed units and
+    # clauses (learnt clauses are discarded — they are implied and may
+    # mention eliminated variables). The solve_step restart cursor is
+    # reset: the old resume state referred to a database that no longer
+    # exists, so a resumed interleaved search starts a fresh Luby column
+    # instead of replaying a stale one.
     if result.contradiction:
+        solver._replace_database([], [])
         solver._unsat = True
-        solver._rebuild_heap()
+        solver._step_attempt = 0
         return result.stats
     solver.install_elimination(result.eliminated)
-    for unit in result.units:
-        solver.add_clause([unit])
-    for lits in result.clauses:
-        solver.add_clause(lits)
-    solver._rebuild_heap()
+    solver._replace_database(result.units, result.clauses)
+    solver._step_attempt = 0
     return result.stats

@@ -2,16 +2,31 @@
 
 This is a MiniSat-lineage solver implemented in pure Python:
 
-- two-watched-literal unit propagation,
+- two-watched-literal unit propagation over a **flat clause arena**
+  (:class:`repro.sat.clause.ClauseArena`) with blocker literals and
+  dedicated binary-implication lists,
 - first-UIP conflict analysis with recursive-free clause minimization,
 - VSIDS variable activities with phase saving,
 - Luby-sequence restarts,
-- learnt-clause database reduction driven by LBD and activity,
+- learnt-clause database reduction driven by LBD and activity, with
+  garbage collection by arena compaction (watcher lists are rebuilt
+  from scratch, so no stale watcher can survive a reduction),
+- inprocessing between restarts: clause vivification plus
+  subsumption/self-subsumption (via :mod:`repro.sat.preprocess`),
 - incremental solving under assumptions with unsat-core extraction.
 
+Clause storage (the tentpole of the PR-6 rework): every clause lives in
+one contiguous ``array('i')`` of ``[size, lit, lit, ...]`` blocks and is
+identified by an integer *cref* (the offset of its size word; 0 means
+"no clause"). Watcher lists are flat per-literal ``list[int]`` buffers —
+``[cref, blocker, cref, blocker, ...]`` for clauses of three or more
+literals and ``[other_lit, cref, ...]`` for binary clauses — so the
+propagation loop touches no per-clause Python objects at all.
+
 The feature switches (``enable_vsids``, ``enable_learning``,
-``enable_restarts``, ``enable_phase_saving``) exist so the ablation
-benchmarks can quantify what each heuristic buys (DESIGN.md §6).
+``enable_restarts``, ``enable_phase_saving``, ``enable_inprocessing``)
+exist so the ablation benchmarks can quantify what each heuristic buys
+(DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -23,7 +38,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import BudgetExceededError, SolverStateError
-from repro.sat.clause import Clause
+from repro.sat.clause import ClauseArena
 from repro.sat.literals import check_clause, check_literal, var_of
 
 _RESCALE_LIMIT = 1e100
@@ -31,6 +46,9 @@ _RESCALE_FACTOR = 1e-100
 
 #: Minimum lazy-heap size before duplicate-entry pressure triggers a rebuild.
 _HEAP_REBUILD_FLOOR = 32
+
+#: Arena size (in ints) below which ablation-mode garbage collection waits.
+_ARENA_GC_FLOOR = 1 << 16
 
 
 def luby(i: int) -> int:
@@ -63,6 +81,12 @@ class SolverStats:
     learnt_clauses: int = 0
     deleted_clauses: int = 0
     minimized_literals: int = 0
+    inprocessings: int = 0
+    vivified_clauses: int = 0
+    vivified_literals: int = 0
+    inprocess_subsumed: int = 0
+    inprocess_strengthened: int = 0
+    arena_compactions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -73,6 +97,12 @@ class SolverStats:
             "learnt_clauses": self.learnt_clauses,
             "deleted_clauses": self.deleted_clauses,
             "minimized_literals": self.minimized_literals,
+            "inprocessings": self.inprocessings,
+            "vivified_clauses": self.vivified_clauses,
+            "vivified_literals": self.vivified_literals,
+            "inprocess_subsumed": self.inprocess_subsumed,
+            "inprocess_strengthened": self.inprocess_strengthened,
+            "arena_compactions": self.arena_compactions,
         }
 
 
@@ -162,26 +192,48 @@ class Solver:
         progress_interval: int = 2048,
         seed: int | None = None,
         random_phase: bool = False,
+        enable_inprocessing: bool = True,
+        inprocess_interval: int = 3000,
+        vivify_budget: int = 20000,
     ):
         self._num_vars = 0
+        # Literal-indexed truth values with the negative-index trick:
+        # ``_assign[lit]`` is > 0 when *lit* is true, < 0 when false, 0
+        # when unassigned, for positive AND negative lits alike (negative
+        # literals index from the end of the list). Slots [0..cap] hold
+        # positive literals, [cap+1..2cap] the negatives; var-indexed
+        # reads (``_assign[v]``) therefore also work unchanged. The hot
+        # loop reads one subscript per truth test — no sign branch, no
+        # negation. Capacity doubles as variables are allocated.
+        self._lit_cap = 64
+        self._assign: list[int] = [0] * (2 * self._lit_cap + 1)
         # Indexed by variable (1-based); slot 0 unused.
-        self._assign: list[int] = [0]  # 0 unassigned, +1 true, -1 false
         self._level: list[int] = [0]
-        self._reason: list[Clause | None] = [None]
+        self._reason: list[int] = [0]  # cref of the implying clause; 0 = none
         self._phase: list[bool] = [False]
         self._activity: list[float] = [0.0]
+        self._seen = bytearray(1)  # scratch for _analyze, kept all-zero
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
-        self._watches: dict[int, list[Clause]] = {}
-        self._clauses: list[Clause] = []
-        self._learnts: list[Clause] = []
+        self._arena = ClauseArena()
+        # Watcher lists, literal-indexed like ``_assign``: a clause
+        # watching literal L is listed in ``_watch[L]`` and visited when
+        # L becomes false. Long clauses store (cref, blocker) pairs;
+        # binary clauses store (other_lit, cref) pairs in ``_bwatch``.
+        self._watch: list[list[int]] = [[] for _ in range(2 * self._lit_cap + 1)]
+        self._bwatch: list[list[int]] = [[] for _ in range(2 * self._lit_cap + 1)]
+        self._clauses: list[int] = []  # problem clause crefs
+        self._learnts: list[int] = []  # learnt clause crefs
+        self._cla_activity: dict[int, float] = {}
+        self._cla_lbd: dict[int, int] = {}
         self._order_heap: list[tuple[float, int]] = []
         self._var_inc = 1.0
         self._cla_inc = 1.0
         self._var_decay = var_decay
         self._clause_decay = clause_decay
         self._max_learnts = 1000.0
+        self._arena_gc_limit = _ARENA_GC_FLOOR
         self._unsat = False
         self._model: dict[int, bool] | None = None
         self._core: list[int] | None = None
@@ -189,6 +241,10 @@ class Solver:
         self._enable_learning = enable_learning
         self._enable_restarts = enable_restarts
         self._enable_phase_saving = enable_phase_saving
+        self._enable_inprocessing = enable_inprocessing
+        self._inprocess_interval = max(1, inprocess_interval)
+        self._next_inprocess = self._inprocess_interval
+        self._vivify_budget = vivify_budget
         self._restart_base = restart_base
         # Diversification hooks for portfolio solving (repro.par). The RNG
         # is a private instance so concurrent solvers — in threads or in
@@ -240,9 +296,11 @@ class Solver:
         """
         self._num_vars += 1
         v = self._num_vars
-        self._assign.append(0)
+        if v > self._lit_cap:
+            self._grow_literal_tables(2 * self._lit_cap)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(0)
+        self._seen.append(0)
         if self._random_phase:
             self._phase.append(self._rng.random() < 0.5)
         else:
@@ -262,6 +320,29 @@ class Solver:
         """Allocate variables until *max_var* exists."""
         while self._num_vars < max_var:
             self.new_var()
+
+    def _grow_literal_tables(self, new_cap: int) -> None:
+        """Double the capacity of the literal-indexed tables.
+
+        Negative literals index from the end of each table, so growing
+        means rebuilding: positive slots keep their index, negative slots
+        move to the end of the longer list.
+        """
+        old_assign = self._assign
+        old_watch = self._watch
+        old_bwatch = self._bwatch
+        size = 2 * new_cap + 1
+        self._assign = [0] * size
+        self._watch = [[] for _ in range(size)]
+        self._bwatch = [[] for _ in range(size)]
+        for v in range(1, self._num_vars):
+            self._assign[v] = old_assign[v]
+            self._assign[-v] = old_assign[-v]
+            self._watch[v] = old_watch[v]
+            self._watch[-v] = old_watch[-v]
+            self._bwatch[v] = old_bwatch[v]
+            self._bwatch[-v] = old_bwatch[-v]
+        self._lit_cap = new_cap
 
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause; return ``False`` if the formula became trivially unsat.
@@ -314,16 +395,16 @@ class Solver:
             # root-level units that falsified the stripped literals.
             self.proof.add(out)
         if len(out) == 1:
-            self._enqueue(out[0], None)
+            self._enqueue(out[0], 0)
             if self._propagate() is not None:
                 self._unsat = True
                 if self.proof is not None:
                     self.proof.add([])
                 return False
             return True
-        clause = Clause(out, learnt=False)
-        self._clauses.append(clause)
-        self._watch(clause)
+        cref = self._arena.add(out)
+        self._clauses.append(cref)
+        self._watch_clause(cref, out)
         return True
 
     def add_clauses(self, clause_list: Iterable[Iterable[int]]) -> bool:
@@ -332,6 +413,11 @@ class Solver:
         for lits in clause_list:
             ok = self.add_clause(lits) and ok
         return ok
+
+    def clause_literals(self) -> list[list[int]]:
+        """The current problem clauses, as fresh literal lists."""
+        arena = self._arena
+        return [arena.literals(cref) for cref in self._clauses]
 
     # ------------------------------------------------------------------
     # Solving
@@ -427,6 +513,16 @@ class Solver:
             if status is None:
                 self.stats.restarts += 1
                 self._cancel_until(0)
+                # Inprocessing runs at restart boundaries keyed off the
+                # lifetime conflict counter, so an interrupted solve
+                # (solve_step) simplifies at exactly the same points as
+                # an uninterrupted one — the trajectories stay identical.
+                self._maybe_inprocess()
+                if self._unsat:
+                    self._core = []
+                    return SolveResult(
+                        False, core=[], stats=self.stats.as_dict()
+                    )
                 if self._progress_cb is not None:
                     self._emit_progress("restart")
         self._cancel_until(0)
@@ -450,7 +546,8 @@ class Solver:
         anyway, a sequence of ``solve_step`` calls follows the *same
         trajectory* as one uninterrupted :meth:`solve` — which is what
         lets a portfolio interleave configurations without perturbing
-        any of them (``repro.par.portfolio``).
+        any of them (``repro.par.portfolio``). Inprocessing preserves
+        this: it fires at the same conflict-count boundaries either way.
 
         With ``enable_restarts=False`` a single call runs to completion.
         """
@@ -479,6 +576,10 @@ class Solver:
         if status is None:
             self.stats.restarts += 1
             self._cancel_until(0)
+            self._maybe_inprocess()
+            if self._unsat:
+                self._core = []
+                return SolveResult(False, core=[], stats=self.stats.as_dict())
             if self._progress_cb is not None:
                 self._emit_progress("restart")
             return SolveResult(None, stats=self.stats.as_dict())
@@ -527,6 +628,42 @@ class Solver:
                 "returned False under assumptions"
             )
         return list(self._core)
+
+    def top_activity_vars(self, k: int) -> list[int]:
+        """The *k* hottest branchable variables by VSIDS activity.
+
+        Excludes root-fixed and eliminated variables. Ties break on the
+        lower variable index, so the ranking is deterministic for a given
+        search trajectory. Cube-and-conquer (``repro.par.cubes``) splits
+        on these after a probe solve has warmed the activities.
+        """
+        assign = self._assign
+        level = self._level
+        eliminated = self._eliminated
+        candidates = [
+            v for v in range(1, self._num_vars + 1)
+            if v not in eliminated and not (assign[v] != 0 and level[v] == 0)
+        ]
+        candidates.sort(key=lambda v: (-self._activity[v], v))
+        return candidates[:k]
+
+    def preferred_phase(self, v: int) -> bool:
+        """The saved polarity branching would try first for variable *v*."""
+        return bool(self._phase[v])
+
+    def root_units(self) -> list[int]:
+        """Literals fixed at decision level 0.
+
+        These are consequences of the clause database alone (assumptions
+        live at levels >= 1), so they may be asserted as unit clauses in
+        any other solver working on the same CNF — the lemma-sharing
+        channel between cube-and-conquer workers.
+        """
+        level = self._level
+        return [
+            lit for lit in self._trail
+            if level[lit if lit > 0 else -lit] == 0
+        ]
 
     # ------------------------------------------------------------------
     # Preprocessing hooks (repro.sat.preprocess)
@@ -599,84 +736,149 @@ class Solver:
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _watch(self, clause: Clause) -> None:
-        self._watches.setdefault(clause.lits[0], []).append(clause)
-        self._watches.setdefault(clause.lits[1], []).append(clause)
+    def _watch_clause(self, cref: int, lits: Sequence[int]) -> None:
+        """Register watchers for the clause at *cref* on lits[0]/lits[1]."""
+        a, b = lits[0], lits[1]
+        if len(lits) == 2:
+            self._bwatch[a].extend((b, cref))
+            self._bwatch[b].extend((a, cref))
+        else:
+            self._watch[a].extend((cref, b))
+            self._watch[b].extend((cref, a))
 
-    def _enqueue(self, lit: int, reason: Clause | None) -> None:
-        v = var_of(lit)
-        self._assign[v] = 1 if lit > 0 else -1
-        self._level[v] = self._decision_level()
+    def _enqueue(self, lit: int, reason: int = 0) -> None:
+        v = lit if lit > 0 else -lit
+        s = 1 if lit > 0 else -1
+        self._assign[v] = s
+        self._assign[-v] = -s
+        self._level[v] = len(self._trail_lim)
         self._reason[v] = reason
         if self._enable_phase_saving:
             self._phase[v] = lit > 0
         self._trail.append(lit)
 
-    def _propagate(self) -> Clause | None:
-        """Unit propagation; return a conflicting clause or None.
+    def _propagate(self) -> int | None:
+        """Unit propagation; return a conflicting cref or None.
 
-        This is the solver's hottest loop, so everything touched per
+        This is the solver's hottest loop. Everything it touches per
         literal is bound to a local up front (attribute loads dominate in
-        CPython) and truth values are read straight off the assignment
-        array instead of through :meth:`_value_lit`.
+        CPython); truth values are read straight off the assignment array
+        with the sign-folding idiom ``assign[l] if l > 0 else -assign[-l]``
+        (> 0 true, < 0 false, 0 unassigned); binary clauses take a
+        dedicated no-search path; and long clauses are only decoded from
+        the arena after their cached blocker literal fails to satisfy.
         """
         trail = self._trail
-        assign = self._assign
-        watches = self._watches
-        watches_get = watches.get
-        enqueue = self._enqueue
+        assign = self._assign  # literal-indexed: one subscript per test
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        save_phase = self._enable_phase_saving
+        arena = self._arena.data
+        watch = self._watch
+        bwatch = self._bwatch
+        dl = len(self._trail_lim)
         qhead = self._qhead
         propagations = 0
-        conflict: Clause | None = None
+        conflict: int | None = None
         while qhead < len(trail):
             p = trail[qhead]
             qhead += 1
             propagations += 1
             false_lit = -p
-            watchers = watches_get(false_lit)
-            if not watchers:
+            # Binary implications: no watch juggling, straight to enqueue.
+            bw = bwatch[false_lit]
+            if bw:
+                for j in range(0, len(bw), 2):
+                    other = bw[j]
+                    v = assign[other]
+                    if v > 0:
+                        continue
+                    if v < 0:
+                        conflict = bw[j + 1]
+                        qhead = len(trail)
+                        break
+                    assign[other] = 1
+                    assign[-other] = -1
+                    ov = other if other > 0 else -other
+                    level[ov] = dl
+                    reason[ov] = bw[j + 1]
+                    if save_phase:
+                        phase[ov] = other > 0
+                    trail.append(other)
+                if conflict is not None:
+                    break
+            # Long clauses: two watched literals with in-place compaction.
+            ws = watch[false_lit]
+            if not ws:
                 continue
-            kept: list[Clause] = []
-            kept_append = kept.append
-            for idx, clause in enumerate(watchers):
-                if clause.deleted:
+            i = 0
+            j2 = 0
+            n = len(ws)
+            while i < n:
+                blocker = ws[i + 1]
+                if assign[blocker] > 0:
+                    if j2 != i:
+                        ws[j2] = ws[i]
+                        ws[j2 + 1] = blocker
+                    i += 2
+                    j2 += 2
                     continue
-                lits = clause.lits
-                # Ensure the false literal sits at position 1.
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                val = assign[first if first > 0 else -first]
-                if val != 0 and (val > 0) == (first > 0):
-                    kept_append(clause)  # satisfied by the other watch
+                cref = ws[i]
+                base = cref + 1
+                # Ensure the false literal sits at arena position 1.
+                first = arena[base]
+                if first == false_lit:
+                    arena[base] = arena[base + 1]
+                    arena[base + 1] = false_lit
+                    first = arena[base]
+                fv = assign[first]
+                if fv > 0:
+                    if j2 != i:
+                        ws[j2] = cref
+                    ws[j2 + 1] = first
+                    i += 2
+                    j2 += 2
                     continue
                 # Look for a replacement watch.
+                end = base + arena[cref]
                 moved = False
-                for k in range(2, len(lits)):
-                    lk = lits[k]
-                    vk = assign[lk if lk > 0 else -lk]
-                    if vk == 0 or (vk > 0) == (lk > 0):
-                        lits[1], lits[k] = lk, lits[1]
-                        bucket = watches_get(lk)
-                        if bucket is None:
-                            watches[lk] = [clause]
-                        else:
-                            bucket.append(clause)
+                for k in range(base + 2, end):
+                    lk = arena[k]
+                    if assign[lk] >= 0:
+                        arena[base + 1] = lk
+                        arena[k] = false_lit
+                        watch[lk].extend((cref, first))
                         moved = True
                         break
                 if moved:
+                    i += 2
                     continue
-                # Clause is unit or conflicting.
-                kept_append(clause)
-                if val != 0:  # the other watch is false: conflict
-                    conflict = clause
-                    kept.extend(
-                        c for c in watchers[idx + 1:] if not c.deleted
-                    )
+                # Clause is unit or conflicting: keep the watcher.
+                if j2 != i:
+                    ws[j2] = cref
+                ws[j2 + 1] = first
+                i += 2
+                j2 += 2
+                if fv < 0:
+                    conflict = cref
+                    while i < n:
+                        ws[j2] = ws[i]
+                        ws[j2 + 1] = ws[i + 1]
+                        i += 2
+                        j2 += 2
                     qhead = len(trail)
                     break
-                enqueue(first, clause)
-            watches[false_lit] = kept
+                assign[first] = 1
+                assign[-first] = -1
+                fvv = first if first > 0 else -first
+                level[fvv] = dl
+                reason[fvv] = cref
+                if save_phase:
+                    phase[fvv] = first > 0
+                trail.append(first)
+            if j2 != i:
+                del ws[j2:]
             if conflict is not None:
                 break
         self._qhead = qhead
@@ -687,22 +889,47 @@ class Solver:
         self._trail_lim.append(len(self._trail))
 
     def _cancel_until(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
+        trail = self._trail
+        assign = self._assign
+        reasons = self._reason
         bound = self._trail_lim[level]
-        for i in range(len(self._trail) - 1, bound - 1, -1):
-            lit = self._trail[i]
-            v = var_of(lit)
-            self._assign[v] = 0
-            self._reason[v] = None
-            heapq.heappush(self._order_heap, (-self._activity[v], v))
-        del self._trail[bound:]
+        count = len(trail) - bound
+        # Massive backtracks (e.g. after a long propagation chain) re-heap
+        # in one O(n) pass instead of count * O(log n) pushes.
+        bulk = count > 512 and 2 * count >= self._num_vars
+        if bulk:
+            for i in range(len(trail) - 1, bound - 1, -1):
+                lit = trail[i]
+                v = lit if lit > 0 else -lit
+                assign[v] = 0
+                assign[-v] = 0
+                reasons[v] = 0
+        else:
+            heap = self._order_heap
+            activity = self._activity
+            for i in range(len(trail) - 1, bound - 1, -1):
+                lit = trail[i]
+                v = lit if lit > 0 else -lit
+                assign[v] = 0
+                assign[-v] = 0
+                reasons[v] = 0
+                heapq.heappush(heap, (-activity[v], v))
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
-        self._maybe_compact_heap()
+        self._qhead = len(trail)
+        if bulk:
+            self._rebuild_heap()
+        else:
+            self._maybe_compact_heap()
 
     def _decide_var(self) -> int | None:
         eliminated = self._eliminated
+        if len(self._trail) + len(eliminated) >= self._num_vars:
+            # Everything decidable is assigned (eliminated vars are never
+            # on the trail): don't drain the heap to find that out.
+            return None
         if self._enable_vsids:
             heap = self._order_heap
             activity = self._activity
@@ -733,9 +960,9 @@ class Solver:
     def _maybe_compact_heap(self) -> None:
         """Rebuild once stale/duplicate entries dominate the order heap.
 
-        Every bump of an unassigned variable and every backtrack pushes a
-        fresh entry without removing the old one; without this check the
-        heap grows without bound on conflict-heavy instances.
+        Every backtrack pushes a fresh entry without removing the old
+        one; without this check the heap grows without bound on
+        conflict-heavy instances.
         """
         if len(self._order_heap) > max(_HEAP_REBUILD_FLOOR, 2 * self._num_vars):
             self._rebuild_heap()
@@ -748,53 +975,73 @@ class Solver:
         ]
         heapq.heapify(self._order_heap)
 
-    def _bump_clause(self, clause: Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > _RESCALE_LIMIT:
-            for c in self._learnts:
-                c.activity *= _RESCALE_FACTOR
-            self._cla_inc *= _RESCALE_FACTOR
-
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay
         self._cla_inc /= self._clause_decay
 
-    def _analyze(self, confl: Clause) -> tuple[list[int], int, int]:
+    def _analyze(self, confl: int) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis.
 
         Returns ``(learnt_clause, backjump_level, lbd)`` where the asserting
         literal is at position 0 of the learnt clause.
+
+        ``self._seen`` is a persistent bytearray scratch (always all-zero
+        between calls); variable bumps run inline with a deferred rescale,
+        because every variable seen here is assigned and therefore never
+        needs a heap push.
         """
+        arena = self._arena.data
+        level = self._level
+        trail = self._trail
+        reasons = self._reason
+        seen = self._seen
+        activity = self._activity
+        var_inc = self._var_inc
+        cla_act = self._cla_activity
+        cla_inc = self._cla_inc
+        touched: list[int] = []
         learnt: list[int] = [0]  # placeholder for the asserting literal
-        seen: set[int] = set()
         counter = 0
-        p: int | None = None
-        index = len(self._trail) - 1
-        cur_level = self._decision_level()
+        p = 0
+        pv = 0
+        index = len(trail) - 1
+        cur_level = len(self._trail_lim)
+        var_rescale = False
+        cla_rescale = False
         while True:
-            if confl.learnt:
-                self._bump_clause(confl)
-            for q in confl.lits:
-                v = var_of(q)
-                if v in seen or self._level[v] == 0:
+            if confl in cla_act:
+                a = cla_act[confl] + cla_inc
+                cla_act[confl] = a
+                if a > _RESCALE_LIMIT:
+                    cla_rescale = True
+            for qi in range(confl + 1, confl + 1 + arena[confl]):
+                q = arena[qi]
+                v = q if q > 0 else -q
+                if seen[v] or level[v] == 0:
                     continue
-                seen.add(v)
-                self._bump_var(v)
-                if self._level[v] >= cur_level:
+                seen[v] = 1
+                touched.append(v)
+                a = activity[v] + var_inc
+                activity[v] = a
+                if a > _RESCALE_LIMIT:
+                    var_rescale = True
+                if level[v] >= cur_level:
                     counter += 1
                 else:
                     learnt.append(q)
             # Walk back to the next marked literal on the trail.
-            while var_of(self._trail[index]) not in seen:
+            while True:
+                p = trail[index]
+                pv = p if p > 0 else -p
+                if seen[pv]:
+                    break
                 index -= 1
-            p = self._trail[index]
             index -= 1
             counter -= 1
             if counter == 0:
                 break
-            reason = self._reason[var_of(p)]
-            assert reason is not None, "non-decision literal must have a reason"
-            confl = reason
+            confl = reasons[pv]
+            assert confl, "non-decision literal must have a reason"
         learnt[0] = -p
 
         learnt = self._minimize_learnt(learnt, seen)
@@ -803,26 +1050,44 @@ class Solver:
         else:
             # Move the literal with the highest level to position 1.
             max_i = max(
-                range(1, len(learnt)), key=lambda i: self._level[var_of(learnt[i])]
+                range(1, len(learnt)), key=lambda i: level[var_of(learnt[i])]
             )
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            back_level = self._level[var_of(learnt[1])]
-        lbd = len({self._level[var_of(lit)] for lit in learnt})
+            back_level = level[var_of(learnt[1])]
+        lbd = len({level[var_of(lit)] for lit in learnt})
+        for v in touched:
+            seen[v] = 0
+        if var_rescale:
+            for u in range(1, self._num_vars + 1):
+                activity[u] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            self._rebuild_heap()
+        if cla_rescale:
+            for c in self._learnts:
+                if c in cla_act:
+                    cla_act[c] *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
         return learnt, back_level, lbd
 
-    def _minimize_learnt(self, learnt: list[int], seen: set[int]) -> list[int]:
+    def _minimize_learnt(self, learnt: list[int], seen: bytearray) -> list[int]:
         """Drop literals implied by the rest of the clause (local check)."""
+        arena = self._arena.data
+        level = self._level
+        reasons = self._reason
         out = [learnt[0]]
         for lit in learnt[1:]:
-            reason = self._reason[var_of(lit)]
-            if reason is None:
+            v = lit if lit > 0 else -lit
+            r = reasons[v]
+            if not r:
                 out.append(lit)
                 continue
-            redundant = all(
-                var_of(q) in seen or self._level[var_of(q)] == 0
-                for q in reason.lits
-                if var_of(q) != var_of(lit)
-            )
+            redundant = True
+            for qi in range(r + 1, r + 1 + arena[r]):
+                q = arena[qi]
+                u = q if q > 0 else -q
+                if u != v and not seen[u] and level[u] != 0:
+                    redundant = False
+                    break
             if redundant:
                 self.stats.minimized_literals += 1
             else:
@@ -833,38 +1098,368 @@ class Solver:
         if self.proof is not None:
             self.proof.add(learnt)
         if len(learnt) == 1:
-            self._enqueue(learnt[0], None)
+            self._enqueue(learnt[0], 0)
             return
-        clause = Clause(list(learnt), learnt=True)
-        clause.lbd = lbd
-        clause.activity = self._cla_inc
+        cref = self._arena.add(learnt)
         if self._enable_learning:
-            self._learnts.append(clause)
-            self._watch(clause)
+            self._learnts.append(cref)
+            self._cla_activity[cref] = self._cla_inc
+            self._cla_lbd[cref] = lbd
+            self._watch_clause(cref, learnt)
             self.stats.learnt_clauses += 1
-            self._enqueue(learnt[0], clause)
+            self._enqueue(learnt[0], cref)
         else:
-            # Ablation mode: use the clause to drive the backjump assertion
-            # but do not retain it.
-            self._enqueue(learnt[0], clause)
+            # Ablation mode: the clause stays in the arena (so the
+            # backjump assertion has a readable reason) but is never
+            # watched or retained; _collect_garbage reclaims it.
+            self._enqueue(learnt[0], cref)
 
     def _reduce_db(self) -> None:
-        """Discard the least useful half of the learnt clauses."""
-        self._learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        """Discard the least useful half of the learnt clauses.
+
+        Ends with an arena compaction, which rebuilds every watcher list
+        from scratch — deleted clauses cannot leave stale watchers behind
+        in buckets propagation never visits.
+        """
+        arena = self._arena.data
+        act = self._cla_activity
+        lbd = self._cla_lbd
+        reasons = self._reason
+        self._learnts.sort(key=lambda c: (lbd[c], -act[c]))
         keep_from = len(self._learnts) // 2
-        kept: list[Clause] = []
-        for i, clause in enumerate(self._learnts):
-            is_reason = (
-                self._reason[var_of(clause.lits[0])] is clause
-            )
-            if i < keep_from or len(clause.lits) <= 2 or is_reason:
-                kept.append(clause)
+        kept: list[int] = []
+        proof = self.proof
+        for i, cref in enumerate(self._learnts):
+            first = arena[cref + 1]
+            locked = reasons[first if first > 0 else -first] == cref
+            if i < keep_from or arena[cref] <= 2 or locked:
+                kept.append(cref)
             else:
-                clause.deleted = True
                 self.stats.deleted_clauses += 1
-                if self.proof is not None:
-                    self.proof.delete(clause.lits)
+                if proof is not None:
+                    proof.delete(self._arena.literals(cref))
+                del act[cref]
+                del lbd[cref]
         self._learnts = kept
+        self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        """Compact the arena down to live clauses and rebuild all watchers.
+
+        Live clauses are the problem clauses, the retained learnts, and
+        any clause still acting as the reason for a trail literal (e.g.
+        ablation-mode learnts). Watch positions (arena slots 0/1) are
+        preserved by compaction, so rebuilding watchers mid-search keeps
+        the two-watched-literal invariant intact.
+        """
+        reasons = self._reason
+        live = list(self._clauses)
+        live.extend(self._learnts)
+        for lit in self._trail:
+            r = reasons[lit if lit > 0 else -lit]
+            if r:
+                live.append(r)
+        arena, remap = self._arena.compact(live)
+        self._arena = arena
+        self._clauses = [remap[c] for c in self._clauses]
+        self._learnts = [remap[c] for c in self._learnts]
+        self._cla_activity = {
+            remap[c]: a for c, a in self._cla_activity.items()
+        }
+        self._cla_lbd = {remap[c]: l for c, l in self._cla_lbd.items()}
+        for lit in self._trail:
+            v = lit if lit > 0 else -lit
+            r = reasons[v]
+            if r:
+                reasons[v] = remap[r]
+        self._rebuild_watches()
+        self._arena_gc_limit = max(_ARENA_GC_FLOOR, 2 * len(arena.data))
+        self.stats.arena_compactions += 1
+
+    def _rebuild_watches(self) -> None:
+        """Recreate every watcher list from the live clause sets."""
+        size = 2 * self._lit_cap + 1
+        self._watch = [[] for _ in range(size)]
+        self._bwatch = [[] for _ in range(size)]
+        arena = self._arena
+        for cref in self._clauses:
+            self._watch_clause(cref, arena.literals(cref))
+        for cref in self._learnts:
+            self._watch_clause(cref, arena.literals(cref))
+
+    def watcher_stats(self) -> dict[str, int]:
+        """Watcher-list accounting, for invariant checks and tests.
+
+        Every live long clause must own exactly two entries across the
+        long watcher lists, and every live binary clause exactly two
+        entries across the binary lists — no more (stale watchers), no
+        fewer (lost watchers).
+        """
+        arena = self._arena
+        live = set(self._clauses) | set(self._learnts)
+        long_live = sum(1 for c in live if arena.size(c) > 2)
+        bin_live = len(live) - long_live
+        long_entries = 0
+        for ws in self._watch:
+            long_entries += len(ws) // 2
+        bin_entries = 0
+        for bw in self._bwatch:
+            bin_entries += len(bw) // 2
+        return {
+            "live_long_clauses": long_live,
+            "live_binary_clauses": bin_live,
+            "long_watcher_entries": long_entries,
+            "binary_watcher_entries": bin_entries,
+        }
+
+    # ------------------------------------------------------------------
+    # Inprocessing (vivification + subsumption between restarts)
+    # ------------------------------------------------------------------
+
+    def _maybe_inprocess(self) -> None:
+        """Run inprocessing at a restart boundary when the schedule says so.
+
+        The schedule is keyed off the lifetime conflict counter, so a
+        solve interrupted into ``solve_step`` segments simplifies at the
+        same points as an uninterrupted ``solve`` call.
+        """
+        if not self._enable_inprocessing:
+            return
+        if self.stats.conflicts < self._next_inprocess:
+            return
+        self._next_inprocess = self.stats.conflicts + self._inprocess_interval
+        self._inprocess()
+
+    def _inprocess(self) -> None:
+        """Vivify + subsume the clause database at the root level.
+
+        Every transformation is RUP-justified and mirrored into the DRAT
+        proof (add the strengthened clause, then delete the original), so
+        proofs stay checkable across inprocessing. Bounded variable
+        elimination is explicitly disabled (``elim_occ_limit=0``): BVE is
+        not a RUP step and would also invalidate outstanding assumption
+        variables mid-solve.
+        """
+        self.stats.inprocessings += 1
+        proof = self.proof
+        problem = self._vivify()
+        if self._unsat:
+            return
+        from repro.sat.preprocess import preprocess_clauses
+
+        units = list(self._trail)
+        result = preprocess_clauses(
+            self._num_vars,
+            problem + [[u] for u in units],
+            frozen=(),
+            elim_occ_limit=0,  # no BVE during inprocessing
+            max_rounds=2,
+            proof=proof,
+        )
+        if result.contradiction:
+            self._unsat = True
+            if proof is not None:
+                proof.add([])
+            return
+        self.stats.inprocess_subsumed += result.stats.subsumed
+        self.stats.inprocess_strengthened += result.stats.strengthened
+        root = {u if u > 0 else -u: u > 0 for u in result.units}
+        new_units = list(result.units)
+        learnts: list[tuple[list[int], float, int]] = []
+        arena = self._arena
+        for cref in self._learnts:
+            lits = arena.literals(cref)
+            kept: list[int] = []
+            satisfied = False
+            for lit in lits:
+                v = lit if lit > 0 else -lit
+                val = root.get(v)
+                if val is None:
+                    kept.append(lit)
+                elif val == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                if proof is not None:
+                    proof.delete(lits)
+                continue
+            if not kept:
+                self._unsat = True
+                if proof is not None:
+                    proof.add([])
+                return
+            if len(kept) < len(lits):
+                if proof is not None:
+                    proof.add(kept)
+                    proof.delete(lits)
+                if len(kept) == 1:
+                    new_units.append(kept[0])
+                    continue
+            learnts.append(
+                (kept, self._cla_activity[cref], self._cla_lbd[cref])
+            )
+        self._replace_database(new_units, result.clauses, learnts)
+
+    def _vivify(self) -> list[list[int]]:
+        """Shorten problem clauses by assume-and-propagate probing.
+
+        Returns the surviving non-unit problem clauses as literal lists
+        (the database itself is rebuilt afterwards by
+        :meth:`_replace_database`). Probing temporarily disables phase
+        saving so failed assumptions cannot perturb saved polarities —
+        vivification must be invisible to the search trajectory except
+        through the strengthened clauses themselves.
+        """
+        proof = self.proof
+        budget = self._vivify_budget
+        saved_phase = self._enable_phase_saving
+        self._enable_phase_saving = False
+        out: list[list[int]] = []
+        arena = self._arena
+        try:
+            for cref in self._clauses:
+                lits = arena.literals(cref)
+                # Root-level filter: drop satisfied clauses, strip
+                # falsified literals.
+                kept: list[int] = []
+                satisfied = False
+                for lit in lits:
+                    val = self._value_lit(lit)
+                    if val is True:
+                        satisfied = True
+                        break
+                    if val is None:
+                        kept.append(lit)
+                if satisfied:
+                    if proof is not None:
+                        proof.delete(lits)
+                    continue
+                if not kept:
+                    self._unsat = True
+                    if proof is not None:
+                        proof.add([])
+                    return out
+                if len(kept) >= 2 and budget > 0:
+                    budget -= len(kept)
+                    new = self._vivify_probe(kept)
+                else:
+                    new = kept
+                if len(new) < len(lits):
+                    if len(new) < len(kept):
+                        self.stats.vivified_clauses += 1
+                        self.stats.vivified_literals += len(kept) - len(new)
+                    if proof is not None:
+                        proof.add(new)
+                        proof.delete(lits)
+                    if len(new) == 1:
+                        self._enqueue(new[0], 0)
+                        if self._propagate() is not None:
+                            self._unsat = True
+                            if proof is not None:
+                                proof.add([])
+                            return out
+                        continue
+                out.append(new)
+        finally:
+            self._enable_phase_saving = saved_phase
+        return out
+
+    def _vivify_probe(self, lits: list[int]) -> list[int]:
+        """Probe one clause: assume literal negations in order, propagate.
+
+        Each outcome maps to a RUP-sound strengthening of the clause:
+        a true literal or a propagation conflict truncates the clause to
+        the processed prefix (plus that literal); a false literal is
+        simply dropped.
+        """
+        self._new_decision_level()
+        new: list[int] = []
+        for lit in lits:
+            val = self._value_lit(lit)
+            if val is True:
+                new.append(lit)
+                break
+            if val is False:
+                continue
+            new.append(lit)
+            self._enqueue(-lit, 0)
+            if self._propagate() is not None:
+                break
+        self._cancel_until(0)
+        return new
+
+    def _replace_database(
+        self,
+        units: Iterable[int],
+        clauses: Iterable[Sequence[int]],
+        learnts: Iterable[tuple[Sequence[int], float, int]] = (),
+    ) -> None:
+        """Swap in a fresh clause database (arena, watchers, root trail).
+
+        Used by inprocessing and by :func:`repro.sat.preprocess.
+        preprocess_solver` after the clause set has been rewritten. The
+        root trail is rebuilt from *units* and propagated to fixpoint; a
+        contradiction marks the solver unsatisfiable. ``_step_attempt``
+        (the ``solve_step`` restart cursor) is deliberately left alone so
+        interrupted and uninterrupted solves stay in lockstep; external
+        passes that want a clean slate reset it explicitly.
+        """
+        assign = self._assign
+        level = self._level
+        reasons = self._reason
+        for lit in self._trail:
+            v = lit if lit > 0 else -lit
+            assign[v] = 0
+            assign[-v] = 0
+            level[v] = 0
+            reasons[v] = 0
+        del self._trail[:]
+        del self._trail_lim[:]
+        self._qhead = 0
+        self._model = None
+        self._core = None
+        self._arena = ClauseArena()
+        self._clauses = []
+        self._learnts = []
+        self._cla_activity = {}
+        self._cla_lbd = {}
+        arena = self._arena
+        self._rebuild_watches()
+        for lits in clauses:
+            lits = list(lits)
+            cref = arena.add(lits)
+            self._clauses.append(cref)
+            self._watch_clause(cref, lits)
+        for lits, act, lbd in learnts:
+            lits = list(lits)
+            cref = arena.add(lits)
+            self._learnts.append(cref)
+            self._cla_activity[cref] = act
+            self._cla_lbd[cref] = lbd
+            self._watch_clause(cref, lits)
+        self.stats.arena_compactions += 1
+        self._arena_gc_limit = max(_ARENA_GC_FLOOR, 2 * len(arena.data))
+        for u in units:
+            v = u if u > 0 else -u
+            val = assign[v]
+            if val != 0:
+                if (val > 0) != (u > 0):
+                    self._unsat = True
+                    if self.proof is not None:
+                        self.proof.add([])
+                    return
+                continue
+            self._enqueue(u, 0)
+        if self._propagate() is not None:
+            self._unsat = True
+            if self.proof is not None:
+                self.proof.add([])
+            return
+        self._rebuild_heap()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
 
     def _search(
         self, budget: int | None, assumptions: list[int]
@@ -876,7 +1471,7 @@ class Solver:
             if confl is not None:
                 conflicts += 1
                 self.stats.conflicts += 1
-                if self._decision_level() == 0:
+                if not self._trail_lim:
                     # Learnt clauses never rely on assumptions being true, so
                     # a root-level conflict means the formula itself is unsat.
                     self._unsat = True
@@ -897,10 +1492,15 @@ class Solver:
                 if budget is not None and conflicts >= budget:
                     return None, conflicts
                 continue
-            if len(self._learnts) > self._max_learnts + len(self._trail):
-                self._reduce_db()
-                self._max_learnts *= 1.05
-            level = self._decision_level()
+            if self._enable_learning:
+                if len(self._learnts) > self._max_learnts + len(self._trail):
+                    self._reduce_db()
+                    self._max_learnts *= 1.05
+            elif len(self._arena.data) > self._arena_gc_limit:
+                # Ablation mode (no learning) still allocates a reason
+                # clause per conflict; reclaim the dead ones periodically.
+                self._collect_garbage()
+            level = len(self._trail_lim)
             if level < len(assumptions):
                 p = assumptions[level]
                 val = self._value_lit(p)
@@ -911,7 +1511,7 @@ class Solver:
                     self._core = self._analyze_final(p)
                     return False, conflicts
                 self._new_decision_level()
-                self._enqueue(p, None)
+                self._enqueue(p, 0)
                 continue
             v = self._decide_var()
             if v is None:
@@ -923,26 +1523,30 @@ class Solver:
                 return True, conflicts
             self.stats.decisions += 1
             self._new_decision_level()
-            self._enqueue(v if self._phase[v] else -v, None)
+            self._enqueue(v if self._phase[v] else -v, 0)
 
     def _analyze_final(self, p: int) -> list[int]:
         """Compute the set of assumptions responsible for falsifying *p*."""
         core = [p]
-        if self._decision_level() == 0:
+        if not self._trail_lim:
             return core
-        seen = {var_of(p)}
+        arena = self._arena.data
+        level = self._level
+        reasons = self._reason
+        seen = {p if p > 0 else -p}
         for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
             q = self._trail[i]
-            v = var_of(q)
+            v = q if q > 0 else -q
             if v not in seen:
                 continue
-            reason = self._reason[v]
-            if reason is None:
-                if self._level[v] > 0:
+            r = reasons[v]
+            if not r:
+                if level[v] > 0:
                     core.append(q)
             else:
-                for lit in reason.lits:
-                    u = var_of(lit)
-                    if u != v and self._level[u] > 0:
+                for qi in range(r + 1, r + 1 + arena[r]):
+                    u = arena[qi]
+                    u = u if u > 0 else -u
+                    if u != v and level[u] > 0:
                         seen.add(u)
         return core

@@ -97,6 +97,44 @@ class TestRefutations:
         )
         assert check_rup_proof(clauses, solver.proof)
 
+    def test_proofs_with_inprocessing_verify(self):
+        """Vivification/subsumption passes log add-then-delete pairs for
+        every strengthened or dropped clause; the proof must still chain.
+        """
+        num_vars, clauses = _php_clauses(7, 6)
+        solver = Solver(proof_logging=True, restart_base=30,
+                        inprocess_interval=100)
+        solver._max_learnts = 50
+        solver.new_vars(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is False
+        assert solver.stats.inprocessings > 0, (
+            "schedule should have fired at least one inprocessing pass"
+        )
+        assert check_rup_proof(clauses, solver.proof)
+
+    def test_fuzz_inprocessing_proofs_verify(self):
+        """Random UNSAT instances under an aggressive inprocessing
+        schedule (every few conflicts, fast restarts) keep verifiable
+        proofs — the DRAT-coverage check for compaction deletions and
+        vivification strengthenings."""
+        rng = random.Random(67)
+        checked = 0
+        while checked < 25:
+            n = rng.randint(3, 7)
+            clauses = random_clauses(rng, n, rng.randint(10, 30))
+            if brute_force_sat(n, clauses):
+                continue
+            solver = Solver(proof_logging=True, restart_base=4,
+                            inprocess_interval=8)
+            solver.new_vars(n)
+            for clause in clauses:
+                solver.add_clause(clause)
+            assert solver.solve() is False
+            assert check_rup_proof(clauses, solver.proof), clauses
+            checked += 1
+
 
 class TestCheckerRejectsBogus:
     def test_non_rup_addition_rejected(self):

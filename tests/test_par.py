@@ -394,3 +394,184 @@ def test_engine_wires_observer_metrics_into_cache(tiny_kb):
     cache = QueryCache(name="engine_cache")
     ReasoningEngine(tiny_kb, observer=observer, cache=cache)
     assert cache.metrics is observer.metrics
+
+
+# ---------------------------------------------------------------------------
+# Cube-and-conquer (repro.par.cubes)
+# ---------------------------------------------------------------------------
+
+
+def _random_3sat(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        vs = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return clauses
+
+
+def _php(holes):
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestMakeCubes:
+    def test_complete_sign_enumeration(self):
+        from repro.par import make_cubes
+        from repro.sat import Solver
+
+        solver = Solver()
+        solver.new_vars(6)
+        solver.add_clauses([[1, 2, 3], [-1, 4, 5], [2, -5, 6]])
+        split_vars, cubes = make_cubes(solver, 3)
+        assert len(split_vars) == 3
+        assert len(cubes) == 8
+        # Every sign combination over the split vars appears exactly once.
+        combos = {tuple(lit > 0 for lit in cube) for cube in cubes}
+        assert len(combos) == 8
+        for cube in cubes:
+            assert [abs(lit) for lit in cube] == split_vars
+
+    def test_no_branchable_vars_yields_empty_cube(self):
+        from repro.par import make_cubes
+        from repro.sat import Solver
+
+        solver = Solver()
+        solver.new_vars(2)
+        solver.add_clauses([[1], [2]])
+        assert solver.solve() is True
+        split_vars, cubes = make_cubes(solver, 3)
+        assert split_vars == []
+        assert cubes == [[]]
+
+
+class TestSolveCubes:
+    def test_unsat_php(self):
+        from repro.par import solve_cubes
+
+        num_vars, clauses = _php(5)
+        # probe_conflicts=0 forces the cube sweep (the probe would
+        # otherwise refute this small instance outright).
+        result = solve_cubes(num_vars, clauses, k=3, probe_conflicts=0)
+        assert result.satisfiable is False
+        assert result.mode == "shared"
+        assert result.cubes == 8
+
+    def test_sat_model_is_valid(self):
+        from repro.par import solve_cubes
+
+        clauses = _random_3sat(40, 140, seed=2)
+        result = solve_cubes(40, clauses, k=3, probe_conflicts=0)
+        assert result.satisfiable is True
+        model = result.model
+        for clause in clauses:
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+    def test_probe_decides_easy_instances(self):
+        from repro.par import solve_cubes
+
+        result = solve_cubes(3, [[1], [1, 2], [-2, 3]])
+        assert result.satisfiable is True
+        assert result.mode == "probe"
+        assert result.cubes == 0
+        assert result.winner == -1
+
+    def test_matches_sequential_verdicts(self):
+        from repro.par import solve_cubes
+        from repro.sat import Solver
+
+        for seed in range(8):
+            clauses = _random_3sat(30, 128, seed=seed)
+            solver = Solver()
+            solver.new_vars(30)
+            solver.add_clauses(clauses)
+            expected = solver.solve()
+            result = solve_cubes(30, clauses, k=2, probe_conflicts=0)
+            assert result.satisfiable == expected, seed
+            if expected:
+                model = result.model
+                for clause in clauses:
+                    assert any(
+                        model[abs(lit)] == (lit > 0) for lit in clause
+                    ), seed
+
+    def test_unsat_core_excludes_cube_literals(self):
+        from repro.par import solve_cubes
+
+        # UNSAT only because of the assumptions: core must mention them
+        # and never the internal split literals.
+        clauses = [[-1, -2], [1, 3], [2, 4], [3, 4, 5], [-5, 6]]
+        result = solve_cubes(
+            6, clauses, assumptions=[1, 2], k=2, probe_conflicts=0
+        )
+        assert result.satisfiable is False
+        assert set(result.core) <= {1, 2}
+        assert result.core, "core must name the failing assumptions"
+
+    def test_shared_mode_is_deterministic(self):
+        from repro.par import solve_cubes
+
+        clauses = _random_3sat(40, 170, seed=9)
+        runs = [
+            solve_cubes(40, clauses, k=3, probe_conflicts=64)
+            for _ in range(2)
+        ]
+        assert runs[0].satisfiable == runs[1].satisfiable
+        assert runs[0].conflicts == runs[1].conflicts
+        assert runs[0].cubes == runs[1].cubes
+        assert runs[0].split_vars == runs[1].split_vars
+        assert runs[0].model == runs[1].model
+
+    def test_process_mode_matches_shared(self):
+        from repro.par import solve_cubes
+
+        for seed in (3, 4):
+            clauses = _random_3sat(30, 128, seed=seed)
+            shared = solve_cubes(30, clauses, k=2, probe_conflicts=0)
+            process = solve_cubes(
+                30, clauses, k=2, probe_conflicts=0, jobs=2
+            )
+            assert process.satisfiable == shared.satisfiable, seed
+            assert process.mode == "process"
+            if process.satisfiable:
+                model = process.model
+                for clause in clauses:
+                    assert any(
+                        model[abs(lit)] == (lit > 0) for lit in clause
+                    ), seed
+
+    def test_cache_round_trip(self):
+        from repro.par import solve_cubes
+
+        cache = QueryCache()
+        clauses = _random_3sat(25, 100, seed=6)
+        cold = solve_cubes(25, clauses, k=2, cache=cache)
+        warm = solve_cubes(25, clauses, k=2, cache=cache)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert warm.satisfiable == cold.satisfiable
+        assert warm.model == cold.model
+
+    def test_conflict_budget_returns_unknown(self):
+        from repro.par import solve_cubes
+
+        num_vars, clauses = _php(6)
+        result = solve_cubes(
+            num_vars, clauses, k=2, probe_conflicts=0, conflict_budget=5
+        )
+        assert result.satisfiable is None
+
+    def test_rejects_negative_k(self):
+        from repro.par import solve_cubes
+
+        with pytest.raises(ValueError):
+            solve_cubes(2, [[1, 2]], k=-1)

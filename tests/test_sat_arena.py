@@ -1,0 +1,236 @@
+"""Arena clause storage, watcher lifecycle, and inprocessing tests.
+
+Regression coverage for the flat-arena rewrite of ``repro.sat.solver``:
+
+- the watcher-leak bugfix — the pre-arena solver purged ``deleted``
+  clauses only from watch buckets propagation happened to visit, so DB
+  reductions leaked dead watchers in cold buckets; arena GC rebuilds
+  every bucket, which these tests pin down via
+  :meth:`~repro.sat.Solver.watcher_stats`;
+- the resume-state bugfix — ``solve_step()`` interleaved with
+  preprocessing/inprocessing passes must stay deterministic and agree
+  with a straight ``solve()``;
+- the inprocessing pass itself — verdicts are preserved, statistics are
+  recorded, and the schedule is conflict-count keyed (so ``solve_step``
+  trajectories match solo runs).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat import Solver
+from repro.sat.preprocess import preprocess_solver
+from tests.conftest import brute_force_sat, random_clauses
+
+
+def _php_clauses(holes: int) -> tuple[int, list[list[int]]]:
+    pigeons = holes + 1
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+def _load(num_vars: int, clauses: list[list[int]], **kwargs) -> Solver:
+    solver = Solver(**kwargs)
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def _assert_watchers_exact(solver: Solver) -> None:
+    """Every live clause is watched exactly twice; no dead entries."""
+    stats = solver.watcher_stats()
+    assert stats["long_watcher_entries"] == 2 * stats["live_long_clauses"]
+    assert stats["binary_watcher_entries"] == 2 * stats["live_binary_clauses"]
+
+
+class TestWatcherLifecycle:
+    def test_no_leak_after_reductions(self):
+        """DB reductions + arena GC leave zero dead watcher entries.
+
+        The pre-arena solver failed this: reductions flagged clauses
+        ``deleted`` and relied on propagation visits to purge buckets,
+        so cold buckets kept watchers of dead clauses indefinitely.
+        """
+        num_vars, clauses = _php_clauses(6)
+        solver = _load(num_vars, clauses, restart_base=50)
+        solver._max_learnts = 40  # force frequent reductions
+        assert solver.solve() is False
+        assert solver.stats.deleted_clauses > 0
+        assert solver.stats.arena_compactions > 0
+        _assert_watchers_exact(solver)
+
+    def test_no_leak_with_inprocessing(self):
+        num_vars, clauses = _php_clauses(6)
+        solver = _load(num_vars, clauses, restart_base=30,
+                       inprocess_interval=100)
+        solver._max_learnts = 40
+        assert solver.solve() is False
+        assert solver.stats.inprocessings > 0
+        _assert_watchers_exact(solver)
+
+    def test_no_leak_across_incremental_solves(self):
+        rng = random.Random(5)
+        num_vars = 40
+        clauses = random_clauses(rng, num_vars, 160)
+        solver = _load(num_vars, clauses, restart_base=25)
+        solver._max_learnts = 30
+        for trial in range(6):
+            v = rng.randint(1, num_vars)
+            solver.solve([v if trial % 2 else -v])
+            _assert_watchers_exact(solver)
+
+    def test_arena_compaction_remaps_reasons(self):
+        """GC during search must keep trail reasons pointing at live
+        clauses — solving to a verdict after forced compactions is the
+        end-to-end check (a stale cref would corrupt conflict analysis).
+        """
+        num_vars, clauses = _php_clauses(7)
+        solver = _load(num_vars, clauses, restart_base=40)
+        solver._max_learnts = 60
+        solver._arena_gc_limit = 1  # compact at every reduction window
+        assert solver.solve() is False
+        assert solver.stats.arena_compactions >= 1
+
+
+class TestSolveStepSimplifyInterleaving:
+    """The resume-state bugfix: simplification passes between
+    ``solve_step`` segments must not leave stale resume state behind."""
+
+    def _interleaved_run(self, num_vars, clauses, preprocess_after):
+        solver = _load(num_vars, clauses, restart_base=30)
+        steps = 0
+        while True:
+            result = solver.solve_step()
+            if result.satisfiable is not None:
+                return solver, result, steps
+            steps += 1
+            if steps == preprocess_after:
+                preprocess_solver(solver)
+
+    @pytest.mark.parametrize("preprocess_after", [1, 2, 3])
+    def test_verdict_survives_mid_run_preprocess(self, preprocess_after):
+        num_vars, clauses = _php_clauses(6)
+        solver, result, _ = self._interleaved_run(
+            num_vars, clauses, preprocess_after
+        )
+        assert result.satisfiable is False
+
+    @pytest.mark.parametrize("preprocess_after", [1, 2])
+    def test_interleaved_runs_are_deterministic(self, preprocess_after):
+        num_vars, clauses = _php_clauses(6)
+        runs = [
+            self._interleaved_run(num_vars, clauses, preprocess_after)
+            for _ in range(2)
+        ]
+        (s1, r1, n1), (s2, r2, n2) = runs
+        assert r1.satisfiable == r2.satisfiable
+        assert n1 == n2
+        assert s1.stats.conflicts == s2.stats.conflicts
+        assert s1.stats.propagations == s2.stats.propagations
+
+    def test_sat_model_valid_after_mid_run_preprocess(self):
+        rng = random.Random(11)
+        found = 0
+        while found < 10:
+            num_vars = rng.randint(4, 8)
+            clauses = random_clauses(rng, num_vars, rng.randint(8, 24))
+            if not brute_force_sat(num_vars, clauses):
+                continue
+            found += 1
+            solver = _load(num_vars, clauses, restart_base=4)
+            result = solver.solve_step()
+            if result.satisfiable is None:
+                preprocess_solver(solver)
+                while result.satisfiable is None:
+                    result = solver.solve_step()
+            assert result.satisfiable is True
+            model = solver.model()
+            for clause in clauses:
+                assert any(
+                    model[abs(lit)] == (lit > 0) for lit in clause
+                ), (clauses, clause, model)
+
+    def test_solve_step_matches_solve_with_inprocessing(self):
+        """Conflict-count-keyed inprocessing fires identically in
+        ``solve_step`` and ``solve``, so the stepped run follows the
+        solo trajectory exactly."""
+        num_vars, clauses = _php_clauses(6)
+        solo = _load(num_vars, clauses, restart_base=30,
+                     inprocess_interval=100)
+        assert solo.solve() is False
+
+        stepped = _load(num_vars, clauses, restart_base=30,
+                        inprocess_interval=100)
+        result = stepped.solve_step()
+        while result.satisfiable is None:
+            result = stepped.solve_step()
+        assert result.satisfiable is False
+        assert stepped.stats.conflicts == solo.stats.conflicts
+        assert stepped.stats.propagations == solo.stats.propagations
+        assert stepped.stats.inprocessings == solo.stats.inprocessings
+        assert stepped.stats.inprocessings > 0
+
+
+class TestInprocessing:
+    def test_verdict_and_stats(self):
+        num_vars, clauses = _php_clauses(6)
+        plain = _load(num_vars, clauses, enable_inprocessing=False)
+        assert plain.solve() is False
+        assert plain.stats.inprocessings == 0
+
+        inproc = _load(num_vars, clauses, restart_base=30,
+                       inprocess_interval=100)
+        assert inproc.solve() is False
+        assert inproc.stats.inprocessings > 0
+
+    def test_differential_with_aggressive_schedule(self):
+        """Verdicts with an aggressive inprocessing schedule match brute
+        force on random instances; SAT models stay valid."""
+        rng = random.Random(23)
+        for _ in range(60):
+            num_vars = rng.randint(3, 8)
+            clauses = random_clauses(rng, num_vars, rng.randint(6, 28))
+            expected = brute_force_sat(num_vars, clauses)
+            solver = _load(num_vars, clauses, restart_base=4,
+                           inprocess_interval=8)
+            got = solver.solve()
+            assert got == expected, (num_vars, clauses)
+            if got:
+                model = solver.model()
+                for clause in clauses:
+                    assert any(
+                        model[abs(lit)] == (lit > 0) for lit in clause
+                    ), (clauses, clause, model)
+
+    def test_incremental_assumptions_after_inprocessing(self):
+        """Cores and verdicts remain sound on solves issued after an
+        inprocessing pass rewrote the clause database."""
+        rng = random.Random(41)
+        for _ in range(20):
+            num_vars = rng.randint(4, 7)
+            clauses = random_clauses(rng, num_vars, rng.randint(8, 20))
+            solver = _load(num_vars, clauses, restart_base=4,
+                           inprocess_interval=8)
+            baseline = brute_force_sat(num_vars, clauses)
+            assert solver.solve() == baseline
+            for v in range(1, num_vars + 1):
+                if v in solver.eliminated_vars:
+                    continue
+                expected = brute_force_sat(num_vars, clauses + [[v]])
+                got = solver.solve([v])
+                assert got == expected, (clauses, v)
+                if not got:
+                    core = solver.unsat_core()
+                    assert set(core) <= {v}
