@@ -43,6 +43,12 @@ results to ``BENCH_solver.json``:
 - **cube_and_conquer** — sequential solve vs. shared-mode
   cube-and-conquer (``repro.par.cubes``) on a pinned hard random 3-SAT
   instance, with verdict parity asserted (acceptance: >= 2x).
+- **daemon_load** — the 20-query what-if sweep fired by 8 concurrent
+  closed-loop clients at the ``repro.serve`` daemon over HTTP
+  (``benchmarks/load_gen.py``), warm session pool vs. per-request fresh
+  compile (``pool_size=0``), reporting latency percentiles, throughput,
+  pool hit rate, and the wall-clock speedup (acceptance: warm >= 2x,
+  zero error responses).
 
 Usage::
 
@@ -723,6 +729,29 @@ def run_cube_and_conquer(quick: bool) -> dict:
 # -- driver ------------------------------------------------------------------------
 
 
+def run_daemon_load(quick: bool) -> dict:
+    """8 concurrent what-if clients: warm pool vs. fresh compile."""
+    try:  # script mode: benchmarks/ itself is sys.path[0]
+        from load_gen import run_benchmark
+    except ImportError:  # package mode (pytest imports benchmarks.run_perf)
+        from benchmarks.load_gen import run_benchmark
+
+    clients = 4 if quick else 8
+    report = run_benchmark(clients=clients, quick=quick, baseline=True)
+    warm, fresh = report["warm"], report["fresh"]
+    assert warm["errors"] == 0, f"warm-run errors: {warm['error_detail']}"
+    assert fresh["errors"] == 0, f"fresh-run errors: {fresh['error_detail']}"
+    assert warm["completed"] == warm["requests"], "lost responses"
+    return {
+        "clients": clients,
+        "queries_per_client": warm["queries_per_client"],
+        "warm": warm,
+        "fresh": fresh,
+        "pool": report["pool"],
+        "speedup": report["speedup"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -736,41 +765,44 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "solver-observability",
-        "version": 5,
+        "version": 6,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": {},
     }
 
-    print("[1/10] prototype queries ...", flush=True)
+    print("[1/11] prototype queries ...", flush=True)
     report["workloads"]["prototype_query"] = run_prototype_query(args.quick)
-    print("[2/10] solver scaling ...", flush=True)
+    print("[2/11] solver scaling ...", flush=True)
     report["workloads"]["solver_scaling"] = run_solver_scaling(args.quick)
-    print("[3/10] tracer overhead ...", flush=True)
+    print("[3/11] tracer overhead ...", flush=True)
     overhead = run_tracer_overhead(args.quick, repeats)
     report["workloads"]["tracer_overhead"] = overhead
-    print("[4/10] portfolio batch ...", flush=True)
+    print("[4/11] portfolio batch ...", flush=True)
     portfolio = run_portfolio_batch(args.quick)
     report["workloads"]["portfolio_batch"] = portfolio
-    print("[5/10] query cache ...", flush=True)
+    print("[5/11] query cache ...", flush=True)
     cache_result = run_query_cache(args.quick)
     report["workloads"]["query_cache"] = cache_result
-    print("[6/10] incremental what-if ...", flush=True)
+    print("[6/11] incremental what-if ...", flush=True)
     whatif = run_incremental_whatif(args.quick)
     report["workloads"]["incremental_whatif"] = whatif
-    print("[7/10] incremental diagnose ...", flush=True)
+    print("[7/11] incremental diagnose ...", flush=True)
     diag = run_incremental_diagnose(args.quick)
     report["workloads"]["incremental_diagnose"] = diag
-    print("[8/10] executor dispatch ...", flush=True)
+    print("[8/11] executor dispatch ...", flush=True)
     dispatch = run_executor_dispatch(args.quick, repeats)
     report["workloads"]["executor_dispatch"] = dispatch
-    print("[9/10] propagate micro-opt ...", flush=True)
+    print("[9/11] propagate micro-opt ...", flush=True)
     propagate = run_propagate_microopt(args.quick)
     report["workloads"]["propagate_microopt"] = propagate
-    print("[10/10] cube and conquer ...", flush=True)
+    print("[10/11] cube and conquer ...", flush=True)
     cubes = run_cube_and_conquer(args.quick)
     report["workloads"]["cube_and_conquer"] = cubes
+    print("[11/11] daemon load ...", flush=True)
+    daemon = run_daemon_load(args.quick)
+    report["workloads"]["daemon_load"] = daemon
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
@@ -818,6 +850,12 @@ def main(argv: list[str] | None = None) -> int:
           f"vs cubes {cubes['cube_s']:.3f} s ({cubes['speedup']:.2f}x time, "
           f"{cubes['conflict_speedup']:.2f}x conflicts, "
           f"{cubes['cubes']} cubes)")
+    print(f"  daemon load: {daemon['clients']} clients x "
+          f"{daemon['queries_per_client']} queries, warm "
+          f"{daemon['warm']['wall_s']:.3f} s "
+          f"(p99 {daemon['warm']['latency_s']['p99']:.3f} s) vs fresh "
+          f"{daemon['fresh']['wall_s']:.3f} s ({daemon['speedup']:.2f}x, "
+          f"pool hit rate {daemon['pool']['hit_rate']:.2f})")
     return 0
 
 

@@ -13,6 +13,8 @@ Four subcommands covering the architect workflows the paper describes:
 - ``diagnose``  — explain a stream of infeasible requests with minimal
   conflict sets, sharing one incremental session
 - ``solve``     — decide a DIMACS CNF file with the built-in CDCL solver
+- ``serve``     — run the reasoning-as-a-service daemon (HTTP and/or
+  unix-socket JSON API over a warm-session pool; see ``docs/daemon.md``)
 
 The design subcommands (``plan``, ``whatif``, ``diagnose``) all sit on
 the engine's unified query pipeline (see ``docs/architecture.md``):
@@ -334,6 +336,60 @@ def _solve_portfolio_cmd(args: argparse.Namespace) -> int:
     return 20
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the reasoning daemon until SIGINT/SIGTERM, then drain.
+
+    Serves the default knowledge base as ``"default"`` over HTTP
+    (``--port``) and/or a unix socket (``--unix``). All pool, admission,
+    and rate-limit knobs map 1:1 onto
+    :class:`~repro.serve.daemon.DaemonConfig`.
+    """
+    import asyncio
+    import signal
+
+    from repro.serve import DaemonConfig, ReasoningDaemon
+
+    config = DaemonConfig(
+        host=args.host,
+        port=None if args.port < 0 else args.port,
+        unix_path=args.unix,
+        pool_size=args.pool,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue,
+        rate=args.rate,
+        burst=args.burst,
+        preprocess=not args.no_preprocess,
+        drain_timeout=args.drain_timeout,
+    )
+    if config.port is None and config.unix_path is None:
+        print("error: pass --port and/or --unix", file=sys.stderr)
+        return 2
+    daemon = ReasoningDaemon(default_knowledge_base(), config)
+
+    async def _serve() -> None:
+        await daemon.start()
+        endpoints = []
+        if daemon.port is not None:
+            endpoints.append(f"http://{config.host}:{daemon.port}")
+        if config.unix_path is not None:
+            endpoints.append(f"unix:{config.unix_path}")
+        print(f"serving on {' and '.join(endpoints)} "
+              f"(pool={config.pool_size}, workers={config.workers})",
+              file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("draining...", file=sys.stderr)
+        drained = await daemon.stop(drain=True)
+        print("drained" if drained else "drain timed out", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -429,6 +485,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "deterministic single-process schedule "
                             "(default)")
     solve.set_defaults(func=_cmd_solve)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the reasoning-as-a-service daemon (see docs/daemon.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8421, metavar="PORT",
+                       help="HTTP port (default 8421; -1 disables HTTP)")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="also serve NDJSON on this unix socket path")
+    serve.add_argument("--pool", type=int, default=8, metavar="N",
+                       help="idle warm sessions retained (default 8; "
+                            "0 = fresh compile per request)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="solver worker threads (default 4)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrent solves admitted (default 8)")
+    serve.add_argument("--queue", type=int, default=32, metavar="N",
+                       help="requests allowed to queue for a solve slot "
+                            "before shedding (default 32)")
+    serve.add_argument("--rate", type=float, default=0.0, metavar="R",
+                       help="per-client token-bucket rate in requests/s "
+                            "(default 0 = unlimited)")
+    serve.add_argument("--burst", type=int, default=20, metavar="N",
+                       help="per-client token-bucket capacity (default 20)")
+    serve.add_argument("--no-preprocess", action="store_true",
+                       help="skip CNF preprocessing in pooled sessions")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="seconds to wait for inflight solves on "
+                            "shutdown (default 10)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

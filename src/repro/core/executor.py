@@ -34,7 +34,7 @@ from repro.core.design import (
 from repro.core.diagnose import conflict_from_core
 from repro.core.equivalence import deployment_classes
 from repro.core.query import CACHEABLE_VERBS, Query
-from repro.errors import QueryError
+from repro.errors import KnowledgeBaseError, QueryError
 from repro.kb.registry import KnowledgeBase
 from repro.logic.pseudo_boolean import PBTerm
 from repro.obs.observer import EngineObserver
@@ -222,9 +222,25 @@ class QueryExecutor:
         return results
 
     def _execute_miss(self, query: Query):
-        """Stages 2-5: acquire a view, solve, dispatch, record."""
-        view = self._acquire(query.request)
-        result = self._dispatch(query, view)
+        """Stages 2-5: acquire a view, solve, dispatch, record.
+
+        On the incremental path a solver-stage failure poisons the shared
+        session: the persistent solver may hold a partial trail or an
+        unretired activation literal, so pools (and later direct callers)
+        must not reuse it before a :meth:`ReasoningSession.reset`.
+        Validation errors (:class:`QueryError` and knowledge-base errors)
+        are raised *before* the shared solver is touched and leave the
+        session clean.
+        """
+        try:
+            view = self._acquire(query.request)
+            result = self._dispatch(query, view)
+        except (QueryError, KnowledgeBaseError):
+            raise
+        except Exception:
+            if self.incremental and self._session is not None:
+                self._session.mark_poisoned()
+            raise
         self._record(query.verb, view)
         return result
 

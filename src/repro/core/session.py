@@ -58,12 +58,13 @@ from repro.core.compile import (
 from repro.core.design import Conflict, DesignOutcome, DesignRequest
 from repro.core.executor import QueryExecutor
 from repro.core.query import Query
+from repro.errors import SolverStateError
 from repro.kb.registry import KnowledgeBase
 from repro.obs.observer import EngineObserver
 from repro.obs.trace import NULL_TRACER
 from repro.sat.preprocess import preprocess_solver
 
-__all__ = ["ReasoningSession", "SessionStats"]
+__all__ = ["ReasoningSession", "SessionStats", "shape_key"]
 
 
 @dataclass
@@ -128,6 +129,7 @@ class ReasoningSession:
         self.preprocess = preprocess
         self.observer = observer
         self.stats = SessionStats()
+        self._poisoned = False
         self._compiler: _Compiler | None = None
         self._compiled: CompiledDesign | None = None
         self._fingerprint: str | None = None
@@ -184,6 +186,38 @@ class ReasoningSession:
             alternative=self.synthesize(alternative),
         )
 
+    # -- pool safety --------------------------------------------------------------
+
+    @property
+    def poisoned(self) -> bool:
+        """True once a solver-stage exception may have corrupted state.
+
+        A failure mid-``solve(assumptions)`` (or mid-optimization) can
+        leave the shared solver with a partial trail, unretired
+        activation literals, or a half-grounded constraint group. Such a
+        session must not answer further queries until :meth:`reset`;
+        pools use this flag to discard the instance instead of handing
+        corrupted state to the next client.
+        """
+        return self._poisoned
+
+    def mark_poisoned(self) -> None:
+        """Flag this session as corrupted (see :attr:`poisoned`)."""
+        self._poisoned = True
+
+    def reset(self) -> None:
+        """Drop all compiled state; the next query recompiles from the KB.
+
+        Clears the poison flag: a recompile starts from a fresh solver,
+        so nothing of the corrupted trajectory survives.
+        """
+        self._compiler = None
+        self._compiled = None
+        self._fingerprint = None
+        self._shape = None
+        self._totalizers = {}
+        self._poisoned = False
+
     # -- compile-once machinery --------------------------------------------------
 
     def view(self, request: DesignRequest) -> CompiledDesign:
@@ -195,10 +229,15 @@ class ReasoningSession:
         descriptions — every ``CompiledDesign`` method (solve, cores,
         extraction, objective terms) then answers for *this* query.
         """
+        if self._poisoned:
+            raise SolverStateError(
+                "session was poisoned by an earlier solver failure; "
+                "call reset() (or discard it) before issuing new queries"
+            )
         validate_request_entities(self.kb, request)
         self.stats.queries += 1
         fingerprint = self.kb.fingerprint()
-        shape = _shape_key(request)
+        shape = shape_key(request)
         if (
             self._compiled is None
             or fingerprint != self._fingerprint
@@ -272,12 +311,14 @@ class ReasoningSession:
         return frozen
 
 
-def _shape_key(request: DesignRequest) -> tuple:
+def shape_key(request: DesignRequest) -> tuple:
     """The parts of a request that are compiled structurally (unguarded).
 
     Two requests with equal shapes share one compiled base; everything
     else (required/forbidden systems, budgets, fixed hardware, bounds,
-    context values, objectives) is guard-switched per query.
+    context values, objectives) is guard-switched per query. The serving
+    layer's session pool uses the same key, so a pooled session is warm
+    for exactly the requests it could answer without a rebase.
     """
     return (
         tuple(

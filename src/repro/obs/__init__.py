@@ -16,7 +16,7 @@ latency and solver behaviour first-class concerns. This package provides:
   (``repro.obs.report``).
 """
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.observer import EngineObserver
 from repro.obs.progress import ProgressRecorder
 from repro.obs.report import (
@@ -28,6 +28,7 @@ from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 
 __all__ = [
     "EngineObserver",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "ProgressRecorder",

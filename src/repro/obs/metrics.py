@@ -1,12 +1,16 @@
 """A small process-local metrics registry with JSON export.
 
-Three primitive kinds, mirroring the usual monitoring vocabulary:
+Four primitive kinds, mirroring the usual monitoring vocabulary:
 
 - **counters** — monotonically increasing totals (queries served,
   conflicts across all solves);
 - **gauges** — last-write-wins point values (KB size, learnt-DB size);
 - **observations** — value series summarized as count/total/min/max/mean
-  (per-phase latencies).
+  (per-phase latencies);
+- **histograms** — bounded-memory log-bucketed latency distributions
+  with percentile estimates (:class:`LatencyHistogram`), used by the
+  serving daemon's per-verb latency tracking where an unbounded
+  observation series would grow with every request.
 
 The registry is thread-safe and serializes deterministically, so it can
 seed benchmark artifacts (``BENCH_solver.json``) and service endpoints
@@ -19,14 +23,90 @@ import json
 import threading
 
 
+class LatencyHistogram:
+    """A log-bucketed histogram over positive values (seconds).
+
+    Buckets are geometric (factor 2) from *start* up to *stop*, with a
+    final overflow bucket, so memory is constant no matter how many
+    values are recorded. Percentiles are estimated conservatively as the
+    upper bound of the bucket holding the requested rank — good enough
+    for p50/p90/p99 service dashboards, and never under-reports.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, start: float = 0.0005, stop: float = 64.0):
+        bounds = []
+        edge = start
+        while edge <= stop:
+            bounds.append(edge)
+            edge *= 2
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        # counts[i] pairs with bounds[i]; the final slot is overflow.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket containing the *p*-quantile rank."""
+        if self.count == 0:
+            return 0.0
+        rank = p * self.count
+        seen = 0.0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max  # pragma: no cover - ranks always land above
+
+    def as_dict(self) -> dict:
+        buckets = {}
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            label = (
+                f"le_{self.bounds[i]:g}" if i < len(self.bounds) else "inf"
+            )
+            buckets[label] = n
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.min, 6) if self.count else 0.0,
+            "max": round(self.max, 6),
+            "mean": round(self.total / self.count, 6) if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": buckets,
+        }
+
+
 class MetricsRegistry:
-    """Named counters, gauges, and observation series."""
+    """Named counters, gauges, observation series, and histograms."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._observations: dict[str, list[float]] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
 
     # -- writing -----------------------------------------------------------
 
@@ -46,6 +126,14 @@ class MetricsRegistry:
         with self._lock:
             self._observations.setdefault(name, []).append(value)
 
+    def observe_histogram(self, name: str, value: float) -> None:
+        """Record *value* (seconds) into the log-bucketed histogram *name*."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = LatencyHistogram()
+            hist.observe(value)
+
     def merge_dict(self, prefix: str, values: dict) -> None:
         """Record every numeric entry of *values* as a gauge ``prefix.key``."""
         for key, value in values.items():
@@ -63,6 +151,9 @@ class MetricsRegistry:
     def observations(self, name: str) -> list[float]:
         return list(self._observations.get(name, []))
 
+    def histogram(self, name: str) -> LatencyHistogram | None:
+        return self._histograms.get(name)
+
     @staticmethod
     def _summarize(series: list[float]) -> dict[str, float]:
         return {
@@ -75,7 +166,7 @@ class MetricsRegistry:
 
     def as_dict(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "observations": {
@@ -84,6 +175,12 @@ class MetricsRegistry:
                     if series
                 },
             }
+            if self._histograms:
+                out["histograms"] = {
+                    name: hist.as_dict()
+                    for name, hist in self._histograms.items()
+                }
+            return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
@@ -93,3 +190,4 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._observations.clear()
+            self._histograms.clear()

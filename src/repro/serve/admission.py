@@ -1,0 +1,136 @@
+"""Admission control for the reasoning daemon.
+
+Two independent gates, both answering *before* any solver work starts:
+
+- :class:`TokenBucket` — per-client rate limiting. Each client identity
+  owns a bucket of ``burst`` tokens refilled at ``rate`` tokens/second;
+  a request spends one token or is rejected (``rate_limited``). Buckets
+  are pruned lazily so an open daemon does not accumulate one entry per
+  client forever.
+- :class:`AdmissionController` — a bounded concurrency gate. At most
+  ``max_inflight`` requests solve at once; at most ``queue_limit`` more
+  may wait their turn; anything beyond that is shed immediately with a
+  structured ``overloaded`` error (429-style load shedding) instead of
+  growing an unbounded backlog that turns overload into latency.
+
+Both are deliberately tiny: the daemon's correctness argument for "no
+hangs under overload" should fit in one screen of code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """Per-client token buckets: ``burst`` capacity, ``rate`` tokens/s.
+
+    ``rate <= 0`` disables rate limiting entirely (every request is
+    admitted), which is the default for trusted deployments.
+    """
+
+    #: Drop bucket state for clients idle longer than this many seconds
+    #: (their bucket would be full again anyway).
+    PRUNE_IDLE_S = 300.0
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock=time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = max(1, burst)
+        self._clock = clock
+        #: client -> (tokens, last refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self._last_prune = 0.0
+
+    def allow(self, client: str) -> bool:
+        """Spend one token for *client*; False means rate-limited."""
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        tokens, last = self._buckets.get(client, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+        allowed = tokens >= 1.0
+        if allowed:
+            tokens -= 1.0
+        self._buckets[client] = (tokens, now)
+        if now - self._last_prune > self.PRUNE_IDLE_S:
+            self._prune(now)
+        return allowed
+
+    def _prune(self, now: float) -> None:
+        idle = self.PRUNE_IDLE_S
+        self._buckets = {
+            client: state
+            for client, state in self._buckets.items()
+            if now - state[1] < idle
+        }
+        self._last_prune = now
+
+    def clients(self) -> int:
+        return len(self._buckets)
+
+
+class AdmissionController:
+    """Bounded inflight + bounded queue; everything beyond is shed.
+
+    Use as an async context manager::
+
+        admitted = await admission.try_acquire()
+        if not admitted:
+            ...structured overloaded error...
+        try:
+            ...solve...
+        finally:
+            admission.release()
+    """
+
+    def __init__(self, max_inflight: int, queue_limit: int):
+        self.max_inflight = max(1, max_inflight)
+        self.queue_limit = max(0, queue_limit)
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        self._inflight = 0
+        self._waiting = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return self._waiting
+
+    async def try_acquire(self) -> bool:
+        """Admit the caller, queueing if needed; False means shed."""
+        if self._sem.locked() and self._waiting >= self.queue_limit:
+            return False
+        self._waiting += 1
+        try:
+            await self._sem.acquire()
+        finally:
+            self._waiting -= 1
+        self._inflight += 1
+        self._idle.clear()
+        return True
+
+    def release(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+        self._sem.release()
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no request is inflight; False on timeout."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False

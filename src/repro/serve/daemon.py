@@ -1,0 +1,564 @@
+"""The reasoning-as-a-service daemon.
+
+An asyncio server exposing the :class:`~repro.core.query.Query` pipeline
+over two transports:
+
+- **HTTP/1.1** (TCP) — ``POST /query`` with a request envelope body,
+  ``GET /stats``, ``GET /healthz``. Streaming responses use chunked
+  transfer encoding with one NDJSON frame per item.
+- **NDJSON** (unix socket) — one request envelope per line, one
+  response (or a header/item/footer frame sequence) per line.
+
+Design rules, in priority order:
+
+1. **The event loop never blocks on a solve.** All solver work runs on
+   a worker-thread executor; the loop only parses, routes, admits, and
+   writes.
+2. **Overload degrades to structured errors, not latency.** Admission
+   control bounds inflight + queued requests; everything beyond is shed
+   with an ``overloaded`` payload. Per-client token buckets shed abusive
+   clients with ``rate_limited``.
+3. **No tracebacks on the wire.** Every failure maps to a structured
+   error payload (:mod:`repro.serve.protocol`); internal errors are
+   reported as ``{"code": "internal"}`` with the exception repr only.
+4. **Sessions are never shared and never recycled corrupted.** Each
+   request checks a warm session out of the pool for exclusive use;
+   poisoned sessions (solver failure mid-query) are discarded on
+   checkin.
+5. **Shutdown drains.** ``stop()`` refuses new work, waits for inflight
+   solves (bounded by ``drain_timeout``), then tears the transports
+   down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.query import Query
+from repro.errors import KnowledgeBaseError, QueryError
+from repro.kb.registry import KnowledgeBase
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.pool import SessionPool
+from repro.serve.protocol import (
+    WireError,
+    canonical_json,
+    decode_envelope,
+    envelope_to_query,
+    error_payload,
+    ok_payload,
+    result_items,
+    result_to_wire,
+)
+
+__all__ = ["DaemonConfig", "ReasoningDaemon", "StreamReply", "UnaryReply"]
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class DaemonConfig:
+    """Every operational knob in one place (see ``docs/daemon.md``)."""
+
+    host: str = "127.0.0.1"
+    #: TCP port for the HTTP transport; 0 = ephemeral, None = disabled.
+    port: int | None = 0
+    #: Filesystem path for the unix NDJSON transport; None = disabled.
+    unix_path: str | None = None
+    #: Idle warm sessions retained (0 = fresh compile per request).
+    pool_size: int = 8
+    #: Worker threads running solver work.
+    workers: int = 4
+    #: Concurrent solves admitted; further requests queue.
+    max_inflight: int = 8
+    #: Requests allowed to wait for a solve slot; beyond this, shed.
+    queue_limit: int = 32
+    #: Per-client token-bucket refill rate (requests/s); <= 0 disables.
+    rate: float = 0.0
+    #: Per-client token-bucket capacity.
+    burst: int = 20
+    #: Hard bound on a request body / NDJSON line.
+    max_body_bytes: int = 1_000_000
+    #: CNF preprocessing for pooled sessions.
+    preprocess: bool = True
+    #: Seconds stop() waits for inflight solves before giving up.
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class UnaryReply:
+    """A single-payload response (every non-streaming request)."""
+
+    status: int
+    payload: dict
+
+    def body(self) -> bytes:
+        return canonical_json(self.payload)
+
+
+@dataclass
+class StreamReply:
+    """A streamed response: header frame, item frames, footer frame."""
+
+    status: int
+    header: dict
+    items: list
+    footer: dict
+
+    def frames(self) -> list[bytes]:
+        out = [canonical_json(self.header)]
+        out.extend(canonical_json({"item": item, "seq": i})
+                   for i, item in enumerate(self.items))
+        out.append(canonical_json(self.footer))
+        return out
+
+
+class ReasoningDaemon:
+    """Serve reasoning queries over warm pooled sessions.
+
+    Parameters
+    ----------
+    kbs:
+        Either one :class:`KnowledgeBase` (served as ``"default"``) or a
+        mapping of name -> KB. Envelopes address KBs by name.
+    config:
+        A :class:`DaemonConfig`; defaults are sensible for tests.
+    """
+
+    def __init__(
+        self,
+        kbs: KnowledgeBase | dict[str, KnowledgeBase],
+        config: DaemonConfig | None = None,
+    ):
+        if isinstance(kbs, KnowledgeBase):
+            kbs = {"default": kbs}
+        if not kbs:
+            raise ValueError("daemon needs at least one knowledge base")
+        for kb in kbs.values():
+            kb.validate_or_raise()
+        self.kbs = dict(kbs)
+        self.config = config or DaemonConfig()
+        self.metrics = MetricsRegistry()
+        self.pool = SessionPool(
+            max_sessions=self.config.pool_size,
+            preprocess=self.config.preprocess,
+        )
+        self.admission = AdmissionController(
+            self.config.max_inflight, self.config.queue_limit
+        )
+        self.bucket = TokenBucket(self.config.rate, self.config.burst)
+        self._workers = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._servers: list[asyncio.AbstractServer] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._started_at: float | None = None
+        self._bound_port: int | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def port(self) -> int | None:
+        """The bound TCP port (after :meth:`start`)."""
+        return self._bound_port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the configured transports."""
+        cfg = self.config
+        # Leave generous slack over max_body_bytes so the size check in
+        # decode_envelope (not the stream reader) reports the violation.
+        limit = cfg.max_body_bytes + 65536
+        if cfg.port is not None:
+            server = await asyncio.start_server(
+                self._http_connection, cfg.host, cfg.port, limit=limit
+            )
+            self._servers.append(server)
+            self._bound_port = server.sockets[0].getsockname()[1]
+        if cfg.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._lines_connection, cfg.unix_path, limit=limit
+            )
+            self._servers.append(server)
+        self._started_at = time.monotonic()
+
+    async def stop(self, drain: bool = True) -> bool:
+        """Graceful shutdown: refuse new work, drain, tear down.
+
+        Returns True when every inflight request finished inside
+        ``drain_timeout``; False when the drain timed out and running
+        solves were abandoned to their worker threads.
+        """
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        drained = True
+        if drain:
+            drained = await self.admission.drain(self.config.drain_timeout)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._workers.shutdown(wait=drained, cancel_futures=True)
+        self.pool.clear()
+        self.metrics.incr("shutdowns")
+        return drained
+
+    # -- request handling (transport-independent) ---------------------------------
+
+    async def handle(
+        self, raw: bytes | dict, client_hint: str = "inproc"
+    ) -> UnaryReply | StreamReply:
+        """Answer one request envelope; never raises."""
+        self.metrics.incr("requests")
+        request_id = None
+        try:
+            if isinstance(raw, dict):
+                envelope = raw
+            else:
+                envelope = decode_envelope(
+                    raw, self.config.max_body_bytes
+                )
+            request_id = envelope.get("id")
+            if self._draining:
+                raise WireError("draining", "daemon is shutting down")
+            client = envelope.get("client") or client_hint
+            if not isinstance(client, str):
+                raise WireError("bad_request", "'client' must be a string")
+            if not self.bucket.allow(client):
+                raise WireError(
+                    "rate_limited",
+                    f"client {client!r} exceeded "
+                    f"{self.config.rate:g} requests/s "
+                    f"(burst {self.config.burst})",
+                )
+            kb_name, query, stream = envelope_to_query(envelope)
+            kb = self.kbs.get(kb_name)
+            if kb is None:
+                raise WireError(
+                    "not_found",
+                    f"unknown kb {kb_name!r}; served: "
+                    f"{sorted(self.kbs)}",
+                )
+            if not await self.admission.try_acquire():
+                self.metrics.incr("requests.shed")
+                raise WireError(
+                    "overloaded",
+                    f"queue full ({self.config.max_inflight} inflight "
+                    f"+ {self.config.queue_limit} queued); retry later",
+                )
+            try:
+                self.metrics.set_gauge(
+                    "queue_depth", self.admission.queue_depth
+                )
+                result, elapsed = await self._run(kb_name, kb, query)
+            finally:
+                self.admission.release()
+            self.metrics.observe_histogram(
+                f"latency.{query.verb}", elapsed
+            )
+            self.metrics.incr("requests.ok")
+            if stream:
+                items = result_items(query.verb, result)
+                return StreamReply(
+                    200,
+                    {"id": request_id, "ok": True, "verb": query.verb,
+                     "stream": True},
+                    items,
+                    {"done": True, "count": len(items)},
+                )
+            return UnaryReply(
+                200,
+                ok_payload(
+                    request_id, query.verb,
+                    result_to_wire(query.verb, result),
+                ),
+            )
+        except WireError as exc:
+            self.metrics.incr(f"requests.error.{exc.code}")
+            return UnaryReply(
+                exc.http_status,
+                error_payload(request_id, exc.code, exc.message),
+            )
+        except (QueryError, KnowledgeBaseError) as exc:
+            self.metrics.incr("requests.error.bad_request")
+            return UnaryReply(
+                400, error_payload(request_id, "bad_request", str(exc))
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Rule 3: internal failures become structured payloads; the
+            # exception repr is enough to find the bug without leaking a
+            # stack trace to an untrusted peer.
+            self.metrics.incr("requests.error.internal")
+            return UnaryReply(
+                500, error_payload(request_id, "internal", repr(exc))
+            )
+
+    async def _run(self, kb_name: str, kb: KnowledgeBase, query: Query):
+        """Solve on a pooled session in a worker thread."""
+        loop = asyncio.get_running_loop()
+        pooled = self.pool.checkout(kb_name, kb, query)
+
+        def work():
+            if query.verb == "explain":
+                outcome = pooled.execute(Query("check", query.request))
+                return pooled.executor.execute(
+                    Query("explain", query.request), outcome
+                )
+            return pooled.execute(query)
+
+        start = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(self._workers, work)
+        finally:
+            self.pool.checkin(pooled)
+            self.metrics.set_gauge("pool.size", self.pool.size)
+        return result, time.perf_counter() - start
+
+    # -- stats --------------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        return {
+            "daemon": {
+                "uptime_s": round(uptime, 3),
+                "draining": self._draining,
+                "inflight": self.admission.inflight,
+                "queue_depth": self.admission.queue_depth,
+                "kbs": sorted(self.kbs),
+                "workers": self.config.workers,
+                "rate_limited_clients": self.bucket.clients(),
+            },
+            "pool": self.pool.stats_dict(),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    # -- NDJSON transport (unix socket) -------------------------------------------
+
+    async def _lines_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit: structurally reject
+                    # and close (the rest of the oversized line cannot be
+                    # resynchronized).
+                    self.metrics.incr("requests.error.oversized")
+                    writer.write(canonical_json(error_payload(
+                        None, "oversized",
+                        f"request line exceeds "
+                        f"{self.config.max_body_bytes} bytes",
+                    )) + b"\n")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self.handle(line, client_hint="unix")
+                try:
+                    if isinstance(reply, StreamReply):
+                        for frame in reply.frames():
+                            writer.write(frame + b"\n")
+                            await writer.drain()
+                    else:
+                        writer.write(reply.body() + b"\n")
+                        await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    self.metrics.incr("stream.aborted")
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- HTTP transport -----------------------------------------------------------
+
+    async def _http_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        peer = writer.get_extra_info("peername")
+        client_hint = f"http:{peer[0]}" if peer else "http"
+        try:
+            while True:
+                parsed = await self._read_http_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body, parse_error = parsed
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                if parse_error is not None:
+                    self.metrics.incr(
+                        f"requests.error.{parse_error.code}"
+                    )
+                    await self._write_http_json(
+                        writer, parse_error.http_status,
+                        error_payload(None, parse_error.code,
+                                      parse_error.message),
+                        keep_alive=False,
+                    )
+                    break
+                reply = await self._route_http(
+                    method, path, body, client_hint
+                )
+                try:
+                    if isinstance(reply, StreamReply):
+                        await self._write_http_stream(
+                            writer, reply, keep_alive
+                        )
+                    else:
+                        await self._write_http_json(
+                            writer, reply.status, reply.payload,
+                            keep_alive=keep_alive,
+                        )
+                except (ConnectionResetError, BrokenPipeError):
+                    self.metrics.incr("stream.aborted")
+                    break
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, asyncio.IncompleteReadError,
+                ConnectionResetError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_http_request(self, reader: asyncio.StreamReader):
+        """One HTTP/1.1 request -> (method, path, headers, body, error).
+
+        Returns None on a cleanly closed connection. Protocol problems
+        (bad request line, oversized body) come back as a
+        :class:`WireError` in the last slot so the caller can answer
+        structurally and close.
+        """
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            return ("", "", {}, b"",
+                    WireError("bad_request", "request line too long"))
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return ("", "", {}, b"",
+                    WireError("bad_request", "malformed request line"))
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return (method, path, headers, b"",
+                    WireError("bad_request", "bad Content-Length"))
+        if length > self.config.max_body_bytes:
+            return (method, path, headers, b"", WireError(
+                "oversized",
+                f"request body is {length} bytes; limit is "
+                f"{self.config.max_body_bytes}",
+            ))
+        body = await reader.readexactly(length) if length else b""
+        return (method.upper(), path, headers, body, None)
+
+    async def _route_http(
+        self, method: str, path: str, body: bytes, client_hint: str
+    ) -> UnaryReply | StreamReply:
+        path = path.split("?", 1)[0]
+        if method == "POST" and path == "/query":
+            return await self.handle(body, client_hint=client_hint)
+        if method == "GET" and path == "/stats":
+            return UnaryReply(200, self.stats_payload())
+        if method == "GET" and path == "/healthz":
+            return UnaryReply(
+                200, {"ok": True, "draining": self._draining}
+            )
+        return UnaryReply(404, error_payload(
+            None, "not_found", f"no route for {method} {path}"
+        ))
+
+    @staticmethod
+    async def _write_http_json(
+        writer: asyncio.StreamWriter, status: int, payload: dict,
+        keep_alive: bool = True,
+    ) -> None:
+        body = canonical_json(payload)
+        reason = _HTTP_REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    @staticmethod
+    async def _write_http_stream(
+        writer: asyncio.StreamWriter, reply: StreamReply,
+        keep_alive: bool = True,
+    ) -> None:
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {reply.status} "
+            f"{_HTTP_REASONS.get(reply.status, 'Unknown')}\r\n"
+            f"Content-Type: application/x-ndjson\r\n"
+            f"Transfer-Encoding: chunked\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        for frame in reply.frames():
+            data = frame + b"\n"
+            writer.write(
+                f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+            )
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()

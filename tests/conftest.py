@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import itertools
 import random
+import signal
+import threading
 
 import pytest
 
@@ -13,6 +15,47 @@ from repro.kb.resources import ResourceDemand
 from repro.kb.system import System
 from repro.kb.dsl import prop
 from repro.logic.ast import TRUE
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the bound "
+        "(deadlock guard for the daemon concurrency tests; honored by "
+        "pytest-timeout when installed, by a SIGALRM fallback otherwise)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for ``@pytest.mark.timeout`` without pytest-timeout.
+
+    The concurrency/fault tests mark themselves with timeouts so a daemon
+    deadlock fails fast instead of hanging the suite. CI installs
+    pytest-timeout (which takes precedence via its plugin hook); local
+    runs without it get this best-effort main-thread alarm instead.
+    """
+    marker = item.get_closest_marker("timeout")
+    if (
+        marker is None
+        or item.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+    seconds = int(marker.args[0] if marker.args
+                  else marker.kwargs.get("seconds", 60))
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded the {seconds}s timeout marker")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:

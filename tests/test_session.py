@@ -206,3 +206,53 @@ class TestEngineIntegration:
         engine = ReasoningEngine(tiny_kb, incremental=False)
         engine.check_many(_sweep()[:3])
         assert engine.executor._session is None
+
+
+class TestPoisonedSessions:
+    """Regression: a solver exception mid-query must not leave the
+    session silently reusable (the daemon pools sessions, so corrupted
+    solver state would otherwise leak into later requests)."""
+
+    def test_solver_exception_poisons_until_reset(self, tiny_kb):
+        from repro.errors import SolverStateError
+
+        session = ReasoningSession(tiny_kb)
+        request = _request()
+        assert session.check(request).feasible
+        assert not session.poisoned
+
+        original_view = session.view
+        fail = {"on": True}
+
+        def flaky_view(req):
+            if fail["on"]:
+                fail["on"] = False
+                raise RuntimeError("injected mid-solve failure")
+            return original_view(req)
+
+        session.view = flaky_view
+        with pytest.raises(RuntimeError):
+            session.check(request)
+        assert session.poisoned
+
+        # A poisoned session refuses further queries instead of
+        # answering from corrupted solver state.
+        with pytest.raises(SolverStateError):
+            session.check(request)
+
+        # reset() recompiles from scratch and clears the poison.
+        session.reset()
+        assert not session.poisoned
+        outcome = session.check(request)
+        assert outcome.feasible
+        assert session.stats.compiles >= 2
+
+    def test_validation_errors_leave_session_clean(self, tiny_kb):
+        from repro.errors import QueryError
+
+        session = ReasoningSession(tiny_kb)
+        assert session.check(_request()).feasible
+        with pytest.raises(QueryError):
+            session._executor.execute(Query("explain", _request()))
+        assert not session.poisoned
+        assert session.check(_request()).feasible
