@@ -160,11 +160,17 @@ def run_load(
     }
 
 
-def _start_daemon(pool_size: int, workers: int, inflight: int):
-    """An in-process daemon on an ephemeral port; returns (harness, url)."""
+def _start_daemon(pool_size: int, threads: int, inflight: int,
+                  workers: int = 1):
+    """An in-process daemon on an ephemeral port; returns (harness, url).
+
+    ``workers=1`` is the threaded backend; ``workers=N`` starts N solver
+    worker processes (the shape-affinity pool).
+    """
     config = DaemonConfig(
         port=0,
         pool_size=pool_size,
+        threads=threads,
         workers=workers,
         max_inflight=inflight,
         queue_limit=1024,
@@ -179,29 +185,35 @@ def run_benchmark(
     quick: bool = False,
     baseline: bool = True,
     url: str | None = None,
+    workers: int = 1,
 ) -> dict:
     """Warm-pool run (plus optional fresh-compile baseline run).
 
     The acceptance line for the ``daemon_load`` workload: warm-pool
     session reuse beats per-request fresh compile by >= 2x wall-clock on
-    the what-if sweep at 8 concurrent clients.
+    the what-if sweep at 8 concurrent clients. ``workers`` selects the
+    execution backend for the warm run (1 = threaded, N = process pool).
     """
-    report: dict = {"external_url": url}
+    report: dict = {"external_url": url, "workers": workers}
     if url is not None:
         report["warm"] = run_load(url, clients, quick)
         report["pool"] = None
     else:
         harness, local_url = _start_daemon(
-            pool_size=max(clients, 8), workers=clients, inflight=clients
+            pool_size=max(clients, 8), threads=clients, inflight=clients,
+            workers=workers,
         )
         try:
             report["warm"] = run_load(local_url, clients, quick)
-            report["pool"] = harness.daemon.pool.stats_dict()
+            report["pool"] = (
+                None if workers > 1
+                else harness.daemon.pool.stats_dict()
+            )
         finally:
             harness.stop()
     if baseline and url is None:
         harness, local_url = _start_daemon(
-            pool_size=0, workers=clients, inflight=clients
+            pool_size=0, threads=clients, inflight=clients
         )
         try:
             report["fresh"] = run_load(local_url, clients, quick)
@@ -221,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--clients", type=int, default=8, metavar="N",
                         help="concurrent closed-loop clients (default 8)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="solver worker processes for the warm daemon "
+                             "(1 = threaded backend, the default)")
     parser.add_argument("--quick", action="store_true",
                         help="short sweep + assert p99 bound and zero "
                              "errors (CI smoke mode)")
@@ -242,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         baseline=not args.no_baseline and args.url is None,
         url=args.url,
+        workers=args.workers,
     )
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.output:

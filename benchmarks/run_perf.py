@@ -43,12 +43,21 @@ results to ``BENCH_solver.json``:
 - **cube_and_conquer** — sequential solve vs. shared-mode
   cube-and-conquer (``repro.par.cubes``) on a pinned hard random 3-SAT
   instance, with verdict parity asserted (acceptance: >= 2x).
+- **shape_key_cache** — the per-request ``shape_key`` memo on the
+  serving hot path: the key is consulted at every pool checkout and
+  again inside the session view, so v7 caches it on the request object
+  and this workload pins the cached vs. uncached per-call cost.
 - **daemon_load** — the 20-query what-if sweep fired by 8 concurrent
   closed-loop clients at the ``repro.serve`` daemon over HTTP
   (``benchmarks/load_gen.py``), warm session pool vs. per-request fresh
   compile (``pool_size=0``), reporting latency percentiles, throughput,
   pool hit rate, and the wall-clock speedup (acceptance: warm >= 2x,
-  zero error responses).
+  zero error responses). v7 adds a ``workers`` axis: the same sweep
+  against the multi-process shape-affinity worker pool
+  (``--workers 4``), with the process/threaded throughput ratio and the
+  core count recorded alongside (the ratio only exceeds 1 when the
+  machine has cores to scale onto — single-core CI boxes will honestly
+  report ~1x or below, which is the point of recording ``cores``).
 
 Usage::
 
@@ -60,6 +69,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import random
 import sys
@@ -729,26 +739,85 @@ def run_cube_and_conquer(quick: bool) -> dict:
 # -- driver ------------------------------------------------------------------------
 
 
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_shape_key_cache(quick: bool) -> dict:
+    """Per-call cost of ``shape_key``: memoized vs. recomputed.
+
+    The serving hot path consults the shape key twice per request (pool
+    checkout routing plus the session view), and the process-pool
+    supervisor a third time for affinity routing; memoizing it on the
+    request object turns the repeats into one attribute read.
+    """
+    from repro.core.session import _shape_key_uncached, shape_key
+    from repro.knowledge.casestudy import more_workloads_request
+
+    request = more_workloads_request()
+    calls = 2_000 if quick else 20_000
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        _shape_key_uncached(request)
+    uncached_s = time.perf_counter() - start
+
+    assert shape_key(request) == _shape_key_uncached(request)
+    start = time.perf_counter()
+    for _ in range(calls):
+        shape_key(request)
+    cached_s = time.perf_counter() - start
+
+    return {
+        "calls": calls,
+        "uncached_us_per_call": round(uncached_s / calls * 1e6, 3),
+        "cached_us_per_call": round(cached_s / calls * 1e6, 3),
+        "speedup": round(uncached_s / cached_s, 1) if cached_s > 0 else 0.0,
+    }
+
+
 def run_daemon_load(quick: bool) -> dict:
-    """8 concurrent what-if clients: warm pool vs. fresh compile."""
+    """8 concurrent what-if clients: warm pool vs. fresh compile,
+    threaded backend vs. the multi-process shape-affinity worker pool."""
     try:  # script mode: benchmarks/ itself is sys.path[0]
         from load_gen import run_benchmark
     except ImportError:  # package mode (pytest imports benchmarks.run_perf)
         from benchmarks.load_gen import run_benchmark
 
     clients = 4 if quick else 8
+    workers = 2 if quick else 4
     report = run_benchmark(clients=clients, quick=quick, baseline=True)
     warm, fresh = report["warm"], report["fresh"]
     assert warm["errors"] == 0, f"warm-run errors: {warm['error_detail']}"
     assert fresh["errors"] == 0, f"fresh-run errors: {fresh['error_detail']}"
     assert warm["completed"] == warm["requests"], "lost responses"
+
+    process_report = run_benchmark(
+        clients=clients, quick=quick, baseline=False, workers=workers,
+    )
+    process = process_report["warm"]
+    assert process["errors"] == 0, (
+        f"process-run errors: {process['error_detail']}"
+    )
+    assert process["completed"] == process["requests"], "lost responses"
+    warm_rps = warm["throughput_rps"]
+    throughput_speedup = (
+        round(process["throughput_rps"] / warm_rps, 3) if warm_rps else 0.0
+    )
     return {
         "clients": clients,
         "queries_per_client": warm["queries_per_client"],
+        "cores": _available_cores(),
         "warm": warm,
         "fresh": fresh,
         "pool": report["pool"],
         "speedup": report["speedup"],
+        "workers": workers,
+        "process": process,
+        "throughput_speedup": throughput_speedup,
     }
 
 
@@ -765,42 +834,45 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "solver-observability",
-        "version": 6,
+        "version": 7,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": {},
     }
 
-    print("[1/11] prototype queries ...", flush=True)
+    print("[1/12] prototype queries ...", flush=True)
     report["workloads"]["prototype_query"] = run_prototype_query(args.quick)
-    print("[2/11] solver scaling ...", flush=True)
+    print("[2/12] solver scaling ...", flush=True)
     report["workloads"]["solver_scaling"] = run_solver_scaling(args.quick)
-    print("[3/11] tracer overhead ...", flush=True)
+    print("[3/12] tracer overhead ...", flush=True)
     overhead = run_tracer_overhead(args.quick, repeats)
     report["workloads"]["tracer_overhead"] = overhead
-    print("[4/11] portfolio batch ...", flush=True)
+    print("[4/12] portfolio batch ...", flush=True)
     portfolio = run_portfolio_batch(args.quick)
     report["workloads"]["portfolio_batch"] = portfolio
-    print("[5/11] query cache ...", flush=True)
+    print("[5/12] query cache ...", flush=True)
     cache_result = run_query_cache(args.quick)
     report["workloads"]["query_cache"] = cache_result
-    print("[6/11] incremental what-if ...", flush=True)
+    print("[6/12] incremental what-if ...", flush=True)
     whatif = run_incremental_whatif(args.quick)
     report["workloads"]["incremental_whatif"] = whatif
-    print("[7/11] incremental diagnose ...", flush=True)
+    print("[7/12] incremental diagnose ...", flush=True)
     diag = run_incremental_diagnose(args.quick)
     report["workloads"]["incremental_diagnose"] = diag
-    print("[8/11] executor dispatch ...", flush=True)
+    print("[8/12] executor dispatch ...", flush=True)
     dispatch = run_executor_dispatch(args.quick, repeats)
     report["workloads"]["executor_dispatch"] = dispatch
-    print("[9/11] propagate micro-opt ...", flush=True)
+    print("[9/12] propagate micro-opt ...", flush=True)
     propagate = run_propagate_microopt(args.quick)
     report["workloads"]["propagate_microopt"] = propagate
-    print("[10/11] cube and conquer ...", flush=True)
+    print("[10/12] cube and conquer ...", flush=True)
     cubes = run_cube_and_conquer(args.quick)
     report["workloads"]["cube_and_conquer"] = cubes
-    print("[11/11] daemon load ...", flush=True)
+    print("[11/12] shape key cache ...", flush=True)
+    shape_cache = run_shape_key_cache(args.quick)
+    report["workloads"]["shape_key_cache"] = shape_cache
+    print("[12/12] daemon load ...", flush=True)
     daemon = run_daemon_load(args.quick)
     report["workloads"]["daemon_load"] = daemon
 
@@ -850,12 +922,20 @@ def main(argv: list[str] | None = None) -> int:
           f"vs cubes {cubes['cube_s']:.3f} s ({cubes['speedup']:.2f}x time, "
           f"{cubes['conflict_speedup']:.2f}x conflicts, "
           f"{cubes['cubes']} cubes)")
+    print(f"  shape_key: uncached {shape_cache['uncached_us_per_call']:.2f} us "
+          f"vs cached {shape_cache['cached_us_per_call']:.2f} us "
+          f"({shape_cache['speedup']:.0f}x over {shape_cache['calls']} calls)")
     print(f"  daemon load: {daemon['clients']} clients x "
           f"{daemon['queries_per_client']} queries, warm "
           f"{daemon['warm']['wall_s']:.3f} s "
           f"(p99 {daemon['warm']['latency_s']['p99']:.3f} s) vs fresh "
           f"{daemon['fresh']['wall_s']:.3f} s ({daemon['speedup']:.2f}x, "
           f"pool hit rate {daemon['pool']['hit_rate']:.2f})")
+    print(f"  daemon load (process pool): {daemon['workers']} workers on "
+          f"{daemon['cores']} core(s), "
+          f"{daemon['process']['throughput_rps']:.1f} rps vs threaded "
+          f"{daemon['warm']['throughput_rps']:.1f} rps "
+          f"({daemon['throughput_speedup']:.2f}x)")
     return 0
 
 

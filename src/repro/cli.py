@@ -355,6 +355,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         unix_path=args.unix,
         pool_size=args.pool,
         workers=args.workers,
+        threads=args.threads,
         max_inflight=args.max_inflight,
         queue_limit=args.queue,
         rate=args.rate,
@@ -374,8 +375,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             endpoints.append(f"http://{config.host}:{daemon.port}")
         if config.unix_path is not None:
             endpoints.append(f"unix:{config.unix_path}")
+        backend = (
+            f"{config.workers} worker processes" if config.workers > 1
+            else f"{config.threads} threads"
+        )
         print(f"serving on {' and '.join(endpoints)} "
-              f"(pool={config.pool_size}, workers={config.workers})",
+              f"(pool={config.pool_size}, {backend})",
               file=sys.stderr)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -499,8 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pool", type=int, default=8, metavar="N",
                        help="idle warm sessions retained (default 8; "
                             "0 = fresh compile per request)")
-    serve.add_argument("--workers", type=int, default=4, metavar="N",
-                       help="solver worker threads (default 4)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="solver worker processes (default 1 = "
+                            "threaded backend; N > 1 runs the "
+                            "shape-affinity process pool)")
+    serve.add_argument("--threads", type=int, default=4, metavar="N",
+                       help="solver worker threads in threaded mode "
+                            "(default 4)")
     serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
                        help="concurrent solves admitted (default 8)")
     serve.add_argument("--queue", type=int, default=32, metavar="N",

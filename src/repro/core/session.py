@@ -319,7 +319,23 @@ def shape_key(request: DesignRequest) -> tuple:
     context values, objectives) is guard-switched per query. The serving
     layer's session pool uses the same key, so a pooled session is warm
     for exactly the requests it could answer without a rebase.
+
+    The key is memoized on the request instance: the serving hot path
+    recomputes it on every pool checkout *and* again inside
+    :meth:`ReasoningSession.view`, and the tuple construction walks every
+    workload. The engine already treats requests as immutable after
+    submission (variations go through ``dataclasses.replace``), so the
+    cached key can never go stale on a live request.
     """
+    cached = getattr(request, "_shape_key_memo", None)
+    if cached is not None:
+        return cached
+    key = _shape_key_uncached(request)
+    request._shape_key_memo = key
+    return key
+
+
+def _shape_key_uncached(request: DesignRequest) -> tuple:
     return (
         tuple(
             (

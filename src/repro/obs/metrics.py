@@ -62,6 +62,58 @@ class LatencyHistogram:
                 return
         self.counts[-1] += 1
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold *other*'s observations into this histogram, in place.
+
+        Both histograms must share the same bucket geometry (they do
+        unless constructed with different start/stop). The daemon's
+        multi-process mode uses this to aggregate per-worker latency
+        histograms into one ``/stats`` view; totals, extrema, and bucket
+        counts all combine exactly (percentile estimates stay
+        conservative because the buckets align).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{len(self.bounds)} vs {len(other.bounds)} buckets"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        return self
+
+    def to_state(self) -> dict:
+        """A JSON-able snapshot that :meth:`from_state` reconstructs.
+
+        Used to ship histograms across process boundaries (worker ->
+        supervisor) without pickling.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        hist = cls.__new__(cls)
+        hist.bounds = tuple(state["bounds"])
+        hist.counts = list(state["counts"])
+        hist.count = state["count"]
+        hist.total = state["total"]
+        hist.min = float("inf") if state["min"] is None else state["min"]
+        hist.max = state["max"]
+        return hist
+
     def percentile(self, p: float) -> float:
         """Upper bound of the bucket containing the *p*-quantile rank."""
         if self.count == 0:
@@ -153,6 +205,14 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> LatencyHistogram | None:
         return self._histograms.get(name)
+
+    def histogram_states(self) -> dict[str, dict]:
+        """JSON-able snapshots of every histogram (see ``to_state``)."""
+        with self._lock:
+            return {
+                name: hist.to_state()
+                for name, hist in self._histograms.items()
+            }
 
     @staticmethod
     def _summarize(series: list[float]) -> dict[str, float]:

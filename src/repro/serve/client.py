@@ -23,7 +23,7 @@ import json
 import socket
 import threading
 
-from repro.serve.daemon import ReasoningDaemon, StreamReply, UnaryReply
+from repro.serve.daemon import ReasoningDaemon, UnaryReply
 from repro.serve.protocol import canonical_json
 
 __all__ = ["DaemonClient", "InprocDaemon", "make_envelope"]
@@ -113,26 +113,38 @@ class InprocDaemon:
         """Schedule *coro* on the daemon loop; returns a concurrent Future."""
         return asyncio.run_coroutine_threadsafe(coro, self._loop)
 
+    async def _reply(self, envelope, client: str):
+        """handle() + frame collection, all on the daemon loop.
+
+        Streams must be drained where they were created: a process-mode
+        :class:`~repro.serve.workers.StreamRelay` is fed through the
+        loop, so its frames are collected here rather than handed across
+        threads. Returns either a :class:`UnaryReply` or the list of
+        serialized frames.
+        """
+        reply = await self.daemon.handle(envelope, client_hint=client)
+        if isinstance(reply, UnaryReply):
+            return reply
+        return [frame async for frame in reply.aiter_frames()]
+
     def query_reply(
         self, envelope: dict | bytes, client: str = "inproc",
         timeout: float | None = 60.0,
-    ) -> UnaryReply | StreamReply:
-        return self.submit(
-            self.daemon.handle(envelope, client_hint=client)
-        ).result(timeout)
+    ) -> UnaryReply | list[bytes]:
+        return self.submit(self._reply(envelope, client)).result(timeout)
 
     def query(self, envelope, client: str = "inproc") -> dict:
         """The response payload (or list of frames for a stream)."""
         reply = self.query_reply(envelope, client)
-        if isinstance(reply, StreamReply):
-            return [json.loads(frame) for frame in reply.frames()]
+        if isinstance(reply, list):
+            return [json.loads(frame) for frame in reply]
         return reply.payload
 
     def query_bytes(self, envelope, client: str = "inproc") -> bytes:
         """Canonical serialized payload, for byte-parity comparisons."""
         reply = self.query_reply(envelope, client)
-        if isinstance(reply, StreamReply):
-            return b"\n".join(reply.frames())
+        if isinstance(reply, list):
+            return b"\n".join(reply)
         return reply.body()
 
 
@@ -197,6 +209,25 @@ class DaemonClient:
             self._sock_file = self._sock.makefile("rb")
         return self._sock, self._sock_file
 
+    def _unix_request(self, payload: bytes) -> bytes:
+        """Send one line, return the first response line.
+
+        Mirrors the HTTP path's retry: if the cached connection was
+        closed under us (server restart), reconnect once and resend.
+        """
+        try:
+            sock, reader = self._unix()
+            sock.sendall(payload)
+            line = reader.readline()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            line = b""
+        if not line:
+            self.close()
+            sock, reader = self._unix()
+            sock.sendall(payload)
+            line = reader.readline()
+        return line
+
     # -- public api ---------------------------------------------------------------
 
     def query(self, envelope: dict):
@@ -213,14 +244,16 @@ class DaemonClient:
                 ]
                 return frames
             return json.loads(response.read())
-        sock, reader = self._unix()
-        sock.sendall(canonical_json(envelope) + b"\n")
+        line = self._unix_request(canonical_json(envelope) + b"\n")
         if not stream:
-            return json.loads(reader.readline())
-        frames = [json.loads(reader.readline())]
+            return json.loads(line)
+        frames = [json.loads(line)]
         if frames[0].get("ok"):
+            # Read until a terminal frame: {"done": true, ...} on
+            # success, {"done": false, "error": ...} if a worker died
+            # mid-stream.
             while "done" not in frames[-1]:
-                frames.append(json.loads(reader.readline()))
+                frames.append(json.loads(self._sock_file.readline()))
         return frames
 
     def stats(self) -> dict:

@@ -9,11 +9,23 @@ over two transports:
 - **NDJSON** (unix socket) — one request envelope per line, one
   response (or a header/item/footer frame sequence) per line.
 
+Two execution backends sit behind one ``handle()``:
+
+- **Threaded** (``workers=1``, the default) — solves run on a
+  worker-thread executor sharing this process's interpreter. Zero setup
+  cost, but aggregate throughput is GIL-bound near one core.
+- **Process pool** (``workers=N``) — solves run in N solver worker
+  processes managed by :class:`~repro.serve.workers.WorkerSupervisor`,
+  each with its own warm session pool, routed by shape affinity.
+  Streaming responses relay frame-by-frame from the worker pipe; a
+  crashed worker fails its in-flight requests with a structured
+  ``worker_lost`` error and is respawned.
+
 Design rules, in priority order:
 
 1. **The event loop never blocks on a solve.** All solver work runs on
-   a worker-thread executor; the loop only parses, routes, admits, and
-   writes.
+   a worker-thread executor (or an external worker process); the loop
+   only parses, routes, admits, and writes.
 2. **Overload degrades to structured errors, not latency.** Admission
    control bounds inflight + queued requests; everything beyond is shed
    with an ``overloaded`` payload. Per-client token buckets shed abusive
@@ -42,7 +54,7 @@ from repro.errors import KnowledgeBaseError, QueryError
 from repro.kb.registry import KnowledgeBase
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import AdmissionController, TokenBucket
-from repro.serve.pool import SessionPool
+from repro.serve.pool import SessionPool, execute_pooled
 from repro.serve.protocol import (
     WireError,
     canonical_json,
@@ -53,6 +65,7 @@ from repro.serve.protocol import (
     result_items,
     result_to_wire,
 )
+from repro.serve.workers import StreamRelay, SupervisorConfig, WorkerSupervisor
 
 __all__ = ["DaemonConfig", "ReasoningDaemon", "StreamReply", "UnaryReply"]
 
@@ -76,10 +89,21 @@ class DaemonConfig:
     port: int | None = 0
     #: Filesystem path for the unix NDJSON transport; None = disabled.
     unix_path: str | None = None
-    #: Idle warm sessions retained (0 = fresh compile per request).
+    #: Idle warm sessions retained (0 = fresh compile per request). In
+    #: process mode this is the bound *per worker process*.
     pool_size: int = 8
-    #: Worker threads running solver work.
-    workers: int = 4
+    #: Solver worker **processes**. 1 (the default) keeps the threaded
+    #: backend; N > 1 runs the shape-affinity process pool.
+    workers: int = 1
+    #: Worker threads running solver work in threaded mode.
+    threads: int = 4
+    #: Process mode: queue depth on the affinity-preferred worker beyond
+    #: which a request spills to the least-loaded worker.
+    spill_depth: int = 2
+    #: Process mode: seconds between worker heartbeat pings.
+    heartbeat_interval: float = 2.0
+    #: Process mode: ``multiprocessing`` start method.
+    start_method: str = "spawn"
     #: Concurrent solves admitted; further requests queue.
     max_inflight: int = 8
     #: Requests allowed to wait for a solve slot; beyond this, shed.
@@ -123,6 +147,13 @@ class StreamReply:
         out.append(canonical_json(self.footer))
         return out
 
+    async def aiter_frames(self):
+        """Uniform streaming interface shared with
+        :class:`~repro.serve.workers.StreamRelay`, so the transports are
+        backend-agnostic. Buffered replies just replay their frames."""
+        for frame in self.frames():
+            yield frame
+
 
 class ReasoningDaemon:
     """Serve reasoning queries over warm pooled sessions.
@@ -159,9 +190,23 @@ class ReasoningDaemon:
         )
         self.bucket = TokenBucket(self.config.rate, self.config.burst)
         self._workers = ThreadPoolExecutor(
-            max_workers=max(1, self.config.workers),
+            max_workers=max(1, self.config.threads),
             thread_name_prefix="repro-serve",
         )
+        self._supervisor: WorkerSupervisor | None = None
+        if self.config.workers > 1:
+            self._supervisor = WorkerSupervisor(
+                self.kbs,
+                SupervisorConfig(
+                    workers=self.config.workers,
+                    pool_size=self.config.pool_size,
+                    preprocess=self.config.preprocess,
+                    spill_depth=self.config.spill_depth,
+                    heartbeat_interval=self.config.heartbeat_interval,
+                    start_method=self.config.start_method,
+                ),
+                metrics=self.metrics,
+            )
         self._servers: list[asyncio.AbstractServer] = []
         self._conn_tasks: set[asyncio.Task] = set()
         self._draining = False
@@ -179,9 +224,16 @@ class ReasoningDaemon:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def mode(self) -> str:
+        """``"process"`` (worker pool) or ``"thread"``."""
+        return "process" if self._supervisor is not None else "thread"
+
     async def start(self) -> None:
-        """Bind the configured transports."""
+        """Bind the configured transports (and spawn worker processes)."""
         cfg = self.config
+        if self._supervisor is not None:
+            await self._supervisor.start()
         # Leave generous slack over max_body_bytes so the size check in
         # decode_envelope (not the stream reader) reports the violation.
         limit = cfg.max_body_bytes + 65536
@@ -218,6 +270,8 @@ class ReasoningDaemon:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._workers.shutdown(wait=drained, cancel_futures=True)
+        if self._supervisor is not None and self._supervisor.started:
+            await self._supervisor.stop()
         self.pool.clear()
         self.metrics.incr("shutdowns")
         return drained
@@ -226,8 +280,14 @@ class ReasoningDaemon:
 
     async def handle(
         self, raw: bytes | dict, client_hint: str = "inproc"
-    ) -> UnaryReply | StreamReply:
-        """Answer one request envelope; never raises."""
+    ) -> UnaryReply | StreamReply | StreamRelay:
+        """Answer one request envelope; never raises.
+
+        Returns a :class:`UnaryReply`, a buffered :class:`StreamReply`
+        (threaded mode), or a live :class:`StreamRelay` (process mode) —
+        the two stream types share ``aiter_frames()`` so transports
+        treat them identically.
+        """
         self.metrics.incr("requests")
         request_id = None
         try:
@@ -265,10 +325,14 @@ class ReasoningDaemon:
                     f"queue full ({self.config.max_inflight} inflight "
                     f"+ {self.config.queue_limit} queued); retry later",
                 )
-            try:
-                self.metrics.set_gauge(
-                    "queue_depth", self.admission.queue_depth
+            self.metrics.set_gauge(
+                "queue_depth", self.admission.queue_depth
+            )
+            if self._supervisor is not None:
+                return await self._handle_process(
+                    request_id, kb_name, kb, query, stream
                 )
+            try:
                 result, elapsed = await self._run(kb_name, kb, query)
             finally:
                 self.admission.release()
@@ -314,18 +378,57 @@ class ReasoningDaemon:
                 500, error_payload(request_id, "internal", repr(exc))
             )
 
+    async def _handle_process(
+        self, request_id, kb_name: str, kb: KnowledgeBase, query: Query,
+        stream: bool,
+    ) -> UnaryReply | StreamRelay:
+        """Run the (already admitted) query on the worker process pool.
+
+        Unary requests release admission here. Streaming requests hold
+        their admission slot until the relay's terminal frame arrives
+        from the worker (completion callback below) — that is what makes
+        ``stop()``'s drain wait for in-flight streams, and bounds the
+        number of concurrently relaying streams at ``max_inflight``.
+        """
+        if not self._supervisor.started:
+            # A daemon used via handle() without start() (in-process
+            # harnesses) spins its workers up on first use.
+            await self._supervisor.start()
+        verb = query.verb
+
+        def stream_done(elapsed: float, error_code: str | None) -> None:
+            self.admission.release()
+            if error_code is None:
+                self.metrics.observe_histogram(f"latency.{verb}", elapsed)
+                self.metrics.incr("requests.ok")
+            else:
+                self.metrics.incr(f"requests.error.{error_code}")
+
+        try:
+            reply = await self._supervisor.submit(
+                request_id, kb_name, kb, query, stream,
+                on_complete=stream_done if stream else None,
+            )
+        except BaseException:
+            # WireError (incl. worker_lost before the stream started) is
+            # mapped by handle()'s except clauses; the slot frees here.
+            self.admission.release()
+            raise
+        if stream:
+            return reply  # a StreamRelay; admission released on completion
+        self.admission.release()
+        wire, elapsed = reply
+        self.metrics.observe_histogram(f"latency.{verb}", elapsed)
+        self.metrics.incr("requests.ok")
+        return UnaryReply(200, ok_payload(request_id, verb, wire))
+
     async def _run(self, kb_name: str, kb: KnowledgeBase, query: Query):
         """Solve on a pooled session in a worker thread."""
         loop = asyncio.get_running_loop()
         pooled = self.pool.checkout(kb_name, kb, query)
 
         def work():
-            if query.verb == "explain":
-                outcome = pooled.execute(Query("check", query.request))
-                return pooled.executor.execute(
-                    Query("explain", query.request), outcome
-                )
-            return pooled.execute(query)
+            return execute_pooled(pooled, query)
 
         start = time.perf_counter()
         try:
@@ -342,19 +445,38 @@ class ReasoningDaemon:
             time.monotonic() - self._started_at
             if self._started_at is not None else 0.0
         )
-        return {
+        payload = {
             "daemon": {
                 "uptime_s": round(uptime, 3),
                 "draining": self._draining,
                 "inflight": self.admission.inflight,
                 "queue_depth": self.admission.queue_depth,
                 "kbs": sorted(self.kbs),
+                "mode": self.mode,
                 "workers": self.config.workers,
+                "threads": self.config.threads,
                 "rate_limited_clients": self.bucket.clients(),
             },
             "pool": self.pool.stats_dict(),
             "metrics": self.metrics.as_dict(),
         }
+        if self._supervisor is not None and self._supervisor.started:
+            # Process mode: the parent pool is idle; report the
+            # aggregated worker pools, merged solve-latency histograms,
+            # and per-worker detail instead.
+            sup = self._supervisor.stats()
+            payload["pool"] = sup["pool"]
+            payload["workers"] = sup["workers"]
+            payload["solve_latency"] = sup["histograms"]
+            payload["daemon"]["workers_lost"] = sup["lost_total"]
+        return payload
+
+    async def _stats_reply(self) -> UnaryReply:
+        """``/stats``: ping workers for fresh snapshots first (bounded —
+        a worker mid-solve just contributes its last heartbeat)."""
+        if self._supervisor is not None and self._supervisor.started:
+            await self._supervisor.refresh_stats(timeout=1.0)
+        return UnaryReply(200, self.stats_payload())
 
     # -- NDJSON transport (unix socket) -------------------------------------------
 
@@ -385,13 +507,13 @@ class ReasoningDaemon:
                     continue
                 reply = await self.handle(line, client_hint="unix")
                 try:
-                    if isinstance(reply, StreamReply):
-                        for frame in reply.frames():
-                            writer.write(frame + b"\n")
-                            await writer.drain()
-                    else:
+                    if isinstance(reply, UnaryReply):
                         writer.write(reply.body() + b"\n")
                         await writer.drain()
+                    else:
+                        async for frame in reply.aiter_frames():
+                            writer.write(frame + b"\n")
+                            await writer.drain()
                 except (ConnectionResetError, BrokenPipeError):
                     self.metrics.incr("stream.aborted")
                     break
@@ -439,14 +561,14 @@ class ReasoningDaemon:
                     method, path, body, client_hint
                 )
                 try:
-                    if isinstance(reply, StreamReply):
-                        await self._write_http_stream(
-                            writer, reply, keep_alive
-                        )
-                    else:
+                    if isinstance(reply, UnaryReply):
                         await self._write_http_json(
                             writer, reply.status, reply.payload,
                             keep_alive=keep_alive,
+                        )
+                    else:
+                        await self._write_http_stream(
+                            writer, reply, keep_alive
                         )
                 except (ConnectionResetError, BrokenPipeError):
                     self.metrics.incr("stream.aborted")
@@ -508,12 +630,12 @@ class ReasoningDaemon:
 
     async def _route_http(
         self, method: str, path: str, body: bytes, client_hint: str
-    ) -> UnaryReply | StreamReply:
+    ) -> UnaryReply | StreamReply | StreamRelay:
         path = path.split("?", 1)[0]
         if method == "POST" and path == "/query":
             return await self.handle(body, client_hint=client_hint)
         if method == "GET" and path == "/stats":
-            return UnaryReply(200, self.stats_payload())
+            return await self._stats_reply()
         if method == "GET" and path == "/healthz":
             return UnaryReply(
                 200, {"ok": True, "draining": self._draining}
@@ -541,7 +663,7 @@ class ReasoningDaemon:
 
     @staticmethod
     async def _write_http_stream(
-        writer: asyncio.StreamWriter, reply: StreamReply,
+        writer: asyncio.StreamWriter, reply: StreamReply | StreamRelay,
         keep_alive: bool = True,
     ) -> None:
         connection = "keep-alive" if keep_alive else "close"
@@ -554,7 +676,7 @@ class ReasoningDaemon:
         ).encode("latin-1")
         writer.write(head)
         await writer.drain()
-        for frame in reply.frames():
+        async for frame in reply.aiter_frames():
             data = frame + b"\n"
             writer.write(
                 f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"

@@ -37,7 +37,7 @@ from repro.core.query import Query
 from repro.core.session import ReasoningSession, shape_key
 from repro.kb.registry import KnowledgeBase
 
-__all__ = ["PooledSession", "PoolStats", "SessionPool"]
+__all__ = ["PooledSession", "PoolStats", "SessionPool", "execute_pooled"]
 
 
 @dataclass
@@ -47,6 +47,7 @@ class PoolStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    stale_purged: int = 0
     discarded_poisoned: int = 0
     discarded_overflow: int = 0
 
@@ -57,6 +58,7 @@ class PoolStats:
             "misses": self.misses,
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
             "evictions": self.evictions,
+            "stale_purged": self.stale_purged,
             "discarded_poisoned": self.discarded_poisoned,
             "discarded_overflow": self.discarded_overflow,
         }
@@ -127,6 +129,7 @@ class SessionPool:
         """
         key = self.key_for(kb_name, kb, query)
         with self._lock:
+            self._purge_stale_locked(kb_name, key[1])
             bucket = self._idle.get(key)
             if bucket:
                 pooled = bucket.pop()
@@ -159,13 +162,22 @@ class SessionPool:
         )
 
     def checkin(self, pooled: PooledSession) -> None:
-        """Return a session; poisoned or overflow sessions are dropped."""
+        """Return a session; poisoned sessions are dropped, and a full
+        pool evicts its *oldest* idle session to make room.
+
+        Evicting the LRU entry (rather than discarding the returning
+        session) matters under KB-fingerprint churn: after a KB
+        mutation, every idle session keyed on the old fingerprint can
+        never be checked out again. Dropping the incoming (current-
+        fingerprint) session instead would let those stale sessions
+        squat in the pool forever and drive the hit rate to zero.
+        """
         with self._lock:
             self._in_use -= 1
             if pooled.poisoned:
                 self.stats.discarded_poisoned += 1
                 return
-            if self._idle_count >= self.max_sessions:
+            if self.max_sessions == 0:
                 self.stats.discarded_overflow += 1
                 return
             bucket = self._idle.setdefault(pooled.key, [])
@@ -182,6 +194,22 @@ class SessionPool:
                 del self._idle[key]
             self._idle_count -= 1
             self.stats.evictions += 1
+
+    def _purge_stale_locked(self, kb_name: str, fingerprint: str) -> None:
+        """Drop idle sessions for *kb_name* compiled against a different
+        fingerprint — the KB mutated, so they can never be checked out
+        again and would only crowd out live sessions until LRU order
+        got to them.
+        """
+        stale = [
+            key for key in self._idle
+            if key[0] == kb_name and key[1] != fingerprint
+        ]
+        for key in stale:
+            bucket = self._idle.pop(key)
+            self._idle_count -= len(bucket)
+            self.stats.evictions += len(bucket)
+            self.stats.stale_purged += len(bucket)
 
     # -- introspection ------------------------------------------------------------
 
@@ -214,3 +242,18 @@ class SessionPool:
                 "distinct_keys": len(self._idle),
             })
             return out
+
+
+def execute_pooled(pooled: PooledSession, query: Query):
+    """Run *query* on a checked-out session, on the caller's thread.
+
+    ``explain`` is answered as a pure function of KB + request: the
+    daemon runs ``check`` internally and explains that outcome. Both the
+    threaded daemon and the process-pool workers execute through this
+    one helper so the two modes cannot drift.
+    """
+    if query.verb == "explain":
+        outcome = pooled.execute(Query("check", query.request))
+        return pooled.executor.execute(Query("explain", query.request),
+                                       outcome)
+    return pooled.execute(query)

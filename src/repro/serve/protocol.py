@@ -77,6 +77,11 @@ ERROR_HTTP_STATUS = {
     "internal": 500,
     "overloaded": 503,
     "draining": 503,
+    # A solver worker process died (crash/OOM/kill) with this request
+    # assigned to it. The request may be retried: the supervisor has
+    # already respawned a replacement worker by the time the client
+    # sees this.
+    "worker_lost": 503,
 }
 
 _VERB_SET = frozenset(VERBS)
@@ -276,3 +281,14 @@ def ok_payload(request_id: Any, verb: str, result_wire: Any) -> dict:
 def error_payload(request_id: Any, code: str, message: str) -> dict:
     return {"id": request_id, "ok": False,
             "error": {"code": code, "message": message}}
+
+
+def stream_error_frame(code: str, message: str) -> dict:
+    """The terminal frame of a stream that failed after its header.
+
+    Carries ``"done": false`` so line-oriented clients that read until a
+    ``done`` key terminate, plus the structured error. Only the
+    process-pool mode can hit this (a worker dying mid-relay); the
+    threaded daemon computes the full result before the first frame.
+    """
+    return {"done": False, "error": {"code": code, "message": message}}

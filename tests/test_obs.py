@@ -17,6 +17,7 @@ import pytest
 from repro.core.engine import ReasoningEngine
 from repro.obs import (
     EngineObserver,
+    LatencyHistogram,
     MetricsRegistry,
     NULL_TRACER,
     ProgressRecorder,
@@ -245,6 +246,74 @@ class TestMetricsRegistry:
         for t in threads:
             t.join()
         assert m.as_dict()["counters"]["n"] == 4000
+
+
+class TestLatencyHistogramMerge:
+    def test_merge_combines_counts_totals_and_extrema(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (0.001, 0.004, 0.1):
+            a.observe(v)
+        for v in (0.002, 2.0):
+            b.observe(v)
+        merged = LatencyHistogram()
+        for v in (0.001, 0.004, 0.1, 0.002, 2.0):
+            merged.observe(v)
+        a.merge(b)
+        assert a.count == merged.count == 5
+        assert a.total == pytest.approx(merged.total)
+        assert a.min == merged.min and a.max == merged.max
+        assert a.counts == merged.counts
+        assert a.as_dict() == merged.as_dict()
+
+    def test_merge_returns_self_and_chains(self):
+        a, b, c = (LatencyHistogram() for _ in range(3))
+        b.observe(0.01)
+        c.observe(0.02)
+        assert a.merge(b).merge(c) is a
+        assert a.count == 2
+
+    def test_merge_with_empty_is_identity(self):
+        a, empty = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.5)
+        before = a.as_dict()
+        a.merge(empty)
+        assert a.as_dict() == before
+        # Merging into an empty histogram copies the extrema over.
+        empty.merge(a)
+        assert empty.min == a.min and empty.max == a.max
+
+    def test_merge_rejects_mismatched_geometry(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram(start=0.1, stop=1.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_state_roundtrip(self):
+        a = LatencyHistogram()
+        for v in (0.003, 0.2, 70.0):  # includes the overflow bucket
+            a.observe(v)
+        back = LatencyHistogram.from_state(
+            json.loads(json.dumps(a.to_state()))
+        )
+        assert back.as_dict() == a.as_dict()
+        back.observe(0.004)  # reconstructed histograms stay usable
+        assert back.count == 4
+
+    def test_empty_state_roundtrip_preserves_sentinel_min(self):
+        back = LatencyHistogram.from_state(LatencyHistogram().to_state())
+        assert back.count == 0
+        assert back.min == float("inf")
+        back.observe(0.25)
+        assert back.min == 0.25
+
+    def test_registry_histogram_states(self):
+        m = MetricsRegistry()
+        m.observe_histogram("latency.check", 0.02)
+        m.observe_histogram("latency.check", 0.04)
+        states = m.histogram_states()
+        rebuilt = LatencyHistogram.from_state(states["latency.check"])
+        assert rebuilt.count == 2
+        assert rebuilt.as_dict() == m.histogram("latency.check").as_dict()
 
 
 class TestEngineIntegration:

@@ -15,6 +15,7 @@ NDJSON line, client disconnect mid-stream, solver exception mid-query
 from __future__ import annotations
 
 import json
+import os
 import socket
 import time
 
@@ -79,7 +80,7 @@ def served(tmp_path):
     config = DaemonConfig(
         port=0,
         unix_path=str(tmp_path / "reasond.sock"),
-        pool_size=4, workers=2, max_inflight=4, queue_limit=16,
+        pool_size=4, threads=2, max_inflight=4, queue_limit=16,
         max_body_bytes=2048,
     )
     daemon = ReasoningDaemon(_kb(), config)
@@ -169,6 +170,56 @@ class TestDisconnects:
 
 
 @pytest.mark.timeout(120)
+class TestClientReconnect:
+    """A long-lived DaemonClient must survive a daemon restart: its
+    cached keep-alive connection goes stale, and the next query has to
+    transparently reconnect and resend — on both transports."""
+
+    def _daemon(self, port=0, unix_path=None):
+        config = DaemonConfig(
+            port=port, unix_path=unix_path, pool_size=2, threads=1,
+        )
+        daemon = ReasoningDaemon(_kb(), config)
+        return daemon, InprocDaemon(daemon, start_transports=True).start()
+
+    def test_http_client_survives_server_restart(self):
+        daemon, harness = self._daemon()
+        port = daemon.port
+        client = DaemonClient(url=f"http://127.0.0.1:{port}", timeout=30)
+        try:
+            assert client.query(make_envelope("check", _request()))["ok"]
+            harness.stop()
+            # Same port, fresh daemon: the client's cached connection is
+            # now a dead socket.
+            daemon, harness = self._daemon(port=port)
+            assert client.query(make_envelope("check", _request()))["ok"]
+            assert client.healthz()["ok"] is True
+        finally:
+            client.close()
+            harness.stop()
+
+    def test_unix_client_survives_server_restart(self, tmp_path):
+        path = str(tmp_path / "reasond.sock")
+        daemon, harness = self._daemon(port=None, unix_path=path)
+        client = DaemonClient(unix_path=path, timeout=30)
+        try:
+            assert client.query(make_envelope("check", _request()))["ok"]
+            harness.stop()
+            if os.path.exists(path):
+                os.unlink(path)
+            daemon, harness = self._daemon(port=None, unix_path=path)
+            assert client.query(make_envelope("check", _request()))["ok"]
+            # Streams work over the reconnected socket too.
+            frames = client.query(make_envelope(
+                "enumerate", _request(), options={"limit": 2}, stream=True,
+            ))
+            assert frames[-1]["done"] is True
+        finally:
+            client.close()
+            harness.stop()
+
+
+@pytest.mark.timeout(120)
 class TestSolverFaults:
     def test_solver_exception_poisons_and_discards_session(
         self, served, monkeypatch
@@ -206,7 +257,7 @@ class TestSolverFaults:
         # window to issue stop() while the solve is inflight.
         daemon = ReasoningDaemon(
             default_knowledge_base(),
-            DaemonConfig(port=None, pool_size=2, workers=1,
+            DaemonConfig(port=None, pool_size=2, threads=1,
                          drain_timeout=30.0),
         )
         from repro.knowledge.casestudy import more_workloads_request

@@ -1,0 +1,158 @@
+"""SessionPool accounting under KB-fingerprint churn and shape churn.
+
+Regression suite for the eviction-accounting bug where a KB mutation
+left stale-fingerprint sessions squatting in the pool: since the pool
+key embeds ``kb.fingerprint()``, a mutated KB makes every idle session
+unreachable, and the old checkin policy (discard the *incoming* session
+when full) meant those unreachable sessions were never displaced — the
+pool filled with dead weight and the hit rate pinned to zero.
+
+The fixed policy: checkin evicts the *oldest* idle session to make room
+(counted in ``evictions``), and checkout purges idle sessions whose
+fingerprint no longer matches the KB (counted in ``evictions`` and
+``stale_purged``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.query import Query
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.rules import Rule
+from repro.kb.system import System
+from repro.kb.workload import Workload
+from repro.logic.ast import TRUE
+from repro.serve.pool import SessionPool
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_system(System(
+        name="Stack", category="network_stack",
+        solves=["packet_processing"], requires=TRUE,
+    ))
+    kb.add_hardware(Hardware(
+        spec=NICSpec(model="NIC", rate_gbps=25, power_w=10, cost_usd=200),
+        max_units=4,
+    ))
+    kb.add_hardware(Hardware(
+        spec=ServerSpec(model="Box", cores=32, mem_gb=128, power_w=400,
+                        cost_usd=5000),
+        max_units=4,
+    ))
+    return kb
+
+
+def _query(shape: str = "app") -> Query:
+    return Query("check", DesignRequest(workloads=[
+        Workload(name=shape, objectives=["packet_processing"]),
+    ]))
+
+
+def _roundtrip(pool: SessionPool, kb: KnowledgeBase, query: Query,
+               kb_name: str = "default"):
+    pooled = pool.checkout(kb_name, kb, query)
+    result = pooled.execute(query)
+    pool.checkin(pooled)
+    return result
+
+
+class TestFingerprintChurn:
+    def test_stale_sessions_never_outlive_the_lru_bound(self):
+        """Mutating the KB between requests cannot wedge the pool."""
+        kb = _kb()
+        pool = SessionPool(max_sessions=2)
+        query = _query()
+        for i in range(6):
+            # Every mutation changes the fingerprint, stranding any
+            # sessions checked in under the previous key.
+            kb.add_rule(Rule(name=f"churn_{i}", formula=TRUE))
+            assert _roundtrip(pool, kb, query).feasible
+        stats = pool.stats_dict()
+        assert stats["idle"] <= 2
+        assert stats["size"] <= 2
+        # Only live-fingerprint sessions remain addressable.
+        current = kb.fingerprint()
+        with pool._lock:
+            assert all(key[1] == current for key in pool._idle)
+
+    def test_eviction_counters_match_the_churn(self):
+        kb = _kb()
+        pool = SessionPool(max_sessions=2)
+        query = _query()
+        rounds = 5
+        for i in range(rounds):
+            _roundtrip(pool, kb, query)
+            kb.add_rule(Rule(name=f"churn_{i}", formula=TRUE))
+        # One more request against the final fingerprint: its checkout
+        # purges the last stale session.
+        _roundtrip(pool, kb, query)
+        stats = pool.stats_dict()
+        # Every round misses (the fingerprint changed under it), and
+        # every stranded session is purged exactly once.
+        assert stats["misses"] == rounds + 1
+        assert stats["hits"] == 0
+        assert stats["stale_purged"] == rounds
+        assert stats["evictions"] == stats["stale_purged"]
+        assert stats["discarded_overflow"] == 0
+        # Accounting identity: everything created was either evicted or
+        # is still idle.
+        assert stats["misses"] == stats["evictions"] + stats["idle"]
+
+    def test_pool_recovers_hits_after_churn_stops(self):
+        """The regression: stale squatters used to pin the hit rate at 0."""
+        kb = _kb()
+        pool = SessionPool(max_sessions=2)
+        query = _query()
+        for i in range(3):
+            _roundtrip(pool, kb, query)
+            kb.add_rule(Rule(name=f"churn_{i}", formula=TRUE))
+        # Churn stops; the very next repeat request must be a hit.
+        _roundtrip(pool, kb, query)
+        assert _roundtrip(pool, kb, query).feasible
+        stats = pool.stats_dict()
+        assert stats["hits"] >= 1
+
+    def test_churn_on_one_kb_leaves_other_kbs_sessions_alone(self):
+        kb_a, kb_b = _kb(), _kb()
+        kb_b.add_rule(Rule(name="distinct", formula=TRUE))
+        pool = SessionPool(max_sessions=4)
+        query = _query()
+        _roundtrip(pool, kb_a, query, kb_name="a")
+        _roundtrip(pool, kb_b, query, kb_name="b")
+        kb_a.add_rule(Rule(name="churn", formula=TRUE))
+        _roundtrip(pool, kb_a, query, kb_name="a")
+        stats = pool.stats_dict()
+        assert stats["stale_purged"] == 1  # only kb_a's stranded session
+        # kb_b's warm session must still hit.
+        _roundtrip(pool, kb_b, query, kb_name="b")
+        assert pool.stats_dict()["hits"] == 1
+
+
+class TestCheckinEviction:
+    def test_full_pool_evicts_oldest_not_incoming(self):
+        kb = _kb()
+        pool = SessionPool(max_sessions=1)
+        old_query, new_query = _query("old"), _query("new")
+        _roundtrip(pool, kb, old_query)
+        _roundtrip(pool, kb, new_query)
+        stats = pool.stats_dict()
+        # The newest session is retained; the oldest was evicted.
+        assert stats["evictions"] == 1
+        assert stats["discarded_overflow"] == 0
+        _roundtrip(pool, kb, new_query)
+        assert pool.stats_dict()["hits"] == 1
+
+    def test_zero_capacity_pool_discards_incoming(self):
+        kb = _kb()
+        pool = SessionPool(max_sessions=0)
+        _roundtrip(pool, kb, _query())
+        stats = pool.stats_dict()
+        assert stats["idle"] == 0
+        assert stats["discarded_overflow"] == 1
+        assert stats["evictions"] == 0

@@ -1,0 +1,331 @@
+"""The multi-process solver execution backend (`repro.serve.workers`).
+
+Four obligations, mirroring the daemon's threaded-mode guarantees:
+
+1. **Byte parity.** Every verb — unary and streamed — answered through
+   the worker pool must produce byte-identical wire payloads to the
+   threaded daemon (which is itself pinned byte-identical to direct
+   executor runs by test_serve).
+2. **Affinity.** Repeat shapes route to the same worker slot; deep
+   queues spill to the least-loaded worker; disabled slots are skipped.
+3. **Loss is structured.** SIGKILLing a worker mid-solve yields a
+   ``worker_lost`` error payload (never a hang), the slot respawns, and
+   the daemon keeps serving.
+4. **Aggregation.** ``/stats`` reports worker pools summed and
+   solve-latency histograms merged across processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.design import DesignRequest
+from repro.core.query import Query
+from repro.kb.hardware import Hardware, NICSpec, ServerSpec
+from repro.kb.registry import KnowledgeBase
+from repro.kb.rules import Rule
+from repro.kb.system import System
+from repro.kb.workload import Workload
+from repro.kb.dsl import obj
+from repro.logic.ast import TRUE, Not
+from repro.serve import DaemonConfig, InprocDaemon, ReasoningDaemon
+from repro.serve.client import make_envelope
+from repro.serve.protocol import WireError
+from repro.serve.workers import StreamRelay, SupervisorConfig, WorkerSupervisor
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_system(System(
+        name="StackA", category="network_stack",
+        solves=["packet_processing"], requires=TRUE,
+    ))
+    kb.add_system(System(
+        name="StackB", category="network_stack",
+        solves=["packet_processing"], requires=TRUE,
+    ))
+    kb.add_hardware(Hardware(
+        spec=NICSpec(model="NIC", rate_gbps=25, power_w=10, cost_usd=200),
+        max_units=4,
+    ))
+    kb.add_hardware(Hardware(
+        spec=ServerSpec(model="Box", cores=32, mem_gb=128, power_w=400,
+                        cost_usd=5000),
+        max_units=4,
+    ))
+    return kb
+
+
+def _request(shape: str = "app") -> DesignRequest:
+    return DesignRequest(workloads=[
+        Workload(name=shape, objectives=["packet_processing"]),
+    ])
+
+
+def _infeasible_request() -> DesignRequest:
+    return DesignRequest(
+        workloads=[Workload(name="app", objectives=["packet_processing"])],
+        required_systems=["StackA"],
+        forbidden_systems=["StackA"],
+    )
+
+
+def _parity_envelopes() -> list[dict]:
+    feasible, infeasible = _request(), _infeasible_request()
+    return [
+        make_envelope("check", feasible, request_id="q-check"),
+        make_envelope("check", infeasible, request_id="q-check-unsat"),
+        make_envelope("synthesize", feasible, request_id="q-synth"),
+        make_envelope("explain", feasible, request_id="q-explain"),
+        make_envelope("diagnose", infeasible, request_id="q-diag"),
+        make_envelope("diagnose", infeasible, request_id="q-diag-s",
+                      stream=True),
+        make_envelope("diagnose", feasible, request_id="q-diag-ok-s",
+                      stream=True),
+        make_envelope("enumerate", feasible, request_id="q-enum",
+                      options={"limit": 3}),
+        make_envelope("enumerate", feasible, request_id="q-enum-s",
+                      options={"limit": 3}, stream=True),
+        make_envelope("equivalence", feasible, request_id="q-equiv",
+                      options={"completions_limit": 4}),
+        make_envelope("equivalence", feasible, request_id="q-equiv-s",
+                      options={"completions_limit": 4}, stream=True),
+        # Error paths must serialize identically too.
+        {"id": "q-bad-verb", "verb": "nope", "request": {}},
+        {"id": "q-bad-kb", "verb": "check", "kb": "missing",
+         "request": feasible.to_dict()},
+        {"id": "q-bad-req", "verb": "check", "request": {"workloads": 7}},
+        {"id": "q-bad-stream", "verb": "check", "stream": True,
+         "request": feasible.to_dict()},
+    ]
+
+
+class TestProcessParity:
+    def test_byte_parity_with_threaded_daemon_across_all_verbs(self):
+        """Workers answer every verb byte-identically to threaded mode."""
+        envelopes = _parity_envelopes()
+        with InprocDaemon(
+            ReasoningDaemon(_kb(), DaemonConfig(port=None, threads=2))
+        ) as threaded:
+            expected = [threaded.query_bytes(e) for e in envelopes]
+        with InprocDaemon(
+            ReasoningDaemon(_kb(), DaemonConfig(port=None, workers=2))
+        ) as pooled:
+            actual = [pooled.query_bytes(e) for e in envelopes]
+        for envelope, want, got in zip(envelopes, expected, actual):
+            assert got == want, (
+                f"divergence on {envelope.get('id')}:\n"
+                f"  threaded: {want!r}\n  process:  {got!r}"
+            )
+
+    def test_parent_kb_mutation_is_reshipped_to_workers(self):
+        """Workers answer against the *current* KB, not their boot copy."""
+        kb = _kb()
+        daemon = ReasoningDaemon(kb, DaemonConfig(port=None, workers=2))
+        with InprocDaemon(daemon) as harness:
+            first = harness.query(make_envelope("check", _request()))
+            assert first["ok"] and first["result"]["feasible"] is True
+            # Outlaw the objective: the previously feasible request must
+            # now come back infeasible through the same worker pool.
+            kb.add_rule(Rule(name="outlawed",
+                             formula=Not(obj("packet_processing"))))
+            second = harness.query(make_envelope("check", _request()))
+            assert second["ok"] and second["result"]["feasible"] is False
+            assert daemon.metrics.counter("workers.kb_shipped") >= 1
+
+
+class TestRouting:
+    def _supervisor(self, workers: int, spill_depth: int = 2):
+        kb = _kb()
+        supervisor = WorkerSupervisor(
+            {"default": kb},
+            SupervisorConfig(workers=workers, spill_depth=spill_depth),
+        )
+        for handle in supervisor.workers:
+            handle.process = object()  # live marker; no real process
+        return supervisor, kb
+
+    def test_same_shape_always_routes_to_the_same_slot(self):
+        supervisor, kb = self._supervisor(4)
+        query = Query("check", _request())
+        slots = {
+            supervisor.route("default", kb, query).slot for _ in range(8)
+        }
+        assert len(slots) == 1
+
+    def test_distinct_shapes_spread_across_slots(self):
+        supervisor, kb = self._supervisor(4)
+        slots = {
+            supervisor.route(
+                "default", kb, Query("check", _request(f"shape{i}"))
+            ).slot
+            for i in range(32)
+        }
+        assert len(slots) >= 2
+
+    def test_deep_queue_spills_to_least_loaded_worker(self):
+        supervisor, kb = self._supervisor(2, spill_depth=0)
+        query = Query("check", _request())
+        preferred = supervisor.route("default", kb, query)
+        preferred.pending = {i: object() for i in range(3)}
+        other = next(
+            h for h in supervisor.workers if h is not preferred
+        )
+        assert supervisor.route("default", kb, query) is other
+        assert supervisor.metrics.counter("route.spill") >= 1
+
+    def test_disabled_slot_falls_back_to_a_live_worker(self):
+        supervisor, kb = self._supervisor(2)
+        query = Query("check", _request())
+        preferred = supervisor.route("default", kb, query)
+        preferred.process = None
+        routed = supervisor.route("default", kb, query)
+        assert routed is not preferred and routed.process is not None
+
+    def test_all_slots_disabled_is_a_structured_error(self):
+        supervisor, kb = self._supervisor(2)
+        for handle in supervisor.workers:
+            handle.process = None
+        with pytest.raises(WireError) as excinfo:
+            supervisor.route("default", kb, Query("check", _request()))
+        assert excinfo.value.code == "internal"
+
+
+class TestStreamRelay:
+    def test_error_after_start_emits_terminal_error_frame(self):
+        """A worker dying mid-relay terminates the stream structurally:
+        the final frame carries ``done: false`` plus the error, so
+        read-until-done clients never hang."""
+
+        async def run():
+            relay = StreamRelay("rid1", "enumerate")
+            relay._push("item", ["StackA"])
+            relay._push("error", ("worker_lost", "boom"))
+            return [json.loads(f) async for f in relay.aiter_frames()]
+
+        frames = asyncio.run(run())
+        assert frames[0] == {"id": "rid1", "ok": True, "verb": "enumerate",
+                             "stream": True}
+        assert frames[1] == {"item": ["StackA"], "seq": 0}
+        assert frames[2] == {"done": False, "error": {
+            "code": "worker_lost", "message": "boom"}}
+
+    def test_clean_stream_ends_with_done_frame(self):
+        async def run():
+            relay = StreamRelay("rid2", "enumerate")
+            relay._push("item", ["StackA"])
+            relay._push("item", ["StackB"])
+            relay._push("end", 2)
+            return [json.loads(f) async for f in relay.aiter_frames()]
+
+        frames = asyncio.run(run())
+        assert [f.get("seq") for f in frames[1:-1]] == [0, 1]
+        assert frames[-1] == {"done": True, "count": 2}
+
+
+class TestWorkerLoss:
+    def test_sigkill_mid_solve_yields_worker_lost_then_respawn(self):
+        """The acceptance scenario: kill a worker while it solves.
+
+        The in-flight request must fail with a structured ``worker_lost``
+        error (no hang), the slot must respawn with a fresh pid, and the
+        daemon must keep answering with zero leaked admission slots.
+        """
+        from repro.knowledge import default_knowledge_base
+        from repro.knowledge.casestudy import more_workloads_request
+
+        daemon = ReasoningDaemon(
+            default_knowledge_base(),
+            DaemonConfig(port=None, workers=2, heartbeat_interval=0.2),
+        )
+        harness = InprocDaemon(daemon).start()
+        try:
+            request = more_workloads_request()
+            victim_future = harness.submit(daemon.handle(
+                make_envelope("check", request, request_id="victim")
+            ))
+            supervisor = daemon._supervisor
+            deadline = time.monotonic() + 60
+            victim = None
+            while time.monotonic() < deadline and victim is None:
+                victim = next(
+                    (h for h in supervisor.workers if h.load and h.pid),
+                    None,
+                )
+                time.sleep(0.01)
+            assert victim is not None, "request never reached a worker"
+            old_pid = victim.pid
+            os.kill(old_pid, signal.SIGKILL)
+
+            reply = victim_future.result(timeout=60)
+            assert reply.payload["ok"] is False
+            assert reply.payload["error"]["code"] == "worker_lost"
+            assert "Traceback" not in reply.payload["error"]["message"]
+
+            # The slot respawns with a fresh process.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if victim.alive and victim.pid != old_pid:
+                    break
+                time.sleep(0.02)
+            assert victim.alive and victim.pid != old_pid
+            assert victim.restarts >= 1
+            assert supervisor.lost_total == 1
+
+            # No leaked admission slot, and the daemon still answers.
+            assert daemon.admission.inflight == 0
+            after = harness.query(
+                make_envelope("check", request, request_id="after"),
+            )
+            assert after["ok"] is True
+        finally:
+            harness.stop()
+
+
+class TestStatsAggregation:
+    def test_stats_sum_pools_and_merge_histograms_across_workers(self):
+        daemon = ReasoningDaemon(
+            _kb(), DaemonConfig(port=None, workers=2)
+        )
+        with InprocDaemon(daemon) as harness:
+            for i in range(3):
+                payload = harness.query(
+                    make_envelope("check", _request(), request_id=f"q{i}")
+                )
+                assert payload["ok"] is True
+            stats = harness.submit(daemon._stats_reply()).result(60).payload
+            assert stats["daemon"]["mode"] == "process"
+            assert stats["daemon"]["workers"] == 2
+            workers = stats["workers"]
+            assert len(workers) == 2
+            assert all(w["alive"] for w in workers)
+            assert len({w["pid"] for w in workers}) == 2
+            pool = stats["pool"]
+            assert pool["hits"] + pool["misses"] == 3
+            assert pool["max_sessions"] == 2 * daemon.config.pool_size
+            hist = stats["solve_latency"]["solve_latency.check"]
+            assert hist["count"] == 3
+            assert hist["total"] > 0
+
+    def test_stop_terminates_every_worker(self):
+        daemon = ReasoningDaemon(
+            _kb(), DaemonConfig(port=None, workers=2)
+        )
+        harness = InprocDaemon(daemon).start()
+        try:
+            assert harness.query(make_envelope("check", _request()))["ok"]
+            processes = [
+                h.process for h in daemon._supervisor.workers if h.process
+            ]
+            assert len(processes) == 2
+        finally:
+            harness.stop()
+        assert all(not p.is_alive() for p in processes)
