@@ -47,6 +47,12 @@ results to ``BENCH_solver.json``:
   serving hot path: the key is consulted at every pool checkout and
   again inside the session view, so v7 caches it on the request object
   and this workload pins the cached vs. uncached per-call cost.
+- **kb_delta** — a pinned-scope query stream interleaved with
+  footprint-disjoint KB hardware upserts: one delta-absorbing session
+  (v8 per-entity fingerprints let it adopt each delta without touching
+  the solver) vs. recompiling after every KB change, with verdict
+  parity asserted (acceptance: session >= 3x faster, exactly one
+  compile, and the scoped query cache keeps hitting across deltas).
 - **daemon_load** — the 20-query what-if sweep fired by 8 concurrent
   closed-loop clients at the ``repro.serve`` daemon over HTTP
   (``benchmarks/load_gen.py``), warm session pool vs. per-request fresh
@@ -736,6 +742,122 @@ def run_cube_and_conquer(quick: bool) -> dict:
     }
 
 
+def _kb_delta_request(kb) -> DesignRequest:
+    """A pinned-scope request: explicit candidates + inventory.
+
+    Pinning matters — an unpinned request's entity scope includes the
+    catalog membership keys, so *any* hardware addition would force a
+    rebase. The pinned scope is what lets the session adopt disjoint
+    deltas for free and the scoped cache key stay stable across them.
+    The candidate set pins the *entire* system catalog — the same
+    encoding an unpinned request would compile, but with an explicit
+    list, so the scope stays keyed on concrete entities rather than the
+    membership catalogs.
+    """
+    candidates = sorted(kb.systems)
+    return DesignRequest(
+        workloads=[Workload(
+            name="app",
+            objectives=["packet_processing", "bandwidth_allocation"],
+            peak_cores=64,
+        )],
+        context={"datacenter_fabric": True},
+        candidate_systems=candidates,
+        inventory={
+            "SRV-G2-64C-256G": 16,
+            "STD-100G-TS-IP": 64,
+            "FF-100G-32P": 4,
+        },
+    )
+
+
+def run_kb_delta(quick: bool) -> dict:
+    """Catalog growth under load: absorb deltas vs. recompile.
+
+    Interleaves a pinned-scope ``check`` stream with footprint-disjoint
+    hardware upserts (a new NIC model lands between every pair of
+    queries — the spec-sheet ingestion pattern). The session side
+    absorbs each delta through the per-entity journal: the new entity is
+    outside the compiled scope, so the session adopts the fingerprint
+    with zero solver work and the scoped cache key does not move. The
+    reference side does what every pre-v8 client had to: recompile from
+    scratch after each KB change.
+    """
+    from repro.kb.hardware import Hardware, NICSpec
+
+    rounds = 6 if quick else 20
+
+    def nic(i: int) -> Hardware:
+        return Hardware(
+            spec=NICSpec(model=f"BENCH-NIC-{i}", rate_gbps=100,
+                         power_w=18 + i, cost_usd=900 + i),
+            max_units=8,
+        )
+
+    # Reference: recompile after every delta.
+    kb = default_knowledge_base()
+    request = _kb_delta_request(kb)
+    fresh_engine = ReasoningEngine(kb, incremental=False)
+    start = time.perf_counter()
+    fresh = [fresh_engine.check(request)]
+    for i in range(rounds):
+        kb.upsert_hardware(nic(i))
+        fresh.append(fresh_engine.check(request))
+    recompile_s = time.perf_counter() - start
+
+    # Session (no cache, so every query reaches the solver): absorb
+    # every delta in place through the per-entity journal.
+    kb = default_knowledge_base()
+    engine = ReasoningEngine(kb, incremental=True)
+    start = time.perf_counter()
+    absorbed = [engine.check(request)]
+    for i in range(rounds):
+        kb.upsert_hardware(nic(i))
+        absorbed.append(engine.check(request))
+    delta_s = time.perf_counter() - start
+
+    verdicts = [o.feasible for o in fresh]
+    assert all(v == verdicts[0] for v in verdicts)
+    assert all(o.feasible == verdicts[0] for o in absorbed), (
+        "delta-absorbing session diverged from recompile verdicts"
+    )
+
+    stats = engine.session().stats
+    assert stats.compiles == 1, f"expected one compile, got {stats.compiles}"
+    assert stats.rebases == 0, "disjoint deltas must not force a rebase"
+    assert stats.rebases_avoided >= rounds
+
+    # Cache survival: with the scoped key, a footprint-disjoint delta
+    # does not even miss — the executor answers from the cache without
+    # consulting the session at all.
+    kb = default_knowledge_base()
+    cache = QueryCache()
+    cached_engine = ReasoningEngine(kb, incremental=True, cache=cache)
+    first = cached_engine.check(request)
+    for i in range(rounds):
+        kb.upsert_hardware(nic(i))
+        assert cached_engine.check(request).feasible == first.feasible
+    cache_stats = cache.stats()
+    assert cache_stats["hits"] >= rounds, (
+        "scoped cache keys must survive disjoint deltas"
+    )
+    assert cache_stats["invalidations"] == 0
+
+    speedup = recompile_s / delta_s if delta_s > 0 else float("inf")
+    return {
+        "rounds": rounds,
+        "queries": len(fresh),
+        "feasible": verdicts[0],
+        "recompile_s": round(recompile_s, 4),
+        "delta_s": round(delta_s, 4),
+        "recompile_per_query_s": round(recompile_s / len(fresh), 5),
+        "delta_per_query_s": round(delta_s / len(absorbed), 5),
+        "speedup": round(speedup, 3),
+        "session": stats.as_dict(),
+        "cache": cache_stats,
+    }
+
+
 # -- driver ------------------------------------------------------------------------
 
 
@@ -834,45 +956,48 @@ def main(argv: list[str] | None = None) -> int:
 
     report = {
         "benchmark": "solver-observability",
-        "version": 7,
+        "version": 8,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workloads": {},
     }
 
-    print("[1/12] prototype queries ...", flush=True)
+    print("[1/13] prototype queries ...", flush=True)
     report["workloads"]["prototype_query"] = run_prototype_query(args.quick)
-    print("[2/12] solver scaling ...", flush=True)
+    print("[2/13] solver scaling ...", flush=True)
     report["workloads"]["solver_scaling"] = run_solver_scaling(args.quick)
-    print("[3/12] tracer overhead ...", flush=True)
+    print("[3/13] tracer overhead ...", flush=True)
     overhead = run_tracer_overhead(args.quick, repeats)
     report["workloads"]["tracer_overhead"] = overhead
-    print("[4/12] portfolio batch ...", flush=True)
+    print("[4/13] portfolio batch ...", flush=True)
     portfolio = run_portfolio_batch(args.quick)
     report["workloads"]["portfolio_batch"] = portfolio
-    print("[5/12] query cache ...", flush=True)
+    print("[5/13] query cache ...", flush=True)
     cache_result = run_query_cache(args.quick)
     report["workloads"]["query_cache"] = cache_result
-    print("[6/12] incremental what-if ...", flush=True)
+    print("[6/13] incremental what-if ...", flush=True)
     whatif = run_incremental_whatif(args.quick)
     report["workloads"]["incremental_whatif"] = whatif
-    print("[7/12] incremental diagnose ...", flush=True)
+    print("[7/13] incremental diagnose ...", flush=True)
     diag = run_incremental_diagnose(args.quick)
     report["workloads"]["incremental_diagnose"] = diag
-    print("[8/12] executor dispatch ...", flush=True)
+    print("[8/13] executor dispatch ...", flush=True)
     dispatch = run_executor_dispatch(args.quick, repeats)
     report["workloads"]["executor_dispatch"] = dispatch
-    print("[9/12] propagate micro-opt ...", flush=True)
+    print("[9/13] propagate micro-opt ...", flush=True)
     propagate = run_propagate_microopt(args.quick)
     report["workloads"]["propagate_microopt"] = propagate
-    print("[10/12] cube and conquer ...", flush=True)
+    print("[10/13] cube and conquer ...", flush=True)
     cubes = run_cube_and_conquer(args.quick)
     report["workloads"]["cube_and_conquer"] = cubes
-    print("[11/12] shape key cache ...", flush=True)
+    print("[11/13] shape key cache ...", flush=True)
     shape_cache = run_shape_key_cache(args.quick)
     report["workloads"]["shape_key_cache"] = shape_cache
-    print("[12/12] daemon load ...", flush=True)
+    print("[12/13] kb delta ...", flush=True)
+    kb_delta = run_kb_delta(args.quick)
+    report["workloads"]["kb_delta"] = kb_delta
+    print("[13/13] daemon load ...", flush=True)
     daemon = run_daemon_load(args.quick)
     report["workloads"]["daemon_load"] = daemon
 
@@ -925,6 +1050,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  shape_key: uncached {shape_cache['uncached_us_per_call']:.2f} us "
           f"vs cached {shape_cache['cached_us_per_call']:.2f} us "
           f"({shape_cache['speedup']:.0f}x over {shape_cache['calls']} calls)")
+    print(f"  kb delta: recompile {kb_delta['recompile_s']:.3f} s "
+          f"vs absorb {kb_delta['delta_s']:.3f} s "
+          f"({kb_delta['speedup']:.2f}x over {kb_delta['rounds']} deltas, "
+          f"{kb_delta['session']['rebases_avoided']} adopted, "
+          f"{kb_delta['cache']['hits']} cache hits)")
     print(f"  daemon load: {daemon['clients']} clients x "
           f"{daemon['queries_per_client']} queries, warm "
           f"{daemon['warm']['wall_s']:.3f} s "

@@ -336,6 +336,100 @@ def _solve_portfolio_cmd(args: argparse.Namespace) -> int:
     return 20
 
 
+def _open_kb_store(path: str):
+    """A sqlite-backed KB: replay an existing log, or seed a fresh one.
+
+    A non-empty fact log at *path* rebuilds the KB from its facts; an
+    empty (or absent) one is seeded with a snapshot of the default
+    knowledge base. Either way the returned KB stays attached, so every
+    later mutation (a ``PUT /kb`` against the daemon, an offline
+    ``ingest``) is durably appended.
+    """
+    from repro.kb.registry import KnowledgeBase
+    from repro.kb.store import SqliteFactStore
+
+    store = SqliteFactStore(path)
+    if store.latest_seq > 0:
+        return KnowledgeBase.from_store(store)
+    kb = default_knowledge_base()
+    kb.attach_store(store, snapshot=True)
+    return kb
+
+
+_SHEET_KINDS = ("switch", "nic", "server")
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream spec sheets into a KB: parse → check → delta → apply.
+
+    Sheets become checker-gated ``upsert`` delta ops
+    (:func:`~repro.extraction.specsheet.spec_sheet_to_delta_op`). With
+    ``--url`` the batch is sent to a live daemon as one ``PUT /kb`` (the
+    serving layer absorbs it as a delta — warm sessions rebase, caches
+    invalidate by footprint); with ``--kb-store`` it is applied offline
+    to a sqlite-backed KB. The hardware kind is read from the filename
+    prefix (``switch__*.txt``, ``nic__*.txt``, ``server__*.txt``) unless
+    ``--kind`` forces one.
+    """
+    import pathlib
+
+    from repro.errors import ExtractionError
+    from repro.extraction.specsheet import spec_sheet_to_delta_op
+
+    if (args.url is None) == (args.kb_store is None):
+        print("error: pass exactly one of --url or --kb-store",
+              file=sys.stderr)
+        return 2
+    ops = []
+    for sheet in args.sheet:
+        path = pathlib.Path(sheet)
+        kind = args.kind
+        if kind is None:
+            prefix = path.name.split("__", 1)[0].lower()
+            if prefix not in _SHEET_KINDS:
+                print(f"error: {sheet}: cannot infer hardware kind from "
+                      f"filename; name it <kind>__<model>.txt or pass "
+                      f"--kind", file=sys.stderr)
+                return 2
+            kind = prefix
+        try:
+            op = spec_sheet_to_delta_op(
+                path.read_text(), kind, check=not args.no_check
+            )
+        except (OSError, ExtractionError) as exc:
+            print(f"error: {sheet}: {exc}", file=sys.stderr)
+            return 1
+        ops.append(op)
+        print(f"{sheet}: upsert hardware/{op['name']}")
+    if not ops:
+        print("error: no sheets given", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        from repro.serve.client import DaemonClient
+
+        client = DaemonClient(url=args.url)
+        try:
+            reply = client.put_kb(ops, kb=args.kb)
+        finally:
+            client.close()
+        if not reply.get("ok"):
+            print(f"error: daemon rejected the delta: "
+                  f"{reply.get('error')}", file=sys.stderr)
+            return 1
+        result = reply["result"]
+        print(f"applied {len(ops)} ops to {result['kb']!r}: "
+              f"version={result['version']} "
+              f"fingerprint={result['fingerprint'][:12]}...")
+        return 0
+    kb = _open_kb_store(args.kb_store)
+    changed = kb.apply_entity_delta(ops)
+    kb.validate_or_raise()
+    print(f"applied {len(ops)} ops to {args.kb_store}: "
+          f"version={kb.version} changed={len(changed)} "
+          f"fingerprint={kb.fingerprint()[:12]}...")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the reasoning daemon until SIGINT/SIGTERM, then drain.
 
@@ -362,11 +456,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         burst=args.burst,
         preprocess=not args.no_preprocess,
         drain_timeout=args.drain_timeout,
+        cache_size=args.cache,
     )
     if config.port is None and config.unix_path is None:
         print("error: pass --port and/or --unix", file=sys.stderr)
         return 2
-    daemon = ReasoningDaemon(default_knowledge_base(), config)
+    kb = _open_kb_store(args.kb_store) if args.kb_store else (
+        default_knowledge_base()
+    )
+    daemon = ReasoningDaemon(kb, config)
 
     async def _serve() -> None:
         await daemon.start()
@@ -527,7 +625,38 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="seconds to wait for inflight solves on "
                             "shutdown (default 10)")
+    serve.add_argument("--kb-store", metavar="PATH", default=None,
+                       help="sqlite fact-log path: replay it if non-empty, "
+                            "else seed it with the default KB; PUT /kb "
+                            "deltas are appended durably")
+    serve.add_argument("--cache", type=int, default=0, metavar="N",
+                       help="shared query-result cache entries (default 0 "
+                            "= off; cached answers may legally differ "
+                            "byte-wise from freshly solved ties)")
     serve.set_defaults(func=_cmd_serve)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream vendor spec sheets into a KB (checker-gated deltas)",
+    )
+    ingest.add_argument("sheet", nargs="+",
+                        help="spec-sheet text files, named "
+                             "<kind>__<model>.txt (kind: switch/nic/"
+                             "server) unless --kind is given")
+    ingest.add_argument("--kind", choices=_SHEET_KINDS, default=None,
+                        help="force the hardware kind for every sheet")
+    ingest.add_argument("--url", metavar="URL", default=None,
+                        help="live daemon base URL; the batch is applied "
+                             "as one PUT /kb delta")
+    ingest.add_argument("--kb-store", metavar="PATH", default=None,
+                        help="offline: apply the delta to this sqlite "
+                             "fact log instead of a live daemon")
+    ingest.add_argument("--kb", default="default", metavar="NAME",
+                        help="served KB name for --url (default "
+                             "'default')")
+    ingest.add_argument("--no-check", action="store_true",
+                        help="skip the encoding checker gate")
+    ingest.set_defaults(func=_cmd_ingest)
     return parser
 
 

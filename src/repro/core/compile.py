@@ -68,6 +68,12 @@ class CompiledDesign:
     request_groups: dict[tuple[str, object], tuple[str, int]] = field(
         default_factory=dict
     )
+    #: Canonical group name -> the KB entity keys its clauses were
+    #: derived from (see :data:`repro.kb.registry.EntityKey`). The
+    #: session's delta-rebase path consults this to decide which groups
+    #: a KB change dirties; groups with no KB footprint (budgets,
+    #: context values) are absent.
+    group_entities: dict[str, frozenset] = field(default_factory=dict)
     _guard_variants: dict[str, int] = field(default_factory=dict)
     _guards_asserted: bool = False
 
@@ -254,6 +260,56 @@ def static_context_of(request: DesignRequest) -> dict[str, bool]:
     return context
 
 
+def request_entity_scope(kb: KnowledgeBase, request: DesignRequest) -> frozenset:
+    """The KB entity keys grounding *request* actually reads.
+
+    A request pinning ``candidate_systems``/``inventory`` depends only on
+    those entities; an unpinned one ranges over the whole catalog and so
+    also depends on the membership keys (``systems@``/``hardware@``) —
+    an *addition* must invalidate it even though no pinned key changed.
+    Rules always apply in full. Ordering dimensions enter through
+    optimization objectives and performance bounds; a dimension's key is
+    in scope even while the dimension is empty, so its first edge is
+    seen as a change.
+
+    Two KB states agreeing on every key in this scope ground *request*
+    to an identical formula — the invariant that lets scoped
+    fingerprints (:meth:`KnowledgeBase.scoped_fingerprint`) stand in for
+    the global fingerprint in cache keys and session-pool keys.
+
+    Memoized per request instance and KB version (requests are immutable
+    after submission, same contract as ``shape_key``).
+    """
+    memo = getattr(request, "_entity_scope_memo", None)
+    if memo is not None and memo[0] is kb and memo[1] == kb.version:
+        return memo[2]
+    keys: set[tuple[str, str]] = set()
+    if request.candidate_systems is None:
+        keys.add(("systems@", ""))
+        keys.update(("system", name) for name in kb.systems)
+    else:
+        keys.update(("system", name) for name in request.candidate_systems)
+    keys.update(("system", name) for name in request.required_systems)
+    keys.update(("system", name) for name in request.forbidden_systems)
+    if request.inventory is None:
+        keys.add(("hardware@", ""))
+        keys.update(("hardware", model) for model in kb.hardware)
+    else:
+        keys.update(("hardware", model) for model in request.inventory)
+    keys.update(("hardware", model) for model in request.fixed_hardware)
+    keys.add(("rules@", ""))
+    keys.update(("rule", name) for name in kb.rules)
+    for objective in request.optimize:
+        if objective not in COST_OBJECTIVES:
+            keys.add(("ordering", objective))
+    for workload in request.workloads:
+        for bound in workload.performance_bounds:
+            keys.add(("ordering", bound.dimension))
+    scope = frozenset(keys)
+    request._entity_scope_memo = (kb, kb.version, scope)
+    return scope
+
+
 # ---------------------------------------------------------------------------
 # Compilation
 # ---------------------------------------------------------------------------
@@ -370,6 +426,11 @@ class _Compiler:
         if created:
             self.builder.add_formula(Implies(guard, formula))
 
+    def _footprint(self, name: str, *keys: tuple[str, str]) -> None:
+        """Record which KB entities group *name*'s clauses came from."""
+        if keys:
+            self.compiled.group_entities[name] = frozenset(keys)
+
     # -- main ------------------------------------------------------------------
 
     def run(self) -> CompiledDesign:
@@ -435,6 +496,65 @@ class _Compiler:
             self._descriptions = self.compiled.descriptions
         return selectors, descriptions
 
+    # -- delta absorption ------------------------------------------------------
+
+    def patch_entities(self, touched: frozenset) -> bool:
+        """Absorb a rule/ordering KB delta into the live solver.
+
+        *touched* is the set of changed entity keys, already restricted
+        by the session to :data:`repro.kb.registry.PATCHABLE_KINDS`.
+        Ordering changes need no clause work at all: ordering graphs are
+        rebuilt per query from the live KB, and ``bound:*`` groups are
+        content-keyed variants that simply stop being fetched when the
+        formula they encode changes. Hard rules are the one statically
+        encoded group kind — each changed rule's guard group is retired
+        (guard hard-negated, registry entries dropped so content dedup
+        can never resurrect it) and, if the rule still exists, re-ground
+        behind a fresh guard variant.
+
+        Returns ``False`` when the change cannot be absorbed soundly —
+        a rule that is or was *soft* (unguarded PB terms cannot be
+        retired), or a new formula referencing variables the compiled
+        base never named (the preprocessor may have eliminated the
+        anonymous internals such a formula would need). The caller falls
+        back to a full rebase.
+        """
+        rule_names = sorted({name for kind, name in touched if kind == "rule"})
+        soft_names = set(self.compiled.soft_rule_names.values())
+        known = set(self.builder.known_names())
+        for name in rule_names:
+            if name in soft_names:
+                return False
+            rule = self.kb.rules.get(name)
+            if rule is None:
+                continue
+            if rule.severity != "hard":
+                return False
+            if not free_vars(rule.formula) <= known:
+                return False
+        for name in rule_names:
+            group = f"rule:{name}"
+            self._retire_group(group)
+            rule = self.kb.rules.get(name)
+            if rule is None:
+                continue
+            self._add_guarded(group, rule.description or rule.name, rule.formula)
+            self._footprint(group, ("rule", name))
+            self._static_selectors[group] = self.compiled.selectors[group]
+            self._static_descriptions[group] = self.compiled.descriptions[group]
+        return True
+
+    def _retire_group(self, name: str) -> None:
+        """Permanently disable every variant of a guarded group."""
+        for key in [k for k in self.compiled.request_groups if k[0] == name]:
+            _guard_name, lit = self.compiled.request_groups.pop(key)
+            self.solver.add_clause([-lit])
+        self.compiled.selectors.pop(name, None)
+        self.compiled.descriptions.pop(name, None)
+        self._static_selectors.pop(name, None)
+        self._static_descriptions.pop(name, None)
+        self.compiled.group_entities.pop(name, None)
+
     def _ground_systems(self) -> None:
         seen_conflicts: set[tuple[str, str]] = set()
         for name in self.candidates:
@@ -449,6 +569,7 @@ class _Compiler:
                 system.description or f"deployment requirements of {name}",
                 Implies(Var(f"sys::{name}"), And(*requires)),
             )
+            self._footprint(f"require:{name}", ("system", name))
             for other in system.conflicts:
                 if other not in self.candidates:
                     continue
@@ -460,6 +581,10 @@ class _Compiler:
                     f"conflict:{pair[0]}|{pair[1]}",
                     f"{pair[0]} and {pair[1]} cannot coexist",
                     Not(And(Var(f"sys::{pair[0]}"), Var(f"sys::{pair[1]}"))),
+                )
+                self._footprint(
+                    f"conflict:{pair[0]}|{pair[1]}",
+                    ("system", pair[0]), ("system", pair[1]),
                 )
             for feature in system.features:
                 feat_name = f"feat::{name}::{feature.name}"
@@ -473,6 +598,9 @@ class _Compiler:
                         Implies(Var(feat_name), Var(f"sys::{name}")),
                         Implies(Var(feat_name), feature.requires),
                     ),
+                )
+                self._footprint(
+                    f"feature:{name}:{feature.name}", ("system", name)
                 )
 
     def _ground_required_forbidden(self, request: DesignRequest) -> None:
@@ -552,6 +680,7 @@ class _Compiler:
                     rule.description or rule.name,
                     rule.formula,
                 )
+                self._footprint(f"rule:{rule.name}", ("rule", rule.name))
             else:
                 lit = self.builder.literal(rule.formula)
                 term = PBTerm(rule.weight, -lit)
@@ -606,6 +735,10 @@ class _Compiler:
                     f"{workload.name} needs {bound.objective} better than "
                     f"{bound.better_than} (on {bound.dimension})",
                     And(*[Not(Var(f"sys::{s}")) for s in excluded]),
+                )
+                self._footprint(
+                    f"bound:{workload.name}:{bound.objective}",
+                    ("ordering", bound.dimension),
                 )
 
     def _ground_resources(self) -> None:

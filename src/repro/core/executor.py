@@ -25,7 +25,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.compile import CompiledDesign, compile_design
+from repro.core.compile import (
+    CompiledDesign,
+    compile_design,
+    request_entity_scope,
+)
 from repro.core.design import (
     COST_OBJECTIVES,
     DesignOutcome,
@@ -123,7 +127,63 @@ class QueryExecutor:
         """*query*'s key in the shared cache; None when not cacheable."""
         if self.cache is None or not query.cacheable:
             return None
-        return query.cache_key(self.kb, self._config_tag)
+        return self._query_key(query, self._scope(query.request))
+
+    def _query_key(self, query: Query, scope: frozenset) -> str:
+        """*query*'s canonical cache key, memoized on the request.
+
+        Computing the key serializes the whole request; on a warm cache
+        hit that dwarfs everything else the executor does. Requests are
+        immutable after submission (the same contract the entity-scope
+        memo relies on), so the key is a pure function of (verb, options,
+        executor config, KB state) and can live on the request. The memo
+        pins the exact KB object and version: any delta — even one
+        disjoint from the scope — recomputes, and the recomputation
+        lands on the same key whenever the scoped fingerprint held.
+        """
+        token = (
+            query.verb,
+            self._config_tag,
+            query.class_limit,
+            query.completions_limit,
+            query.limit,
+        )
+        memo = getattr(query.request, "_query_key_memo", None)
+        if memo is not None:
+            hit = memo.get(token)
+            if (
+                hit is not None
+                and hit[0] is self.kb
+                and hit[1] == self.kb.version
+            ):
+                return hit[2]
+        if token[2] is None and token[3] is None and token[4] is None:
+            key = request_cache_key(
+                query.verb, self.kb, query.request,
+                self._default_options_config,
+                scope=scope,
+            )
+        else:
+            key = query.cache_key(self.kb, self._config_tag, scope)
+        if memo is None:
+            memo = {}
+            try:
+                query.request._query_key_memo = memo
+            except AttributeError:  # request stand-ins with __slots__
+                return key
+        if len(memo) >= 8:  # a request rarely sees >1 (verb, config)
+            memo.clear()
+        memo[token] = (self.kb, self.kb.version, key)
+        return key
+
+    def _scope(self, request: DesignRequest) -> frozenset:
+        """The request's KB entity footprint (memoized on the request).
+
+        Scoped cache keys survive KB deltas disjoint from the footprint,
+        and double as the entry's footprint for eager delta invalidation
+        (:meth:`~repro.par.cache.QueryCache.invalidate_entities`).
+        """
+        return request_entity_scope(self.kb, request)
 
     # -- pipeline -----------------------------------------------------------------
 
@@ -141,19 +201,11 @@ class QueryExecutor:
             self._record(verb, None)
             return text
         if self.cache is not None and verb in CACHEABLE_VERBS:
-            if (
-                query.class_limit is None
-                and query.completions_limit is None
-                and query.limit is None
-            ):
-                key = request_cache_key(
-                    verb, self.kb, query.request,
-                    self._default_options_config,
-                )
-            else:
-                key = query.cache_key(self.kb, self._config_tag)
+            scope = self._scope(query.request)
+            key = self._query_key(query, scope)
         else:
             key = None
+            scope = None
         if key is not None:
             observer = self.observer
             if observer is not None and observer.enabled:
@@ -166,7 +218,7 @@ class QueryExecutor:
                 return cached
         result = self._execute_miss(query)
         if key is not None:
-            self.cache.put(key, result)
+            self.cache.put(key, result, footprint=scope)
         return result
 
     def execute_many(
@@ -216,7 +268,11 @@ class QueryExecutor:
                     self._record(query.verb, None)
             for slot, result in enumerate(computed):
                 if pending_keys[slot] is not None:
-                    self.cache.put(pending_keys[slot], result)
+                    self.cache.put(
+                        pending_keys[slot],
+                        result,
+                        footprint=self._scope(pending[slot].request),
+                    )
                 for i in pending_idx[slot]:
                     results[i] = result
         return results

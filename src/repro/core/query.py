@@ -85,13 +85,16 @@ class Query:
             f"n={self.limit}"
         )
 
-    def cache_key(self, kb, config: str = "") -> str:
+    def cache_key(
+        self, kb, config: str = "", scope: frozenset | None = None
+    ) -> str:
         """Canonical cache key: verb + KB state + request + options.
 
         *config* names the executor configuration (incremental /
         preprocessing flags); see
         :func:`~repro.par.cache.request_cache_key` for why it must be
-        part of the key.
+        part of the key. *scope* is the request's entity footprint; with
+        it the key survives KB deltas disjoint from the footprint.
         """
         return request_cache_key(
             self.verb,
@@ -99,4 +102,5 @@ class Query:
             self.request,
             f"{config}|cl={self.class_limit};co={self.completions_limit};"
             f"n={self.limit}",
+            scope=scope,
         )

@@ -53,13 +53,14 @@ from dataclasses import dataclass, field, replace
 from repro.core.compile import (
     CompiledDesign,
     _Compiler,
+    request_entity_scope,
     validate_request_entities,
 )
 from repro.core.design import Conflict, DesignOutcome, DesignRequest
 from repro.core.executor import QueryExecutor
 from repro.core.query import Query
 from repro.errors import SolverStateError
-from repro.kb.registry import KnowledgeBase
+from repro.kb.registry import PATCHABLE_KINDS, KnowledgeBase
 from repro.obs.observer import EngineObserver
 from repro.obs.trace import NULL_TRACER
 from repro.sat.preprocess import preprocess_solver
@@ -74,7 +75,15 @@ class SessionStats:
     queries: int = 0
     #: Base compiles (1 + rebases).
     compiles: int = 0
+    #: Full rebases (KB change outside the compiled scope's patchable
+    #: kinds, or a request-shape change).
     rebases: int = 0
+    #: KB deltas absorbed with zero solver work (every changed entity
+    #: was outside the compiled base's scope).
+    rebases_avoided: int = 0
+    #: KB deltas absorbed by re-grounding only the dirty groups in
+    #: place (rule/ordering changes inside the scope).
+    rebases_patched: int = 0
     #: Request-specific groups served from the registry vs newly encoded.
     groups_reused: int = 0
     groups_encoded: int = 0
@@ -85,6 +94,8 @@ class SessionStats:
             "queries": self.queries,
             "compiles": self.compiles,
             "rebases": self.rebases,
+            "rebases_avoided": self.rebases_avoided,
+            "rebases_patched": self.rebases_patched,
             "groups_reused": self.groups_reused,
             "groups_encoded": self.groups_encoded,
             "last_preprocess": dict(self.last_preprocess),
@@ -134,6 +145,10 @@ class ReasoningSession:
         self._compiled: CompiledDesign | None = None
         self._fingerprint: str | None = None
         self._shape: tuple | None = None
+        #: KB version and entity scope of the compiled base, for delta
+        #: rebasing (see :meth:`_absorb_kb_delta`).
+        self._kb_version: int = -1
+        self._scope: frozenset = frozenset()
         self._totalizers: dict = {}
         #: Sessions answer verbs through the same pipeline as the
         #: engine, with this session as the compile-once backend.
@@ -215,6 +230,8 @@ class ReasoningSession:
         self._compiled = None
         self._fingerprint = None
         self._shape = None
+        self._kb_version = -1
+        self._scope = frozenset()
         self._totalizers = {}
         self._poisoned = False
 
@@ -238,12 +255,18 @@ class ReasoningSession:
         self.stats.queries += 1
         fingerprint = self.kb.fingerprint()
         shape = shape_key(request)
-        if (
+        needs_rebase = (
             self._compiled is None
-            or fingerprint != self._fingerprint
             or shape != self._shape
             or not self._compatible(request)
+        )
+        if (
+            not needs_rebase
+            and fingerprint != self._fingerprint
+            and not self._absorb_kb_delta(fingerprint)
         ):
+            needs_rebase = True
+        if needs_rebase:
             if self._compiled is not None:
                 self.stats.rebases += 1
             self._rebase(request, fingerprint, shape)
@@ -261,6 +284,55 @@ class ReasoningSession:
             descriptions=descriptions,
             _guards_asserted=False,
         )
+
+    def _absorb_kb_delta(self, fingerprint: str) -> bool:
+        """Rebase in place after a KB mutation, if the delta allows it.
+
+        Three levels, cheapest first:
+
+        1. Every changed entity is outside the compiled base's scope
+           (:func:`request_entity_scope`): the mutation provably cannot
+           affect any formula this session grounds — adopt the new
+           fingerprint, zero solver work.
+        2. The in-scope changes are all rules/orderings and
+           :meth:`_Compiler.patch_entities` can re-ground just those
+           groups on the live solver.
+        3. Anything else (systems or hardware changed, catalog
+           membership changed under an unpinned request, journal too far
+           behind) — return False, caller does a full rebase.
+        """
+        changed = self.kb.changed_entities(self._kb_version)
+        if changed is None:
+            return False
+        # The session's kb may be a different *object* than the one the
+        # base was compiled from (copy-on-write updates swap it, see
+        # PooledSession.rebind). Re-point the compiler and the compiled
+        # base before patching, or they'd ground and cost against the
+        # pre-delta snapshot.
+        self._compiler.kb = self.kb
+        self._compiled.kb = self.kb
+        touched = changed & self._scope
+        if ("rules@", "") in touched:
+            # The compiled scope names the rules that existed at compile
+            # time; a rule added since only shows up as a membership
+            # change. Widen to the concrete rule keys so patch_entities
+            # grounds the new rule instead of no-opping.
+            touched = touched | {k for k in changed if k[0] == "rule"}
+        if touched:
+            if not all(kind in PATCHABLE_KINDS for kind, _ in touched):
+                return False
+            if not self._compiler.patch_entities(touched):
+                return False
+            self.stats.rebases_patched += 1
+        else:
+            self.stats.rebases_avoided += 1
+        self._fingerprint = fingerprint
+        self._kb_version = self.kb.version
+        # Scope contents can themselves change (a rule added under the
+        # always-in-scope rules catalog): recompute against the new KB
+        # state so the next delta is judged against fresh keys.
+        self._scope = request_entity_scope(self.kb, self._compiled.request)
+        return True
 
     def _compatible(self, request: DesignRequest) -> bool:
         """Can *request* be answered on the compiled base?"""
@@ -287,6 +359,8 @@ class ReasoningSession:
             self._compiled = self._compiler.run()
         self._fingerprint = fingerprint
         self._shape = shape
+        self._kb_version = self.kb.version
+        self._scope = request_entity_scope(self.kb, request)
         self._totalizers = {}
         self.stats.compiles += 1
         if self.preprocess:

@@ -26,7 +26,7 @@ from repro.extraction.checker import (
 from repro.extraction.documents import spec_sheet_text, system_prose
 from repro.extraction.noise import NoiseModel
 from repro.extraction.paper_extractor import extract_system
-from repro.extraction.specsheet import parse_spec_sheet
+from repro.extraction.specsheet import parse_spec_sheet, spec_sheet_to_delta_op
 
 __all__ = [
     "CheckFinding",
@@ -37,5 +37,6 @@ __all__ = [
     "inject_fault",
     "parse_spec_sheet",
     "spec_sheet_text",
+    "spec_sheet_to_delta_op",
     "system_prose",
 ]

@@ -28,6 +28,7 @@ import re
 from dataclasses import dataclass, replace
 
 from repro.extraction.paper_extractor import _PHRASE_TO_VAR
+from repro.kb.hardware import Hardware
 from repro.kb.ordering import Ordering
 from repro.kb.system import System
 from repro.logic.ast import And, Formula
@@ -160,6 +161,73 @@ class EncodingChecker:
                 detail=f"{candidate.name} is marked subjective but cites no "
                        f"sources for humans to weigh",
             ))
+        return findings
+
+    # -- hardware (structured spec sheets, §4.1) -------------------------------
+
+    def check_hardware(
+        self, candidate: Hardware, source_text: str
+    ) -> list[CheckFinding]:
+        """Compare a hardware encoding with the spec sheet it came from.
+
+        Spec sheets are labelled fields, so the existence check is field
+        presence: a labelled boolean stating "Yes" that the encoding has
+        as False (or vice versa) is reliably caught. Numbers keep the
+        §4.2 magnitude blindness — only wildly-off values are flagged.
+        Used by the streaming ingestion path
+        (:func:`repro.extraction.specsheet.spec_sheet_to_delta_op`) to
+        gate KB deltas before they reach a live daemon.
+        """
+        from repro.extraction.specsheet import _SCHEMAS, _parse_value
+
+        findings: list[CheckFinding] = []
+        spec = candidate.spec
+        label_map = None
+        for spec_cls, mapping in _SCHEMAS.values():
+            if isinstance(spec, spec_cls):
+                label_map = mapping
+                break
+        if label_map is None:  # pragma: no cover - schema always known
+            return [CheckFinding(
+                kind="unknown_schema",
+                detail=f"no spec-sheet schema for {type(spec).__name__}",
+            )]
+        lines = [line for line in source_text.splitlines() if line.strip()]
+        header = lines[0].split("—")[0].strip() if lines else ""
+        if header and header != spec.model:
+            findings.append(CheckFinding(
+                kind="missing_requirement",
+                detail=f"sheet is for {header!r} but the encoding names "
+                       f"{spec.model!r}",
+            ))
+        for line in lines[1:]:
+            if ":" not in line:
+                continue
+            label, _, raw_value = line.partition(":")
+            entry = label_map.get(label.strip().lower())
+            if entry is None:
+                continue
+            field_name, value_kind = entry
+            stated = _parse_value(raw_value, value_kind)
+            encoded = getattr(spec, field_name)
+            if value_kind == "bool":
+                if bool(encoded) != bool(stated):
+                    findings.append(CheckFinding(
+                        kind="missing_requirement",
+                        detail=f"{field_name}: sheet states "
+                               f"{'Yes' if stated else 'No'}, encoding says "
+                               f"{'Yes' if encoded else 'No'}",
+                    ))
+                continue
+            if stated == 0:
+                continue  # absent / N/A in the sheet: defaults stand
+            ratio = max(encoded, stated) / max(min(encoded, stated), 1e-9)
+            if ratio >= MAGNITUDE_BLINDNESS_FACTOR:
+                findings.append(CheckFinding(
+                    kind="wrong_number",
+                    detail=f"{field_name}: encoding says {encoded}, sheet "
+                           f"says {stated}",
+                ))
         return findings
 
     def check_ordering(self, ordering: Ordering) -> list[CheckFinding]:

@@ -118,3 +118,33 @@ def parse_spec_sheet(text: str, kind: str) -> Hardware:
     except TypeError as exc:
         raise ExtractionError(f"spec fields incomplete: {exc}") from exc
     return Hardware(spec=spec, sources=["extracted from spec sheet"])
+
+
+def spec_sheet_to_delta_op(text: str, kind: str, check: bool = True) -> dict:
+    """Parse a spec sheet into a KB delta op, checker-gated.
+
+    The streaming ingestion pipeline (spec-sheet feed → encoding checker
+    → KB delta → live daemon via ``PUT /kb``): parse the sheet, run
+    :meth:`~repro.extraction.checker.EncodingChecker.check_hardware`
+    against the source text, and return the wire-format ``upsert`` op
+    :meth:`~repro.kb.registry.KnowledgeBase.apply_entity_delta` (and the
+    daemon's ``put_kb`` verb) accept. Raises
+    :class:`~repro.errors.ExtractionError` when the checker objects,
+    so a bad encoding never becomes a delta.
+    """
+    hardware = parse_spec_sheet(text, kind)
+    if check:
+        from repro.extraction.checker import EncodingChecker
+
+        findings = EncodingChecker().check_hardware(hardware, text)
+        if findings:
+            raise ExtractionError(
+                f"spec sheet for {hardware.model!r} failed encoding "
+                f"checks: " + "; ".join(str(f) for f in findings)
+            )
+    return {
+        "op": "upsert",
+        "entity": "hardware",
+        "name": hardware.model,
+        "payload": hardware.to_dict(),
+    }

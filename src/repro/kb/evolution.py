@@ -90,22 +90,21 @@ class KnowledgeBaseDelta:
                 raise UnknownEntityError(
                     f"delta removes unknown system {name!r}"
                 )
-            del evolved.systems[name]
-            report.removed_systems.append(name)
-            # Retract the removed system's ordering edges too: edges are
-            # statements *about* the system and leave with it.
             before = len(evolved.orderings)
-            evolved.orderings = [
-                o for o in evolved.orderings
-                if name not in (o.better, o.worse)
-            ]
+            # remove_system retracts the removed system's ordering edges
+            # too: edges are statements *about* the system and leave
+            # with it. Going through the journaled mutator (rather than
+            # writing the dicts directly) keeps the version counter,
+            # per-entity hashes, and cached fingerprint fresh.
+            evolved.remove_system(name)
+            report.removed_systems.append(name)
             report.removed_orderings += before - len(evolved.orderings)
         for system in self.replace_systems:
             if system.name not in evolved.systems:
                 raise UnknownEntityError(
                     f"delta replaces unknown system {system.name!r}"
                 )
-            evolved.systems[system.name] = system
+            evolved.upsert_system(system)
             report.replaced_systems.append(system.name)
         for system in self.add_systems:
             evolved.add_system(system)
@@ -117,12 +116,15 @@ class KnowledgeBaseDelta:
             evolved.add_rule(rule)
             report.added_rules.append(rule.name)
         for triple in self.remove_orderings:
-            before = len(evolved.orderings)
-            evolved.orderings = [
-                o for o in evolved.orderings
-                if (o.better, o.worse, o.dimension) != triple
-            ]
-            removed = before - len(evolved.orderings)
+            # Retract every matching edge (duplicates included) via the
+            # journaled mutator so fingerprints stay fresh.
+            removed = 0
+            while True:
+                try:
+                    evolved.remove_ordering(*triple)
+                    removed += 1
+                except UnknownEntityError:
+                    break
             if removed == 0:
                 raise UnknownEntityError(
                     f"delta retracts unknown ordering {triple!r}"

@@ -57,7 +57,9 @@ def cnf_cache_key(
     return h.hexdigest()
 
 
-def request_cache_key(verb: str, kb, request, config: str = "") -> str:
+def request_cache_key(
+    verb: str, kb, request, config: str = "", scope: frozenset | None = None
+) -> str:
     """Canonical hash of an engine query: verb + KB state + request.
 
     *config* names the solver/preprocessing configuration that produced
@@ -65,11 +67,21 @@ def request_cache_key(verb: str, kb, request, config: str = "") -> str:
     configurations may legitimately return different (equally valid)
     models or differently-minimized conflicts, so their results must not
     alias in a shared cache.
+
+    With *scope* (the request's entity footprint, see
+    :func:`repro.core.compile.request_entity_scope`) the key hashes
+    :meth:`~repro.kb.registry.KnowledgeBase.scoped_fingerprint` instead
+    of the global fingerprint: a KB mutation disjoint from the scope
+    leaves the entry addressable, because grounding the request against
+    either KB state produces the same formula.
     """
     h = hashlib.sha256()
     h.update(verb.encode())
     h.update(b"\x00")
-    h.update(kb.fingerprint().encode())
+    if scope is None:
+        h.update(kb.fingerprint().encode())
+    else:
+        h.update(kb.scoped_fingerprint(scope).encode())
     h.update(b"\x00")
     h.update(config.encode())
     h.update(b"\x00")
@@ -105,8 +117,11 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self._lock = threading.Lock()
         self._data: OrderedDict[str, Any] = OrderedDict()
+        #: key -> entity footprint, for delta invalidation (see ``put``).
+        self._footprints: dict[str, frozenset] = {}
 
     def get(self, key: str, default: Any = None) -> Any:
         """Return the cached value for *key* (marking it fresh) or *default*."""
@@ -123,14 +138,25 @@ class QueryCache:
             self.metrics.incr(f"{self.name}.hits" if hit else f"{self.name}.misses")
         return default if value is _MISS else value
 
-    def put(self, key: str, value: Any) -> None:
-        """Insert (or refresh) *key*, evicting LRU entries beyond maxsize."""
+    def put(
+        self, key: str, value: Any, footprint: frozenset | None = None
+    ) -> None:
+        """Insert (or refresh) *key*, evicting LRU entries beyond maxsize.
+
+        *footprint* is the entry's KB entity scope (the keys its answer
+        was derived from); :meth:`invalidate_entities` drops exactly the
+        entries whose footprint intersects a delta. Entries without one
+        (CNF-level keys are content-addressed) are never delta-dropped.
+        """
         evicted = 0
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
+            if footprint is not None:
+                self._footprints[key] = footprint
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                old_key, _ = self._data.popitem(last=False)
+                self._footprints.pop(old_key, None)
                 self.evictions += 1
                 evicted += 1
             size = len(self._data)
@@ -139,10 +165,38 @@ class QueryCache:
                 self.metrics.incr(f"{self.name}.evictions", evicted)
             self.metrics.set_gauge(f"{self.name}.size", size)
 
+    def invalidate_entities(self, changed: frozenset) -> int:
+        """Drop entries whose footprint intersects *changed* entity keys.
+
+        Returns how many entries were dropped. Scoped cache keys already
+        make most stale entries unaddressable; this is the eager path
+        the daemon uses on ``PUT /kb`` so /stats reflects the delta
+        immediately and footprinted entries cannot linger.
+        """
+        changed = frozenset(changed)
+        dropped = 0
+        with self._lock:
+            victims = [
+                key for key, footprint in self._footprints.items()
+                if footprint & changed
+            ]
+            for key in victims:
+                self._data.pop(key, None)
+                del self._footprints[key]
+                dropped += 1
+            self.invalidations += dropped
+            size = len(self._data)
+        if self.metrics is not None:
+            if dropped:
+                self.metrics.incr(f"{self.name}.invalidations", dropped)
+            self.metrics.set_gauge(f"{self.name}.size", size)
+        return dropped
+
     def clear(self) -> None:
         """Drop every entry (explicit invalidation)."""
         with self._lock:
             self._data.clear()
+            self._footprints.clear()
         if self.metrics is not None:
             self.metrics.set_gauge(f"{self.name}.size", 0)
 
@@ -154,6 +208,7 @@ class QueryCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
             }
 
     def __len__(self) -> int:

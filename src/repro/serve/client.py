@@ -256,6 +256,42 @@ class DaemonClient:
                 frames.append(json.loads(self._sock_file.readline()))
         return frames
 
+    def put_kb(self, ops: list[dict], kb: str = "default",
+               request_id=None) -> dict:
+        """Apply a delta op list to the served KB (``PUT /kb``)."""
+        envelope = {"verb": "put_kb", "kb": kb, "ops": ops}
+        if request_id is not None:
+            envelope["id"] = request_id
+        if self._host is not None:
+            response = self._http_request(
+                "PUT", "/kb", canonical_json(envelope)
+            )
+            return json.loads(response.read())
+        return json.loads(
+            self._unix_request(canonical_json(envelope) + b"\n")
+        )
+
+    def delete_entity(self, entity: str, name: str, kb: str = "default",
+                      request_id=None) -> dict:
+        """Remove one named entity (``DELETE /kb/<entity>/<name>``)."""
+        envelope = {"verb": "delete_kb", "kb": kb, "entity": entity,
+                    "name": name}
+        if request_id is not None:
+            envelope["id"] = request_id
+        if self._host is not None:
+            from urllib.parse import quote
+
+            response = self._http_request(
+                "DELETE",
+                f"/kb/{quote(kb, safe='')}/{quote(entity, safe='')}"
+                f"/{quote(name, safe='')}",
+                None,
+            )
+            return json.loads(response.read())
+        return json.loads(
+            self._unix_request(canonical_json(envelope) + b"\n")
+        )
+
     def stats(self) -> dict:
         if self._host is None:
             raise ValueError("stats() requires the HTTP transport")

@@ -45,20 +45,25 @@ Design rules, in priority order:
 from __future__ import annotations
 
 import asyncio
+import copy
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from urllib.parse import unquote
 
 from repro.core.query import Query
 from repro.errors import KnowledgeBaseError, QueryError
 from repro.kb.registry import KnowledgeBase
 from repro.obs.metrics import MetricsRegistry
+from repro.par.cache import QueryCache
 from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.pool import SessionPool, execute_pooled
 from repro.serve.protocol import (
+    KB_VERBS,
     WireError,
     canonical_json,
     decode_envelope,
+    decode_kb_update,
     envelope_to_query,
     error_payload,
     ok_payload,
@@ -114,6 +119,15 @@ class DaemonConfig:
     burst: int = 20
     #: Hard bound on a request body / NDJSON line.
     max_body_bytes: int = 1_000_000
+    #: Shared query-result cache entries (0 = disabled, the default:
+    #: caching memoizes the *first* equally-valid answer, which weakens
+    #: the byte-for-byte trajectory parity with direct execution that
+    #: the differential suite pins). Threaded mode shares one cache
+    #: across pooled sessions; process mode gives each worker its own
+    #: cache of this size. Entries carry their request's KB entity
+    #: footprint, so a ``PUT /kb`` delta only invalidates the entries
+    #: whose footprint it intersects.
+    cache_size: int = 0
     #: CNF preprocessing for pooled sessions.
     preprocess: bool = True
     #: Seconds stop() waits for inflight solves before giving up.
@@ -181,10 +195,17 @@ class ReasoningDaemon:
         self.kbs = dict(kbs)
         self.config = config or DaemonConfig()
         self.metrics = MetricsRegistry()
+        self.cache = (
+            QueryCache(self.config.cache_size, name="daemon.cache")
+            if self.config.cache_size > 0 else None
+        )
         self.pool = SessionPool(
             max_sessions=self.config.pool_size,
             preprocess=self.config.preprocess,
+            cache=self.cache,
         )
+        #: Serializes KB mutations (copy-on-write swap + worker ship).
+        self._kb_lock = asyncio.Lock()
         self.admission = AdmissionController(
             self.config.max_inflight, self.config.queue_limit
         )
@@ -200,6 +221,7 @@ class ReasoningDaemon:
                 SupervisorConfig(
                     workers=self.config.workers,
                     pool_size=self.config.pool_size,
+                    cache_size=self.config.cache_size,
                     preprocess=self.config.preprocess,
                     spill_depth=self.config.spill_depth,
                     heartbeat_interval=self.config.heartbeat_interval,
@@ -310,6 +332,8 @@ class ReasoningDaemon:
                     f"{self.config.rate:g} requests/s "
                     f"(burst {self.config.burst})",
                 )
+            if envelope.get("verb") in KB_VERBS:
+                return await self._handle_kb_update(request_id, envelope)
             kb_name, query, stream = envelope_to_query(envelope)
             kb = self.kbs.get(kb_name)
             if kb is None:
@@ -377,6 +401,66 @@ class ReasoningDaemon:
             return UnaryReply(
                 500, error_payload(request_id, "internal", repr(exc))
             )
+
+    async def _handle_kb_update(
+        self, request_id, envelope: dict
+    ) -> UnaryReply:
+        """Apply a ``put_kb``/``delete_kb`` delta: copy-on-write swap.
+
+        The delta is applied to a *copy* of the KB and validated there,
+        so a malformed or invalidating delta is rejected whole — the
+        served KB is never half-mutated. On success the copy (whose
+        mutation journal continues the original's, thanks to
+        ``KnowledgeBase.__deepcopy__``) replaces the served instance,
+        the ops are appended to the attached fact store (if any), result
+        caches drop exactly the entries whose footprint the delta
+        touched, and worker processes receive the delta lazily on their
+        next routed request. Pooled sessions survive: checkout re-keys
+        them to the new scoped fingerprints and they absorb the delta in
+        place.
+        """
+        kb_name, ops = decode_kb_update(envelope)
+        async with self._kb_lock:
+            kb = self.kbs.get(kb_name)
+            if kb is None:
+                raise WireError(
+                    "not_found",
+                    f"unknown kb {kb_name!r}; served: {sorted(self.kbs)}",
+                )
+            evolved = copy.deepcopy(kb)
+            changed = evolved.apply_entity_delta(ops)
+            evolved.validate_or_raise()
+            store = kb.store
+            if store is not None:
+                kb.detach_store()
+                for op in ops:
+                    verb = op["op"]
+                    kind = (
+                        "ordering"
+                        if verb in ("add_ordering", "remove_ordering",
+                                    "set_orderings")
+                        else op["entity"]
+                    )
+                    store.append(verb, kind, op["name"], op.get("payload"))
+                evolved.attach_store(store, snapshot=False)
+            self.kbs[kb_name] = evolved
+            if self.cache is not None:
+                self.cache.invalidate_entities(changed)
+            self.metrics.incr("kb.updates")
+            self.metrics.set_gauge(f"kb.version.{kb_name}", evolved.version)
+            result = {
+                "kb": kb_name,
+                "version": evolved.version,
+                "fingerprint": evolved.fingerprint(),
+                "changed": sorted(
+                    f"{kind}/{name}" if name else kind
+                    for kind, name in changed
+                ),
+            }
+        self.metrics.incr("requests.ok")
+        return UnaryReply(
+            200, ok_payload(request_id, envelope.get("verb"), result)
+        )
 
     async def _handle_process(
         self, request_id, kb_name: str, kb: KnowledgeBase, query: Query,
@@ -460,6 +544,8 @@ class ReasoningDaemon:
             "pool": self.pool.stats_dict(),
             "metrics": self.metrics.as_dict(),
         }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
         if self._supervisor is not None and self._supervisor.started:
             # Process mode: the parent pool is idle; report the
             # aggregated worker pools, merged solve-latency histograms,
@@ -634,6 +720,38 @@ class ReasoningDaemon:
         path = path.split("?", 1)[0]
         if method == "POST" and path == "/query":
             return await self.handle(body, client_hint=client_hint)
+        if method == "PUT" and (path == "/kb" or path.startswith("/kb/")):
+            # PUT /kb (kb named in the body) or PUT /kb/<kb-name>.
+            try:
+                envelope = decode_envelope(body, self.config.max_body_bytes)
+            except WireError as exc:
+                self.metrics.incr(f"requests.error.{exc.code}")
+                return UnaryReply(
+                    exc.http_status,
+                    error_payload(None, exc.code, exc.message),
+                )
+            envelope["verb"] = "put_kb"
+            segments = [unquote(seg) for seg in path[3:].split("/") if seg]
+            if segments:
+                envelope["kb"] = segments[0]
+            return await self.handle(envelope, client_hint=client_hint)
+        if method == "DELETE" and path.startswith("/kb/"):
+            # DELETE /kb/<entity>/<name> (default kb) or
+            # DELETE /kb/<kb-name>/<entity>/<name>.
+            segments = [unquote(seg) for seg in path[4:].split("/") if seg]
+            envelope = {"verb": "delete_kb"}
+            if len(segments) == 2:
+                envelope["entity"], envelope["name"] = segments
+            elif len(segments) == 3:
+                (envelope["kb"], envelope["entity"],
+                 envelope["name"]) = segments
+            else:
+                return UnaryReply(400, error_payload(
+                    None, "bad_request",
+                    "DELETE path must be /kb/<entity>/<name> or "
+                    "/kb/<kb>/<entity>/<name>",
+                ))
+            return await self.handle(envelope, client_hint=client_hint)
         if method == "GET" and path == "/stats":
             return await self._stats_reply()
         if method == "GET" and path == "/healthz":

@@ -7,11 +7,18 @@ CNF preprocessing) once, then answers each query as a
 across requests and hands each request exclusive access to one of them.
 
 Keying
-    ``(kb_name, kb.fingerprint(), shape_key(request))`` — exactly the
-    state a session is warm for. A KB mutation changes the fingerprint,
-    so stale sessions stop being addressable and age out of the LRU; a
-    request with a different structural shape gets its own session
-    instead of forcing a rebase thrash on a shared one.
+    ``(kb_name, kb.scoped_fingerprint(scope), shape_key(request))``
+    where *scope* is the request's KB entity footprint — exactly the
+    state a session is warm for. A KB mutation *outside* a session's
+    scope leaves its key (and its compiled formula) valid, so the
+    session stays addressable; a mutation inside the scope changes the
+    scoped fingerprint, and checkout re-keys the affected idle sessions
+    to the fresh fingerprint instead of discarding them — the session
+    itself absorbs the delta on its next ``view()`` (adopt, guard-group
+    patch, or full rebase; see
+    :meth:`ReasoningSession._absorb_kb_delta`). A request with a
+    different structural shape gets its own session instead of forcing
+    a rebase thrash on a shared one.
 
 Bounds
     At most ``max_sessions`` *idle* sessions are retained, evicted in
@@ -32,10 +39,12 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.core.compile import request_entity_scope
 from repro.core.executor import QueryExecutor
 from repro.core.query import Query
 from repro.core.session import ReasoningSession, shape_key
 from repro.kb.registry import KnowledgeBase
+from repro.par.cache import QueryCache
 
 __all__ = ["PooledSession", "PoolStats", "SessionPool", "execute_pooled"]
 
@@ -48,6 +57,9 @@ class PoolStats:
     misses: int = 0
     evictions: int = 0
     stale_purged: int = 0
+    #: Idle sessions re-keyed to a fresh scoped fingerprint after a KB
+    #: delta (kept warm; the session absorbs the delta on next view()).
+    rekeyed: int = 0
     discarded_poisoned: int = 0
     discarded_overflow: int = 0
 
@@ -59,6 +71,7 @@ class PoolStats:
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
             "evictions": self.evictions,
             "stale_purged": self.stale_purged,
+            "rekeyed": self.rekeyed,
             "discarded_poisoned": self.discarded_poisoned,
             "discarded_overflow": self.discarded_overflow,
         }
@@ -77,12 +90,24 @@ class PooledSession:
     key: tuple
     session: ReasoningSession
     executor: QueryExecutor
+    #: The request this session was created for — its KB entity scope
+    #: (recomputed against the live KB) drives scoped-fingerprint
+    #: re-keying after KB deltas. A frozen scope would go stale: an
+    #: unpinned request's scope grows when entities are added.
+    request: object = None
     uses: int = 0
     _generation: int = field(default=0, repr=False)
 
     def execute(self, query: Query):
         self.uses += 1
         return self.executor.execute(query)
+
+    def rebind(self, kb: KnowledgeBase) -> None:
+        """Point the session at *kb* (the daemon's copy-on-write KB
+        update swaps in a fresh object; journal continuity lets the
+        session absorb the delta instead of recompiling)."""
+        self.session.kb = kb
+        self.executor.kb = kb
 
     @property
     def poisoned(self) -> bool:
@@ -97,10 +122,13 @@ class SessionPool:
         max_sessions: int = 8,
         preprocess: bool = True,
         observer=None,
+        cache: QueryCache | None = None,
     ):
         self.max_sessions = max(0, max_sessions)
         self.preprocess = preprocess
         self.observer = observer
+        #: Optional shared result cache handed to every pooled executor.
+        self.cache = cache
         self.stats = PoolStats()
         self._lock = threading.Lock()
         #: idle sessions in LRU order (oldest first); key -> list of
@@ -115,7 +143,9 @@ class SessionPool:
 
     @staticmethod
     def key_for(kb_name: str, kb: KnowledgeBase, query: Query) -> tuple:
-        return (kb_name, kb.fingerprint(), shape_key(query.request))
+        scope = request_entity_scope(kb, query.request)
+        return (kb_name, kb.scoped_fingerprint(scope),
+                shape_key(query.request))
 
     # -- checkout / checkin -------------------------------------------------------
 
@@ -129,7 +159,7 @@ class SessionPool:
         """
         key = self.key_for(kb_name, kb, query)
         with self._lock:
-            self._purge_stale_locked(kb_name, key[1])
+            self._refresh_stale_locked(kb_name, kb)
             bucket = self._idle.get(key)
             if bucket:
                 pooled = bucket.pop()
@@ -152,12 +182,14 @@ class SessionPool:
         executor = QueryExecutor(
             kb,
             observer=self.observer,
+            cache=self.cache,
             incremental=True,
             preprocess=self.preprocess,
             session=session,
         )
         return PooledSession(
             key=key, session=session, executor=executor,
+            request=query.request,
             _generation=generation,
         )
 
@@ -195,21 +227,38 @@ class SessionPool:
             self._idle_count -= 1
             self.stats.evictions += 1
 
-    def _purge_stale_locked(self, kb_name: str, fingerprint: str) -> None:
-        """Drop idle sessions for *kb_name* compiled against a different
-        fingerprint — the KB mutated, so they can never be checked out
-        again and would only crowd out live sessions until LRU order
-        got to them.
+    def _refresh_stale_locked(self, kb_name: str, kb: KnowledgeBase) -> None:
+        """Re-key idle sessions of *kb_name* whose scoped fingerprint
+        the KB delta changed, and rebind every bucket to the current KB
+        object (copy-on-write updates swap it).
+
+        Sessions are *kept*, not purged: a re-keyed session absorbs the
+        delta on its next ``view()`` — adopting the new fingerprint for
+        free when the delta missed its compiled scope, patching just the
+        dirty guard groups when it touched only patchable entity kinds,
+        and paying a full rebase only in the worst case. Sessions
+        without a scope (legacy callers) fall back to the global
+        fingerprint, which re-keys them on *every* KB change.
         """
-        stale = [
-            key for key in self._idle
-            if key[0] == kb_name and key[1] != fingerprint
-        ]
-        for key in stale:
-            bucket = self._idle.pop(key)
-            self._idle_count -= len(bucket)
-            self.stats.evictions += len(bucket)
-            self.stats.stale_purged += len(bucket)
+        for key in [k for k in self._idle if k[0] == kb_name]:
+            bucket = self._idle[key]
+            request = bucket[0].request
+            fresh = (
+                kb.scoped_fingerprint(request_entity_scope(kb, request))
+                if request is not None else kb.fingerprint()
+            )
+            if key[1] == fresh:
+                for pooled in bucket:
+                    if pooled.session.kb is not kb:
+                        pooled.rebind(kb)
+                continue
+            del self._idle[key]
+            new_key = (kb_name, fresh, key[2])
+            for pooled in bucket:
+                pooled.key = new_key
+                pooled.rebind(kb)
+            self._idle.setdefault(new_key, []).extend(bucket)
+            self.stats.rekeyed += len(bucket)
 
     # -- introspection ------------------------------------------------------------
 

@@ -57,9 +57,11 @@ from repro.errors import QueryError
 
 __all__ = [
     "ERROR_HTTP_STATUS",
+    "KB_VERBS",
     "WireError",
     "canonical_json",
     "decode_envelope",
+    "decode_kb_update",
     "envelope_to_query",
     "error_payload",
     "ok_payload",
@@ -87,6 +89,16 @@ ERROR_HTTP_STATUS = {
 _VERB_SET = frozenset(VERBS)
 _STREAMABLE_VERBS = frozenset({"diagnose", "equivalence", "enumerate"})
 _OPTION_KEYS = ("class_limit", "completions_limit", "limit")
+
+#: Mutation verbs, handled by the daemon front-end (never routed to
+#: solver workers): ``put_kb`` applies a delta op list, ``delete_kb``
+#: removes one named entity. Both answer with the evolved KB's version,
+#: fingerprint, and changed-entity list.
+KB_VERBS = frozenset({"put_kb", "delete_kb"})
+
+#: Entity kinds a ``delete_kb`` may name. Deleting an ``ordering``
+#: clears every edge of that dimension.
+_DELETABLE_KINDS = frozenset({"system", "hardware", "rule", "ordering"})
 
 
 class WireError(Exception):
@@ -186,6 +198,55 @@ def envelope_to_query(envelope: dict) -> tuple[str, Query, bool]:
             "bad_request", f"invalid DesignRequest: {exc!r}"
         ) from None
     return kb_name, query, stream
+
+
+def decode_kb_update(envelope: dict) -> tuple[str, list[dict]]:
+    """Validate a ``put_kb``/``delete_kb`` envelope into ``(kb_name, ops)``.
+
+    ``put_kb`` carries the delta verbatim::
+
+        {"verb": "put_kb", "kb": "default", "ops": [
+            {"op": "upsert", "entity": "hardware", "name": "X",
+             "payload": {...}}, ...]}
+
+    ``delete_kb`` names one entity and normalizes to the equivalent
+    single-op delta::
+
+        {"verb": "delete_kb", "kb": "default",
+         "entity": "system", "name": "StackA"}
+
+    Only the envelope *shape* is checked here; per-op payload validation
+    happens in :meth:`KnowledgeBase.apply_entity_delta` (against a copy,
+    so a bad op never leaves a half-applied KB).
+    """
+    kb_name = envelope.get("kb", "default")
+    if not isinstance(kb_name, str):
+        raise WireError("bad_request", "'kb' must be a string")
+    if envelope.get("verb") == "delete_kb":
+        kind = envelope.get("entity")
+        name = envelope.get("name")
+        if kind not in _DELETABLE_KINDS:
+            raise WireError(
+                "bad_request",
+                f"delete_kb entity must be one of "
+                f"{sorted(_DELETABLE_KINDS)}, got {kind!r}",
+            )
+        if not isinstance(name, str) or not name:
+            raise WireError(
+                "bad_request", "delete_kb needs a non-empty 'name'"
+            )
+        if kind == "ordering":
+            return kb_name, [{"op": "set_orderings", "entity": "ordering",
+                              "name": name, "payload": []}]
+        return kb_name, [{"op": "remove", "entity": kind, "name": name}]
+    ops = envelope.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise WireError(
+            "bad_request", "put_kb needs a non-empty 'ops' list"
+        )
+    if not all(isinstance(op, dict) for op in ops):
+        raise WireError("bad_request", "every delta op must be an object")
+    return kb_name, ops
 
 
 # -- result encoding ---------------------------------------------------------------

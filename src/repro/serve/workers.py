@@ -40,7 +40,10 @@ Design rules:
    ``multiprocessing`` context (``spawn`` by default): the entry point
    is a top-level function and knowledge bases are shipped as their
    JSON serialization, never pickled live objects. KB mutations in the
-   front-end are re-shipped lazily, keyed by fingerprint.
+   front-end are re-shipped lazily, keyed by (version, fingerprint):
+   when the front-end KB's mutation journal still covers the version a
+   worker holds, only the changed entities travel as an ``apply_delta``
+   op list instead of the whole KB.
 """
 
 from __future__ import annotations
@@ -54,10 +57,10 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.core.session import shape_key
 from repro.errors import KnowledgeBaseError, QueryError
 from repro.kb.registry import KnowledgeBase
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.par.cache import QueryCache
 from repro.serve.pool import SessionPool, execute_pooled
 from repro.serve.protocol import (
     WireError,
@@ -72,7 +75,7 @@ __all__ = ["StreamRelay", "WorkerSupervisor", "worker_main"]
 
 #: Aggregatable (summable) fields of ``SessionPool.stats_dict()``.
 _POOL_SUM_FIELDS = (
-    "hits", "misses", "evictions", "stale_purged",
+    "hits", "misses", "evictions", "stale_purged", "rekeyed",
     "discarded_poisoned", "discarded_overflow",
     "idle", "in_use", "size", "distinct_keys",
 )
@@ -156,21 +159,24 @@ def _execute(conn, msg: dict, kbs: dict, pool: SessionPool,
 
 
 def worker_main(conn, slot: int, kb_blobs: dict, pool_size: int,
-                preprocess: bool) -> None:
+                preprocess: bool, cache_size: int = 0) -> None:
     """Entry point of one solver worker process (spawn-safe).
 
     Serves messages from the supervisor pipe serially: ``exec`` (solve a
     query on the worker-local session pool), ``ping`` (heartbeat —
     answered with a full stats snapshot), ``load_kb`` (replace a KB from
-    its JSON serialization after a front-end mutation), ``shutdown``.
-    Exits on pipe EOF so an orphaned worker can never outlive its
-    daemon.
+    its JSON serialization after a front-end mutation), ``apply_delta``
+    (mutate a KB in place from a front-end delta — warm sessions keyed
+    on unchanged entity scopes survive), ``shutdown``. Exits on pipe EOF
+    so an orphaned worker can never outlive its daemon.
     """
     kbs = {
         name: KnowledgeBase.from_dict(blob)
         for name, blob in kb_blobs.items()
     }
-    pool = SessionPool(max_sessions=pool_size, preprocess=preprocess)
+    cache = QueryCache(cache_size) if cache_size > 0 else None
+    pool = SessionPool(max_sessions=pool_size, preprocess=preprocess,
+                       cache=cache)
     metrics = MetricsRegistry()
     while True:
         try:
@@ -192,7 +198,18 @@ def worker_main(conn, slot: int, kb_blobs: dict, pool_size: int,
                 }))
             elif kind == "load_kb":
                 kbs[msg["name"]] = KnowledgeBase.from_dict(msg["payload"])
+                if cache is not None:
+                    cache.clear()
                 metrics.incr("kb_loads")
+            elif kind == "apply_delta":
+                kb = kbs.get(msg["name"])
+                if kb is not None:
+                    changed = kb.apply_entity_delta(
+                        msg["ops"], strict=False
+                    )
+                    if cache is not None:
+                        cache.invalidate_entities(changed)
+                    metrics.incr("kb_deltas")
             elif kind == "exec":
                 _execute(conn, msg, kbs, pool, metrics)
         except (BrokenPipeError, OSError):
@@ -271,7 +288,8 @@ class _WorkerHandle:
         self.conn = None
         self.send_q: queue.Queue | None = None
         self.pending: dict[int, _Pending] = {}
-        self.shipped: dict[str, str] = {}
+        #: kb name -> (version, fingerprint) the worker currently holds.
+        self.shipped: dict[str, tuple[int, str]] = {}
         self.restarts = 0
         self.fast_deaths = 0
         self.started_at: float | None = None
@@ -298,6 +316,8 @@ class SupervisorConfig:
     workers: int = 2
     #: Idle warm sessions retained *per worker*.
     pool_size: int = 8
+    #: Worker-local result-cache entries (0 disables caching).
+    cache_size: int = 0
     preprocess: bool = True
     #: Queue depth on the affinity-preferred worker beyond which a
     #: request spills to the least-loaded worker.
@@ -389,12 +409,13 @@ class WorkerSupervisor:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         blobs = {name: kb.to_dict() for name, kb in self.kbs.items()}
         handle.shipped = {
-            name: kb.fingerprint() for name, kb in self.kbs.items()
+            name: (kb.version, kb.fingerprint())
+            for name, kb in self.kbs.items()
         }
         process = self.ctx.Process(
             target=worker_main,
             args=(child_conn, handle.slot, blobs, self.config.pool_size,
-                  self.config.preprocess),
+                  self.config.preprocess, self.config.cache_size),
             name=f"repro-serve-worker-{handle.slot}",
             daemon=True,
         )
@@ -600,7 +621,7 @@ class WorkerSupervisor:
                 "all solver worker slots are disabled after repeated "
                 "crashes; restart the daemon",
             )
-        key = (kb_name, kb.fingerprint(), shape_key(query.request))
+        key = SessionPool.key_for(kb_name, kb, query)
         point = self._hash(repr(key))
         # First ring entry clockwise of the key's point.
         lo, hi = 0, len(self._ring)
@@ -630,10 +651,30 @@ class WorkerSupervisor:
 
     def _ship_kb(self, handle: _WorkerHandle, kb_name: str,
                  kb: KnowledgeBase) -> None:
+        """Bring the worker's copy of *kb_name* up to date, cheaply.
+
+        When the KB's mutation journal still reaches back to the version
+        the worker holds, only the changed entities are shipped as an
+        ``apply_delta`` op list — the worker mutates its KB in place and
+        its warm sessions survive. The full JSON serialization is the
+        fallback (first ship, journal overflow, or an untracked
+        mutation).
+        """
         fingerprint = kb.fingerprint()
-        if handle.shipped.get(kb_name) == fingerprint:
+        held = handle.shipped.get(kb_name)
+        if held is not None and held[1] == fingerprint:
             return
-        handle.shipped[kb_name] = fingerprint
+        handle.shipped[kb_name] = (kb.version, fingerprint)
+        changed = (
+            kb.changed_entities(held[0]) if held is not None else None
+        )
+        if changed is not None:
+            self.metrics.incr("workers.kb_delta_shipped")
+            self._enqueue(handle, {
+                "kind": "apply_delta", "name": kb_name,
+                "ops": kb.delta_ops_for(changed),
+            })
+            return
         self.metrics.incr("workers.kb_shipped")
         self._enqueue(handle, {
             "kind": "load_kb", "name": kb_name, "payload": kb.to_dict(),

@@ -1,16 +1,16 @@
 """SessionPool accounting under KB-fingerprint churn and shape churn.
 
-Regression suite for the eviction-accounting bug where a KB mutation
-left stale-fingerprint sessions squatting in the pool: since the pool
-key embeds ``kb.fingerprint()``, a mutated KB makes every idle session
-unreachable, and the old checkin policy (discard the *incoming* session
-when full) meant those unreachable sessions were never displaced — the
-pool filled with dead weight and the hit rate pinned to zero.
+Regression suite for two pool policies:
 
-The fixed policy: checkin evicts the *oldest* idle session to make room
-(counted in ``evictions``), and checkout purges idle sessions whose
-fingerprint no longer matches the KB (counted in ``evictions`` and
-``stale_purged``).
+1. Checkin evicts the *oldest* idle session when the pool is full
+   (counted in ``evictions``), never the incoming one — the historical
+   bug let unreachable sessions squat and pin the hit rate to zero.
+2. Checkout *re-keys* idle sessions whose scoped fingerprint a KB delta
+   changed (counted in ``rekeyed``) instead of discarding them: the
+   session absorbs the delta on its next view (adopt / guard-group
+   patch / full rebase), so KB churn no longer cold-starts the pool.
+   ``stale_purged`` stays for legacy accounting and is expected to be 0
+   under delta-journaled mutation.
 """
 
 from __future__ import annotations
@@ -69,40 +69,53 @@ class TestFingerprintChurn:
         pool = SessionPool(max_sessions=2)
         query = _query()
         for i in range(6):
-            # Every mutation changes the fingerprint, stranding any
-            # sessions checked in under the previous key.
+            # Every mutation changes the scoped fingerprint; checkout
+            # re-keys the idle session, which absorbs the delta.
             kb.add_rule(Rule(name=f"churn_{i}", formula=TRUE))
             assert _roundtrip(pool, kb, query).feasible
         stats = pool.stats_dict()
         assert stats["idle"] <= 2
         assert stats["size"] <= 2
-        # Only live-fingerprint sessions remain addressable.
-        current = kb.fingerprint()
+        # Every idle key is addressable under the *current* KB state.
+        current = SessionPool.key_for("default", kb, query)[1]
         with pool._lock:
             assert all(key[1] == current for key in pool._idle)
 
-    def test_eviction_counters_match_the_churn(self):
+    def test_churn_rekeys_instead_of_purging(self):
+        """A KB delta keeps warm sessions: re-key + in-place absorb."""
         kb = _kb()
         pool = SessionPool(max_sessions=2)
         query = _query()
         rounds = 5
-        for i in range(rounds):
-            _roundtrip(pool, kb, query)
-            kb.add_rule(Rule(name=f"churn_{i}", formula=TRUE))
-        # One more request against the final fingerprint: its checkout
-        # purges the last stale session.
         _roundtrip(pool, kb, query)
+        for i in range(rounds):
+            kb.add_rule(Rule(name=f"churn_{i}", formula=TRUE))
+            assert _roundtrip(pool, kb, query).feasible
         stats = pool.stats_dict()
-        # Every round misses (the fingerprint changed under it), and
-        # every stranded session is purged exactly once.
-        assert stats["misses"] == rounds + 1
-        assert stats["hits"] == 0
-        assert stats["stale_purged"] == rounds
-        assert stats["evictions"] == stats["stale_purged"]
+        # One compile total: every later round re-keys the warm session
+        # (a pool hit) and the session patches the new rule in place.
+        assert stats["misses"] == 1
+        assert stats["hits"] == rounds
+        assert stats["rekeyed"] == rounds
+        assert stats["stale_purged"] == 0
+        assert stats["evictions"] == 0
         assert stats["discarded_overflow"] == 0
-        # Accounting identity: everything created was either evicted or
-        # is still idle.
-        assert stats["misses"] == stats["evictions"] + stats["idle"]
+
+    def test_rekeyed_session_absorbs_instead_of_recompiling(self):
+        kb = _kb()
+        pool = SessionPool(max_sessions=2)
+        query = _query()
+        pooled = pool.checkout("default", kb, query)
+        pooled.execute(query)
+        pool.checkin(pooled)
+        kb.add_rule(Rule(name="churn", formula=TRUE))
+        pooled = pool.checkout("default", kb, query)
+        assert pooled.execute(query).feasible
+        stats = pooled.session.stats
+        assert stats.compiles == 1
+        assert stats.rebases == 0
+        assert stats.rebases_patched == 1
+        pool.checkin(pooled)
 
     def test_pool_recovers_hits_after_churn_stops(self):
         """The regression: stale squatters used to pin the hit rate at 0."""
@@ -128,10 +141,12 @@ class TestFingerprintChurn:
         kb_a.add_rule(Rule(name="churn", formula=TRUE))
         _roundtrip(pool, kb_a, query, kb_name="a")
         stats = pool.stats_dict()
-        assert stats["stale_purged"] == 1  # only kb_a's stranded session
-        # kb_b's warm session must still hit.
-        _roundtrip(pool, kb_b, query, kb_name="b")
+        assert stats["rekeyed"] == 1  # only kb_a's session re-keyed
+        assert stats["stale_purged"] == 0
+        # Both KBs' warm sessions hit.
         assert pool.stats_dict()["hits"] == 1
+        _roundtrip(pool, kb_b, query, kb_name="b")
+        assert pool.stats_dict()["hits"] == 2
 
 
 class TestCheckinEviction:

@@ -139,7 +139,10 @@ class TestProcessParity:
                              formula=Not(obj("packet_processing"))))
             second = harness.query(make_envelope("check", _request()))
             assert second["ok"] and second["result"]["feasible"] is False
-            assert daemon.metrics.counter("workers.kb_shipped") >= 1
+            # The journaled mutation travels as an entity delta, not a
+            # full KB re-serialization.
+            assert daemon.metrics.counter("workers.kb_delta_shipped") >= 1
+            assert daemon.metrics.counter("workers.kb_shipped") == 0
 
 
 class TestRouting:
